@@ -1,0 +1,20 @@
+//! # pgrid-baselines
+//!
+//! The comparators the paper positions P-Grid against:
+//!
+//! * [`FloodNetwork`] — a Gnutella-style unstructured overlay where "search
+//!   requests are broadcasted over the network and each node receiving a
+//!   search request scans its local database" (§1). Costs grow with the
+//!   number of peers reached, independent of the data distribution.
+//! * [`CentralServer`] — the §6 comparison point: one replicated index
+//!   server with `O(D)` storage and `O(N)` query message load, constant
+//!   client cost.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod central;
+mod flooding;
+
+pub use central::CentralServer;
+pub use flooding::{FloodNetwork, FloodOutcome};

@@ -1,0 +1,113 @@
+//! Benchmarks mirroring the §5.1 construction-cost tables (T1–T5): each
+//! measurement is one full grid construction under the table's parameters,
+//! at a reduced community size (the paper-scale tables come from
+//! `pgrid exp t1|t2|t3|t4`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgrid_core::{BuildOptions, Ctx, PGrid, PGridConfig};
+use pgrid_net::{AlwaysOnline, NetStats};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn construct(n: usize, cfg: PGridConfig, seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut online = AlwaysOnline;
+    let mut stats = NetStats::new();
+    let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+    let mut grid = PGrid::new(n, cfg);
+    grid.build(&BuildOptions::default(), &mut ctx).exchange_calls
+}
+
+/// T1: cost vs community size, recmax ∈ {0, 2}.
+fn t1_cost_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_construction_vs_n");
+    for &recmax in &[0u32, 2] {
+        for &n in &[100usize, 200, 400] {
+            let cfg = PGridConfig {
+                maxl: 5,
+                refmax: 1,
+                recmax,
+                ..PGridConfig::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("recmax{recmax}"), n),
+                &n,
+                |b, &n| b.iter(|| black_box(construct(n, cfg, 0x7161))),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// T2: cost vs maximal path length.
+fn t2_cost_vs_maxl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t2_construction_vs_maxl");
+    for &maxl in &[3usize, 4, 5] {
+        let cfg = PGridConfig {
+            maxl,
+            refmax: 1,
+            recmax: 2,
+            ..PGridConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(maxl), &maxl, |b, _| {
+            b.iter(|| black_box(construct(200, cfg, 0x7162)))
+        });
+    }
+    group.finish();
+}
+
+/// T3: cost vs recursion depth (paper-faithful, no divergence refs).
+fn t3_cost_vs_recmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t3_construction_vs_recmax");
+    for &recmax in &[0u32, 1, 2, 4] {
+        let cfg = PGridConfig {
+            maxl: 5,
+            refmax: 1,
+            recmax,
+            add_ref_on_divergence: false,
+            ..PGridConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(recmax), &recmax, |b, _| {
+            b.iter(|| black_box(construct(200, cfg, 0x7163)))
+        });
+    }
+    group.finish();
+}
+
+/// T4/T5: cost vs refmax with unbounded vs bounded recursion fan-out.
+fn t4_cost_vs_refmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t4_construction_vs_refmax");
+    for &fanout in &[None, Some(2usize)] {
+        for &refmax in &[1usize, 2, 4] {
+            let cfg = PGridConfig {
+                maxl: 5,
+                refmax,
+                recmax: 2,
+                recfanout: fanout,
+                ..PGridConfig::default()
+            };
+            let label = match fanout {
+                None => "unbounded",
+                Some(k) => {
+                    if k == 2 {
+                        "fanout2"
+                    } else {
+                        "fanoutN"
+                    }
+                }
+            };
+            group.bench_with_input(BenchmarkId::new(label, refmax), &refmax, |b, _| {
+                b.iter(|| black_box(construct(300, cfg, 0x7164)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4));
+    targets = t1_cost_vs_n, t2_cost_vs_maxl, t3_cost_vs_recmax, t4_cost_vs_refmax
+}
+criterion_main!(benches);

@@ -1,0 +1,183 @@
+//! Benchmarks mirroring the §5.2 evaluation (F4, the search-reliability
+//! measurement, F5, T6) and the §6 comparisons (central server, flooding).
+//! Full-scale numbers come from the `pgrid` CLI; these measure the central
+//! operation of each figure at laptop size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgrid_baselines::{CentralServer, FloodNetwork};
+use pgrid_bench::Fixture;
+use pgrid_core::{Ctx, FindStrategy, GridMetrics, QueryPolicy};
+use pgrid_keys::BitPath;
+use pgrid_net::{AlwaysOnline, BernoulliOnline, NetStats, PeerId};
+use pgrid_store::{ItemId, Version};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// F4: capture the replica-distribution metrics of a converged grid.
+fn f4_replica_distribution(c: &mut Criterion) {
+    let fixture = Fixture::converged(2000, 7, 5, 0x7f04);
+    c.bench_function("f4/grid_metrics_2000_peers", |b| {
+        b.iter(|| black_box(GridMetrics::capture(&fixture.grid)))
+    });
+}
+
+/// §5.2: one randomized search at 30% availability.
+fn s52_search_reliability(c: &mut Criterion) {
+    let mut fixture = Fixture::converged(2000, 7, 10, 0x7f52).with_items(200, 10);
+    c.bench_function("s52/search_at_30pct_online", |b| {
+        let mut online = BernoulliOnline::new(0.3);
+        let mut stats = NetStats::new();
+        b.iter(|| {
+            let mut ctx = Ctx::new(&mut fixture.rng, &mut online, &mut stats);
+            let key = BitPath::random(ctx.rng, 6);
+            let start = fixture.grid.random_peer(&mut ctx);
+            black_box(fixture.grid.search(start, &key, &mut ctx))
+        })
+    });
+}
+
+/// F5: one replica-discovery sweep per strategy.
+fn f5_find_replicas(c: &mut Criterion) {
+    let mut fixture = Fixture::converged(1500, 6, 8, 0x7f05).with_items(100, 9);
+    let mut group = c.benchmark_group("f5_find_replicas");
+    let strategies: [(&str, FindStrategy); 3] = [
+        ("repeated_dfs", FindStrategy::RepeatedDfs { attempts: 8 }),
+        ("dfs_buddies", FindStrategy::DfsWithBuddies { attempts: 8 }),
+        (
+            "repeated_bfs",
+            FindStrategy::Bfs {
+                recbreadth: 2,
+                repetition: 8,
+            },
+        ),
+    ];
+    for (label, strategy) in strategies {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            let mut online = BernoulliOnline::new(0.5);
+            let mut stats = NetStats::new();
+            b.iter(|| {
+                let mut ctx = Ctx::new(&mut fixture.rng, &mut online, &mut stats);
+                let key = BitPath::random(ctx.rng, 5);
+                black_box(fixture.grid.find_replicas(&key, strategy, &mut ctx))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// T6: one update + one read, for both read modes.
+fn t6_update_and_read(c: &mut Criterion) {
+    let mut fixture = Fixture::converged(1500, 6, 8, 0x7f06);
+    let key = BitPath::from_str_lossy("01101");
+    fixture.grid.seed_index(
+        key,
+        pgrid_core::IndexEntry {
+            item: ItemId(1),
+            holder: PeerId(0),
+            version: Version(0),
+        },
+    );
+    let mut group = c.benchmark_group("t6_tradeoff");
+    group.bench_function("update_bfs_2_1", |b| {
+        let mut online = BernoulliOnline::new(0.5);
+        let mut stats = NetStats::new();
+        let mut v = 1u64;
+        b.iter(|| {
+            let mut ctx = Ctx::new(&mut fixture.rng, &mut online, &mut stats);
+            v += 1;
+            black_box(fixture.grid.update_item(
+                &key,
+                ItemId(1),
+                Version(v),
+                FindStrategy::Bfs {
+                    recbreadth: 2,
+                    repetition: 1,
+                },
+                &mut ctx,
+            ))
+        })
+    });
+    group.bench_function("read_single", |b| {
+        let mut online = BernoulliOnline::new(0.5);
+        let mut stats = NetStats::new();
+        b.iter(|| {
+            let mut ctx = Ctx::new(&mut fixture.rng, &mut online, &mut stats);
+            black_box(fixture.grid.query_once(&key, ItemId(1), &mut ctx))
+        })
+    });
+    group.bench_function("read_repeated_majority", |b| {
+        let mut online = BernoulliOnline::new(0.5);
+        let mut stats = NetStats::new();
+        let policy = QueryPolicy::default();
+        b.iter(|| {
+            let mut ctx = Ctx::new(&mut fixture.rng, &mut online, &mut stats);
+            black_box(fixture.grid.query_repeated(&key, ItemId(1), &policy, &mut ctx))
+        })
+    });
+    group.finish();
+}
+
+/// §6 / baselines: one flooding search vs one P-Grid search vs the central
+/// server, on the same community size.
+fn s6_baseline_comparison(c: &mut Criterion) {
+    const N: usize = 1000;
+    let mut rng = StdRng::seed_from_u64(0x5ca1);
+    let mut flood = FloodNetwork::random(N, 3, &mut rng);
+    let keys: Vec<BitPath> = (0..N).map(|_| BitPath::random(&mut rng, 12)).collect();
+    for (i, key) in keys.iter().enumerate() {
+        flood.place_key(PeerId(i as u32), *key);
+    }
+    let mut group = c.benchmark_group("s6_search_comparison");
+    group.bench_function("gnutella_flood", |b| {
+        let mut online = AlwaysOnline;
+        let mut stats = NetStats::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            black_box(flood.flood_search(
+                PeerId((i % N) as u32),
+                &keys[i * 7 % N],
+                7,
+                &mut online,
+                &mut rng,
+                &mut stats,
+            ))
+        })
+    });
+
+    let mut fixture = Fixture::converged(N, 8, 3, 0x5ca1).with_items(N, 12);
+    group.bench_function("pgrid_search", |b| {
+        let mut online = AlwaysOnline;
+        let mut stats = NetStats::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            let mut ctx = Ctx::new(&mut fixture.rng, &mut online, &mut stats);
+            i += 1;
+            let start = fixture.grid.random_peer(&mut ctx);
+            black_box(fixture.grid.search(start, &keys[i * 7 % N], &mut ctx))
+        })
+    });
+
+    let mut server = CentralServer::new();
+    let mut stats = NetStats::new();
+    for (i, key) in keys.iter().enumerate() {
+        server.register(*key, PeerId(i as u32), &mut stats);
+    }
+    group.bench_function("central_server_query", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            black_box(server.query(&keys[i * 7 % N], &mut stats).len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4));
+    targets = f4_replica_distribution, s52_search_reliability, f5_find_replicas,
+              t6_update_and_read, s6_baseline_comparison
+}
+criterion_main!(benches);

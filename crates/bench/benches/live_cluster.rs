@@ -1,0 +1,58 @@
+//! Benchmarks of the live actor deployment: construction wave throughput
+//! and query round-trip latency through real threads and the binary wire
+//! protocol.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgrid_keys::BitPath;
+use pgrid_node::{Cluster, ClusterConfig};
+use pgrid_net::PeerId;
+use pgrid_wire::WireEntry;
+use std::hint::black_box;
+
+fn live_cluster(c: &mut Criterion) {
+    // One converged cluster reused across measurements.
+    let mut cluster = Cluster::spawn(ClusterConfig {
+        n: 64,
+        maxl: 5,
+        refmax: 3,
+        recmax: 2,
+        recfanout: 2,
+        ttl: 64,
+        seed: 2024,
+    });
+    for _ in 0..40 {
+        cluster.build(300);
+        if cluster.avg_path_len() >= 4.7 {
+            break;
+        }
+    }
+    let key = BitPath::from_str_lossy("01101");
+    cluster.seed_index(
+        key,
+        WireEntry {
+            item: 1,
+            holder: PeerId(0),
+            version: 0,
+        },
+    );
+
+    c.bench_function("live/query_round_trip", |b| {
+        b.iter(|| black_box(cluster.query(&key)))
+    });
+
+    c.bench_function("live/meeting_wave_100", |b| {
+        b.iter(|| {
+            cluster.build(100);
+            black_box(cluster.avg_path_len())
+        })
+    });
+
+    cluster.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4));
+    targets = live_cluster
+}
+criterion_main!(benches);

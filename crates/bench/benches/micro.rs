@@ -1,0 +1,109 @@
+//! Micro-benchmarks of the hot paths: bit-path algebra, wire codec,
+//! single searches and single exchanges.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pgrid_bench::Fixture;
+use pgrid_core::Ctx;
+use pgrid_keys::{BitPath, HashKeyMapper, KeyMapper};
+use pgrid_net::{AlwaysOnline, NetStats, PeerId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bitpath_ops(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let paths: Vec<BitPath> = (0..1024).map(|_| BitPath::random(&mut rng, 64)).collect();
+    c.bench_function("bitpath/common_prefix_len", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let a = paths[i % 1024];
+            let q = paths[(i * 7 + 3) % 1024];
+            i += 1;
+            black_box(a.common_prefix_len(&q))
+        })
+    });
+    c.bench_function("bitpath/append", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let a = paths[i % 1024].prefix(32);
+            let q = paths[(i * 5 + 1) % 1024].prefix(32);
+            i += 1;
+            black_box(a.append(&q))
+        })
+    });
+    c.bench_function("bitpath/val", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            black_box(paths[i % 1024].val())
+        })
+    });
+    let mapper = HashKeyMapper::default();
+    c.bench_function("keys/hash_map_name", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(mapper.map(&format!("file-{i}"), 16))
+        })
+    });
+}
+
+fn wire_codec(c: &mut Criterion) {
+    use pgrid_wire::{decode_frame, encode_frame, Message, WireEntry};
+    let msg = Message::QueryOk {
+        id: 42,
+        responsible: PeerId(7),
+        entries: (0..8)
+            .map(|i| WireEntry {
+                item: i,
+                holder: PeerId(i as u32),
+                version: i * 3,
+            })
+            .collect(),
+    };
+    c.bench_function("wire/encode_query_ok", |b| {
+        b.iter(|| black_box(encode_frame(&msg)))
+    });
+    let frame = encode_frame(&msg);
+    c.bench_function("wire/decode_query_ok", |b| {
+        b.iter_batched(
+            || bytes::BytesMut::from(&frame[..]),
+            |mut buf| black_box(decode_frame(&mut buf).unwrap().unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn grid_ops(c: &mut Criterion) {
+    let mut fixture = Fixture::converged(1024, 8, 4, 2).with_items(256, 12);
+    c.bench_function("grid/search_1024_peers", |b| {
+        let mut online = AlwaysOnline;
+        let mut stats = NetStats::new();
+        b.iter(|| {
+            let mut ctx = Ctx::new(&mut fixture.rng, &mut online, &mut stats);
+            let key = BitPath::random(ctx.rng, 8);
+            let start = fixture.grid.random_peer(&mut ctx);
+            black_box(fixture.grid.search(start, &key, &mut ctx))
+        })
+    });
+    c.bench_function("grid/exchange_converged_pair", |b| {
+        let mut online = AlwaysOnline;
+        let mut stats = NetStats::new();
+        b.iter(|| {
+            let mut ctx = Ctx::new(&mut fixture.rng, &mut online, &mut stats);
+            let i = ctx.rng.gen_range(0..1024u32);
+            let mut j = ctx.rng.gen_range(0..1023u32);
+            if j >= i {
+                j += 1;
+            }
+            black_box(fixture.grid.exchange(PeerId(i), PeerId(j), &mut ctx))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bitpath_ops, wire_codec, grid_ops
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! # pgrid-bench
+//!
+//! Shared fixtures for the Criterion benchmarks. Each bench target mirrors
+//! one paper table/figure (see `benches/`); the *full-scale* tables are
+//! produced by the `pgrid` CLI — the benches measure the central operation
+//! of each experiment at a laptop-friendly size so `cargo bench` finishes in
+//! minutes and regressions in the hot paths are visible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pgrid_core::{BuildOptions, Ctx, IndexEntry, PGrid, PGridConfig};
+use pgrid_net::{AlwaysOnline, NetStats, PeerId};
+use pgrid_store::{ItemId, Version};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A converged grid plus RNG/stats, ready for measurement loops.
+pub struct Fixture {
+    /// The constructed grid.
+    pub grid: PGrid,
+    /// Deterministic RNG stream.
+    pub rng: StdRng,
+    /// Message counters (ignored by benches, required by `Ctx`).
+    pub stats: NetStats,
+}
+
+impl Fixture {
+    /// Builds a converged grid of `n` peers.
+    pub fn converged(n: usize, maxl: usize, refmax: usize, seed: u64) -> Fixture {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stats = NetStats::new();
+        let mut grid = PGrid::new(
+            n,
+            PGridConfig {
+                maxl,
+                refmax,
+                ..PGridConfig::default()
+            },
+        );
+        {
+            let mut online = AlwaysOnline;
+            let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+            let report = grid.build(&BuildOptions::default(), &mut ctx);
+            assert!(report.reached_threshold, "fixture failed to converge");
+        }
+        Fixture { grid, rng, stats }
+    }
+
+    /// Seeds `items` uniformly-keyed index entries (oracle insertion).
+    pub fn with_items(mut self, items: usize, key_len: u8) -> Fixture {
+        use pgrid_keys::BitPath;
+        for i in 0..items {
+            let key = BitPath::random(&mut self.rng, key_len);
+            self.grid.seed_index(
+                key,
+                IndexEntry {
+                    item: ItemId(i as u64),
+                    holder: PeerId((i % self.grid.len()) as u32),
+                    version: Version::INITIAL,
+                },
+            );
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_builds() {
+        let f = Fixture::converged(64, 4, 2, 1).with_items(10, 8);
+        assert_eq!(f.grid.len(), 64);
+        f.grid.check_invariants().unwrap();
+    }
+}

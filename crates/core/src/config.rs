@@ -1,0 +1,145 @@
+//! P-Grid parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// All tunables of the access structure, named after the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PGridConfig {
+    /// Maximal path length a peer may specialize to (`maxl`). The paper
+    /// bounds paths "to prevent overspecialization" and to guarantee a
+    /// replication factor at the leaf level.
+    pub maxl: usize,
+
+    /// Maximal number of references kept per level (`refmax`).
+    pub refmax: usize,
+
+    /// Maximal recursion depth of the exchange algorithm (`recmax`).
+    /// 0 disables the Case-4 recursive exchanges entirely.
+    pub recmax: u32,
+
+    /// Maximal number of referenced peers per side to recurse into during
+    /// Case 4 (`None` = all of them). This is the paper's §5.1 fix for the
+    /// exponential blow-up observed when `refmax` grows: *"one limits the
+    /// number of referenced peers with which exchanges are made throughout
+    /// recursion … recursive calls are only made to 2 randomly selected
+    /// referenced peers"*.
+    pub recfanout: Option<usize>,
+
+    /// Faithfulness toggle: the paper's pseudocode mixes reference sets only
+    /// at the *deepest* common level `lc`; with this flag the peers mix at
+    /// every level `1..=lc`. Default `false` (paper-faithful).
+    pub exchange_all_levels: bool,
+
+    /// Extension: when two peers whose paths diverge right after the common
+    /// prefix meet (Case 4 precondition), record each other as references at
+    /// the divergence level. The paper's pseudocode implies the refs exist
+    /// (`refs(lc+1, a1) \ {a2}`) but never shows their insertion; without
+    /// this the reference density needed for `refmax > 1` cannot build up.
+    /// Default `true`.
+    pub add_ref_on_divergence: bool,
+}
+
+impl Default for PGridConfig {
+    /// The §5.1 baseline configuration: `maxl = 6`, `refmax = 1`,
+    /// `recmax = 2`, recursion fan-out bounded to 2.
+    fn default() -> Self {
+        PGridConfig {
+            maxl: 6,
+            refmax: 1,
+            recmax: 2,
+            recfanout: Some(2),
+            exchange_all_levels: false,
+            add_ref_on_divergence: true,
+        }
+    }
+}
+
+impl PGridConfig {
+    /// The §5.2 / §4-example configuration: 20000 peers build a grid with
+    /// `maxl = 10` and `refmax = 20` (peers 30% online).
+    pub fn paper_large() -> Self {
+        PGridConfig {
+            maxl: 10,
+            refmax: 20,
+            recmax: 2,
+            recfanout: Some(2),
+            exchange_all_levels: false,
+            add_ref_on_divergence: true,
+        }
+    }
+
+    /// Validates parameter sanity.
+    ///
+    /// # Panics
+    /// Never; returns a description of the first problem instead.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.maxl == 0 {
+            return Err("maxl must be at least 1".into());
+        }
+        if self.maxl > pgrid_keys::MAX_PATH_LEN {
+            return Err(format!(
+                "maxl {} exceeds the {}-bit path representation",
+                self.maxl,
+                pgrid_keys::MAX_PATH_LEN
+            ));
+        }
+        if self.refmax == 0 {
+            return Err("refmax must be at least 1".into());
+        }
+        if self.recfanout == Some(0) {
+            return Err("recfanout of 0 disables Case 4; use recmax = 0 instead".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_section_51_baseline() {
+        let c = PGridConfig::default();
+        assert_eq!(c.maxl, 6);
+        assert_eq!(c.refmax, 1);
+        assert_eq!(c.recmax, 2);
+        assert_eq!(c.recfanout, Some(2));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn paper_large_matches_section_52() {
+        let c = PGridConfig::paper_large();
+        assert_eq!(c.maxl, 10);
+        assert_eq!(c.refmax, 20);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_configs() {
+        assert!(PGridConfig {
+            maxl: 0,
+            ..PGridConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(PGridConfig {
+            refmax: 0,
+            ..PGridConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(PGridConfig {
+            recfanout: Some(0),
+            ..PGridConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(PGridConfig {
+            maxl: 4000,
+            ..PGridConfig::default()
+        }
+        .validate()
+        .is_err());
+    }
+}

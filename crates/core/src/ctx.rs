@@ -1,0 +1,71 @@
+//! Execution context threaded through every protocol operation.
+
+use pgrid_net::{MsgKind, NetStats, OnlineModel, PeerId};
+use rand::rngs::StdRng;
+
+/// Bundles the deterministic RNG, the availability model, and the message
+/// counters. Every randomized algorithm in this crate draws exclusively from
+/// `ctx.rng`, so a fixed seed reproduces an entire experiment bit-for-bit.
+pub struct Ctx<'a> {
+    /// Source of all randomness.
+    pub rng: &'a mut StdRng,
+    /// Who is reachable.
+    pub online: &'a mut dyn OnlineModel,
+    /// Message accounting.
+    pub stats: &'a mut NetStats,
+}
+
+impl<'a> Ctx<'a> {
+    /// Creates a context.
+    pub fn new(
+        rng: &'a mut StdRng,
+        online: &'a mut dyn OnlineModel,
+        stats: &'a mut NetStats,
+    ) -> Self {
+        Ctx { rng, online, stats }
+    }
+
+    /// Probes whether `peer` is reachable, recording the attempt. A `true`
+    /// result does **not** yet count as a message — callers record the
+    /// appropriate [`MsgKind`] when they actually deliver one.
+    pub fn contact(&mut self, peer: PeerId) -> bool {
+        let ok = self.online.is_online(peer, self.rng);
+        self.stats.record_contact(ok);
+        ok
+    }
+
+    /// Records one delivered message.
+    pub fn message(&mut self, kind: MsgKind) {
+        self.stats.record(kind);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgrid_net::{AlwaysOnline, BernoulliOnline};
+    use rand::SeedableRng;
+
+    #[test]
+    fn contact_records_attempts() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut online = AlwaysOnline;
+        let mut stats = NetStats::new();
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        assert!(ctx.contact(PeerId(3)));
+        ctx.message(MsgKind::Query);
+        assert_eq!(stats.contact_attempts, 1);
+        assert_eq!(stats.failed_contacts, 0);
+        assert_eq!(stats.count(MsgKind::Query), 1);
+    }
+
+    #[test]
+    fn failed_contacts_are_counted() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut online = BernoulliOnline::new(0.0);
+        let mut stats = NetStats::new();
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        assert!(!ctx.contact(PeerId(3)));
+        assert_eq!(stats.failed_contacts, 1);
+    }
+}

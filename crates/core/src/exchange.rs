@@ -1,0 +1,495 @@
+//! The P-Grid construction algorithm — the paper's Fig. 3 `exchange`.
+//!
+//! Whenever two peers meet they refine the access structure:
+//!
+//! * they **mix reference sets** at the level(s) where their paths agree;
+//! * **Case 1** — both paths are identical (and below `maxl`): introduce a
+//!   new level, one peer taking the `0` side, the other the `1` side, each
+//!   referencing the other;
+//! * **Case 2/3** — one path is a proper prefix of the other: the shorter
+//!   peer specializes *opposite* to the longer peer's next bit (which keeps
+//!   the trie balanced) and the two reference each other at the new level;
+//! * **Case 4** — the paths diverge: each peer introduces the other to its
+//!   own references on the divergent side and recursion continues there,
+//!   bounded by `recmax` depth and `recfanout` partners per side;
+//! * identical paths *at* `maxl` cannot split further — the peers become
+//!   **buddies** (replicas that know each other, used by update strategy 2).
+//!
+//! Data hand-off: when a peer specializes, the index entries that no longer
+//! fall under its path move to the exchange partner (or stay, if the partner
+//! is not responsible either — see `rebalance_pair_data`).
+
+use pgrid_keys::Key;
+use pgrid_net::{MsgKind, PeerId};
+
+use crate::routing::RefSet;
+use crate::{Ctx, IndexEntry, PGrid};
+
+impl PGrid {
+    /// Two peers meet and run the exchange algorithm (paper Fig. 3).
+    ///
+    /// Returns the number of `exchange` invocations performed, including
+    /// recursive ones — the paper's construction-cost unit `e`.
+    pub fn exchange(&mut self, a1: PeerId, a2: PeerId, ctx: &mut Ctx<'_>) -> u64 {
+        self.exchange_rec(a1, a2, 0, ctx)
+    }
+
+    fn exchange_rec(&mut self, a1: PeerId, a2: PeerId, r: u32, ctx: &mut Ctx<'_>) -> u64 {
+        if a1 == a2 {
+            // A peer can be handed a reference to its own partner during
+            // recursion; meeting oneself is a no-op and not counted.
+            return 0;
+        }
+        ctx.message(MsgKind::Exchange);
+        let mut calls = 1u64;
+
+        // Anti-entropy: a meeting is an opportunity to re-home index
+        // entries a previous hand-off could not place at a responsible
+        // peer (misplaced entries are rare; the flag keeps this O(1) on
+        // the common path).
+        self.settle_misplaced(a1, a2);
+        self.settle_misplaced(a2, a1);
+
+        let cfg = *self.config();
+        let path1 = self.peer(a1).path();
+        let path2 = self.peer(a2).path();
+        let lc = path1.common_prefix_len(&path2);
+        let l1 = path1.len() - lc;
+        let l2 = path2.len() - lc;
+
+        // Mix reference sets where the paths agree. The paper's pseudocode
+        // mixes only the deepest common level `lc`; `exchange_all_levels`
+        // extends that to every shared level (ablation knob).
+        if lc > 0 {
+            let first = if cfg.exchange_all_levels { 1 } else { lc };
+            for level in first..=lc {
+                let mixed_a = RefSet::mixed(
+                    self.peer(a1).routing().level(level),
+                    self.peer(a2).routing().level(level),
+                    cfg.refmax,
+                    ctx.rng,
+                );
+                let mixed_b = RefSet::mixed(
+                    self.peer(a1).routing().level(level),
+                    self.peer(a2).routing().level(level),
+                    cfg.refmax,
+                    ctx.rng,
+                );
+                self.peer_mut(a1).routing_mut().set_level(level, mixed_a);
+                self.peer_mut(a2).routing_mut().set_level(level, mixed_b);
+            }
+        }
+
+        match (l1 == 0, l2 == 0) {
+            // Case 1: identical paths below maxl — split a fresh level.
+            (true, true) if lc < cfg.maxl => {
+                self.extend_peer_path(a1, 0);
+                self.extend_peer_path(a2, 1);
+                self.peer_mut(a1)
+                    .routing_mut()
+                    .set_level(lc + 1, RefSet::singleton(a2));
+                self.peer_mut(a2)
+                    .routing_mut()
+                    .set_level(lc + 1, RefSet::singleton(a1));
+                self.rebalance_pair_data(a1, a2);
+            }
+            // Identical paths at maxl — the peers are replicas: buddies.
+            (true, true) => {
+                let (p1, p2) = self.pair_mut(a1, a2);
+                p1.add_buddy(a2);
+                p2.add_buddy(a1);
+            }
+            // Case 2: a1's path is a proper prefix of a2's — a1 specializes
+            // opposite to a2's next bit.
+            (true, false) if lc < cfg.maxl => {
+                let bit = path2.bit(lc) ^ 1;
+                self.extend_peer_path(a1, bit);
+                self.peer_mut(a1)
+                    .routing_mut()
+                    .set_level(lc + 1, RefSet::singleton(a2));
+                self.peer_mut(a2).routing_mut().level_mut(lc + 1).insert_bounded(
+                    a1,
+                    cfg.refmax,
+                    ctx.rng,
+                );
+                self.rebalance_pair_data(a1, a2);
+            }
+            // Case 3: symmetric to Case 2.
+            (false, true) if lc < cfg.maxl => {
+                let bit = path1.bit(lc) ^ 1;
+                self.extend_peer_path(a2, bit);
+                self.peer_mut(a2)
+                    .routing_mut()
+                    .set_level(lc + 1, RefSet::singleton(a1));
+                self.peer_mut(a1).routing_mut().level_mut(lc + 1).insert_bounded(
+                    a2,
+                    cfg.refmax,
+                    ctx.rng,
+                );
+                self.rebalance_pair_data(a1, a2);
+            }
+            // Case 4: paths diverge right after the common prefix.
+            (false, false) => {
+                if cfg.add_ref_on_divergence {
+                    self.peer_mut(a1).routing_mut().level_mut(lc + 1).insert_bounded(
+                        a2,
+                        cfg.refmax,
+                        ctx.rng,
+                    );
+                    self.peer_mut(a2).routing_mut().level_mut(lc + 1).insert_bounded(
+                        a1,
+                        cfg.refmax,
+                        ctx.rng,
+                    );
+                }
+                if r < cfg.recmax {
+                    let fanout = cfg.recfanout.unwrap_or(usize::MAX);
+                    let refs1 = self
+                        .peer(a1)
+                        .routing()
+                        .level(lc + 1)
+                        .sample_excluding(fanout, a2, ctx.rng);
+                    let refs2 = self
+                        .peer(a2)
+                        .routing()
+                        .level(lc + 1)
+                        .sample_excluding(fanout, a1, ctx.rng);
+                    // a2 exchanges with a1's references (they live on a2's
+                    // side of the split) and vice versa.
+                    for r1 in refs1 {
+                        if ctx.contact(r1) {
+                            calls += self.exchange_rec(a2, r1, r + 1, ctx);
+                        }
+                    }
+                    for r2 in refs2 {
+                        if ctx.contact(r2) {
+                            calls += self.exchange_rec(a1, r2, r + 1, ctx);
+                        }
+                    }
+                }
+            }
+            // One path a prefix of the other but the shorter already at
+            // maxl: impossible (the longer would exceed maxl); the guard
+            // arms above only fall through when lc == maxl.
+            _ => {}
+        }
+        calls
+    }
+
+    /// After one or both partners specialized, move index entries to
+    /// whichever of the two is (still) responsible.
+    fn rebalance_pair_data(&mut self, a1: PeerId, a2: PeerId) {
+        let p1 = self.peer(a1).path();
+        let p2 = self.peer(a2).path();
+        let moved1 = self.peer_mut(a1).index_mut().extract_not_under(&p1);
+        let moved2 = self.peer_mut(a2).index_mut().extract_not_under(&p2);
+        self.place_entries(moved1, a2, a1);
+        self.place_entries(moved2, a1, a2);
+    }
+
+    /// Installs extracted entries at `prefer` when it is responsible, else
+    /// back at `fallback`. A key that matches neither (possible in Case 2/3
+    /// when the longer partner is more specific than the key's branch) stays
+    /// at `fallback` with its *misplaced* flag set, to be re-homed by the
+    /// anti-entropy step of a later meeting.
+    fn place_entries(
+        &mut self,
+        moved: Vec<(Key, Vec<IndexEntry>)>,
+        prefer: PeerId,
+        fallback: PeerId,
+    ) {
+        for (key, entries) in moved {
+            let target = if self.peer(prefer).responsible_for(&key) {
+                prefer
+            } else {
+                fallback
+            };
+            let misplaced = !self.peer(target).responsible_for(&key);
+            let peer = self.peer_mut(target);
+            for e in entries {
+                peer.index_insert(key, e);
+            }
+            if misplaced {
+                peer.set_misplaced(true);
+            }
+        }
+    }
+
+    /// Moves entries `holder` is not responsible for over to `partner` when
+    /// *it* is (or at least is strictly closer to the key's branch), then
+    /// recomputes the misplaced flag.
+    fn settle_misplaced(&mut self, holder: PeerId, partner: PeerId) {
+        if !self.peer(holder).has_misplaced() {
+            return;
+        }
+        let holder_path = self.peer(holder).path();
+        let partner_path = self.peer(partner).path();
+        let mut strays = Vec::new();
+        self.peer(holder).index().for_each_under(
+            &pgrid_keys::BitPath::EMPTY,
+            |key, _| {
+                if !holder_path.responsible_for(&key) {
+                    strays.push(key);
+                }
+            },
+        );
+        let mut remaining = false;
+        for key in strays {
+            let to_partner = partner_path.responsible_for(&key)
+                || key.common_prefix_len(&partner_path) > key.common_prefix_len(&holder_path);
+            if to_partner {
+                if let Some(entries) = self.peer_mut(holder).index_mut().remove(&key) {
+                    let misplaced = !self.peer(partner).responsible_for(&key);
+                    let peer = self.peer_mut(partner);
+                    for e in entries {
+                        peer.index_insert(key, e);
+                    }
+                    if misplaced {
+                        peer.set_misplaced(true);
+                    }
+                }
+            } else {
+                remaining = true;
+            }
+        }
+        self.peer_mut(holder).set_misplaced(remaining);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PGridConfig, SearchOutcome};
+    use pgrid_keys::BitPath;
+    use pgrid_net::{AlwaysOnline, NetStats};
+    use pgrid_store::{ItemId, Version};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctx_parts() -> (StdRng, AlwaysOnline, NetStats) {
+        (StdRng::seed_from_u64(11), AlwaysOnline, NetStats::new())
+    }
+
+    fn grid(n: usize, maxl: usize) -> PGrid {
+        PGrid::new(
+            n,
+            PGridConfig {
+                maxl,
+                ..PGridConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn case1_splits_fresh_peers() {
+        let (mut rng, mut online, mut stats) = ctx_parts();
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut g = grid(2, 4);
+        let calls = g.exchange(PeerId(0), PeerId(1), &mut ctx);
+        assert_eq!(calls, 1);
+        assert_eq!(g.peer(PeerId(0)).path(), BitPath::from_str_lossy("0"));
+        assert_eq!(g.peer(PeerId(1)).path(), BitPath::from_str_lossy("1"));
+        assert!(g.peer(PeerId(0)).routing().level(1).contains(PeerId(1)));
+        assert!(g.peer(PeerId(1)).routing().level(1).contains(PeerId(0)));
+        assert!(g.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn case1_repeated_meetings_deepen_paths() {
+        let (mut rng, mut online, mut stats) = ctx_parts();
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut g = grid(2, 4);
+        for _ in 0..10 {
+            g.exchange(PeerId(0), PeerId(1), &mut ctx);
+        }
+        // After the first split the paths diverge at level 1, so further
+        // meetings are Case 4 with nothing to recurse into — paths stay.
+        assert_eq!(g.peer(PeerId(0)).path().len(), 1);
+        assert_eq!(g.peer(PeerId(1)).path().len(), 1);
+        assert!(g.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn case2_shorter_peer_specializes_opposite() {
+        let (mut rng, mut online, mut stats) = ctx_parts();
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut g = grid(3, 4);
+        // Peer 1 already owns "10"; peer 0 is fresh (empty path).
+        g.extend_peer_path(PeerId(1), 1);
+        g.extend_peer_path(PeerId(1), 0);
+        g.exchange(PeerId(0), PeerId(1), &mut ctx);
+        // lc = 0, a1 empty → a1 takes the flip of peer 1's bit 0: "0".
+        assert_eq!(g.peer(PeerId(0)).path(), BitPath::from_str_lossy("0"));
+        assert!(g.peer(PeerId(0)).routing().level(1).contains(PeerId(1)));
+        assert!(g.peer(PeerId(1)).routing().level(1).contains(PeerId(0)));
+        assert!(g.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn case3_is_symmetric_to_case2() {
+        let (mut rng, mut online, mut stats) = ctx_parts();
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut g = grid(3, 4);
+        g.extend_peer_path(PeerId(0), 1);
+        g.extend_peer_path(PeerId(0), 0);
+        g.exchange(PeerId(0), PeerId(1), &mut ctx);
+        assert_eq!(g.peer(PeerId(1)).path(), BitPath::from_str_lossy("0"));
+        assert!(g.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn case2_respects_common_prefix() {
+        let (mut rng, mut online, mut stats) = ctx_parts();
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut g = grid(3, 4);
+        // Peer 0 owns "0", peer 1 owns "01" — prefix relation with lc = 1.
+        g.extend_peer_path(PeerId(0), 0);
+        g.extend_peer_path(PeerId(1), 0);
+        g.extend_peer_path(PeerId(1), 1);
+        g.exchange(PeerId(0), PeerId(1), &mut ctx);
+        // Peer 0 must extend to "00" (opposite of peer 1's bit at level 2).
+        assert_eq!(g.peer(PeerId(0)).path(), BitPath::from_str_lossy("00"));
+        assert!(g.peer(PeerId(0)).routing().level(2).contains(PeerId(1)));
+        assert!(g.peer(PeerId(1)).routing().level(2).contains(PeerId(0)));
+        assert!(g.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn maxl_stops_specialization_and_makes_buddies() {
+        let (mut rng, mut online, mut stats) = ctx_parts();
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut g = grid(2, 1);
+        g.exchange(PeerId(0), PeerId(1), &mut ctx); // split to "0"/"1"
+        let before0 = g.peer(PeerId(0)).path();
+        g.exchange(PeerId(0), PeerId(1), &mut ctx); // diverged, nothing to do
+        assert_eq!(g.peer(PeerId(0)).path(), before0);
+
+        // Force both to the same maxl path: fresh grid, hand-build.
+        let mut g = grid(2, 1);
+        g.extend_peer_path(PeerId(0), 1);
+        g.extend_peer_path(PeerId(1), 1);
+        g.exchange(PeerId(0), PeerId(1), &mut ctx);
+        assert_eq!(g.peer(PeerId(0)).path().len(), 1, "cannot exceed maxl");
+        assert!(g.peer(PeerId(0)).buddies().any(|b| b == PeerId(1)));
+        assert!(g.peer(PeerId(1)).buddies().any(|b| b == PeerId(0)));
+    }
+
+    #[test]
+    fn case4_adds_divergence_refs() {
+        let (mut rng, mut online, mut stats) = ctx_parts();
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut g = grid(2, 4);
+        g.extend_peer_path(PeerId(0), 0);
+        g.extend_peer_path(PeerId(0), 0);
+        g.extend_peer_path(PeerId(1), 1);
+        g.exchange(PeerId(0), PeerId(1), &mut ctx);
+        assert!(g.peer(PeerId(0)).routing().level(1).contains(PeerId(1)));
+        assert!(g.peer(PeerId(1)).routing().level(1).contains(PeerId(0)));
+        assert!(g.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn case4_divergence_refs_can_be_disabled() {
+        let (mut rng, mut online, mut stats) = ctx_parts();
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut g = PGrid::new(
+            2,
+            PGridConfig {
+                maxl: 4,
+                add_ref_on_divergence: false,
+                ..PGridConfig::default()
+            },
+        );
+        g.extend_peer_path(PeerId(0), 0);
+        g.extend_peer_path(PeerId(1), 1);
+        g.exchange(PeerId(0), PeerId(1), &mut ctx);
+        assert!(g.peer(PeerId(0)).routing().level(1).is_empty());
+    }
+
+    #[test]
+    fn case4_recursion_drives_construction() {
+        // With three peers 0:"0", 1:"1", 2:"" and refs 0↔1, meeting 0 and 1
+        // is Case 4; recursion introduces... nothing here (no further refs).
+        // But meeting 2 with 0 (Case 2) then 0 with 1 (Case 4) must keep
+        // invariants across recursive exchanges in a larger community.
+        let (mut rng, mut online, mut stats) = ctx_parts();
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut g = grid(12, 3);
+        for _ in 0..200 {
+            let (i, j) = g.random_pair(&mut ctx);
+            g.exchange(i, j, &mut ctx);
+            g.check_invariants().expect("invariants after every exchange");
+        }
+        assert!(g.avg_path_len() > 1.0);
+    }
+
+    #[test]
+    fn exchange_counts_include_recursion() {
+        let (mut rng, mut online, mut stats) = ctx_parts();
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut g = grid(32, 4);
+        let mut total = 0u64;
+        for _ in 0..200 {
+            let (i, j) = g.random_pair(&mut ctx);
+            total += g.exchange(i, j, &mut ctx);
+        }
+        assert_eq!(
+            total,
+            stats.count(MsgKind::Exchange),
+            "returned call count must equal recorded exchange messages"
+        );
+        assert!(total >= 200);
+    }
+
+    #[test]
+    fn self_exchange_is_noop() {
+        let (mut rng, mut online, mut stats) = ctx_parts();
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut g = grid(2, 4);
+        assert_eq!(g.exchange(PeerId(0), PeerId(0), &mut ctx), 0);
+        assert_eq!(g.peer(PeerId(0)).path().len(), 0);
+    }
+
+    #[test]
+    fn data_moves_with_specialization() {
+        let (mut rng, mut online, mut stats) = ctx_parts();
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut g = grid(2, 4);
+        // Peer 0 (root) indexes two items on opposite sides of the first bit.
+        let k0 = BitPath::from_str_lossy("0011");
+        let k1 = BitPath::from_str_lossy("1100");
+        let e = |item| IndexEntry {
+            item: ItemId(item),
+            holder: PeerId(0),
+            version: Version(0),
+        };
+        g.peer_mut(PeerId(0)).index_insert(k0, e(1));
+        g.peer_mut(PeerId(0)).index_insert(k1, e(2));
+        g.exchange(PeerId(0), PeerId(1), &mut ctx);
+        // Peer 0 took "0": keeps k0, hands k1 to peer 1 (who took "1").
+        assert_eq!(g.peer(PeerId(0)).index_lookup(&k0).len(), 1);
+        assert_eq!(g.peer(PeerId(0)).index_lookup(&k1).len(), 0);
+        assert_eq!(g.peer(PeerId(1)).index_lookup(&k1).len(), 1);
+        assert_eq!(g.peer(PeerId(1)).index_lookup(&k0).len(), 0);
+    }
+
+    #[test]
+    fn search_after_exchange_based_construction() {
+        let (mut rng, mut online, mut stats) = ctx_parts();
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut g = grid(64, 4);
+        for _ in 0..4000 {
+            let (i, j) = g.random_pair(&mut ctx);
+            g.exchange(i, j, &mut ctx);
+        }
+        g.check_invariants().unwrap();
+        // Every length-4 key must be findable from peer 0.
+        for v in 0..16u128 {
+            let key = BitPath::from_value(v, 4);
+            let SearchOutcome { responsible, .. } = g.search(PeerId(0), &key, &mut ctx);
+            if let Some(peer) = responsible {
+                assert!(g.peer(peer).responsible_for(&key));
+            }
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! The grid container: all peers of the simulated community.
+
+use std::collections::BTreeMap;
+
+use pgrid_keys::{BitPath, Key};
+use pgrid_net::PeerId;
+use rand::Rng;
+
+use crate::{Ctx, IndexEntry, PGridConfig, Peer};
+
+/// The whole peer community and its access structure.
+///
+/// `PGrid` owns every [`Peer`]; the protocol algorithms (exchange, search,
+/// update) are methods that touch peers only through the id-based indirection
+/// a real network would impose, and count every inter-peer interaction via
+/// [`Ctx`].
+#[derive(Clone, Debug)]
+pub struct PGrid {
+    config: PGridConfig,
+    peers: Vec<Peer>,
+    /// Running sum of all path lengths, so the construction loop can check
+    /// the paper's convergence threshold in O(1).
+    path_len_sum: u64,
+}
+
+impl PGrid {
+    /// Creates a community of `n` fresh peers, all at the root path.
+    ///
+    /// # Panics
+    /// If the configuration is invalid or `n == 0`.
+    pub fn new(n: usize, config: PGridConfig) -> Self {
+        config.validate().expect("invalid P-Grid configuration");
+        assert!(n > 0, "a P-Grid needs at least one peer");
+        PGrid {
+            config,
+            peers: PeerId::all(n).map(Peer::new).collect(),
+            path_len_sum: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PGridConfig {
+        &self.config
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// `true` when the community is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// Read access to a peer.
+    pub fn peer(&self, id: PeerId) -> &Peer {
+        &self.peers[id.index()]
+    }
+
+    /// Mutable access to a peer.
+    pub fn peer_mut(&mut self, id: PeerId) -> &mut Peer {
+        &mut self.peers[id.index()]
+    }
+
+    /// Mutable access to two distinct peers at once.
+    ///
+    /// # Panics
+    /// If `a == b`.
+    pub(crate) fn pair_mut(&mut self, a: PeerId, b: PeerId) -> (&mut Peer, &mut Peer) {
+        let (i, j) = (a.index(), b.index());
+        assert_ne!(i, j, "pair_mut requires distinct peers");
+        if i < j {
+            let (lo, hi) = self.peers.split_at_mut(j);
+            (&mut lo[i], &mut hi[0])
+        } else {
+            let (lo, hi) = self.peers.split_at_mut(i);
+            (&mut hi[0], &mut lo[j])
+        }
+    }
+
+    /// Extends a peer's path, maintaining the running length sum.
+    pub(crate) fn extend_peer_path(&mut self, id: PeerId, bit: u8) {
+        self.peers[id.index()].extend_path(bit);
+        self.path_len_sum += 1;
+    }
+
+    /// Iterates over all peers.
+    pub fn peers(&self) -> impl Iterator<Item = &Peer> {
+        self.peers.iter()
+    }
+
+    /// Average path length over the community — the paper's convergence
+    /// measure `(1/N) Σ length(path(a))`.
+    pub fn avg_path_len(&self) -> f64 {
+        self.path_len_sum as f64 / self.peers.len() as f64
+    }
+
+    /// Draws an unordered random pair of distinct peers (a "meeting").
+    pub fn random_pair(&self, ctx: &mut Ctx<'_>) -> (PeerId, PeerId) {
+        let n = self.peers.len();
+        assert!(n >= 2, "meetings need at least two peers");
+        let i = ctx.rng.gen_range(0..n);
+        let mut j = ctx.rng.gen_range(0..n - 1);
+        if j >= i {
+            j += 1;
+        }
+        (PeerId::from_index(i), PeerId::from_index(j))
+    }
+
+    /// A uniformly random peer (e.g. a search entry point).
+    pub fn random_peer(&self, ctx: &mut Ctx<'_>) -> PeerId {
+        PeerId::from_index(ctx.rng.gen_range(0..self.peers.len()))
+    }
+
+    /// Groups peers by their exact path. The multiplicities are the
+    /// *replication factors* of Fig. 4.
+    pub fn replica_groups(&self) -> BTreeMap<BitPath, Vec<PeerId>> {
+        let mut groups: BTreeMap<BitPath, Vec<PeerId>> = BTreeMap::new();
+        for p in &self.peers {
+            groups.entry(p.path()).or_default().push(p.id());
+        }
+        groups
+    }
+
+    /// Ground truth: every peer responsible for `key` (the replicas an update
+    /// must reach). Used by experiments to compute recall; the protocols
+    /// never consult it.
+    pub fn replicas_of(&self, key: &Key) -> Vec<PeerId> {
+        self.peers
+            .iter()
+            .filter(|p| p.responsible_for(key))
+            .map(Peer::id)
+            .collect()
+    }
+
+    /// Oracle insertion: installs an index entry directly at every
+    /// responsible peer. Experiments use this to set up a fully consistent
+    /// index without paying (or measuring) insertion traffic.
+    pub fn seed_index(&mut self, key: Key, entry: IndexEntry) {
+        for p in &mut self.peers {
+            if p.responsible_for(&key) {
+                p.index_insert(key, entry);
+            }
+        }
+    }
+
+    /// Verifies the structural invariants of the access structure:
+    ///
+    /// 1. every path is at most `maxl` bits;
+    /// 2. every reference set is at most `refmax` strong;
+    /// 3. no peer references itself;
+    /// 4. the defining reference property (§2): `r ∈ refs(i, a)` implies
+    ///    `prefix(i-1, peer(r)) = prefix(i-1, a)` and the bits at position
+    ///    `i` differ;
+    /// 5. reference levels never exceed the peer's own path length;
+    /// 6. the running path-length sum matches reality.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut sum = 0u64;
+        for a in &self.peers {
+            let path = a.path();
+            sum += path.len() as u64;
+            if path.len() > self.config.maxl {
+                return Err(format!("{}: path {} exceeds maxl", a.id(), path));
+            }
+            for (level, refs) in a.routing().iter() {
+                if level > path.len() {
+                    if !refs.is_empty() {
+                        return Err(format!(
+                            "{}: non-empty refs at level {level} beyond path length {}",
+                            a.id(),
+                            path.len()
+                        ));
+                    }
+                    continue;
+                }
+                if refs.len() > self.config.refmax {
+                    return Err(format!(
+                        "{}: {} refs at level {level} exceed refmax {}",
+                        a.id(),
+                        refs.len(),
+                        self.config.refmax
+                    ));
+                }
+                for &r in refs.as_slice() {
+                    if r == a.id() {
+                        return Err(format!("{}: self-reference at level {level}", a.id()));
+                    }
+                    let other = self.peer(r).path();
+                    if other.len() < level {
+                        return Err(format!(
+                            "{}: ref {r} at level {level} has too short a path {other}",
+                            a.id()
+                        ));
+                    }
+                    if other.prefix(level - 1) != path.prefix(level - 1) {
+                        return Err(format!(
+                            "{}: ref {r} at level {level} disagrees on the shared prefix",
+                            a.id()
+                        ));
+                    }
+                    if other.bit(level - 1) == path.bit(level - 1) {
+                        return Err(format!(
+                            "{}: ref {r} at level {level} is on the same side",
+                            a.id()
+                        ));
+                    }
+                }
+            }
+        }
+        if sum != self.path_len_sum {
+            return Err(format!(
+                "path length sum drifted: cached {} actual {sum}",
+                self.path_len_sum
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgrid_net::{AlwaysOnline, NetStats};
+    use pgrid_store::{ItemId, Version};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_grid() -> PGrid {
+        PGrid::new(
+            8,
+            PGridConfig {
+                maxl: 3,
+                ..PGridConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn fresh_grid_state() {
+        let g = small_grid();
+        assert_eq!(g.len(), 8);
+        assert!(!g.is_empty());
+        assert_eq!(g.avg_path_len(), 0.0);
+        assert!(g.check_invariants().is_ok());
+        assert_eq!(g.replica_groups().len(), 1, "all peers share the root path");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one peer")]
+    fn zero_peers_rejected() {
+        PGrid::new(0, PGridConfig::default());
+    }
+
+    #[test]
+    fn pair_mut_returns_requested_order() {
+        let mut g = small_grid();
+        let (a, b) = g.pair_mut(PeerId(5), PeerId(2));
+        assert_eq!(a.id(), PeerId(5));
+        assert_eq!(b.id(), PeerId(2));
+        let (a, b) = g.pair_mut(PeerId(2), PeerId(5));
+        assert_eq!(a.id(), PeerId(2));
+        assert_eq!(b.id(), PeerId(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn pair_mut_rejects_same_peer() {
+        let mut g = small_grid();
+        g.pair_mut(PeerId(1), PeerId(1));
+    }
+
+    #[test]
+    fn random_pair_is_distinct_and_uniformish() {
+        let g = small_grid();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut online = AlwaysOnline;
+        let mut stats = NetStats::new();
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut seen = [0u32; 8];
+        for _ in 0..4000 {
+            let (i, j) = g.random_pair(&mut ctx);
+            assert_ne!(i, j);
+            seen[i.index()] += 1;
+            seen[j.index()] += 1;
+        }
+        for (i, &c) in seen.iter().enumerate() {
+            assert!((800..1200).contains(&c), "peer {i} appeared {c} times");
+        }
+    }
+
+    #[test]
+    fn extend_updates_average() {
+        let mut g = small_grid();
+        g.extend_peer_path(PeerId(0), 1);
+        g.extend_peer_path(PeerId(0), 0);
+        g.extend_peer_path(PeerId(1), 1);
+        assert!((g.avg_path_len() - 3.0 / 8.0).abs() < 1e-12);
+        assert!(g.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn seed_index_reaches_all_responsible_peers() {
+        let mut g = small_grid();
+        // Specialize two peers to "01", one to "00".
+        for bit_pair in [(PeerId(0), [0, 1]), (PeerId(1), [0, 1]), (PeerId(2), [0, 0])] {
+            g.extend_peer_path(bit_pair.0, bit_pair.1[0]);
+            g.extend_peer_path(bit_pair.0, bit_pair.1[1]);
+        }
+        let key = BitPath::from_str_lossy("011");
+        let entry = IndexEntry {
+            item: ItemId(1),
+            holder: PeerId(7),
+            version: Version(0),
+        };
+        g.seed_index(key, entry);
+        // Responsible: peers 0, 1 (path 01 ⊑ 011) and the five root peers.
+        assert_eq!(g.peer(PeerId(0)).index_lookup(&key).len(), 1);
+        assert_eq!(g.peer(PeerId(1)).index_lookup(&key).len(), 1);
+        assert_eq!(g.peer(PeerId(2)).index_lookup(&key).len(), 0);
+        assert_eq!(g.peer(PeerId(3)).index_lookup(&key).len(), 1);
+        let truth = g.replicas_of(&key);
+        assert!(truth.contains(&PeerId(0)) && !truth.contains(&PeerId(2)));
+    }
+
+    #[test]
+    fn invariant_checker_catches_violations() {
+        use crate::routing::RefSet;
+        let mut g = small_grid();
+        // Peer 0 takes path "0"; peer 1 takes path "1".
+        g.extend_peer_path(PeerId(0), 0);
+        g.extend_peer_path(PeerId(1), 1);
+        // Valid ref: peer0 level 1 → peer1.
+        g.peer_mut(PeerId(0))
+            .routing_mut()
+            .set_level(1, RefSet::singleton(PeerId(1)));
+        assert!(g.check_invariants().is_ok());
+        // Same-side ref: peer1 level 1 → peer1-side peer.
+        g.extend_peer_path(PeerId(2), 1);
+        g.peer_mut(PeerId(1))
+            .routing_mut()
+            .set_level(1, RefSet::singleton(PeerId(2)));
+        let err = g.check_invariants().unwrap_err();
+        assert!(err.contains("same side"), "{err}");
+    }
+
+    #[test]
+    fn invariant_checker_catches_self_reference() {
+        use crate::routing::RefSet;
+        let mut g = small_grid();
+        g.extend_peer_path(PeerId(0), 0);
+        g.peer_mut(PeerId(0))
+            .routing_mut()
+            .set_level(1, RefSet::singleton(PeerId(0)));
+        let err = g.check_invariants().unwrap_err();
+        assert!(err.contains("self-reference"), "{err}");
+    }
+
+    #[test]
+    fn invariant_checker_catches_short_ref_target() {
+        use crate::routing::RefSet;
+        let mut g = small_grid();
+        g.extend_peer_path(PeerId(0), 0);
+        // Peer 3 still has the empty path — it cannot be referenced at level 1.
+        g.peer_mut(PeerId(0))
+            .routing_mut()
+            .set_level(1, RefSet::singleton(PeerId(3)));
+        let err = g.check_invariants().unwrap_err();
+        assert!(err.contains("too short"), "{err}");
+    }
+}

@@ -1,0 +1,264 @@
+//! Per-peer state.
+
+use std::collections::BTreeSet;
+
+use pgrid_keys::{BitPath, Key};
+use pgrid_net::PeerId;
+use pgrid_store::{ItemId, LocalStore, TrieIndex, Version};
+use serde::{Deserialize, Serialize};
+
+use crate::routing::RoutingTable;
+
+/// One entry of a peer's leaf-level index `D ⊆ ADDR × K`: *which peer hosts
+/// which item*, plus the version this replica believes is current (§5.2
+/// studies exactly the divergence of that belief across replicas).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct IndexEntry {
+    /// The referenced item.
+    pub item: ItemId,
+    /// The peer hosting the item's payload.
+    pub holder: PeerId,
+    /// The item version this index replica knows about.
+    pub version: Version,
+}
+
+/// A P-Grid peer: its trie path, its per-level references, its leaf-level
+/// data index, its buddy list, and the items it physically hosts.
+#[derive(Clone, Debug)]
+pub struct Peer {
+    id: PeerId,
+    path: BitPath,
+    routing: RoutingTable,
+    /// Leaf-level index: key → entries for items under this peer's path.
+    index: TrieIndex<Vec<IndexEntry>>,
+    /// Peers known to share exactly this peer's path (update strategy 2).
+    buddies: BTreeSet<PeerId>,
+    /// Items this peer physically hosts (independent of responsibility).
+    store: LocalStore,
+    /// Set when the index may contain entries this peer is no longer
+    /// responsible for (a construction-time hand-off found no responsible
+    /// partner). Cleared by the anti-entropy step of later exchanges.
+    misplaced: bool,
+}
+
+impl Peer {
+    /// A fresh peer at the root: responsible for the whole key space.
+    pub fn new(id: PeerId) -> Self {
+        Peer {
+            id,
+            path: BitPath::EMPTY,
+            routing: RoutingTable::new(),
+            index: TrieIndex::new(),
+            buddies: BTreeSet::new(),
+            store: LocalStore::new(),
+            misplaced: false,
+        }
+    }
+
+    /// The peer's identity.
+    pub fn id(&self) -> PeerId {
+        self.id
+    }
+
+    /// The trie path this peer is responsible for.
+    pub fn path(&self) -> BitPath {
+        self.path
+    }
+
+    /// The routing table (read-only).
+    pub fn routing(&self) -> &RoutingTable {
+        &self.routing
+    }
+
+    /// The routing table (mutable — used by the exchange algorithm).
+    pub(crate) fn routing_mut(&mut self) -> &mut RoutingTable {
+        &mut self.routing
+    }
+
+    /// Extends the path by one bit. Paths only ever grow, which is what
+    /// keeps previously handed-out references permanently valid.
+    pub(crate) fn extend_path(&mut self, bit: u8) {
+        self.path = self.path.child(bit);
+    }
+
+    /// `true` when this peer must be able to answer queries for `key`.
+    pub fn responsible_for(&self, key: &Key) -> bool {
+        self.path.responsible_for(key)
+    }
+
+    /// Adds `entry` under `key` (idempotent per `(item, holder)` pair; a
+    /// newer version overwrites an older one).
+    pub fn index_insert(&mut self, key: Key, entry: IndexEntry) {
+        let slot = self.index.get_or_insert_with(key, Vec::new);
+        match slot
+            .iter_mut()
+            .find(|e| e.item == entry.item && e.holder == entry.holder)
+        {
+            Some(existing) => {
+                if entry.version > existing.version {
+                    existing.version = entry.version;
+                }
+            }
+            None => slot.push(entry),
+        }
+    }
+
+    /// The index entries stored under exactly `key`.
+    pub fn index_lookup(&self, key: &Key) -> &[IndexEntry] {
+        self.index.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Applies an update: sets the version of `item` under `key` if the
+    /// entry exists and the version is newer. Returns whether anything
+    /// changed.
+    pub fn index_apply_update(&mut self, key: &Key, item: ItemId, version: Version) -> bool {
+        let Some(slot) = self.index.get_mut(key) else {
+            return false;
+        };
+        let mut changed = false;
+        for e in slot.iter_mut() {
+            if e.item == item && version > e.version {
+                e.version = version;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// The whole index (read-only).
+    pub fn index(&self) -> &TrieIndex<Vec<IndexEntry>> {
+        &self.index
+    }
+
+    /// Mutable index access for construction-time hand-offs.
+    pub(crate) fn index_mut(&mut self) -> &mut TrieIndex<Vec<IndexEntry>> {
+        &mut self.index
+    }
+
+    /// Records a buddy (a peer sharing exactly this path).
+    pub fn add_buddy(&mut self, buddy: PeerId) {
+        if buddy != self.id {
+            self.buddies.insert(buddy);
+        }
+    }
+
+    /// Known buddies.
+    pub fn buddies(&self) -> impl Iterator<Item = PeerId> + '_ {
+        self.buddies.iter().copied()
+    }
+
+    /// Number of known buddies.
+    pub fn buddy_count(&self) -> usize {
+        self.buddies.len()
+    }
+
+    /// The locally hosted items.
+    pub fn store(&self) -> &LocalStore {
+        &self.store
+    }
+
+    /// Mutable access to the hosted items.
+    pub fn store_mut(&mut self) -> &mut LocalStore {
+        &mut self.store
+    }
+
+    /// Storage cost in index entries — the §6 metric: references for routing
+    /// plus leaf-level index entries ("ignoring local indexing cost").
+    pub fn storage_cost(&self) -> usize {
+        self.routing.total_refs() + self.index.len()
+    }
+
+    /// `true` when the index may hold entries outside this peer's
+    /// responsibility (pending anti-entropy).
+    pub fn has_misplaced(&self) -> bool {
+        self.misplaced
+    }
+
+    /// Sets or clears the misplaced flag.
+    pub(crate) fn set_misplaced(&mut self, value: bool) {
+        self.misplaced = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgrid_keys::BitPath;
+
+    fn key(s: &str) -> Key {
+        BitPath::from_str_lossy(s)
+    }
+
+    fn entry(item: u64, holder: u32, version: u64) -> IndexEntry {
+        IndexEntry {
+            item: ItemId(item),
+            holder: PeerId(holder),
+            version: Version(version),
+        }
+    }
+
+    #[test]
+    fn fresh_peer_is_root() {
+        let p = Peer::new(PeerId(4));
+        assert_eq!(p.id(), PeerId(4));
+        assert!(p.path().is_empty());
+        assert!(p.responsible_for(&key("0101")));
+        assert_eq!(p.storage_cost(), 0);
+    }
+
+    #[test]
+    fn path_extension_narrows_responsibility() {
+        let mut p = Peer::new(PeerId(0));
+        p.extend_path(0);
+        p.extend_path(1);
+        assert_eq!(p.path(), key("01"));
+        assert!(p.responsible_for(&key("0110")));
+        assert!(!p.responsible_for(&key("0010")));
+        assert!(p.responsible_for(&key("0"))); // coarser query overlaps
+    }
+
+    #[test]
+    fn index_insert_dedups_and_upgrades() {
+        let mut p = Peer::new(PeerId(0));
+        p.index_insert(key("0101"), entry(1, 9, 0));
+        p.index_insert(key("0101"), entry(1, 9, 0)); // duplicate
+        assert_eq!(p.index_lookup(&key("0101")).len(), 1);
+        p.index_insert(key("0101"), entry(1, 9, 3)); // newer version
+        assert_eq!(p.index_lookup(&key("0101"))[0].version, Version(3));
+        p.index_insert(key("0101"), entry(1, 9, 2)); // stale — ignored
+        assert_eq!(p.index_lookup(&key("0101"))[0].version, Version(3));
+        p.index_insert(key("0101"), entry(1, 8, 0)); // same item, other holder
+        assert_eq!(p.index_lookup(&key("0101")).len(), 2);
+        assert_eq!(p.index_lookup(&key("1111")).len(), 0);
+    }
+
+    #[test]
+    fn apply_update_bumps_matching_entries() {
+        let mut p = Peer::new(PeerId(0));
+        p.index_insert(key("01"), entry(1, 9, 0));
+        p.index_insert(key("01"), entry(2, 9, 0));
+        assert!(p.index_apply_update(&key("01"), ItemId(1), Version(2)));
+        assert!(!p.index_apply_update(&key("01"), ItemId(1), Version(1)), "stale");
+        assert!(!p.index_apply_update(&key("10"), ItemId(1), Version(9)), "absent key");
+        let versions: Vec<Version> = p.index_lookup(&key("01")).iter().map(|e| e.version).collect();
+        assert_eq!(versions, vec![Version(2), Version(0)]);
+    }
+
+    #[test]
+    fn buddies_exclude_self() {
+        let mut p = Peer::new(PeerId(5));
+        p.add_buddy(PeerId(5));
+        p.add_buddy(PeerId(6));
+        p.add_buddy(PeerId(6));
+        assert_eq!(p.buddy_count(), 1);
+        assert_eq!(p.buddies().collect::<Vec<_>>(), vec![PeerId(6)]);
+    }
+
+    #[test]
+    fn storage_cost_counts_refs_and_entries() {
+        let mut p = Peer::new(PeerId(0));
+        p.index_insert(key("01"), entry(1, 2, 0));
+        p.index_insert(key("011"), entry(2, 2, 0));
+        assert_eq!(p.storage_cost(), 2);
+    }
+}

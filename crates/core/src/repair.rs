@@ -1,0 +1,320 @@
+//! Structure maintenance — the §6 remark that P-Grids "have to continuously
+//! adapt", made concrete.
+//!
+//! Peers leave for good (disk death, uninstalls). Their entries linger in
+//! other peers' reference tables, wasting contact attempts and — worse —
+//! thinning the *live* redundancy of every level they appeared in. A
+//! maintenance round lets each peer:
+//!
+//! 1. **probe** its references and drop the permanently unreachable ones;
+//! 2. **refill** under-full levels by searching the sibling subtree of that
+//!    level: whoever answers is, by definition, a valid reference there.
+//!
+//! Both steps use only the peer's own information plus the ordinary search
+//! primitive — no central membership service, in keeping with the paper's
+//! locality principle.
+
+use pgrid_keys::BitPath;
+use pgrid_net::{MsgKind, PeerId};
+use serde::{Deserialize, Serialize};
+
+use crate::{Ctx, PGrid};
+
+/// Outcome of one or more maintenance rounds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepairReport {
+    /// Liveness probes sent.
+    pub probes: u64,
+    /// References dropped as unreachable.
+    pub removed: u64,
+    /// References newly learned via refill searches.
+    pub added: u64,
+    /// Messages spent on refill searches.
+    pub search_messages: u64,
+}
+
+impl RepairReport {
+    /// Accumulates another report.
+    pub fn merge(&mut self, other: RepairReport) {
+        self.probes += other.probes;
+        self.removed += other.removed;
+        self.added += other.added;
+        self.search_messages += other.search_messages;
+    }
+}
+
+impl PGrid {
+    /// One maintenance round for a single peer: probe every reference, drop
+    /// the dead, refill levels holding fewer than `target_fill` live
+    /// references (capped by `refmax`).
+    ///
+    /// Probes are [`MsgKind::Control`] traffic; refills reuse the ordinary
+    /// randomized search.
+    pub fn repair_peer(&mut self, id: PeerId, target_fill: usize, ctx: &mut Ctx<'_>) -> RepairReport {
+        let mut report = RepairReport::default();
+        let refmax = self.config().refmax;
+        let target = target_fill.min(refmax);
+        let path = self.peer(id).path();
+
+        // Phase 1: probe and prune.
+        for level in 1..=path.len() {
+            let refs: Vec<PeerId> = self.peer(id).routing().level(level).as_slice().to_vec();
+            for r in refs {
+                report.probes += 1;
+                let alive = ctx.contact(r);
+                ctx.message(MsgKind::Control);
+                if !alive {
+                    self.peer_mut(id).routing_mut().level_mut(level).remove(r);
+                    report.removed += 1;
+                }
+            }
+        }
+
+        // Phase 2: refill thin levels by searching their sibling subtrees.
+        // A search may start at any peer the repairer still knows: once a
+        // peer has pruned *all* of a level's references it cannot cross that
+        // level itself, but a surviving reference at another level often
+        // can (its own table covers the missing side).
+        let mut starts: Vec<PeerId> = vec![id];
+        for (_, refs) in self.peer(id).routing().iter() {
+            for r in refs.as_slice() {
+                if !starts.contains(r) {
+                    starts.push(*r);
+                }
+            }
+        }
+        for level in 1..=path.len() {
+            let mut fill = self.peer(id).routing().level(level).len();
+            let mut attempts = 0;
+            while fill < target && attempts < 2 * target {
+                attempts += 1;
+                // A random key in the sibling subtree of this level.
+                let sibling_prefix = path.prefix(level).with_flipped(level - 1);
+                let tail =
+                    BitPath::random(ctx.rng, (self.config().maxl - level) as u8);
+                let probe_key = sibling_prefix.append(&tail);
+                let start = starts[attempts % starts.len()];
+                // Starting at a remote peer costs one message to reach it.
+                if start != id {
+                    if !ctx.contact(start) {
+                        continue;
+                    }
+                    report.search_messages += 1;
+                    ctx.message(MsgKind::Query);
+                }
+                let found = self.search(start, &probe_key, ctx);
+                report.search_messages += found.messages;
+                let Some(candidate) = found.responsible else {
+                    continue;
+                };
+                if candidate == id {
+                    continue;
+                }
+                // The responder is valid at `level` iff its path reaches the
+                // level and sits on the sibling side of our prefix.
+                let cpath = self.peer(candidate).path();
+                let valid = cpath.len() >= level
+                    && cpath.prefix(level - 1) == path.prefix(level - 1)
+                    && cpath.bit(level - 1) != path.bit(level - 1);
+                if valid && !self.peer(id).routing().level(level).contains(candidate) {
+                    self.peer_mut(id).routing_mut().level_mut(level).insert_bounded(
+                        candidate,
+                        refmax,
+                        ctx.rng,
+                    );
+                    report.added += 1;
+                    fill = self.peer(id).routing().level(level).len();
+                }
+            }
+        }
+        report
+    }
+
+    /// Runs [`PGrid::repair_peer`] for every *reachable* peer (an offline
+    /// peer cannot run its own maintenance). Returns the merged report.
+    pub fn repair_round(&mut self, target_fill: usize, ctx: &mut Ctx<'_>) -> RepairReport {
+        let mut report = RepairReport::default();
+        for i in 0..self.len() {
+            let id = PeerId::from_index(i);
+            // The peer itself must be up to run maintenance; this probe is
+            // bookkeeping, not a message.
+            if ctx.online.is_online(id, ctx.rng) {
+                report.merge(self.repair_peer(id, target_fill, ctx));
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BuildOptions, PGridConfig};
+    use pgrid_net::{AlwaysOnline, EpochOnline, NetStats, OnlineModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Builds a converged grid and permanently kills `dead_fraction` of the
+    /// peers, returning the availability model reflecting that.
+    fn crippled_grid(
+        n: usize,
+        refmax: usize,
+        dead_fraction: f64,
+        seed: u64,
+    ) -> (PGrid, EpochOnline, StdRng, NetStats) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stats = NetStats::new();
+        let mut grid = PGrid::new(
+            n,
+            PGridConfig {
+                maxl: 5,
+                refmax,
+                ..PGridConfig::default()
+            },
+        );
+        {
+            let mut online = AlwaysOnline;
+            let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+            assert!(grid.build(&BuildOptions::default(), &mut ctx).reached_threshold);
+        }
+        let mut online = EpochOnline::new(n, 1.0);
+        let dead = (n as f64 * dead_fraction) as usize;
+        for i in 0..dead {
+            // Kill every k-th peer for an even spread.
+            online.set_online(PeerId::from_index(i * n / dead.max(1) % n), false);
+        }
+        (grid, online, rng, stats)
+    }
+
+    fn success_rate(
+        grid: &PGrid,
+        online: &mut EpochOnline,
+        rng: &mut StdRng,
+        stats: &mut NetStats,
+        searches: usize,
+    ) -> f64 {
+        let mut ctx = Ctx::new(rng, online, stats);
+        let mut hits = 0;
+        let mut issued = 0;
+        while issued < searches {
+            let start = grid.random_peer(&mut ctx);
+            // Searches are issued by live peers.
+            if !ctx.online.is_online(start, ctx.rng) {
+                continue;
+            }
+            issued += 1;
+            let key = BitPath::random(ctx.rng, 5);
+            if grid.search(start, &key, &mut ctx).responsible.is_some() {
+                hits += 1;
+            }
+        }
+        hits as f64 / searches as f64
+    }
+
+    /// Snapshot of which peers are alive (EpochOnline is stable within an
+    /// epoch, so one probe per peer suffices).
+    fn alive_map(online: &mut EpochOnline, n: usize) -> Vec<bool> {
+        let mut probe_rng = StdRng::seed_from_u64(0);
+        (0..n)
+            .map(|i| online.is_online(PeerId::from_index(i), &mut probe_rng))
+            .collect()
+    }
+
+    #[test]
+    fn repair_removes_dead_references() {
+        let (mut grid, mut online, mut rng, mut stats) = crippled_grid(256, 3, 0.4, 1);
+        let alive = alive_map(&mut online, 256);
+        let dead_refs_before: usize = grid
+            .peers()
+            .flat_map(|p| p.routing().iter().map(|(_, r)| r.as_slice().to_vec()))
+            .flatten()
+            .filter(|r| !alive[r.index()])
+            .count();
+        assert!(dead_refs_before > 0, "the failure actually hit references");
+
+        let report = {
+            let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+            grid.repair_round(3, &mut ctx)
+        };
+        assert!(report.removed as usize >= dead_refs_before / 2);
+        // After repair, live peers hold no dead references.
+        for p in grid.peers() {
+            if !alive[p.id().index()] {
+                continue;
+            }
+            for (_, refs) in p.routing().iter() {
+                for r in refs.as_slice() {
+                    assert!(
+                        alive[r.index()],
+                        "{} still references dead {r}",
+                        p.id()
+                    );
+                }
+            }
+        }
+        grid.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn repair_restores_search_reliability() {
+        let (mut grid, mut online, mut rng, mut stats) = crippled_grid(512, 2, 0.5, 2);
+        let before = success_rate(&grid, &mut online, &mut rng, &mut stats, 400);
+        for _ in 0..3 {
+            let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+            grid.repair_round(2, &mut ctx);
+        }
+        let after = success_rate(&grid, &mut online, &mut rng, &mut stats, 400);
+        assert!(
+            after > before + 0.05,
+            "repair must measurably improve reliability: {before:.3} -> {after:.3}"
+        );
+        grid.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn repair_added_refs_respect_invariants() {
+        let (mut grid, mut online, mut rng, mut stats) = crippled_grid(256, 4, 0.3, 3);
+        let report = {
+            let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+            grid.repair_round(4, &mut ctx)
+        };
+        assert!(report.added > 0, "refill should find replacements");
+        grid.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn repair_on_healthy_grid_is_cheap_noop() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut stats = NetStats::new();
+        let mut grid = PGrid::new(
+            128,
+            PGridConfig {
+                maxl: 4,
+                refmax: 2,
+                ..PGridConfig::default()
+            },
+        );
+        let mut online = AlwaysOnline;
+        {
+            let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+            grid.build(&BuildOptions::default(), &mut ctx);
+        }
+        let snapshot: Vec<_> = grid.peers().map(|p| p.routing().clone()).collect();
+        let report = {
+            let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+            grid.repair_round(1, &mut ctx)
+        };
+        assert_eq!(report.removed, 0, "nothing to prune on a healthy grid");
+        // Tables with fill ≥ 1 stay untouched.
+        for (p, before) in grid.peers().zip(snapshot) {
+            for (level, refs) in before.iter() {
+                if !refs.is_empty() {
+                    assert!(
+                        !p.routing().level(level).is_empty(),
+                        "repair must not empty a level"
+                    );
+                }
+            }
+        }
+    }
+}

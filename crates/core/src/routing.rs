@@ -1,0 +1,297 @@
+//! Per-level reference sets — the peer's share of the distributed trie.
+
+use pgrid_net::PeerId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// A bounded, duplicate-free set of references to peers on the *other side*
+/// of one trie level.
+///
+/// The paper (§2): for each prefix `k_l` of its path, a peer "maintains
+/// references to other peers, that have the same prefix of length `l`, but a
+/// different value at position `l+1`", bounded by `refmax`.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RefSet {
+    ids: Vec<PeerId>,
+}
+
+impl RefSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        RefSet::default()
+    }
+
+    /// A set holding exactly one reference — the paper's `refs := {a}`.
+    pub fn singleton(id: PeerId) -> Self {
+        RefSet { ids: vec![id] }
+    }
+
+    /// Rebuilds a set from stored ids (dedup, order preserved) — snapshot
+    /// restoration; no bound is applied (capture already respected it).
+    pub fn from_ids(ids: impl IntoIterator<Item = PeerId>) -> Self {
+        let mut out = RefSet::new();
+        for id in ids {
+            if !out.ids.contains(&id) {
+                out.ids.push(id);
+            }
+        }
+        out
+    }
+
+    /// Number of references.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when no references are held.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: PeerId) -> bool {
+        self.ids.contains(&id)
+    }
+
+    /// The references in insertion order.
+    pub fn as_slice(&self) -> &[PeerId] {
+        &self.ids
+    }
+
+    /// Inserts `id` if absent; when the set then exceeds `bound`, evicts a
+    /// uniformly random element. This is the incremental equivalent of the
+    /// paper's `random_select(refmax, union({a}, refs))`.
+    pub fn insert_bounded(&mut self, id: PeerId, bound: usize, rng: &mut StdRng) {
+        if self.ids.contains(&id) {
+            return;
+        }
+        self.ids.push(id);
+        if self.ids.len() > bound {
+            let victim = rng.gen_range_index(self.ids.len());
+            self.ids.swap_remove(victim);
+        }
+    }
+
+    /// The paper's `random_select(refmax, union(r1, r2))`: a uniformly random
+    /// `bound`-subset of the union of two reference sets.
+    pub fn mixed(a: &RefSet, b: &RefSet, bound: usize, rng: &mut StdRng) -> RefSet {
+        let mut union: Vec<PeerId> = a.ids.clone();
+        for &id in &b.ids {
+            if !union.contains(&id) {
+                union.push(id);
+            }
+        }
+        union.shuffle(rng);
+        union.truncate(bound);
+        RefSet { ids: union }
+    }
+
+    /// Removes `id` if present.
+    pub fn remove(&mut self, id: PeerId) {
+        self.ids.retain(|&x| x != id);
+    }
+
+    /// A uniformly random sample of up to `k` references, excluding `not`.
+    /// Used by Case 4 to pick recursion partners (`recfanout`).
+    pub fn sample_excluding(&self, k: usize, not: PeerId, rng: &mut StdRng) -> Vec<PeerId> {
+        let mut candidates: Vec<PeerId> =
+            self.ids.iter().copied().filter(|&id| id != not).collect();
+        candidates.shuffle(rng);
+        candidates.truncate(k);
+        candidates
+    }
+
+    /// The references in a random order — the search algorithm's
+    /// `random_select(refs)` loop consumes them one by one.
+    pub fn shuffled(&self, rng: &mut StdRng) -> Vec<PeerId> {
+        let mut v = self.ids.clone();
+        v.shuffle(rng);
+        v
+    }
+}
+
+/// Small extension trait so `RefSet` does not need the full `Rng` import
+/// dance at each call site.
+trait GenRangeIndex {
+    fn gen_range_index(&mut self, len: usize) -> usize;
+}
+
+impl GenRangeIndex for StdRng {
+    fn gen_range_index(&mut self, len: usize) -> usize {
+        use rand::Rng;
+        self.gen_range(0..len)
+    }
+}
+
+/// A peer's references for every level of its path: `levels[i]` holds the
+/// references at level `i + 1` (the paper indexes levels from 1).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutingTable {
+    levels: Vec<RefSet>,
+}
+
+impl RoutingTable {
+    /// Empty table (peer with the empty path).
+    pub fn new() -> Self {
+        RoutingTable::default()
+    }
+
+    /// Number of levels with a reference slot (= current path length).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The reference set at 1-based `level`, empty if beyond the path.
+    pub fn level(&self, level: usize) -> &RefSet {
+        assert!(level >= 1, "levels are 1-based");
+        static EMPTY: RefSet = RefSet { ids: Vec::new() };
+        self.levels.get(level - 1).unwrap_or(&EMPTY)
+    }
+
+    /// Mutable access to the set at 1-based `level`, growing the table.
+    pub fn level_mut(&mut self, level: usize) -> &mut RefSet {
+        assert!(level >= 1, "levels are 1-based");
+        if self.levels.len() < level {
+            self.levels.resize_with(level, RefSet::new);
+        }
+        &mut self.levels[level - 1]
+    }
+
+    /// Replaces the set at `level`.
+    pub fn set_level(&mut self, level: usize, refs: RefSet) {
+        *self.level_mut(level) = refs;
+    }
+
+    /// Total number of references across levels (storage cost metric, §6).
+    pub fn total_refs(&self) -> usize {
+        self.levels.iter().map(RefSet::len).sum()
+    }
+
+    /// Iterates `(level, refset)` with 1-based levels.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &RefSet)> {
+        self.levels.iter().enumerate().map(|(i, r)| (i + 1, r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn refset_basics() {
+        let mut s = RefSet::new();
+        assert!(s.is_empty());
+        let mut r = rng();
+        s.insert_bounded(PeerId(1), 3, &mut r);
+        s.insert_bounded(PeerId(2), 3, &mut r);
+        s.insert_bounded(PeerId(1), 3, &mut r); // duplicate ignored
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(PeerId(1)));
+        s.remove(PeerId(1));
+        assert!(!s.contains(PeerId(1)));
+        assert_eq!(RefSet::singleton(PeerId(9)).as_slice(), &[PeerId(9)]);
+    }
+
+    #[test]
+    fn insert_bounded_enforces_bound() {
+        let mut s = RefSet::new();
+        let mut r = rng();
+        for i in 0..100 {
+            s.insert_bounded(PeerId(i), 5, &mut r);
+            assert!(s.len() <= 5);
+        }
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn mixing_bounds_and_dedups() {
+        let mut r = rng();
+        let a = RefSet {
+            ids: vec![PeerId(1), PeerId(2), PeerId(3)],
+        };
+        let b = RefSet {
+            ids: vec![PeerId(3), PeerId(4)],
+        };
+        let m = RefSet::mixed(&a, &b, 10, &mut r);
+        assert_eq!(m.len(), 4, "union without duplicates");
+        let m2 = RefSet::mixed(&a, &b, 2, &mut r);
+        assert_eq!(m2.len(), 2);
+        for id in m2.as_slice() {
+            assert!(a.contains(*id) || b.contains(*id));
+        }
+    }
+
+    #[test]
+    fn mixing_is_uniformly_random() {
+        // Every element of the union should appear in a bounded mix with
+        // roughly equal frequency.
+        let a = RefSet {
+            ids: (0..4).map(PeerId).collect(),
+        };
+        let b = RefSet {
+            ids: (4..8).map(PeerId).collect(),
+        };
+        let mut r = rng();
+        let mut counts = [0u32; 8];
+        for _ in 0..4000 {
+            for id in RefSet::mixed(&a, &b, 2, &mut r).as_slice() {
+                counts[id.index()] += 1;
+            }
+        }
+        // Expected 1000 appearances each (8000 slots / 8 elements).
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((800..1200).contains(&c), "element {i} appeared {c} times");
+        }
+    }
+
+    #[test]
+    fn sampling_excludes_and_bounds() {
+        let s = RefSet {
+            ids: (0..10).map(PeerId).collect(),
+        };
+        let mut r = rng();
+        let sample = s.sample_excluding(4, PeerId(3), &mut r);
+        assert_eq!(sample.len(), 4);
+        assert!(!sample.contains(&PeerId(3)));
+        let all = s.sample_excluding(100, PeerId(3), &mut r);
+        assert_eq!(all.len(), 9);
+    }
+
+    #[test]
+    fn shuffled_is_permutation() {
+        let s = RefSet {
+            ids: (0..6).map(PeerId).collect(),
+        };
+        let mut r = rng();
+        let mut sh = s.shuffled(&mut r);
+        sh.sort();
+        assert_eq!(sh, s.ids);
+    }
+
+    #[test]
+    fn routing_table_levels_are_one_based() {
+        let mut t = RoutingTable::new();
+        assert_eq!(t.depth(), 0);
+        assert!(t.level(1).is_empty());
+        assert!(t.level(5).is_empty());
+        t.set_level(2, RefSet::singleton(PeerId(7)));
+        assert_eq!(t.depth(), 2);
+        assert!(t.level(1).is_empty());
+        assert!(t.level(2).contains(PeerId(7)));
+        assert_eq!(t.total_refs(), 1);
+        let levels: Vec<usize> = t.iter().map(|(l, _)| l).collect();
+        assert_eq!(levels, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn level_zero_panics() {
+        RoutingTable::new().level(0);
+    }
+}

@@ -1,0 +1,327 @@
+//! The P-Grid search algorithm — the paper's Fig. 2 `query`.
+//!
+//! A query for key `p` can start at any peer. At each peer the query's
+//! remaining bits are compared with the peer's remaining path: if either is
+//! exhausted by the common part, the current peer is responsible and the
+//! search succeeds. Otherwise the peer forwards the query — stripped of the
+//! matched bits — to a randomly chosen reference at the level where query
+//! and path diverge, retrying the remaining references when the chosen peer
+//! is offline (randomized depth-first search).
+//!
+//! Cost metric: the paper counts "successful calls of the query operation to
+//! another peer" — i.e. each hop to an *online* peer is one message; the
+//! initial local call at the querying peer is free.
+
+use pgrid_keys::Key;
+use pgrid_net::{MsgKind, PeerId};
+use pgrid_store::Version;
+
+use crate::{Ctx, PGrid};
+
+/// Result of one randomized depth-first search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SearchOutcome {
+    /// The peer found responsible for the key, or `None` when every routing
+    /// branch was exhausted (e.g. all referenced peers offline).
+    pub responsible: Option<PeerId>,
+    /// Messages spent (successful contacts of other peers).
+    pub messages: u64,
+    /// Depth of the successful delegation chain (0 = answered locally).
+    pub hops: u32,
+}
+
+impl PGrid {
+    /// Searches for a peer responsible for `key`, starting at `start`
+    /// (paper: `query(a, p, 0)`).
+    ///
+    /// The starting peer is the querying user's own machine and is assumed
+    /// online; every further contact consults `ctx.online`.
+    pub fn search(&self, start: PeerId, key: &Key, ctx: &mut Ctx<'_>) -> SearchOutcome {
+        let mut messages = 0u64;
+        let found = self.query_rec(start, *key, 0, 0, &mut messages, ctx);
+        SearchOutcome {
+            responsible: found.map(|(peer, _)| peer),
+            messages,
+            hops: found.map(|(_, depth)| depth).unwrap_or(0),
+        }
+    }
+
+    /// The recursive `query(a, p, l)` of Fig. 2. `p` is the query remainder,
+    /// `l` the number of already-matched bits of `a`'s path. Returns the
+    /// responsible peer and the depth at which it was found.
+    fn query_rec(
+        &self,
+        a: PeerId,
+        p: Key,
+        l: usize,
+        depth: u32,
+        messages: &mut u64,
+        ctx: &mut Ctx<'_>,
+    ) -> Option<(PeerId, u32)> {
+        let path = self.peer(a).path();
+        debug_assert!(l <= path.len(), "matched prefix longer than path");
+        let rempath = path.suffix(l);
+        let com = p.common_prefix_len(&rempath);
+
+        if com == p.len() || com == rempath.len() {
+            // The peer's remaining path covers the query (or vice versa):
+            // `a` is responsible.
+            return Some((a, depth));
+        }
+
+        // Divergence: forward the unmatched remainder to references at the
+        // level just past the matched bits, in random order, skipping
+        // offline peers (the DFS retry of Fig. 2's WHILE loop).
+        let querypath = p.suffix(com);
+        let level = l + com + 1;
+        for r in self.peer(a).routing().level(level).shuffled(ctx.rng) {
+            if ctx.contact(r) {
+                *messages += 1;
+                ctx.message(MsgKind::Query);
+                if let Some(found) =
+                    self.query_rec(r, querypath, l + com, depth + 1, messages, ctx)
+                {
+                    return Some(found);
+                }
+            }
+        }
+        None
+    }
+
+    /// Searches for `key` and reads the index entries at the responsible
+    /// peer. Returns `(outcome, entries)` — entries are empty when the
+    /// search failed or the replica has no entry for the key.
+    pub fn search_entries(
+        &self,
+        start: PeerId,
+        key: &Key,
+        ctx: &mut Ctx<'_>,
+    ) -> (SearchOutcome, Vec<crate::IndexEntry>) {
+        let outcome = self.search(start, key, ctx);
+        let entries = outcome
+            .responsible
+            .map(|peer| self.peer(peer).index_lookup(key).to_vec())
+            .unwrap_or_default();
+        (outcome, entries)
+    }
+
+    /// Convenience for the consistency experiments: the version of `item`
+    /// that the found replica believes is current.
+    pub fn search_version(
+        &self,
+        start: PeerId,
+        key: &Key,
+        item: pgrid_store::ItemId,
+        ctx: &mut Ctx<'_>,
+    ) -> (SearchOutcome, Option<Version>) {
+        let (outcome, entries) = self.search_entries(start, key, ctx);
+        let version = entries.iter().find(|e| e.item == item).map(|e| e.version);
+        (outcome, version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::RefSet;
+    use crate::PGridConfig;
+    use pgrid_keys::BitPath;
+    use pgrid_net::{AlwaysOnline, EpochOnline, NetStats};
+    use pgrid_store::ItemId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Builds the 6-peer example grid of the paper's Fig. 1:
+    /// peers 1,2 → "00", peer 3 → "01" (path per figure: peer 3 at "01"),
+    /// peer 4 → "10", peers 5,6 → "11", with the cross references drawn in
+    /// the figure. We use 0-based ids 0..6.
+    fn fig1_grid() -> PGrid {
+        let mut g = PGrid::new(
+            6,
+            PGridConfig {
+                maxl: 2,
+                refmax: 2,
+                ..PGridConfig::default()
+            },
+        );
+        let paths = ["00", "00", "01", "10", "11", "11"];
+        for (i, p) in paths.iter().enumerate() {
+            for b in BitPath::from_str_lossy(p).bits() {
+                g.extend_peer_path(PeerId(i as u32), b);
+            }
+        }
+        // Level-1 refs: 0-side peers reference 1-side peers and vice versa.
+        let side0 = [PeerId(0), PeerId(1), PeerId(2)];
+        let side1 = [PeerId(3), PeerId(4), PeerId(5)];
+        for (i, &a) in side0.iter().enumerate() {
+            g.peer_mut(a)
+                .routing_mut()
+                .set_level(1, RefSet::singleton(side1[i]));
+            g.peer_mut(side1[i])
+                .routing_mut()
+                .set_level(1, RefSet::singleton(a));
+        }
+        // Level-2 refs: within each half, point to the other quarter.
+        let pairs = [
+            (PeerId(0), PeerId(2)),
+            (PeerId(1), PeerId(2)),
+            (PeerId(3), PeerId(4)),
+            (PeerId(3), PeerId(5)),
+        ];
+        for (a, b) in pairs {
+            g.peer_mut(a).routing_mut().level_mut(2).insert_bounded(
+                b,
+                2,
+                &mut StdRng::seed_from_u64(0),
+            );
+            g.peer_mut(b).routing_mut().level_mut(2).insert_bounded(
+                a,
+                2,
+                &mut StdRng::seed_from_u64(0),
+            );
+        }
+        g.check_invariants().unwrap();
+        g
+    }
+
+    fn ctx_parts() -> (StdRng, AlwaysOnline, NetStats) {
+        (StdRng::seed_from_u64(21), AlwaysOnline, NetStats::new())
+    }
+
+    #[test]
+    fn local_answer_costs_no_messages() {
+        let g = fig1_grid();
+        let (mut rng, mut online, mut stats) = ctx_parts();
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        // Paper example: query 00 submitted to peer 1 (our peer 0).
+        let out = g.search(PeerId(0), &BitPath::from_str_lossy("00"), &mut ctx);
+        assert_eq!(out.responsible, Some(PeerId(0)));
+        assert_eq!(out.messages, 0);
+        assert_eq!(out.hops, 0);
+    }
+
+    #[test]
+    fn fig1_query_10_from_peer_6_routes_via_references() {
+        let g = fig1_grid();
+        let (mut rng, mut online, mut stats) = ctx_parts();
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        // Paper example: query 10 submitted to peer 6 (our peer 5, path 11).
+        let out = g.search(PeerId(5), &BitPath::from_str_lossy("10"), &mut ctx);
+        assert_eq!(out.responsible, Some(PeerId(3)), "peer 4 (id 3) owns 10");
+        assert!(out.messages >= 1 && out.messages <= 2, "{}", out.messages);
+    }
+
+    #[test]
+    fn every_key_reachable_from_every_peer() {
+        let g = fig1_grid();
+        let (mut rng, mut online, mut stats) = ctx_parts();
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        for start in 0..6u32 {
+            for v in 0..4u128 {
+                let key = BitPath::from_value(v, 2);
+                let out = g.search(PeerId(start), &key, &mut ctx);
+                let peer = out.responsible.expect("all peers online");
+                assert!(g.peer(peer).responsible_for(&key));
+            }
+        }
+    }
+
+    #[test]
+    fn longer_and_shorter_queries_resolve() {
+        let g = fig1_grid();
+        let (mut rng, mut online, mut stats) = ctx_parts();
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        // Longer than any path: peer with matching 2-bit path answers.
+        let out = g.search(PeerId(5), &BitPath::from_str_lossy("0111"), &mut ctx);
+        assert_eq!(out.responsible, Some(PeerId(2)));
+        // Shorter than the paths: any peer on the 0 side may answer.
+        let out = g.search(PeerId(5), &BitPath::from_str_lossy("0"), &mut ctx);
+        let peer = out.responsible.unwrap();
+        assert_eq!(g.peer(peer).path().bit(0), 0);
+    }
+
+    #[test]
+    fn offline_references_fail_the_branch() {
+        let g = fig1_grid();
+        let mut rng = StdRng::seed_from_u64(3);
+        // Knock the entire 0-side offline: queries for 0-keys from the
+        // 1-side cannot succeed.
+        let mut online = EpochOnline::new(6, 1.0);
+        for id in [0u32, 1, 2] {
+            online.set_online(PeerId(id), false);
+        }
+        let mut stats = NetStats::new();
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let out = g.search(PeerId(5), &BitPath::from_str_lossy("00"), &mut ctx);
+        assert_eq!(out.responsible, None);
+        assert_eq!(out.messages, 0, "offline contacts are not messages");
+        assert!(stats.failed_contacts > 0);
+    }
+
+    #[test]
+    fn dfs_retries_across_references() {
+        // Peer 0 ("0") has two level-1 refs; one offline, one online — the
+        // search must retry and still succeed.
+        let mut g = PGrid::new(
+            3,
+            PGridConfig {
+                maxl: 1,
+                refmax: 2,
+                ..PGridConfig::default()
+            },
+        );
+        g.extend_peer_path(PeerId(0), 0);
+        g.extend_peer_path(PeerId(1), 1);
+        g.extend_peer_path(PeerId(2), 1);
+        let mut seed_rng = StdRng::seed_from_u64(0);
+        g.peer_mut(PeerId(0))
+            .routing_mut()
+            .level_mut(1)
+            .insert_bounded(PeerId(1), 2, &mut seed_rng);
+        g.peer_mut(PeerId(0))
+            .routing_mut()
+            .level_mut(1)
+            .insert_bounded(PeerId(2), 2, &mut seed_rng);
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut online = EpochOnline::new(3, 1.0);
+        online.set_online(PeerId(1), false);
+        let mut stats = NetStats::new();
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        for _ in 0..20 {
+            let out = g.search(PeerId(0), &BitPath::from_str_lossy("1"), &mut ctx);
+            assert_eq!(out.responsible, Some(PeerId(2)));
+            assert_eq!(out.messages, 1);
+        }
+    }
+
+    #[test]
+    fn search_entries_reads_the_replica_index() {
+        let mut g = fig1_grid();
+        let key = BitPath::from_str_lossy("10");
+        let entry = crate::IndexEntry {
+            item: ItemId(42),
+            holder: PeerId(1),
+            version: Version(3),
+        };
+        g.seed_index(key, entry);
+        let (mut rng, mut online, mut stats) = ctx_parts();
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let (out, entries) = g.search_entries(PeerId(0), &key, &mut ctx);
+        assert!(out.responsible.is_some());
+        assert_eq!(entries, vec![entry]);
+        let (_, version) = g.search_version(PeerId(0), &key, ItemId(42), &mut ctx);
+        assert_eq!(version, Some(Version(3)));
+        let (_, missing) = g.search_version(PeerId(0), &key, ItemId(7), &mut ctx);
+        assert_eq!(missing, None);
+    }
+
+    #[test]
+    fn message_count_matches_stats() {
+        let g = fig1_grid();
+        let (mut rng, mut online, mut stats) = ctx_parts();
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let out = g.search(PeerId(5), &BitPath::from_str_lossy("00"), &mut ctx);
+        assert_eq!(out.messages, stats.count(pgrid_net::MsgKind::Query));
+    }
+}

@@ -1,0 +1,249 @@
+//! Property-based tests of the P-Grid protocols: the structural invariants
+//! survive *arbitrary* meeting schedules, search never lies, and the
+//! exchange accounting is exact.
+
+use pgrid_core::{Ctx, IndexEntry, PGrid, PGridConfig};
+use pgrid_keys::BitPath;
+use pgrid_net::{AlwaysOnline, BernoulliOnline, MsgKind, NetStats, PeerId};
+use pgrid_store::{ItemId, Version};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A compact description of a randomized scenario.
+#[derive(Debug, Clone)]
+struct Scenario {
+    n: usize,
+    maxl: usize,
+    refmax: usize,
+    recmax: u32,
+    meetings: Vec<(u8, u8)>,
+    seed: u64,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        4usize..24,
+        1usize..5,
+        1usize..4,
+        0u32..3,
+        proptest::collection::vec((any::<u8>(), any::<u8>()), 1..120),
+        any::<u64>(),
+    )
+        .prop_map(|(n, maxl, refmax, recmax, meetings, seed)| Scenario {
+            n,
+            maxl,
+            refmax,
+            recmax,
+            meetings,
+            seed,
+        })
+}
+
+fn run_meetings(s: &Scenario, divergence_refs: bool) -> (PGrid, NetStats, u64) {
+    let mut grid = PGrid::new(
+        s.n,
+        PGridConfig {
+            maxl: s.maxl,
+            refmax: s.refmax,
+            recmax: s.recmax,
+            add_ref_on_divergence: divergence_refs,
+            ..PGridConfig::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(s.seed);
+    let mut online = AlwaysOnline;
+    let mut stats = NetStats::new();
+    let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+    let mut calls = 0u64;
+    for &(a, b) in &s.meetings {
+        let i = PeerId((a as usize % s.n) as u32);
+        let j = PeerId((b as usize % s.n) as u32);
+        if i != j {
+            calls += grid.exchange(i, j, &mut ctx);
+        }
+    }
+    (grid, stats, calls)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn invariants_survive_any_meeting_schedule(s in scenario()) {
+        let (grid, _, _) = run_meetings(&s, true);
+        prop_assert!(grid.check_invariants().is_ok(), "{:?}", grid.check_invariants());
+        let (grid, _, _) = run_meetings(&s, false);
+        prop_assert!(grid.check_invariants().is_ok(), "{:?}", grid.check_invariants());
+    }
+
+    #[test]
+    fn exchange_accounting_is_exact(s in scenario()) {
+        let (_, stats, calls) = run_meetings(&s, true);
+        prop_assert_eq!(calls, stats.count(MsgKind::Exchange));
+    }
+
+    #[test]
+    fn search_is_sound_and_counts_messages(s in scenario(), key_bits in any::<u128>()) {
+        let (grid, _, _) = run_meetings(&s, true);
+        let key = BitPath::from_raw(key_bits, s.maxl as u8);
+        let mut rng = StdRng::seed_from_u64(s.seed ^ 1);
+        let mut online = AlwaysOnline;
+        let mut stats = NetStats::new();
+        let out = {
+            let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+            grid.search(PeerId(0), &key, &mut ctx)
+        };
+        // Soundness: a returned peer is really responsible.
+        if let Some(peer) = out.responsible {
+            prop_assert!(grid.peer(peer).responsible_for(&key));
+        }
+        // Accounting: outcome.messages equals the recorded query messages.
+        prop_assert_eq!(out.messages, stats.count(MsgKind::Query));
+    }
+
+    #[test]
+    fn search_never_overcounts_under_churn(s in scenario(), p in 0.05f64..0.95) {
+        let (grid, _, _) = run_meetings(&s, true);
+        let mut rng = StdRng::seed_from_u64(s.seed ^ 2);
+        let mut online = BernoulliOnline::new(p);
+        let mut stats = NetStats::new();
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let key = BitPath::from_raw(s.seed as u128, s.maxl as u8);
+        let out = grid.search(PeerId(0), &key, &mut ctx);
+        prop_assert_eq!(out.messages, stats.count(MsgKind::Query));
+        prop_assert!(stats.failed_contacts <= stats.contact_attempts);
+    }
+
+    #[test]
+    fn seeded_entries_remain_at_responsible_peers_after_meetings(
+        s in scenario(),
+        key_bits in any::<u128>(),
+    ) {
+        // Seed an entry BEFORE the meetings: the construction-time data
+        // hand-off must keep every copy at a peer that is (still)
+        // responsible, and at least one copy must survive.
+        let key = BitPath::from_raw(key_bits, 8);
+        let mut grid = PGrid::new(
+            s.n,
+            PGridConfig {
+                maxl: s.maxl,
+                refmax: s.refmax,
+                recmax: s.recmax,
+                ..PGridConfig::default()
+            },
+        );
+        let entry = IndexEntry {
+            item: ItemId(1),
+            holder: PeerId(0),
+            version: Version(0),
+        };
+        grid.seed_index(key, entry);
+        let mut rng = StdRng::seed_from_u64(s.seed);
+        let mut online = AlwaysOnline;
+        let mut stats = NetStats::new();
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        for &(a, b) in &s.meetings {
+            let i = PeerId((a as usize % s.n) as u32);
+            let j = PeerId((b as usize % s.n) as u32);
+            if i != j {
+                grid.exchange(i, j, &mut ctx);
+            }
+        }
+        let holders: Vec<PeerId> = grid
+            .peers()
+            .filter(|p| !p.index_lookup(&key).is_empty())
+            .map(|p| p.id())
+            .collect();
+        prop_assert!(!holders.is_empty(), "the entry vanished");
+        for h in holders {
+            // A holder is either responsible, or explicitly flagged as
+            // carrying misplaced entries awaiting anti-entropy (possible
+            // when a Case-2/3 hand-off found no responsible partner).
+            prop_assert!(
+                grid.peer(h).responsible_for(&key) || grid.peer(h).has_misplaced(),
+                "peer {h} silently holds an entry outside its responsibility"
+            );
+        }
+    }
+
+    #[test]
+    fn anti_entropy_rehomes_misplaced_entries(seed in any::<u64>()) {
+        // After seeding data into a half-built grid and then running plenty
+        // of further random meetings, the overwhelming majority of entries
+        // must sit at responsible peers.
+        let n = 64;
+        let mut grid = PGrid::new(
+            n,
+            PGridConfig {
+                maxl: 4,
+                refmax: 2,
+                ..PGridConfig::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut online = AlwaysOnline;
+        let mut stats = NetStats::new();
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        // Phase 1: partial construction.
+        for _ in 0..n * 2 {
+            let (i, j) = grid.random_pair(&mut ctx);
+            grid.exchange(i, j, &mut ctx);
+        }
+        // Seed entries for several keys at the (partially built) grid.
+        let keys: Vec<BitPath> = (0..8u128).map(|v| BitPath::from_value(v * 31 % 256, 8)).collect();
+        for (i, key) in keys.iter().enumerate() {
+            grid.seed_index(
+                *key,
+                IndexEntry {
+                    item: ItemId(i as u64),
+                    holder: PeerId(0),
+                    version: Version(0),
+                },
+            );
+        }
+        // Phase 2: lots more meetings → anti-entropy re-homes strays.
+        for _ in 0..n * 40 {
+            let (i, j) = grid.random_pair(&mut ctx);
+            grid.exchange(i, j, &mut ctx);
+        }
+        let mut total = 0usize;
+        let mut misplaced = 0usize;
+        for p in grid.peers() {
+            for key in &keys {
+                if !p.index_lookup(key).is_empty() {
+                    total += 1;
+                    if !p.responsible_for(key) {
+                        misplaced += 1;
+                    }
+                }
+            }
+        }
+        prop_assert!(total > 0);
+        prop_assert!(
+            misplaced * 10 <= total,
+            "after heavy meeting traffic at most 10% may remain misplaced: {misplaced}/{total}"
+        );
+    }
+
+    #[test]
+    fn paths_only_grow_and_prefixes_are_stable(s in scenario()) {
+        // Run the schedule twice, checkpointing halfway: every peer's path
+        // at the end must extend its path at the checkpoint.
+        let half = Scenario {
+            meetings: s.meetings[..s.meetings.len() / 2].to_vec(),
+            ..s.clone()
+        };
+        let (grid_half, _, _) = run_meetings(&half, true);
+        let (grid_full, _, _) = run_meetings(&s, true);
+        for (a, b) in grid_half.peers().zip(grid_full.peers()) {
+            prop_assert!(
+                a.path().is_prefix_of(&b.path()),
+                "peer {} path shrank or changed: {} -> {}",
+                a.id(),
+                a.path(),
+                b.path()
+            );
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Real intervals of the unit key space.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A half-open interval `[lo, hi)` of the unit interval `[0, 1]`.
+///
+/// The paper associates every key `k = p_1…p_n` with the interval
+/// `I(k) = [val(k), val(k) + 2^{-n})`; a peer responsible for `k` covers
+/// exactly the data whose key values fall inside `I(k)`.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// The whole unit interval, covered by the empty (root) path.
+    pub const UNIT: Interval = Interval { lo: 0.0, hi: 1.0 };
+
+    /// Creates `[lo, hi)`.
+    ///
+    /// # Panics
+    /// If `lo > hi` or either bound is not finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(lo <= hi, "interval bounds out of order: [{lo}, {hi})");
+        Interval { lo, hi }
+    }
+
+    /// Lower (inclusive) bound.
+    #[inline]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper (exclusive) bound.
+    #[inline]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Width `hi - lo`.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Midpoint of the interval.
+    #[inline]
+    pub fn midpoint(&self) -> f64 {
+        self.lo + self.width() / 2.0
+    }
+
+    /// Membership test for the half-open interval.
+    #[inline]
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x < self.hi
+    }
+
+    /// `true` when `other` lies entirely inside `self`.
+    #[inline]
+    pub fn covers(&self, other: &Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// `true` when the two intervals share any point.
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.lo < other.hi && other.lo < self.hi
+    }
+
+    /// The two halves produced by splitting at the midpoint — what a pair of
+    /// peers does when they run Case 1 of the exchange algorithm.
+    #[inline]
+    pub fn split(&self) -> (Interval, Interval) {
+        let mid = self.midpoint();
+        (Interval::new(self.lo, mid), Interval::new(mid, self.hi))
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitPath;
+
+    #[test]
+    fn unit_interval() {
+        assert_eq!(Interval::UNIT.width(), 1.0);
+        assert!(Interval::UNIT.contains(0.0));
+        assert!(Interval::UNIT.contains(0.999));
+        assert!(!Interval::UNIT.contains(1.0));
+    }
+
+    #[test]
+    fn split_halves() {
+        let (l, r) = Interval::UNIT.split();
+        assert_eq!(l, Interval::new(0.0, 0.5));
+        assert_eq!(r, Interval::new(0.5, 1.0));
+        assert!(l.overlaps(&Interval::UNIT));
+        assert!(!l.overlaps(&r));
+    }
+
+    #[test]
+    fn covers_and_overlaps() {
+        let a = Interval::new(0.25, 0.5);
+        let b = Interval::new(0.3, 0.4);
+        let c = Interval::new(0.45, 0.6);
+        assert!(a.covers(&b));
+        assert!(!b.covers(&a));
+        assert!(a.overlaps(&c));
+        assert!(!b.overlaps(&c));
+    }
+
+    #[test]
+    fn path_split_matches_interval_split() {
+        let p = BitPath::from_str_lossy("01");
+        let (l, r) = p.interval().split();
+        assert_eq!(p.child(0).interval(), l);
+        assert_eq!(p.child(1).interval(), r);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn rejects_inverted_bounds() {
+        Interval::new(0.5, 0.25);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Interval::new(0.25, 0.5).to_string(), "[0.25, 0.5)");
+    }
+}

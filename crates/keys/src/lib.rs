@@ -1,0 +1,41 @@
+//! # pgrid-keys
+//!
+//! Key-space machinery for the P-Grid access structure (Aberer, *P-Grid: A
+//! Self-organizing Access Structure for P2P Information Systems*).
+//!
+//! The paper models index terms as **binary strings**: a key
+//! `k = p_1 … p_n` corresponds to the value `val(k) = Σ 2^{-i} p_i` and the
+//! interval `I(k) = [val(k), val(k) + 2^{-n})` of the unit interval. Peers
+//! take responsibility for one such interval (equivalently, one *path* of the
+//! binary search trie).
+//!
+//! This crate provides:
+//!
+//! * [`BitPath`] — a compact, copyable binary path of up to 128 bits with the
+//!   exact algebra the paper's algorithms need (common prefixes, sub-paths,
+//!   appends, `val`, intervals);
+//! * [`Interval`] — the real interval `I(k)` associated with a key;
+//! * [`mapper`] — total-order preserving and hashing mappers from application
+//!   domains (strings, numbers) into the binary key space;
+//! * [`radix`] — generalized (non-binary alphabet) paths, supporting the
+//!   paper's §6 remark that prefix search over text can be supported "by
+//!   extending the {0,1} alphabet".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitpath;
+mod interval;
+pub mod mapper;
+pub mod radix;
+mod range;
+
+pub use bitpath::{flip, Bit, BitPath, BitPathError, Bits, MAX_PATH_LEN};
+pub use interval::Interval;
+pub use mapper::{HashKeyMapper, KeyMapper, NumericMapper, OrderPreservingMapper};
+pub use radix::RadixPath;
+pub use range::range_cover;
+
+/// A data-item key. Keys live in the same binary key space as peer paths;
+/// a peer with path `p` is responsible for every key that has `p` as prefix.
+pub type Key = BitPath;

@@ -1,0 +1,305 @@
+//! Generalized (non-binary) trie paths.
+//!
+//! §6 of the paper: *"For prefix search on text the algorithm can be adapted
+//! by extending the {0,1} alphabet. This would allow to directly support trie
+//! search structures."* A [`RadixPath`] is a path in a trie whose nodes have
+//! `radix` children (2 ≤ radix ≤ 36); symbols render as `0-9a-z`.
+//!
+//! Unlike [`BitPath`](crate::BitPath) this is heap-allocated — generalized
+//! paths are an extension feature, not the hot-loop representation.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use rand::Rng;
+
+/// A path in a trie with a configurable alphabet size.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct RadixPath {
+    radix: u8,
+    symbols: Vec<u8>,
+}
+
+impl RadixPath {
+    /// Maximum supported alphabet size (symbols render as `0-9a-z`).
+    pub const MAX_RADIX: u8 = 36;
+
+    /// Creates an empty path over an alphabet of `radix` symbols.
+    ///
+    /// # Panics
+    /// If `radix < 2` or `radix > 36`.
+    pub fn empty(radix: u8) -> Self {
+        assert!(
+            (2..=Self::MAX_RADIX).contains(&radix),
+            "radix {radix} out of range 2..=36"
+        );
+        RadixPath {
+            radix,
+            symbols: Vec::new(),
+        }
+    }
+
+    /// Creates a path from explicit symbols.
+    ///
+    /// # Panics
+    /// If any symbol is `>= radix`.
+    pub fn from_symbols(radix: u8, symbols: &[u8]) -> Self {
+        let mut p = RadixPath::empty(radix);
+        for &s in symbols {
+            p.push(s);
+        }
+        p
+    }
+
+    /// Parses a path from `0-9a-z` characters (case-insensitive).
+    pub fn parse(radix: u8, s: &str) -> Option<Self> {
+        let mut p = RadixPath::empty(radix);
+        for ch in s.chars() {
+            let v = ch.to_digit(36)? as u8;
+            if v >= radix {
+                return None;
+            }
+            p.push(v);
+        }
+        Some(p)
+    }
+
+    /// Lower-cases ASCII text into a radix-27 path (`a`..`z` plus a
+    /// terminator/space symbol 0), the natural alphabet for the paper's
+    /// prefix-search-on-text use case. Non-alphabetic characters map to 0.
+    pub fn from_text(s: &str) -> Self {
+        let mut p = RadixPath::empty(27);
+        for ch in s.chars() {
+            let v = match ch.to_ascii_lowercase() {
+                c @ 'a'..='z' => (c as u8) - b'a' + 1,
+                _ => 0,
+            };
+            p.push(v);
+        }
+        p
+    }
+
+    /// Samples a uniformly random path of the given length.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, radix: u8, len: usize) -> Self {
+        let mut p = RadixPath::empty(radix);
+        for _ in 0..len {
+            p.push(rng.gen_range(0..radix));
+        }
+        p
+    }
+
+    /// Alphabet size.
+    #[inline]
+    pub fn radix(&self) -> u8 {
+        self.radix
+    }
+
+    /// Number of symbols.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// `true` for the root path.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Symbol at position `i`.
+    ///
+    /// # Panics
+    /// If `i >= len()`.
+    #[inline]
+    pub fn symbol(&self, i: usize) -> u8 {
+        self.symbols[i]
+    }
+
+    /// The symbols as a slice.
+    #[inline]
+    pub fn symbols(&self) -> &[u8] {
+        &self.symbols
+    }
+
+    /// Appends a symbol in place.
+    ///
+    /// # Panics
+    /// If `symbol >= radix`.
+    #[inline]
+    pub fn push(&mut self, symbol: u8) {
+        assert!(
+            symbol < self.radix,
+            "symbol {symbol} out of range for radix {}",
+            self.radix
+        );
+        self.symbols.push(symbol);
+    }
+
+    /// The path extended by one symbol.
+    pub fn child(&self, symbol: u8) -> Self {
+        let mut c = self.clone();
+        c.push(symbol);
+        c
+    }
+
+    /// The first `l` symbols.
+    pub fn prefix(&self, l: usize) -> Self {
+        assert!(l <= self.len());
+        RadixPath {
+            radix: self.radix,
+            symbols: self.symbols[..l].to_vec(),
+        }
+    }
+
+    /// Length of the longest common prefix with `other`.
+    ///
+    /// # Panics
+    /// If the radices differ — paths from different alphabets are
+    /// incomparable.
+    pub fn common_prefix_len(&self, other: &RadixPath) -> usize {
+        assert_eq!(self.radix, other.radix, "radix mismatch");
+        self.symbols
+            .iter()
+            .zip(&other.symbols)
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+
+    /// `true` when `self` is a (non-strict) prefix of `other`.
+    pub fn is_prefix_of(&self, other: &RadixPath) -> bool {
+        self.len() <= other.len() && self.common_prefix_len(other) == self.len()
+    }
+
+    /// `true` if a peer responsible for `self` answers queries for `key`.
+    pub fn responsible_for(&self, key: &RadixPath) -> bool {
+        self.is_prefix_of(key) || key.is_prefix_of(self)
+    }
+
+    /// The fractional value of the path in `[0, 1)`, the radix-R analogue of
+    /// the paper's `val(k)`.
+    pub fn val(&self) -> f64 {
+        let r = f64::from(self.radix);
+        let mut v = 0.0;
+        let mut w = 1.0;
+        for &s in &self.symbols {
+            w /= r;
+            v += f64::from(s) * w;
+        }
+        v
+    }
+}
+
+impl PartialOrd for RadixPath {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        if self.radix != other.radix {
+            return None;
+        }
+        Some(self.symbols.cmp(&other.symbols))
+    }
+}
+
+impl fmt::Display for RadixPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &s in &self.symbols {
+            write!(f, "{}", char::from_digit(u32::from(s), 36).unwrap())?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for RadixPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RadixPath(r{}, \"{}\")", self.radix, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn build_and_render() {
+        let p = RadixPath::from_symbols(4, &[0, 3, 2, 1]);
+        assert_eq!(p.to_string(), "0321");
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.symbol(1), 3);
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let p = RadixPath::parse(16, "deadb").unwrap();
+        assert_eq!(p.to_string(), "deadb");
+        assert!(RadixPath::parse(4, "05").is_none());
+        assert!(RadixPath::parse(16, "xy").is_none());
+    }
+
+    #[test]
+    fn text_alphabet() {
+        let p = RadixPath::from_text("ab z");
+        assert_eq!(p.symbols(), &[1, 2, 0, 26]);
+        assert_eq!(p.radix(), 27);
+    }
+
+    #[test]
+    fn prefix_algebra() {
+        let p = RadixPath::parse(8, "01234").unwrap();
+        let q = RadixPath::parse(8, "01267").unwrap();
+        assert_eq!(p.common_prefix_len(&q), 3);
+        assert!(p.prefix(3).is_prefix_of(&p));
+        assert!(p.prefix(3).is_prefix_of(&q));
+        assert!(!p.is_prefix_of(&q));
+        assert!(p.prefix(0).is_empty());
+    }
+
+    #[test]
+    fn responsibility() {
+        let peer = RadixPath::from_text("ca");
+        assert!(peer.responsible_for(&RadixPath::from_text("cat")));
+        assert!(peer.responsible_for(&RadixPath::from_text("c")));
+        assert!(!peer.responsible_for(&RadixPath::from_text("dog")));
+    }
+
+    #[test]
+    fn val_generalizes_binary() {
+        let b = RadixPath::from_symbols(2, &[1]);
+        assert_eq!(b.val(), 0.5);
+        let q = RadixPath::from_symbols(4, &[2]);
+        assert_eq!(q.val(), 0.5);
+        let q2 = RadixPath::from_symbols(4, &[2, 1]);
+        assert_eq!(q2.val(), 0.5 + 1.0 / 16.0);
+    }
+
+    #[test]
+    fn ordering_matches_lexicographic() {
+        let a = RadixPath::from_text("cat");
+        let b = RadixPath::from_text("cats");
+        let c = RadixPath::from_text("dog");
+        assert!(a < b && b < c);
+        let other = RadixPath::empty(5);
+        assert_eq!(a.partial_cmp(&other), None);
+    }
+
+    #[test]
+    fn random_paths_valid() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = RadixPath::random(&mut rng, 27, 50);
+        assert_eq!(p.len(), 50);
+        assert!(p.symbols().iter().all(|&s| s < 27));
+    }
+
+    #[test]
+    #[should_panic(expected = "radix mismatch")]
+    fn mixing_alphabets_panics() {
+        let a = RadixPath::empty(4);
+        let b = RadixPath::empty(8);
+        a.common_prefix_len(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn symbol_out_of_alphabet_panics() {
+        RadixPath::empty(4).push(4);
+    }
+}

@@ -1,0 +1,198 @@
+//! Property-based tests for the key-space algebra.
+//!
+//! These pin down the laws the P-Grid algorithms rely on: prefix/`val`
+//! consistency, common-prefix symmetry, ordering coherence, and the
+//! correspondence between paths and intervals.
+
+use pgrid_keys::{range_cover, BitPath, HashKeyMapper, KeyMapper, OrderPreservingMapper, RadixPath};
+use proptest::prelude::*;
+
+/// Strategy producing an arbitrary `BitPath` of length 0..=128.
+fn bitpath() -> impl Strategy<Value = BitPath> {
+    (any::<u128>(), 0u8..=128).prop_map(|(bits, len)| BitPath::from_raw(bits, len))
+}
+
+/// Strategy producing short paths (cheap exhaustive-ish coverage).
+fn short_bitpath() -> impl Strategy<Value = BitPath> {
+    (any::<u128>(), 0u8..=12).prop_map(|(bits, len)| BitPath::from_raw(bits, len))
+}
+
+proptest! {
+    #[test]
+    fn display_parse_round_trip(p in bitpath()) {
+        let s = p.to_string();
+        let back: BitPath = s.parse().unwrap();
+        prop_assert_eq!(p, back);
+        prop_assert_eq!(s.len(), p.len());
+    }
+
+    #[test]
+    fn bits_iterator_matches_indexing(p in bitpath()) {
+        let collected: Vec<u8> = p.bits().collect();
+        prop_assert_eq!(collected.len(), p.len());
+        for (i, &b) in collected.iter().enumerate() {
+            prop_assert_eq!(b, p.bit(i));
+        }
+    }
+
+    #[test]
+    fn prefix_then_suffix_reassembles(p in bitpath(), cut in 0usize..=128) {
+        let cut = cut.min(p.len());
+        let head = p.prefix(cut);
+        let tail = p.suffix(cut);
+        prop_assert_eq!(head.append(&tail), p);
+    }
+
+    #[test]
+    fn common_prefix_is_symmetric_and_bounded(a in bitpath(), b in bitpath()) {
+        let l = a.common_prefix_len(&b);
+        prop_assert_eq!(l, b.common_prefix_len(&a));
+        prop_assert!(l <= a.len() && l <= b.len());
+        prop_assert_eq!(a.prefix(l), b.prefix(l));
+        // Maximality: the bits just after the common prefix differ (when both exist).
+        if l < a.len() && l < b.len() {
+            prop_assert_ne!(a.bit(l), b.bit(l));
+        }
+    }
+
+    #[test]
+    fn prefix_of_is_reflexive_and_via_common_prefix(a in bitpath(), b in bitpath()) {
+        prop_assert!(a.is_prefix_of(&a));
+        let expected = a.len() <= b.len() && a.common_prefix_len(&b) == a.len();
+        prop_assert_eq!(a.is_prefix_of(&b), expected);
+    }
+
+    #[test]
+    fn child_parent_inverse(p in (any::<u128>(), 0u8..=127).prop_map(|(b, l)| BitPath::from_raw(b, l)), bit in 0u8..=1) {
+        let c = p.child(bit);
+        prop_assert_eq!(c.len(), p.len() + 1);
+        prop_assert_eq!(c.parent(), p);
+        prop_assert_eq!(c.last_bit(), bit);
+        prop_assert!(p.is_prefix_of(&c));
+    }
+
+    #[test]
+    fn sibling_is_involution(p in (any::<u128>(), 1u8..=128).prop_map(|(b, l)| BitPath::from_raw(b, l))) {
+        let s = p.sibling();
+        prop_assert_eq!(s.sibling(), p);
+        prop_assert_eq!(s.len(), p.len());
+        prop_assert_eq!(s.parent(), p.parent());
+        prop_assert_ne!(s, p);
+    }
+
+    #[test]
+    fn val_lies_in_interval(p in bitpath()) {
+        let v = p.val();
+        prop_assert!((0.0..1.0).contains(&v) || (p.is_empty() && v == 0.0));
+        // Only check interval membership where f64 still resolves the width.
+        if p.len() <= 52 {
+            prop_assert!(p.interval().contains(v));
+        }
+    }
+
+    #[test]
+    fn extension_stays_in_interval(p in short_bitpath(), ext in short_bitpath()) {
+        if p.len() + ext.len() <= 52 {
+            let full = p.append(&ext);
+            prop_assert!(p.interval().contains(full.val()));
+            prop_assert!(p.interval().covers(&full.interval()));
+        }
+    }
+
+    #[test]
+    fn ordering_agrees_with_string_order(a in bitpath(), b in bitpath()) {
+        let sa = a.to_string();
+        let sb = b.to_string();
+        prop_assert_eq!(a.cmp(&b), sa.cmp(&sb));
+    }
+
+    #[test]
+    fn ordering_agrees_with_val(a in short_bitpath(), b in short_bitpath()) {
+        // val is monotone w.r.t. path order (not strictly: prefixes share val
+        // with their all-zero extensions).
+        if a < b {
+            prop_assert!(a.val() <= b.val());
+        }
+    }
+
+    #[test]
+    fn responsibility_partition(key in (any::<u128>(), 8u8..=12).prop_map(|(b, l)| BitPath::from_raw(b, l)), len in 0u8..=8) {
+        // Among all 2^len peers' paths of a given length, exactly one is
+        // responsible for any longer key.
+        let mut responsible = 0u32;
+        for v in 0..(1u128 << len) {
+            let peer = BitPath::from_value(v, len);
+            if peer.responsible_for(&key) {
+                responsible += 1;
+            }
+        }
+        prop_assert_eq!(responsible, 1);
+    }
+
+    #[test]
+    fn hash_mapper_prefix_tower(name in ".{0,20}", l1 in 0u8..=128, l2 in 0u8..=128) {
+        let m = HashKeyMapper::default();
+        let (lo, hi) = if l1 <= l2 { (l1, l2) } else { (l2, l1) };
+        prop_assert!(m.map(&name, lo).is_prefix_of(&m.map(&name, hi)));
+    }
+
+    #[test]
+    fn order_preserving_mapper_monotone(a in "[a-m]{1,12}", b in "[n-z]{1,12}") {
+        let m = OrderPreservingMapper;
+        prop_assert!(m.map(&a, 64) < m.map(&b, 64));
+    }
+
+    #[test]
+    fn radix_prefix_laws(radix in 2u8..=36, syms in proptest::collection::vec(0u8..36, 0..20), cut in 0usize..20) {
+        let syms: Vec<u8> = syms.into_iter().map(|s| s % radix).collect();
+        let p = RadixPath::from_symbols(radix, &syms);
+        let cut = cut.min(p.len());
+        let pre = p.prefix(cut);
+        prop_assert!(pre.is_prefix_of(&p));
+        prop_assert_eq!(pre.common_prefix_len(&p), cut);
+        let s = p.to_string();
+        prop_assert_eq!(RadixPath::parse(radix, &s).unwrap(), p);
+    }
+
+    #[test]
+    fn radix_val_in_unit(radix in 2u8..=36, syms in proptest::collection::vec(0u8..36, 0..30)) {
+        let syms: Vec<u8> = syms.into_iter().map(|s| s % radix).collect();
+        let p = RadixPath::from_symbols(radix, &syms);
+        let v = p.val();
+        prop_assert!((0.0..1.0).contains(&v) || v == 0.0);
+    }
+
+    #[test]
+    fn range_cover_is_exact_and_disjoint(bits in 1u8..=32, a in any::<u64>(), b in any::<u64>()) {
+        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let (lo_v, hi_v) = {
+            let x = (a & mask) as u128;
+            let y = (b & mask) as u128;
+            if x <= y { (x, y) } else { (y, x) }
+        };
+        let lo = BitPath::from_value(lo_v, bits);
+        let hi = BitPath::from_value(hi_v, bits);
+        let cover = range_cover(&lo, &hi);
+        // Size bound and exact leaf count.
+        prop_assert!(cover.len() <= 2 * bits as usize);
+        let total: u128 = cover.iter().map(|c| 1u128 << (bits as usize - c.len())).sum();
+        prop_assert_eq!(total, hi_v - lo_v + 1);
+        // Pairwise disjoint.
+        for (i, x) in cover.iter().enumerate() {
+            for y in cover.iter().skip(i + 1) {
+                prop_assert!(!x.is_prefix_of(y) && !y.is_prefix_of(x));
+            }
+        }
+        // Boundary membership.
+        prop_assert!(cover.iter().any(|c| c.is_prefix_of(&lo)));
+        prop_assert!(cover.iter().any(|c| c.is_prefix_of(&hi)));
+        if lo_v > 0 {
+            let before = BitPath::from_value(lo_v - 1, bits);
+            prop_assert!(!cover.iter().any(|c| c.is_prefix_of(&before)));
+        }
+        if hi_v < mask as u128 {
+            let after = BitPath::from_value(hi_v + 1, bits);
+            prop_assert!(!cover.iter().any(|c| c.is_prefix_of(&after)));
+        }
+    }
+}

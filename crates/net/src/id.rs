@@ -1,0 +1,71 @@
+//! Peer identities.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier and address of a peer.
+///
+/// The paper's `addr : P → ADDR` is a bijection in our setting: simulated
+/// peers are numbered densely from zero so a `PeerId` doubles as an index
+/// into the simulator's peer table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PeerId(pub u32);
+
+impl PeerId {
+    /// The peer's index in a dense table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a dense index.
+    ///
+    /// # Panics
+    /// If `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        PeerId(u32::try_from(index).expect("peer index exceeds u32"))
+    }
+
+    /// Enumerates the first `n` peer ids.
+    pub fn all(n: usize) -> impl Iterator<Item = PeerId> {
+        (0..u32::try_from(n).expect("peer count exceeds u32")).map(PeerId)
+    }
+}
+
+impl fmt::Debug for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "peer{}", self.0)
+    }
+}
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "peer{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        assert_eq!(PeerId::from_index(42).index(), 42);
+        assert_eq!(PeerId(7).index(), 7);
+    }
+
+    #[test]
+    fn enumeration() {
+        let ids: Vec<PeerId> = PeerId::all(3).collect();
+        assert_eq!(ids, vec![PeerId(0), PeerId(1), PeerId(2)]);
+        assert_eq!(PeerId::all(0).count(), 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(PeerId(9).to_string(), "peer9");
+        assert_eq!(format!("{:?}", PeerId(9)), "peer9");
+    }
+}

@@ -1,0 +1,110 @@
+//! Message-delay models for the event-driven simulation mode.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-message network delay, in simulation ticks.
+///
+/// The paper abstracts from latency entirely (costs are message *counts*);
+/// the event-driven mode uses a latency model to interleave concurrent
+/// operations realistically when measuring end-to-end response behaviour.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Every message takes exactly this many ticks.
+    Fixed(u64),
+    /// Uniformly distributed in `[min, max]`.
+    Uniform {
+        /// Minimum delay (inclusive).
+        min: u64,
+        /// Maximum delay (inclusive).
+        max: u64,
+    },
+    /// `base` plus an exponential tail with the given mean — a simple stand-in
+    /// for wide-area RTT distributions.
+    LongTail {
+        /// Deterministic floor.
+        base: u64,
+        /// Mean of the exponential tail.
+        tail_mean: f64,
+    },
+}
+
+impl LatencyModel {
+    /// Samples one message delay.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        match *self {
+            LatencyModel::Fixed(d) => d,
+            LatencyModel::Uniform { min, max } => {
+                assert!(min <= max, "uniform latency bounds out of order");
+                rng.gen_range(min..=max)
+            }
+            LatencyModel::LongTail { base, tail_mean } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                base + (-tail_mean * u.ln()) as u64
+            }
+        }
+    }
+
+    /// The expected delay of one message.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            LatencyModel::Fixed(d) => d as f64,
+            LatencyModel::Uniform { min, max } => (min + max) as f64 / 2.0,
+            LatencyModel::LongTail { base, tail_mean } => base as f64 + tail_mean,
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::Fixed(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn fixed_is_constant() {
+        let m = LatencyModel::Fixed(7);
+        let mut r = rng();
+        assert!((0..100).all(|_| m.sample(&mut r) == 7));
+        assert_eq!(m.mean(), 7.0);
+    }
+
+    #[test]
+    fn uniform_within_bounds_and_mean() {
+        let m = LatencyModel::Uniform { min: 5, max: 15 };
+        let mut r = rng();
+        let samples: Vec<u64> = (0..10_000).map(|_| m.sample(&mut r)).collect();
+        assert!(samples.iter().all(|&d| (5..=15).contains(&d)));
+        let avg = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        assert!((avg - 10.0).abs() < 0.3, "avg = {avg}");
+        assert_eq!(m.mean(), 10.0);
+    }
+
+    #[test]
+    fn long_tail_at_least_base() {
+        let m = LatencyModel::LongTail {
+            base: 3,
+            tail_mean: 10.0,
+        };
+        let mut r = rng();
+        let samples: Vec<u64> = (0..10_000).map(|_| m.sample(&mut r)).collect();
+        assert!(samples.iter().all(|&d| d >= 3));
+        let avg = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        assert!((avg - 13.0).abs() < 1.0, "avg = {avg}");
+    }
+
+    #[test]
+    fn default_is_one_tick() {
+        assert_eq!(LatencyModel::default().mean(), 1.0);
+    }
+}

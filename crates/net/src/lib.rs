@@ -1,0 +1,34 @@
+//! # pgrid-net
+//!
+//! Simulated network substrate for P-Grid.
+//!
+//! The paper's system model (§2) is deliberately thin: peers have unique
+//! addresses, are online with some probability, and online peers are
+//! reachable reliably. This crate supplies that model plus the accounting
+//! the evaluation needs:
+//!
+//! * [`PeerId`] — peer identity/address space;
+//! * [`OnlineModel`] — availability models: [`AlwaysOnline`],
+//!   per-probe [`BernoulliOnline`] (the paper's analysis model, §4),
+//!   [`EpochOnline`] (a fixed random subset per measurement epoch), and
+//!   time-driven [`SessionChurn`] (exponential on/off sessions — an
+//!   extension beyond the paper's Bernoulli assumption);
+//! * [`NetStats`] / [`Histogram`] — message and hop accounting (the paper
+//!   counts "successful calls of the query operation to another peer");
+//! * [`EventQueue`] — a discrete-event scheduler for time-driven simulations;
+//! * [`LatencyModel`] — per-message delay models for the event-driven mode.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod events;
+mod id;
+mod latency;
+mod online;
+mod stats;
+
+pub use events::EventQueue;
+pub use id::PeerId;
+pub use latency::LatencyModel;
+pub use online::{AlwaysOnline, BernoulliOnline, EpochOnline, OnlineModel, SessionChurn};
+pub use stats::{Histogram, MsgKind, NetStats};

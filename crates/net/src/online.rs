@@ -1,0 +1,285 @@
+//! Peer availability models.
+//!
+//! The paper assumes "peers are online with a probability" (§2) and analyses
+//! search success under independent per-contact availability (§4, formula
+//! (3)). The simulation in §5.2 runs with 30% online probability. We provide
+//! that Bernoulli model, a degenerate always-online model for construction
+//! experiments, an epoch model (one coherent random online set per
+//! measurement), and — beyond the paper — a session-churn model where peers
+//! alternate exponentially distributed online/offline sessions.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::PeerId;
+
+/// Decides whether a peer can be contacted.
+///
+/// Implementations may be stateful (epoch sets, churn sessions); the
+/// simulator threads a deterministic RNG through every probe.
+pub trait OnlineModel {
+    /// Is `peer` reachable right now?
+    fn is_online(&mut self, peer: PeerId, rng: &mut StdRng) -> bool;
+
+    /// The nominal long-run online probability (used by the §4 analysis).
+    fn online_probability(&self) -> f64;
+
+    /// Advances model-internal time (no-op for memoryless models).
+    fn set_time(&mut self, _now: u64) {}
+}
+
+/// Every peer is always reachable. Used for the §5.1 construction-cost
+/// experiments, which do not model failures.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AlwaysOnline;
+
+impl OnlineModel for AlwaysOnline {
+    fn is_online(&mut self, _peer: PeerId, _rng: &mut StdRng) -> bool {
+        true
+    }
+
+    fn online_probability(&self) -> f64 {
+        1.0
+    }
+}
+
+/// Independent Bernoulli availability per contact attempt — the model behind
+/// the paper's success-probability formula `(1 - (1-p)^refmax)^k`.
+#[derive(Clone, Copy, Debug)]
+pub struct BernoulliOnline {
+    p: f64,
+}
+
+impl BernoulliOnline {
+    /// Creates the model with online probability `p`.
+    ///
+    /// # Panics
+    /// If `p` is not in `[0, 1]`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        BernoulliOnline { p }
+    }
+}
+
+impl OnlineModel for BernoulliOnline {
+    fn is_online(&mut self, _peer: PeerId, rng: &mut StdRng) -> bool {
+        rng.gen_bool(self.p)
+    }
+
+    fn online_probability(&self) -> f64 {
+        self.p
+    }
+}
+
+/// A coherent random subset of peers is online for a whole epoch; call
+/// [`EpochOnline::resample`] between measurements. Unlike [`BernoulliOnline`]
+/// a peer that is down stays down for every retry within the epoch, which is
+/// the pessimistic-but-realistic variant of the paper's model.
+#[derive(Clone, Debug)]
+pub struct EpochOnline {
+    p: f64,
+    online: Vec<bool>,
+}
+
+impl EpochOnline {
+    /// Creates the model for `n` peers with online probability `p`; the
+    /// initial epoch must be drawn with [`EpochOnline::resample`].
+    pub fn new(n: usize, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        EpochOnline {
+            p,
+            online: vec![true; n],
+        }
+    }
+
+    /// Draws a fresh online set.
+    pub fn resample(&mut self, rng: &mut StdRng) {
+        for slot in &mut self.online {
+            *slot = rng.gen_bool(self.p);
+        }
+    }
+
+    /// Number of currently online peers.
+    pub fn online_count(&self) -> usize {
+        self.online.iter().filter(|&&b| b).count()
+    }
+
+    /// Force a specific peer's state (failure injection in tests).
+    pub fn set_online(&mut self, peer: PeerId, online: bool) {
+        self.online[peer.index()] = online;
+    }
+}
+
+impl OnlineModel for EpochOnline {
+    fn is_online(&mut self, peer: PeerId, _rng: &mut StdRng) -> bool {
+        self.online[peer.index()]
+    }
+
+    fn online_probability(&self) -> f64 {
+        self.p
+    }
+}
+
+/// Exponential on/off session churn driven by simulation time.
+///
+/// Each peer alternates online sessions of mean length `mean_online` and
+/// offline gaps of mean length `mean_offline` (both in simulation ticks);
+/// the stationary online probability is
+/// `mean_online / (mean_online + mean_offline)`.
+#[derive(Clone, Debug)]
+pub struct SessionChurn {
+    mean_online: f64,
+    mean_offline: f64,
+    now: u64,
+    /// Per peer: current state and the time of the next toggle.
+    state: Vec<(bool, u64)>,
+}
+
+impl SessionChurn {
+    /// Creates the churn model for `n` peers, seeding each peer's phase
+    /// randomly so sessions are not synchronized.
+    pub fn new(n: usize, mean_online: f64, mean_offline: f64, rng: &mut StdRng) -> Self {
+        assert!(mean_online > 0.0 && mean_offline > 0.0);
+        let p = mean_online / (mean_online + mean_offline);
+        let state = (0..n)
+            .map(|_| {
+                let online = rng.gen_bool(p);
+                let mean = if online { mean_online } else { mean_offline };
+                (online, exp_sample(mean, rng))
+            })
+            .collect();
+        SessionChurn {
+            mean_online,
+            mean_offline,
+            now: 0,
+            state,
+        }
+    }
+
+    fn advance_peer(&mut self, idx: usize, rng: &mut StdRng) {
+        while self.state[idx].1 <= self.now {
+            let (online, at) = self.state[idx];
+            let next_state = !online;
+            let mean = if next_state {
+                self.mean_online
+            } else {
+                self.mean_offline
+            };
+            self.state[idx] = (next_state, at + exp_sample(mean, rng).max(1));
+        }
+    }
+}
+
+/// Sample an exponential duration (in whole ticks, at least 1).
+fn exp_sample(mean: f64, rng: &mut StdRng) -> u64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    (-mean * u.ln()).ceil().max(1.0) as u64
+}
+
+impl OnlineModel for SessionChurn {
+    fn is_online(&mut self, peer: PeerId, rng: &mut StdRng) -> bool {
+        self.advance_peer(peer.index(), rng);
+        self.state[peer.index()].0
+    }
+
+    fn online_probability(&self) -> f64 {
+        self.mean_online / (self.mean_online + self.mean_offline)
+    }
+
+    fn set_time(&mut self, now: u64) {
+        debug_assert!(now >= self.now, "simulation time moved backwards");
+        self.now = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn always_online() {
+        let mut m = AlwaysOnline;
+        let mut r = rng();
+        assert!(m.is_online(PeerId(0), &mut r));
+        assert_eq!(m.online_probability(), 1.0);
+    }
+
+    #[test]
+    fn bernoulli_matches_probability() {
+        let mut m = BernoulliOnline::new(0.3);
+        let mut r = rng();
+        let hits = (0..20_000)
+            .filter(|_| m.is_online(PeerId(0), &mut r))
+            .count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate = {rate}");
+        assert_eq!(m.online_probability(), 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bernoulli_rejects_bad_probability() {
+        BernoulliOnline::new(1.5);
+    }
+
+    #[test]
+    fn epoch_is_coherent_within_epoch() {
+        let mut m = EpochOnline::new(100, 0.5);
+        let mut r = rng();
+        m.resample(&mut r);
+        let first: Vec<bool> = (0..100).map(|i| m.is_online(PeerId(i), &mut r)).collect();
+        let second: Vec<bool> = (0..100).map(|i| m.is_online(PeerId(i), &mut r)).collect();
+        assert_eq!(first, second, "within an epoch availability is stable");
+        let count_before = m.online_count();
+        m.resample(&mut r);
+        // With 100 peers at p=0.5 the odds of an identical redraw are ~2^-100.
+        let after: Vec<bool> = (0..100).map(|i| m.is_online(PeerId(i), &mut r)).collect();
+        assert_ne!(first, after);
+        assert!(count_before > 20 && count_before < 80);
+    }
+
+    #[test]
+    fn epoch_failure_injection() {
+        let mut m = EpochOnline::new(4, 1.0);
+        let mut r = rng();
+        m.set_online(PeerId(2), false);
+        assert!(!m.is_online(PeerId(2), &mut r));
+        assert!(m.is_online(PeerId(1), &mut r));
+    }
+
+    #[test]
+    fn session_churn_stationary_probability() {
+        let mut r = rng();
+        let mut m = SessionChurn::new(200, 30.0, 70.0, &mut r);
+        assert!((m.online_probability() - 0.3).abs() < 1e-12);
+        // Sample availability over a long horizon; should hover near 0.3.
+        let mut online_samples = 0usize;
+        let mut total = 0usize;
+        for t in (0..200_000u64).step_by(97) {
+            m.set_time(t);
+            for i in 0..200 {
+                if m.is_online(PeerId(i % 200), &mut r) {
+                    online_samples += 1;
+                }
+                total += 1;
+            }
+        }
+        let rate = online_samples as f64 / total as f64;
+        assert!((rate - 0.3).abs() < 0.05, "stationary rate = {rate}");
+    }
+
+    #[test]
+    fn session_churn_is_persistent_at_fixed_time() {
+        let mut r = rng();
+        let mut m = SessionChurn::new(50, 10.0, 10.0, &mut r);
+        m.set_time(500);
+        let a: Vec<bool> = (0..50).map(|i| m.is_online(PeerId(i), &mut r)).collect();
+        let b: Vec<bool> = (0..50).map(|i| m.is_online(PeerId(i), &mut r)).collect();
+        assert_eq!(a, b, "state at a fixed time must not fluctuate");
+    }
+}

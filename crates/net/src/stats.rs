@@ -1,0 +1,293 @@
+//! Message accounting and distribution summaries.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The kinds of messages the P-Grid protocols exchange. The paper's cost
+/// metrics count messages by protocol phase: exchanges during construction
+/// (§5.1), query messages (§5.2, "successful calls of the query operation to
+/// another peer"), and update propagation messages (§5.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum MsgKind {
+    /// A construction-time exchange between two peers (Fig. 3).
+    Exchange,
+    /// A query forwarded to another peer (Fig. 2).
+    Query,
+    /// An update propagated to a replica.
+    Update,
+    /// A flooding message (Gnutella baseline).
+    Flood,
+    /// Anything else (membership, control).
+    Control,
+}
+
+impl MsgKind {
+    const ALL: [MsgKind; 5] = [
+        MsgKind::Exchange,
+        MsgKind::Query,
+        MsgKind::Update,
+        MsgKind::Flood,
+        MsgKind::Control,
+    ];
+
+    fn idx(self) -> usize {
+        match self {
+            MsgKind::Exchange => 0,
+            MsgKind::Query => 1,
+            MsgKind::Update => 2,
+            MsgKind::Flood => 3,
+            MsgKind::Control => 4,
+        }
+    }
+}
+
+/// Network-wide message counters.
+///
+/// `contact_attempts` additionally counts probes that failed because the
+/// target was offline — those are *not* messages in the paper's metric, but
+/// they matter when reasoning about wasted work.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStats {
+    counts: [u64; 5],
+    /// All contact probes, including ones that found the target offline.
+    pub contact_attempts: u64,
+    /// Probes that failed because the target was offline.
+    pub failed_contacts: u64,
+}
+
+impl NetStats {
+    /// Fresh, zeroed counters.
+    pub fn new() -> Self {
+        NetStats::default()
+    }
+
+    /// Records one delivered message of the given kind.
+    #[inline]
+    pub fn record(&mut self, kind: MsgKind) {
+        self.counts[kind.idx()] += 1;
+    }
+
+    /// Records a contact probe; `online` tells whether it succeeded.
+    #[inline]
+    pub fn record_contact(&mut self, online: bool) {
+        self.contact_attempts += 1;
+        if !online {
+            self.failed_contacts += 1;
+        }
+    }
+
+    /// Messages delivered of one kind.
+    #[inline]
+    pub fn count(&self, kind: MsgKind) -> u64 {
+        self.counts[kind.idx()]
+    }
+
+    /// Total delivered messages across kinds.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Component-wise difference `self - earlier` (counters only grow).
+    pub fn since(&self, earlier: &NetStats) -> NetStats {
+        let mut out = NetStats::new();
+        for k in MsgKind::ALL {
+            out.counts[k.idx()] = self.count(k) - earlier.count(k);
+        }
+        out.contact_attempts = self.contact_attempts - earlier.contact_attempts;
+        out.failed_contacts = self.failed_contacts - earlier.failed_contacts;
+        out
+    }
+
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &NetStats) {
+        for k in MsgKind::ALL {
+            self.counts[k.idx()] += other.count(k);
+        }
+        self.contact_attempts += other.contact_attempts;
+        self.failed_contacts += other.failed_contacts;
+    }
+}
+
+impl fmt::Display for NetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "exchange={} query={} update={} flood={} control={} (attempts={}, failed={})",
+            self.count(MsgKind::Exchange),
+            self.count(MsgKind::Query),
+            self.count(MsgKind::Update),
+            self.count(MsgKind::Flood),
+            self.count(MsgKind::Control),
+            self.contact_attempts,
+            self.failed_contacts,
+        )
+    }
+}
+
+/// A sparse histogram over `u64` observations, used for replica-count and
+/// path-length distributions (Fig. 4) and message-per-query summaries.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: std::collections::BTreeMap<u64, u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// Fresh, empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        *self.buckets.entry(value).or_insert(0) += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Smallest observed value.
+    pub fn min(&self) -> Option<u64> {
+        self.buckets.keys().next().copied()
+    }
+
+    /// Largest observed value.
+    pub fn max(&self) -> Option<u64> {
+        self.buckets.keys().next_back().copied()
+    }
+
+    /// The smallest value `v` such that at least `q` (0..=1) of the
+    /// observations are ≤ `v`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (&v, &c) in &self.buckets {
+            seen += c;
+            if seen >= target {
+                return Some(v);
+            }
+        }
+        self.max()
+    }
+
+    /// Iterates `(value, count)` in increasing value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Frequency of one exact value.
+    pub fn frequency(&self, value: u64) -> u64 {
+        self.buckets.get(&value).copied().unwrap_or(0)
+    }
+}
+
+impl Extend<u64> for Histogram {
+    fn extend<T: IntoIterator<Item = u64>>(&mut self, iter: T) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_by_kind() {
+        let mut s = NetStats::new();
+        s.record(MsgKind::Query);
+        s.record(MsgKind::Query);
+        s.record(MsgKind::Exchange);
+        assert_eq!(s.count(MsgKind::Query), 2);
+        assert_eq!(s.count(MsgKind::Exchange), 1);
+        assert_eq!(s.count(MsgKind::Update), 0);
+        assert_eq!(s.total(), 3);
+    }
+
+    #[test]
+    fn contact_accounting() {
+        let mut s = NetStats::new();
+        s.record_contact(true);
+        s.record_contact(false);
+        s.record_contact(false);
+        assert_eq!(s.contact_attempts, 3);
+        assert_eq!(s.failed_contacts, 2);
+    }
+
+    #[test]
+    fn since_and_merge() {
+        let mut a = NetStats::new();
+        a.record(MsgKind::Query);
+        let checkpoint = a.clone();
+        a.record(MsgKind::Query);
+        a.record(MsgKind::Update);
+        let delta = a.since(&checkpoint);
+        assert_eq!(delta.count(MsgKind::Query), 1);
+        assert_eq!(delta.count(MsgKind::Update), 1);
+
+        let mut merged = checkpoint.clone();
+        merged.merge(&delta);
+        assert_eq!(merged, a);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut s = NetStats::new();
+        s.record(MsgKind::Flood);
+        assert!(s.to_string().contains("flood=1"));
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::new();
+        h.extend([1, 2, 2, 3, 10]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 18);
+        assert_eq!(h.mean(), Some(3.6));
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(10));
+        assert_eq!(h.frequency(2), 2);
+        assert_eq!(h.frequency(7), 0);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new();
+        h.extend(1..=100);
+        assert_eq!(h.quantile(0.5), Some(50));
+        assert_eq!(h.quantile(0.99), Some(99));
+        assert_eq!(h.quantile(1.0), Some(100));
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(Histogram::new().quantile(0.5), None);
+        assert_eq!(Histogram::new().mean(), None);
+    }
+
+    #[test]
+    fn histogram_iteration_sorted() {
+        let mut h = Histogram::new();
+        h.extend([5, 1, 5, 3]);
+        let pairs: Vec<(u64, u64)> = h.iter().collect();
+        assert_eq!(pairs, vec![(1, 1), (3, 1), (5, 2)]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Model-based property test: [`pgrid_net::EventQueue`] must dequeue in
+//! exactly `(time, insertion-order)` order under arbitrary interleavings of
+//! pushes and pops.
+
+use pgrid_net::EventQueue;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push an event with this relative delay.
+    PushIn(u64),
+    /// Pop one event.
+    Pop,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0u64..50).prop_map(Op::PushIn),
+            2 => Just(Op::Pop),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn dequeues_in_time_then_fifo_order(ops in ops()) {
+        let mut queue: EventQueue<usize> = EventQueue::new();
+        // The model: a sorted list of (absolute time, seq) pending events.
+        let mut model: Vec<(u64, usize)> = Vec::new();
+        let mut seq = 0usize;
+
+        for op in ops {
+            match op {
+                Op::PushIn(delay) => {
+                    let at = queue.now() + delay;
+                    queue.push_in(delay, seq);
+                    model.push((at, seq));
+                    seq += 1;
+                }
+                Op::Pop => {
+                    model.sort();
+                    let expected = if model.is_empty() {
+                        None
+                    } else {
+                        Some(model.remove(0))
+                    };
+                    let got = queue.pop();
+                    match (got, expected) {
+                        (None, None) => {}
+                        (Some((t, e)), Some((mt, me))) => {
+                            prop_assert_eq!(t, mt, "time order");
+                            prop_assert_eq!(e, me, "FIFO tie-break");
+                            prop_assert_eq!(queue.now(), mt, "clock advances to the event");
+                        }
+                        (g, m) => prop_assert!(false, "mismatch: got {g:?}, model {m:?}"),
+                    }
+                }
+            }
+            prop_assert_eq!(queue.len(), model.len());
+        }
+
+        // Drain: the remainder comes out fully sorted.
+        model.sort();
+        for (mt, me) in model {
+            let (t, e) = queue.pop().expect("queue matches model length");
+            prop_assert_eq!(t, mt);
+            prop_assert_eq!(e, me);
+        }
+        prop_assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn pop_until_never_exceeds_deadline(delays in proptest::collection::vec(0u64..100, 1..50), deadline in 0u64..120) {
+        let mut queue: EventQueue<u32> = EventQueue::new();
+        for (i, d) in delays.iter().enumerate() {
+            queue.push_at(*d, i as u32);
+        }
+        let mut last = 0;
+        while let Some((t, _)) = queue.pop_until(deadline) {
+            prop_assert!(t <= deadline);
+            prop_assert!(t >= last, "monotone clock");
+            last = t;
+        }
+        // Whatever remains fires strictly after the deadline.
+        while let Some((t, _)) = queue.pop() {
+            prop_assert!(t > deadline);
+        }
+    }
+}

@@ -1,0 +1,538 @@
+//! Driving a community of live nodes.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::BytesMut;
+use crossbeam::channel::Receiver;
+use parking_lot::Mutex;
+use pgrid_keys::Key;
+use pgrid_net::PeerId;
+use pgrid_wire::{decode_frame, encode_frame, Message, WireEntry};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{spawn_node, Frame, LocalTransport, NodeConfig, NodeState};
+
+/// Shape of a live cluster.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// Number of nodes.
+    pub n: usize,
+    /// Maximal path length.
+    pub maxl: usize,
+    /// References per level.
+    pub refmax: usize,
+    /// Exchange recursion bound.
+    pub recmax: u8,
+    /// Recursion fan-out bound.
+    pub recfanout: usize,
+    /// Query hop budget.
+    pub ttl: u16,
+    /// RNG seed (thread scheduling still makes runs non-deterministic).
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            n: 32,
+            maxl: 4,
+            refmax: 2,
+            recmax: 2,
+            recfanout: 2,
+            ttl: 64,
+            seed: 7,
+        }
+    }
+}
+
+/// A running community of actor nodes plus a client mailbox for issuing
+/// queries.
+pub struct Cluster {
+    transport: LocalTransport,
+    states: Vec<Arc<Mutex<NodeState>>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    client_id: PeerId,
+    client_rx: Receiver<Frame>,
+    next_query_id: u64,
+    rng: StdRng,
+    config: ClusterConfig,
+}
+
+impl Cluster {
+    /// Spawns `config.n` node threads.
+    pub fn spawn(config: ClusterConfig) -> Self {
+        assert!(config.n >= 2, "a cluster needs at least two nodes");
+        let transport = LocalTransport::new();
+        let mut states = Vec::with_capacity(config.n);
+        let mut handles = Vec::with_capacity(config.n);
+        for i in 0..config.n {
+            let id = PeerId::from_index(i);
+            let rx = transport.register(id);
+            let state = Arc::new(Mutex::new(NodeState::new(
+                id,
+                config.maxl,
+                config.refmax,
+                config.recfanout,
+            )));
+            let handle = spawn_node(
+                Arc::clone(&state),
+                NodeConfig {
+                    recmax: config.recmax,
+                    ttl: config.ttl,
+                },
+                transport.clone(),
+                rx,
+                config.seed ^ ((i as u64) << 20),
+            );
+            states.push(state);
+            handles.push(handle);
+        }
+        // The client mailbox sits far above any plausible node id so nodes
+        // added later never collide with it.
+        let client_id = PeerId(u32::MAX - 1);
+        let client_rx = transport.register(client_id);
+        Cluster {
+            transport,
+            states,
+            handles,
+            client_id,
+            client_rx,
+            next_query_id: 1,
+            rng: StdRng::seed_from_u64(config.seed ^ 0xc11e),
+            config,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` when the cluster has no nodes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Injects `meetings` random pairwise meetings (among live nodes) and
+    /// waits for the network to go quiescent.
+    pub fn build(&mut self, meetings: usize) {
+        let live = self.live_nodes();
+        let n = live.len();
+        if n < 2 {
+            return;
+        }
+        for _ in 0..meetings {
+            let i = self.rng.gen_range(0..n);
+            let mut j = self.rng.gen_range(0..n - 1);
+            if j >= i {
+                j += 1;
+            }
+            let frame = encode_frame(&Message::Meet { with: live[j] });
+            self.transport.send(self.client_id, live[i], frame);
+        }
+        self.settle();
+    }
+
+    /// Waits until no frames have been delivered for a few polling rounds.
+    pub fn settle(&self) {
+        let mut last = self.transport.delivered();
+        let mut stable_rounds = 0;
+        while stable_rounds < 5 {
+            std::thread::sleep(Duration::from_millis(2));
+            let now = self.transport.delivered();
+            if now == last {
+                stable_rounds += 1;
+            } else {
+                stable_rounds = 0;
+                last = now;
+            }
+        }
+    }
+
+    /// Mean path length over the live community.
+    pub fn avg_path_len(&self) -> f64 {
+        let live: Vec<usize> = self
+            .states
+            .iter()
+            .filter(|s| s.lock().maxl != 0)
+            .map(|s| s.lock().path.len())
+            .collect();
+        live.iter().sum::<usize>() as f64 / live.len().max(1) as f64
+    }
+
+    /// Snapshot of every node's path.
+    pub fn paths(&self) -> Vec<(PeerId, String)> {
+        self.states
+            .iter()
+            .map(|s| {
+                let g = s.lock();
+                (g.id, g.path.to_string())
+            })
+            .collect()
+    }
+
+    /// Checks every node's structural invariants plus the cross-node
+    /// reference property (references point to the other side of the level).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let snapshot: Vec<NodeState> = self.states.iter().map(|s| s.lock().clone()).collect();
+        for node in &snapshot {
+            if node.maxl == 0 {
+                continue; // killed
+            }
+            node.check()?;
+            for (i, slot) in node.refs.iter().enumerate() {
+                let level = i + 1;
+                for r in slot {
+                    let other = &snapshot[r.index()];
+                    if other.maxl == 0 {
+                        continue; // stale reference to a departed peer
+                    }
+                    if other.path.len() < level {
+                        return Err(format!(
+                            "{}: ref {} at level {level} has short path",
+                            node.id, r
+                        ));
+                    }
+                    if level <= node.path.len()
+                        && (other.path.prefix(level - 1) != node.path.prefix(level - 1)
+                            || other.path.bit(level - 1) == node.path.bit(level - 1))
+                        {
+                            return Err(format!(
+                                "{}: ref {} at level {level} violates the side property",
+                                node.id, r
+                            ));
+                        }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Issues a query, retrying from different random entry points up to
+    /// four times — the live protocol forwards to a single candidate per
+    /// hop (no distributed backtracking), so a stale reference can dead-end
+    /// one attempt; repeated randomized searches are the paper's own remedy.
+    pub fn query(&mut self, key: &Key) -> Option<(PeerId, Vec<WireEntry>)> {
+        for _ in 0..4 {
+            if let Some(hit) = self.query_once(key) {
+                return Some(hit);
+            }
+        }
+        None
+    }
+
+    /// One single query attempt from one random entry node.
+    pub fn query_once(&mut self, key: &Key) -> Option<(PeerId, Vec<WireEntry>)> {
+        let qid = self.next_query_id;
+        self.next_query_id += 1;
+        let live = self.live_nodes();
+        if live.is_empty() {
+            return None;
+        }
+        let entry_node = live[self.rng.gen_range(0..live.len())];
+        let frame = encode_frame(&Message::Query {
+            id: qid,
+            origin: self.client_id,
+            key: *key,
+            matched: 0,
+            ttl: self.config.ttl,
+        });
+        if !self.transport.send(self.client_id, entry_node, frame) {
+            return None;
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while let Ok(frame) = self
+            .client_rx
+            .recv_timeout(deadline.saturating_duration_since(std::time::Instant::now()))
+        {
+            let mut buf = BytesMut::from(&frame.bytes[..]);
+            match decode_frame(&mut buf) {
+                Ok(Some(Message::QueryOk {
+                    id,
+                    responsible,
+                    entries,
+                })) if id == qid => return Some((responsible, entries)),
+                Ok(Some(Message::QueryFail { id })) if id == qid => return None,
+                _ => continue, // stale answer from an earlier timed-out query
+            }
+        }
+        None
+    }
+
+    /// Routes an index insertion into the grid (fire-and-forget, like a
+    /// real insert; call [`Cluster::settle`] before querying it back).
+    pub fn insert(&mut self, key: Key, entry: WireEntry) {
+        let live = self.live_nodes();
+        if live.is_empty() {
+            return;
+        }
+        let entry_node = live[self.rng.gen_range(0..live.len())];
+        let frame = encode_frame(&Message::IndexInsert { key, entry });
+        self.transport.send(self.client_id, entry_node, frame);
+    }
+
+    /// Installs an entry directly at every responsible node (oracle seed
+    /// for tests).
+    pub fn seed_index(&self, key: Key, entry: WireEntry) {
+        for s in &self.states {
+            let mut guard = s.lock();
+            if guard.maxl != 0 && guard.responsible_for(&key) {
+                guard.index_insert(key, entry);
+            }
+        }
+    }
+
+    /// Kills one node abruptly: its mailbox disappears (in-flight and
+    /// future frames to it are dropped) and its thread exits. Models a
+    /// permanent departure without any goodbye protocol.
+    ///
+    /// # Panics
+    /// If the node was already killed.
+    pub fn kill_node(&mut self, id: PeerId) {
+        assert!(
+            self.states[id.index()].lock().maxl != 0,
+            "node {id} already killed"
+        );
+        // Unregister first so nobody can reach it, then stop the thread.
+        let frame = encode_frame(&Message::Shutdown);
+        self.transport.send(self.client_id, id, frame);
+        self.transport.unregister(id);
+        // Mark the state as dead for invariant checks (maxl 0 is otherwise
+        // unconstructible).
+        self.states[id.index()].lock().maxl = 0;
+    }
+
+    /// Spawns one additional node and returns its id. The newcomer joins
+    /// with the empty path and integrates through ordinary meetings (drive
+    /// [`Cluster::build`] afterwards).
+    pub fn add_node(&mut self) -> PeerId {
+        let id = PeerId::from_index(self.states.len());
+        debug_assert_ne!(id, self.client_id);
+        let rx = self.transport.register(id);
+        let state = Arc::new(Mutex::new(NodeState::new(
+            id,
+            self.config.maxl,
+            self.config.refmax,
+            self.config.recfanout,
+        )));
+        let handle = spawn_node(
+            Arc::clone(&state),
+            NodeConfig {
+                recmax: self.config.recmax,
+                ttl: self.config.ttl,
+            },
+            self.transport.clone(),
+            rx,
+            self.config.seed ^ ((id.0 as u64) << 20),
+        );
+        self.states.push(state);
+        self.handles.push(handle);
+        id
+    }
+
+    /// Ids of currently live nodes.
+    pub fn live_nodes(&self) -> Vec<PeerId> {
+        self.states
+            .iter()
+            .filter(|s| s.lock().maxl != 0)
+            .map(|s| s.lock().id)
+            .collect()
+    }
+
+    /// Captures the live community into a [`pgrid_core::GridSnapshot`], the
+    /// bridge from the asynchronous deployment into the deterministic
+    /// analysis tooling (`GridMetrics`, invariant checks, simulator search,
+    /// JSON persistence).
+    ///
+    /// # Panics
+    /// If any node has been killed — snapshots require a dense, live
+    /// community (restore numbers peers densely).
+    pub fn to_snapshot(&self) -> pgrid_core::GridSnapshot {
+        use pgrid_core::{GridSnapshot, IndexEntry, PeerSnapshot};
+        use pgrid_store::{ItemId, Version};
+        let peers = self
+            .states
+            .iter()
+            .map(|s| {
+                let g = s.lock();
+                assert!(g.maxl != 0, "cannot snapshot a cluster with killed nodes");
+                PeerSnapshot {
+                    id: g.id,
+                    path: g.path,
+                    refs: g.refs.clone(),
+                    index: g
+                        .index
+                        .iter()
+                        .map(|(k, entries)| {
+                            (
+                                *k,
+                                entries
+                                    .iter()
+                                    .map(|e| IndexEntry {
+                                        item: ItemId(e.item),
+                                        holder: e.holder,
+                                        version: Version(e.version),
+                                    })
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                    buddies: g.buddies.clone(),
+                }
+            })
+            .collect();
+        GridSnapshot {
+            config: pgrid_core::PGridConfig {
+                maxl: self.config.maxl,
+                refmax: self.config.refmax,
+                recmax: u32::from(self.config.recmax),
+                recfanout: Some(self.config.recfanout),
+                ..pgrid_core::PGridConfig::default()
+            },
+            peers,
+        }
+    }
+
+    /// Debug helper: every `(owner, referenced peer)` edge in the cluster —
+    /// test diagnostics only.
+    pub fn debug_dump_refs(&self) -> Vec<(PeerId, PeerId)> {
+        let mut out = Vec::new();
+        for s in &self.states {
+            let g = s.lock();
+            for slot in &g.refs {
+                for &r in slot {
+                    out.push((g.id, r));
+                }
+            }
+        }
+        out
+    }
+
+    /// Debug helper: every `(holder, holder_path, misplaced_flag, entry)`
+    /// tuple in the cluster — test diagnostics only.
+    pub fn debug_dump_entries(&self) -> Vec<(PeerId, String, bool, WireEntry)> {
+        let mut out = Vec::new();
+        for s in &self.states {
+            let g = s.lock();
+            for (key, entries) in &g.index {
+                let _ = key;
+                for e in entries {
+                    out.push((g.id, g.path.to_string(), g.misplaced, *e));
+                }
+            }
+        }
+        out
+    }
+
+    /// Shuts every node down and joins the threads.
+    pub fn shutdown(self) {
+        for i in 0..self.states.len() {
+            self.transport.send(
+                self.client_id,
+                PeerId::from_index(i),
+                encode_frame(&Message::Shutdown),
+            );
+        }
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgrid_keys::BitPath;
+
+    #[test]
+    fn cluster_converges_and_answers_queries() {
+        let mut cluster = Cluster::spawn(ClusterConfig {
+            n: 48,
+            maxl: 4,
+            refmax: 3,
+            seed: 11,
+            ..ClusterConfig::default()
+        });
+        // Drive meetings in waves until converged (or give up).
+        for _ in 0..40 {
+            cluster.build(200);
+            if cluster.avg_path_len() >= 3.5 {
+                break;
+            }
+        }
+        assert!(
+            cluster.avg_path_len() >= 3.0,
+            "live construction should converge: avg = {}",
+            cluster.avg_path_len()
+        );
+        cluster.check_invariants().unwrap();
+
+        // Seed an entry and query it through the protocol.
+        let key = BitPath::from_str_lossy("0110");
+        let entry = WireEntry {
+            item: 5,
+            holder: PeerId(1),
+            version: 7,
+        };
+        cluster.seed_index(key, entry);
+        let mut hits = 0;
+        for _ in 0..20 {
+            if let Some((responsible, entries)) = cluster.query(&key) {
+                let state = cluster.states[responsible.index()].lock();
+                assert!(state.responsible_for(&key), "answer must be sound");
+                drop(state);
+                if entries.contains(&entry) {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(hits >= 15, "most queries should succeed: {hits}/20");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn protocol_insert_reaches_a_responsible_node() {
+        let mut cluster = Cluster::spawn(ClusterConfig {
+            n: 32,
+            maxl: 3,
+            refmax: 3,
+            seed: 23,
+            ..ClusterConfig::default()
+        });
+        for _ in 0..30 {
+            cluster.build(150);
+            if cluster.avg_path_len() >= 2.8 {
+                break;
+            }
+        }
+        let key = BitPath::from_str_lossy("101");
+        let entry = WireEntry {
+            item: 1,
+            holder: PeerId(0),
+            version: 0,
+        };
+        cluster.insert(key, entry);
+        cluster.settle();
+        let stored = cluster
+            .states
+            .iter()
+            .filter(|s| {
+                let g = s.lock();
+                g.index_lookup(&key).contains(&entry)
+            })
+            .count();
+        assert!(stored >= 1, "the insert must land at a responsible node");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly() {
+        let cluster = Cluster::spawn(ClusterConfig {
+            n: 8,
+            ..ClusterConfig::default()
+        });
+        cluster.shutdown();
+    }
+}

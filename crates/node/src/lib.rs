@@ -1,0 +1,31 @@
+//! # pgrid-node
+//!
+//! A **live** P-Grid deployment: every peer is an actor thread that speaks
+//! the binary wire protocol ([`pgrid_wire`]) over an in-process transport.
+//! This is the "it actually runs as a distributed system" counterpart to the
+//! sequential simulator in [`pgrid_core`]:
+//!
+//! * [`LocalTransport`] — mailbox routing of encoded frames between threads
+//!   (swap in a socket transport and nothing above it changes);
+//! * [`NodeState`] — the peer state plus the responder side of the Fig. 3
+//!   exchange handshake and the routing decision of the Fig. 2 query;
+//! * [`spawn_node`] — the actor event loop;
+//! * [`Cluster`] — spawns a community, drives random meetings, issues
+//!   queries from a client mailbox, and snapshots convergence.
+//!
+//! Unlike the simulator, the live cluster is asynchronous and therefore not
+//! bit-deterministic; its tests assert *invariants* (structure validity,
+//! convergence, query soundness) rather than exact traces.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod node;
+mod state;
+mod transport;
+
+pub use cluster::{Cluster, ClusterConfig};
+pub use node::{spawn_node, NodeConfig};
+pub use state::{NodeState, RouteDecision};
+pub use transport::{Frame, LocalTransport};

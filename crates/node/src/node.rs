@@ -1,0 +1,372 @@
+//! The actor event loop of a live node.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bytes::BytesMut;
+use crossbeam::channel::Receiver;
+use parking_lot::Mutex;
+use pgrid_keys::BitPath;
+use pgrid_net::PeerId;
+use pgrid_wire::{decode_frame, encode_frame, Message};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{Frame, LocalTransport, NodeState, RouteDecision};
+
+/// Behavioural knobs of a live node.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeConfig {
+    /// Exchange recursion bound (`recmax`).
+    pub recmax: u8,
+    /// Query hop budget.
+    pub ttl: u16,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig { recmax: 2, ttl: 64 }
+    }
+}
+
+/// Spawns a node thread processing frames from `rx` until it receives
+/// [`Message::Shutdown`]. The shared `state` handle lets the test harness
+/// snapshot the node after quiescence (a real deployment would expose the
+/// same data through an admin endpoint).
+pub fn spawn_node(
+    state: Arc<Mutex<NodeState>>,
+    config: NodeConfig,
+    transport: LocalTransport,
+    rx: Receiver<Frame>,
+    seed: u64,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Offers we initiated and the path snapshot at send time: an answer
+        // telling us to extend is only valid if our path has not changed in
+        // the meantime (another exchange may have specialized us already).
+        let mut pending_offers: HashMap<u64, (BitPath, u8)> = HashMap::new();
+        let mut next_offer_id: u64 = seed << 16;
+        let id = state.lock().id;
+
+        while let Ok(frame) = rx.recv() {
+            // Anti-entropy: every incoming frame is an opportunity to retry
+            // re-homing entries that had no route when they arrived.
+            if state.lock().misplaced {
+                let stranded = {
+                    let mut guard = state.lock();
+                    guard.misplaced = false;
+                    guard.extract_misplaced()
+                };
+                rehome(&state, &transport, id, stranded, &mut rng);
+            }
+            let mut buf = BytesMut::from(&frame.bytes[..]);
+            let message = match decode_frame(&mut buf) {
+                Ok(Some(m)) => m,
+                Ok(None) | Err(_) => continue, // malformed frame: drop
+            };
+            match message {
+                Message::Shutdown => break,
+                Message::Meet { with } => {
+                    send_offer(
+                        &state,
+                        &transport,
+                        id,
+                        with,
+                        0,
+                        &mut next_offer_id,
+                        &mut pending_offers,
+                    );
+                }
+                Message::Ping { nonce } => {
+                    let _ = transport.send(id, frame.from, encode_frame(&Message::Pong { nonce }));
+                }
+                Message::Pong { .. } => {}
+                Message::Query {
+                    id: qid,
+                    origin,
+                    key,
+                    matched,
+                    ttl,
+                } => {
+                    let decision = {
+                        let guard = state.lock();
+                        match guard.route(&key, matched, &mut rng) {
+                            RouteDecision::Responsible => {
+                                let full = guard.full_key(&key, matched);
+                                let entries = guard.index_lookup(&full).to_vec();
+                                Err(Message::QueryOk {
+                                    id: qid,
+                                    responsible: id,
+                                    entries,
+                                })
+                            }
+                            RouteDecision::Forward {
+                                key,
+                                matched,
+                                candidates,
+                            } => Ok((key, matched, candidates)),
+                            RouteDecision::Dead => Err(Message::QueryFail { id: qid }),
+                        }
+                    };
+                    match decision {
+                        Err(reply) => {
+                            let _ = transport.send(id, origin, encode_frame(&reply));
+                        }
+                        Ok((key, matched, candidates)) => {
+                            if ttl == 0 {
+                                let _ = transport
+                                    .send(id, origin, encode_frame(&Message::QueryFail { id: qid }));
+                            } else {
+                                let fwd = encode_frame(&Message::Query {
+                                    id: qid,
+                                    origin,
+                                    key,
+                                    matched,
+                                    ttl: ttl - 1,
+                                });
+                                let mut delivered = false;
+                                for &c in &candidates {
+                                    if transport.send(id, c, fwd.clone()) {
+                                        delivered = true;
+                                        break;
+                                    }
+                                    // Unreachable mailbox = departed peer:
+                                    // prune the stale reference on the spot.
+                                    state.lock().forget_peer(c);
+                                }
+                                if !delivered {
+                                    let _ = transport.send(
+                                        id,
+                                        origin,
+                                        encode_frame(&Message::QueryFail { id: qid }),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                Message::QueryOk { .. } | Message::QueryFail { .. } => {
+                    // Only the query origin consumes these; a node receives
+                    // them only if it was an origin, which live nodes are
+                    // not (clients are). Ignore.
+                }
+                Message::ExchangeOffer {
+                    id: xid,
+                    depth,
+                    path,
+                    level_refs,
+                } => {
+                    let (outcome, misplaced) = {
+                        let mut guard = state.lock();
+                        let before = guard.path;
+                        let outcome =
+                            guard.handle_offer(frame.from, &path, &level_refs, &mut rng);
+                        // Case 1/3 may have specialized us: entries outside
+                        // the new path must find their new homes.
+                        let misplaced = if guard.path != before {
+                            guard.extract_misplaced()
+                        } else {
+                            Vec::new()
+                        };
+                        (outcome, misplaced)
+                    };
+                    rehome(&state, &transport, id, misplaced, &mut rng);
+                    let answer = Message::ExchangeAnswer {
+                        id: xid,
+                        responder_path: state.lock().path,
+                        take_bit: outcome.take_bit,
+                        adopt_refs: outcome.adopt_refs,
+                        recurse_with: outcome.recurse_initiator,
+                    };
+                    let _ = transport.send(id, frame.from, encode_frame(&answer));
+                    // The responder's own recursion: exchange with peers
+                    // drawn from the initiator's digest.
+                    if depth < config.recmax {
+                        for target in outcome.recurse_responder {
+                            send_offer(
+                                &state,
+                                &transport,
+                                id,
+                                target,
+                                depth + 1,
+                                &mut next_offer_id,
+                                &mut pending_offers,
+                            );
+                        }
+                    }
+                }
+                Message::ExchangeAnswer {
+                    id: xid,
+                    take_bit,
+                    adopt_refs,
+                    recurse_with,
+                    ..
+                } => {
+                    let Some((snapshot, depth)) = pending_offers.remove(&xid) else {
+                        continue; // unsolicited answer
+                    };
+                    let confirm_path = {
+                        let mut guard = state.lock();
+                        if let Some(bit) = take_bit {
+                            // Only extend if nothing changed since the
+                            // offer — otherwise the whole answer is
+                            // stale (the responder computed its case
+                            // against a path we no longer hold) and we
+                            // drop it.
+                            if guard.path == snapshot && guard.path.len() < guard.maxl {
+                                guard.path = guard.path.child(bit);
+                            } else {
+                                // Stale: skip adopt/recurse entirely.
+                                continue;
+                            }
+                        }
+                        for (level, refs) in adopt_refs {
+                            // Valid even after concurrent growth: levels
+                            // ≤ the offer-time path depend only on prefixes,
+                            // which never change.
+                            if level as usize >= 1 {
+                                guard.union_refs(level as usize, &refs, &mut rng);
+                            }
+                        }
+                        guard.path
+                    };
+                    // Taking a bit may strand entries on the other side.
+                    let misplaced = {
+                        let mut guard = state.lock();
+                        if take_bit.is_some() {
+                            guard.extract_misplaced()
+                        } else {
+                            Vec::new()
+                        }
+                    };
+                    rehome(&state, &transport, id, misplaced, &mut rng);
+                    // Third leg: tell the responder what we actually hold so
+                    // it can (only now, race-free) record us as a reference.
+                    let _ = transport.send(
+                        id,
+                        frame.from,
+                        encode_frame(&Message::ExchangeConfirm {
+                            id: xid,
+                            path: confirm_path,
+                        }),
+                    );
+                    if depth < config.recmax {
+                        for target in recurse_with {
+                            send_offer(
+                                &state,
+                                &transport,
+                                id,
+                                target,
+                                depth + 1,
+                                &mut next_offer_id,
+                                &mut pending_offers,
+                            );
+                        }
+                    }
+                }
+                Message::ExchangeConfirm { path, .. } => {
+                    state.lock().maybe_add_ref(frame.from, &path, &mut rng);
+                }
+                Message::IndexInsert { key, entry } => {
+                    let forward = {
+                        let mut guard = state.lock();
+                        if guard.responsible_for(&key) {
+                            guard.index_insert(key, entry);
+                            None
+                        } else {
+                            // Not responsible: forward along the structure.
+                            // A dead route yields an EMPTY candidate list —
+                            // distinct from the handled-locally case — so
+                            // the keep-and-flag fallback below still runs.
+                            match guard.route(&key, 0, &mut rng) {
+                                RouteDecision::Forward { candidates, .. } => {
+                                    Some(candidates)
+                                }
+                                _ => Some(Vec::new()),
+                            }
+                        }
+                    };
+                    if let Some(candidates) = forward {
+                        // Forward the *full* key — inserts re-route from
+                        // scratch at every hop (keys are absolute).
+                        let fwd = encode_frame(&Message::IndexInsert { key, entry });
+                        let delivered =
+                            candidates.iter().any(|&c| transport.send(id, c, fwd.clone()));
+                        if !delivered {
+                            // No route (common mid-construction): keep the
+                            // entry rather than losing it; anti-entropy
+                            // retries on later traffic.
+                            let mut guard = state.lock();
+                            guard.index_insert(key, entry);
+                            guard.misplaced = true;
+                        }
+                    }
+                }
+            }
+        }
+    })
+}
+
+/// Re-routes index entries this node no longer covers: each travels as an
+/// ordinary [`Message::IndexInsert`] through the node's own routing table.
+/// Entries with no route stay local (still discoverable by peers that treat
+/// this node as covering their coarser prefix).
+fn rehome(
+    state: &Arc<Mutex<NodeState>>,
+    transport: &LocalTransport,
+    id: PeerId,
+    misplaced: Vec<(pgrid_keys::BitPath, Vec<pgrid_wire::WireEntry>)>,
+    rng: &mut StdRng,
+) {
+    for (key, entries) in misplaced {
+        let candidates = {
+            let guard = state.lock();
+            match guard.route(&key, 0, rng) {
+                RouteDecision::Forward { candidates, .. } => candidates,
+                _ => Vec::new(),
+            }
+        };
+        for entry in entries {
+            let frame = encode_frame(&Message::IndexInsert { key, entry });
+            let delivered = candidates.iter().any(|&c| transport.send(id, c, frame.clone()));
+            if !delivered {
+                let mut guard = state.lock();
+                guard.index_insert(key, entry);
+                guard.misplaced = true;
+            }
+        }
+    }
+}
+
+/// Sends a fresh [`Message::ExchangeOffer`] to `target`, registering the
+/// pending state snapshot for the answer.
+fn send_offer(
+    state: &Arc<Mutex<NodeState>>,
+    transport: &LocalTransport,
+    id: PeerId,
+    target: PeerId,
+    depth: u8,
+    next_offer_id: &mut u64,
+    pending: &mut HashMap<u64, (BitPath, u8)>,
+) {
+    if target == id {
+        return;
+    }
+    let (path, digest) = {
+        let guard = state.lock();
+        (guard.path, guard.level_refs_digest())
+    };
+    let xid = *next_offer_id;
+    *next_offer_id += 1;
+    let offer = Message::ExchangeOffer {
+        id: xid,
+        depth,
+        path,
+        level_refs: digest,
+    };
+    if transport.send(id, target, encode_frame(&offer)) {
+        pending.insert(xid, (path, depth));
+    }
+}

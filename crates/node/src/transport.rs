@@ -1,0 +1,134 @@
+//! In-process transport: mailboxes keyed by peer id.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+use pgrid_net::PeerId;
+
+/// One delivered frame: the sender and the encoded bytes.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// Sending peer.
+    pub from: PeerId,
+    /// Encoded wire frame (see [`pgrid_wire`]).
+    pub bytes: Bytes,
+}
+
+/// An in-process message router. Every registered peer owns a mailbox; a
+/// send clones nothing but the `Bytes` handle. A socket-based transport
+/// would implement the same two operations.
+#[derive(Clone, Default)]
+pub struct LocalTransport {
+    mailboxes: Arc<RwLock<HashMap<PeerId, Sender<Frame>>>>,
+    delivered: Arc<AtomicU64>,
+}
+
+impl LocalTransport {
+    /// Creates an empty transport.
+    pub fn new() -> Self {
+        LocalTransport::default()
+    }
+
+    /// Registers a mailbox for `id`, returning its receiving end.
+    ///
+    /// # Panics
+    /// If `id` is already registered.
+    pub fn register(&self, id: PeerId) -> Receiver<Frame> {
+        let (tx, rx) = unbounded();
+        let prev = self.mailboxes.write().insert(id, tx);
+        assert!(prev.is_none(), "{id} registered twice");
+        rx
+    }
+
+    /// Removes a mailbox (a departed peer). Pending frames are dropped with
+    /// the receiver.
+    pub fn unregister(&self, id: PeerId) {
+        self.mailboxes.write().remove(&id);
+    }
+
+    /// Sends `bytes` from `from` to `to`. Returns `false` when the target is
+    /// not registered (departed or never existed) — the live-network
+    /// equivalent of an offline peer.
+    pub fn send(&self, from: PeerId, to: PeerId, bytes: Bytes) -> bool {
+        let guard = self.mailboxes.read();
+        match guard.get(&to) {
+            Some(tx) => {
+                let ok = tx.send(Frame { from, bytes }).is_ok();
+                if ok {
+                    self.delivered.fetch_add(1, Ordering::Relaxed);
+                }
+                ok
+            }
+            None => false,
+        }
+    }
+
+    /// Total frames delivered so far (used to detect quiescence).
+    pub fn delivered(&self) -> u64 {
+        self.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Number of registered mailboxes.
+    pub fn len(&self) -> usize {
+        self.mailboxes.read().len()
+    }
+
+    /// `true` when no mailbox is registered.
+    pub fn is_empty(&self) -> bool {
+        self.mailboxes.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_send_receive() {
+        let t = LocalTransport::new();
+        let rx = t.register(PeerId(1));
+        assert!(t.send(PeerId(0), PeerId(1), Bytes::from_static(b"hi")));
+        let frame = rx.recv().unwrap();
+        assert_eq!(frame.from, PeerId(0));
+        assert_eq!(&frame.bytes[..], b"hi");
+        assert_eq!(t.delivered(), 1);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn send_to_unknown_peer_fails() {
+        let t = LocalTransport::new();
+        assert!(!t.send(PeerId(0), PeerId(9), Bytes::new()));
+        assert_eq!(t.delivered(), 0);
+    }
+
+    #[test]
+    fn unregister_stops_delivery() {
+        let t = LocalTransport::new();
+        let _rx = t.register(PeerId(1));
+        t.unregister(PeerId(1));
+        assert!(!t.send(PeerId(0), PeerId(1), Bytes::new()));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_registration_panics() {
+        let t = LocalTransport::new();
+        let _a = t.register(PeerId(1));
+        let _b = t.register(PeerId(1));
+    }
+
+    #[test]
+    fn transport_is_shared_across_clones() {
+        let t = LocalTransport::new();
+        let t2 = t.clone();
+        let rx = t.register(PeerId(5));
+        assert!(t2.send(PeerId(0), PeerId(5), Bytes::from_static(b"x")));
+        assert!(rx.try_recv().is_ok());
+    }
+}

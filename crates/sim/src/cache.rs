@@ -1,0 +1,205 @@
+//! Client-side result caching — the §6 suggestion to "take … knowledge on
+//! query distribution into account".
+//!
+//! A querying peer remembers which peer answered for which key. On a repeat
+//! query it contacts the cached responder directly (one message); only on a
+//! miss — unknown key, evicted entry, or responder offline — does it fall
+//! back to the full randomized search. Under a skewed (Zipf) query
+//! distribution the popular keys dominate traffic, so even a small cache
+//! removes most routing hops.
+
+use std::collections::HashMap;
+
+use pgrid_core::{Ctx, PGrid, SearchOutcome};
+use pgrid_keys::Key;
+use pgrid_net::{MsgKind, PeerId};
+
+/// A bounded key → responder cache with hit/miss accounting.
+#[derive(Clone, Debug)]
+pub struct QueryCache {
+    capacity: usize,
+    entries: HashMap<Key, PeerId>,
+    /// Insertion order for FIFO eviction (simple and adversary-free).
+    order: Vec<Key>,
+    /// Cache hits that resolved with one direct message.
+    pub hits: u64,
+    /// Full searches performed (cold keys or stale entries).
+    pub misses: u64,
+    /// Cached responders found offline (counted within misses).
+    pub stale: u64,
+}
+
+impl QueryCache {
+    /// Creates a cache holding at most `capacity` keys.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-capacity cache is pointless");
+        QueryCache {
+            capacity,
+            entries: HashMap::new(),
+            order: Vec::new(),
+            hits: 0,
+            misses: 0,
+            stale: 0,
+        }
+    }
+
+    /// Number of cached keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up `key`, falling back to a full search from `start`. Returns
+    /// the outcome (messages include the direct-contact message on a hit).
+    pub fn search(
+        &mut self,
+        grid: &PGrid,
+        start: PeerId,
+        key: &Key,
+        ctx: &mut Ctx<'_>,
+    ) -> SearchOutcome {
+        if let Some(&cached) = self.entries.get(key) {
+            if ctx.contact(cached) {
+                // One direct message; the cached peer answers iff it is
+                // still responsible (paths only grow, so it always is).
+                ctx.message(MsgKind::Query);
+                self.hits += 1;
+                return SearchOutcome {
+                    responsible: Some(cached),
+                    messages: 1,
+                    hops: 1,
+                };
+            }
+            self.stale += 1;
+            self.evict(key);
+        }
+        self.misses += 1;
+        let outcome = grid.search(start, key, ctx);
+        if let Some(peer) = outcome.responsible {
+            self.insert(*key, peer);
+        }
+        outcome
+    }
+
+    fn insert(&mut self, key: Key, peer: PeerId) {
+        if self.entries.insert(key, peer).is_none() {
+            self.order.push(key);
+            if self.order.len() > self.capacity {
+                let victim = self.order.remove(0);
+                self.entries.remove(&victim);
+            }
+        }
+    }
+
+    fn evict(&mut self, key: &Key) {
+        self.entries.remove(key);
+        self.order.retain(|k| k != key);
+    }
+
+    /// Hit rate over all lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgrid_core::{BuildOptions, PGridConfig};
+    use pgrid_keys::BitPath;
+    use pgrid_net::{AlwaysOnline, EpochOnline, NetStats};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grid_and_ctx_parts(seed: u64) -> (PGrid, StdRng, NetStats) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stats = NetStats::new();
+        let mut grid = PGrid::new(
+            256,
+            PGridConfig {
+                maxl: 5,
+                refmax: 3,
+                ..PGridConfig::default()
+            },
+        );
+        let mut online = AlwaysOnline;
+        {
+            let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+            grid.build(&BuildOptions::default(), &mut ctx);
+        }
+        (grid, rng, stats)
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_cache() {
+        let (grid, mut rng, mut stats) = grid_and_ctx_parts(1);
+        let mut online = AlwaysOnline;
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut cache = QueryCache::new(16);
+        let key = BitPath::from_str_lossy("01101");
+        let first = cache.search(&grid, PeerId(0), &key, &mut ctx);
+        assert_eq!(cache.misses, 1);
+        let second = cache.search(&grid, PeerId(0), &key, &mut ctx);
+        assert_eq!(cache.hits, 1);
+        assert_eq!(second.messages, 1, "a hit costs exactly one message");
+        assert_eq!(second.responsible, first.responsible);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_evicts_fifo() {
+        let (grid, mut rng, mut stats) = grid_and_ctx_parts(2);
+        let mut online = AlwaysOnline;
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut cache = QueryCache::new(2);
+        let keys: Vec<BitPath> = ["00000", "01000", "10000"]
+            .iter()
+            .map(|s| BitPath::from_str_lossy(s))
+            .collect();
+        for k in &keys {
+            cache.search(&grid, PeerId(0), k, &mut ctx);
+        }
+        assert_eq!(cache.len(), 2, "oldest entry evicted");
+        // The first key is cold again.
+        cache.search(&grid, PeerId(0), &keys[0], &mut ctx);
+        assert_eq!(cache.misses, 4);
+    }
+
+    #[test]
+    fn offline_responder_falls_back_to_search() {
+        let (grid, mut rng, mut stats) = grid_and_ctx_parts(3);
+        let mut online = EpochOnline::new(256, 1.0);
+        let key = BitPath::from_str_lossy("11011");
+        let mut cache = QueryCache::new(4);
+        let first = {
+            let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+            cache.search(&grid, PeerId(0), &key, &mut ctx)
+        };
+        let responder = first.responsible.unwrap();
+        online.set_online(responder, false);
+        let second = {
+            let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+            cache.search(&grid, PeerId(0), &key, &mut ctx)
+        };
+        assert_eq!(cache.stale, 1);
+        assert_eq!(cache.misses, 2, "stale entry forces a fresh search");
+        if let Some(p) = second.responsible {
+            assert_ne!(p, responder, "the dead responder cannot answer");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pointless")]
+    fn zero_capacity_rejected() {
+        QueryCache::new(0);
+    }
+}

@@ -1,0 +1,165 @@
+//! **F4 — replica distribution** (paper Fig. 4).
+//!
+//! The paper builds a grid of 20000 peers (maxl = 10, refmax = 20, 30%
+//! online) up to average depth 9.43 and plots the histogram of replication
+//! factors (peers responsible for the same key); the mean is 19.46 ≈
+//! `N / 2^maxl`, and the distribution is unimodal around that mean because
+//! the exchange rule "inherently tends to balance the distribution of keys".
+
+use pgrid_core::{GridMetrics, PGridConfig};
+use pgrid_keys::BitPath;
+use serde::Serialize;
+
+use crate::{built_grid, fmt_f, BuiltGrid, Table};
+
+/// Parameters of the F4 construction.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Community size (paper: 20000).
+    pub n: usize,
+    /// Maximal path length (paper: 10).
+    pub maxl: usize,
+    /// References per level (paper: 20).
+    pub refmax: usize,
+    /// Online probability during construction (paper: 0.3).
+    pub p_online: f64,
+    /// Convergence threshold as a fraction of `maxl` (paper reached 0.943).
+    pub threshold_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n: 20_000,
+            maxl: 10,
+            refmax: 20,
+            p_online: 0.3,
+            threshold_fraction: 0.943,
+            seed: 0x7f04,
+        }
+    }
+}
+
+impl Config {
+    /// A laptop-fast preset preserving the shape (mean ≈ N / 2^maxl).
+    pub fn small() -> Self {
+        Config {
+            n: 2_000,
+            maxl: 7,
+            refmax: 5,
+            p_online: 1.0,
+            threshold_fraction: 0.95,
+            seed: 0x7f04,
+        }
+    }
+}
+
+/// Measured distribution summary.
+#[derive(Clone, Debug, Serialize)]
+pub struct Outcome {
+    /// Mean replication factor over peers (paper: 19.46).
+    pub mean_replicas: f64,
+    /// The ideal uniform value `N / 2^maxl`.
+    pub ideal_replicas: f64,
+    /// Average path length reached (paper: 9.43).
+    pub avg_path_len: f64,
+    /// Exchange calls spent (paper: 1250743, i.e. ~62 per peer).
+    pub exchanges: u64,
+    /// Mean number of peers responsible for a random key of length
+    /// `maxl - 1` — the per-key replication the §5.2 update experiments
+    /// divide by (the paper's Fig. 4 mean of 19.46 matches this convention
+    /// more closely than exact-path grouping when convergence is partial).
+    pub mean_key_replicas: f64,
+    /// Histogram rows `(replication factor, number of peers)`.
+    pub histogram: Vec<(u64, u64)>,
+}
+
+/// Builds the grid and captures the replica distribution. Also returns the
+/// built grid so downstream experiments (§5.2 search, F5, T6) can reuse the
+/// expensive construction.
+pub fn run(cfg: &Config) -> (Outcome, Table, BuiltGrid) {
+    let grid_cfg = PGridConfig {
+        maxl: cfg.maxl,
+        refmax: cfg.refmax,
+        ..PGridConfig::default()
+    };
+    let mut built = built_grid(
+        cfg.n,
+        grid_cfg,
+        cfg.p_online,
+        cfg.threshold_fraction,
+        None,
+        cfg.seed,
+    );
+    let metrics = GridMetrics::capture(&built.grid);
+    let mean_key_replicas = {
+        let samples = 200;
+        let key_len = (cfg.maxl - 1) as u8;
+        let total: usize = (0..samples)
+            .map(|_| {
+                let key = BitPath::random(&mut built.rng, key_len);
+                built.grid.replicas_of(&key).len()
+            })
+            .sum();
+        total as f64 / samples as f64
+    };
+    let outcome = Outcome {
+        mean_replicas: metrics.mean_replicas,
+        ideal_replicas: cfg.n as f64 / 2f64.powi(cfg.maxl as i32),
+        avg_path_len: metrics.avg_path_len,
+        exchanges: built.report.exchange_calls,
+        mean_key_replicas,
+        histogram: metrics.replica_hist.iter().collect(),
+    };
+    let mut table = Table::new(
+        format!(
+            "F4: replica distribution (N={}, maxl={}, refmax={}, mean={:.2}, avg depth={:.2})",
+            cfg.n, cfg.maxl, cfg.refmax, outcome.mean_replicas, outcome.avg_path_len
+        ),
+        &["replication factor", "peers"],
+    );
+    for &(factor, peers) in &outcome.histogram {
+        table.push_row(vec![factor.to_string(), peers.to_string()]);
+    }
+    let _ = fmt_f(0.0, 0); // keep the shared formatter linked for this module
+    (outcome, table, built)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_replicas_tracks_ideal() {
+        let (out, table, built) = run(&Config::small());
+        built.grid.check_invariants().unwrap();
+        assert!(
+            (out.mean_replicas - out.ideal_replicas).abs() / out.ideal_replicas < 0.8,
+            "mean {} vs ideal {}",
+            out.mean_replicas,
+            out.ideal_replicas
+        );
+        assert!(out.avg_path_len >= 0.95 * 7.0);
+        assert!(!table.rows.is_empty());
+    }
+
+    #[test]
+    fn distribution_is_unimodal_around_mean() {
+        let (out, _, _) = run(&Config::small());
+        // Most peers sit within 3x of the ideal replication factor — no
+        // heavy tail of isolated or massively over-replicated paths.
+        let total: u64 = out.histogram.iter().map(|&(_, c)| c).sum();
+        let near: u64 = out
+            .histogram
+            .iter()
+            .filter(|&&(f, _)| (f as f64) <= 3.0 * out.ideal_replicas)
+            .map(|&(_, c)| c)
+            .sum();
+        assert!(
+            near as f64 / total as f64 > 0.8,
+            "replica mass should cluster near the mean"
+        );
+    }
+}

@@ -1,0 +1,252 @@
+//! **Extra — end-to-end mixed workload**: the §5.2 break-even argument,
+//! validated empirically instead of algebraically.
+//!
+//! Two complete system configurations are run against the *same* stream of
+//! operations at varying query:update ratios:
+//!
+//! * **cheap writes** — the paper's repetitive pair: BFS updates with
+//!   recbreadth 2 × 3 sweeps, repeated reads (newest-confirmed);
+//! * **expensive writes** — BFS updates with recbreadth 3 × 3 sweeps,
+//!   single reads.
+//!
+//! Cheap writes win when updates are frequent; the heavy configuration
+//! amortizes its insertion cost once queries dominate. The measured
+//! crossover ratio is the empirical counterpart of the paper's "at least
+//! 160 queries per update to reach the break-even point".
+
+use pgrid_core::{FindStrategy, IndexEntry, PGridConfig, QueryPolicy};
+use pgrid_net::{BernoulliOnline, PeerId};
+use pgrid_store::{ItemId, Version};
+use serde::Serialize;
+
+use crate::workload::UniformKeys;
+use crate::{built_grid, fmt_f, Table};
+
+/// Parameters of the workload comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Community size.
+    pub n: usize,
+    /// Maximal path length.
+    pub maxl: usize,
+    /// References per level.
+    pub refmax: usize,
+    /// Items in play.
+    pub items: usize,
+    /// Updates per item (each followed by `ratio` queries).
+    pub updates_per_item: usize,
+    /// Query:update ratios to sweep.
+    pub ratios: [usize; 4],
+    /// Online probability.
+    pub p_online: f64,
+    /// Key length of items.
+    pub key_len: u8,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n: 2000,
+            maxl: 7,
+            refmax: 8,
+            items: 20,
+            updates_per_item: 3,
+            ratios: [1, 10, 100, 300],
+            p_online: 0.3,
+            key_len: 6,
+            seed: 0x3019,
+        }
+    }
+}
+
+impl Config {
+    /// A laptop-fast preset.
+    pub fn small() -> Self {
+        Config {
+            n: 600,
+            maxl: 6,
+            refmax: 6,
+            items: 8,
+            updates_per_item: 2,
+            ratios: [1, 10, 100, 300],
+            p_online: 0.5,
+            key_len: 5,
+            seed: 0x3019,
+        }
+    }
+}
+
+/// One measured `(ratio, mode)` cell.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Row {
+    /// Queries per update.
+    pub ratio: usize,
+    /// `true` for the cheap-write/repeated-read mode.
+    pub cheap_writes: bool,
+    /// Mean messages per operation (updates + queries combined).
+    pub msgs_per_op: f64,
+    /// Fraction of queries answering the latest version.
+    pub read_correctness: f64,
+}
+
+/// Runs the sweep over both modes and all ratios.
+pub fn run(cfg: &Config) -> (Vec<Row>, Table) {
+    let mut rows = Vec::new();
+    for &cheap in &[true, false] {
+        for &ratio in &cfg.ratios {
+            rows.push(run_mode(cfg, cheap, ratio));
+        }
+    }
+    let mut table = Table::new(
+        format!(
+            "Workload: messages/op vs query:update ratio (N={}, p={})",
+            cfg.n, cfg.p_online
+        ),
+        &["mode", "ratio", "msgs/op", "read correctness"],
+    );
+    for r in &rows {
+        table.push_row(vec![
+            if r.cheap_writes {
+                "cheap writes + repeated reads".into()
+            } else {
+                "heavy writes + single reads".into()
+            },
+            r.ratio.to_string(),
+            fmt_f(r.msgs_per_op, 2),
+            fmt_f(r.read_correctness, 3),
+        ]);
+    }
+    (rows, table)
+}
+
+fn run_mode(cfg: &Config, cheap: bool, ratio: usize) -> Row {
+    let grid_cfg = PGridConfig {
+        maxl: cfg.maxl,
+        refmax: cfg.refmax,
+        ..PGridConfig::default()
+    };
+    let mut built = built_grid(cfg.n, grid_cfg, 1.0, 0.97, None, cfg.seed);
+    let keygen = UniformKeys { len: cfg.key_len };
+    let mut online = BernoulliOnline::new(cfg.p_online);
+    let (write_strategy, read_policy) = if cheap {
+        (
+            FindStrategy::Bfs {
+                recbreadth: 2,
+                repetition: 3,
+            },
+            Some(QueryPolicy::default()),
+        )
+    } else {
+        (
+            FindStrategy::Bfs {
+                recbreadth: 3,
+                repetition: 3,
+            },
+            None,
+        )
+    };
+
+    let (messages, operations, correct, queries) = built.with_ctx(&mut online, |grid, ctx| {
+        let mut messages = 0u64;
+        let mut operations = 0u64;
+        let mut correct = 0u64;
+        let mut queries = 0u64;
+        for item_no in 0..cfg.items {
+            let key = keygen.sample(ctx.rng);
+            let item = ItemId(item_no as u64);
+            grid.seed_index(
+                key,
+                IndexEntry {
+                    item,
+                    holder: PeerId(0),
+                    version: Version(0),
+                },
+            );
+            for round in 0..cfg.updates_per_item {
+                let version = Version(round as u64 + 1);
+                let up = grid.update_item(&key, item, version, write_strategy, ctx);
+                messages += up.messages;
+                operations += 1;
+                for _ in 0..ratio {
+                    let read = match &read_policy {
+                        Some(policy) => grid.query_repeated(&key, item, policy, ctx),
+                        None => grid.query_once(&key, item, ctx),
+                    };
+                    messages += read.messages;
+                    operations += 1;
+                    queries += 1;
+                    correct += u64::from(read.version == Some(version));
+                }
+            }
+        }
+        (messages, operations, correct, queries)
+    });
+
+    Row {
+        ratio,
+        cheap_writes: cheap,
+        msgs_per_op: messages as f64 / operations.max(1) as f64,
+        read_correctness: correct as f64 / queries.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_between_update_heavy_and_query_heavy() {
+        let (rows, table) = run(&Config::small());
+        let at = |cheap: bool, ratio: usize| {
+            *rows
+                .iter()
+                .find(|r| r.cheap_writes == cheap && r.ratio == ratio)
+                .unwrap()
+        };
+        // Update-heavy (ratio 1): the cheap-write mode must win on messages.
+        let cheap_lo = at(true, 1);
+        let heavy_lo = at(false, 1);
+        assert!(
+            cheap_lo.msgs_per_op < heavy_lo.msgs_per_op,
+            "cheap writes must win when updates dominate: {} vs {}",
+            cheap_lo.msgs_per_op,
+            heavy_lo.msgs_per_op
+        );
+        // Query-heavy (ratio 300): the heavy-write mode amortizes and its
+        // cheap single reads win — the other side of the break-even.
+        let cheap_hi = at(true, 300);
+        let heavy_hi = at(false, 300);
+        assert!(
+            heavy_hi.msgs_per_op < cheap_hi.msgs_per_op,
+            "heavy writes must win once queries dominate: {} vs {}",
+            heavy_hi.msgs_per_op,
+            cheap_hi.msgs_per_op
+        );
+        assert_eq!(table.rows.len(), rows.len());
+    }
+
+    #[test]
+    fn repeated_reads_compensate_for_lower_recall() {
+        let (rows, _) = run(&Config::small());
+        let cheap_avg: f64 = rows
+            .iter()
+            .filter(|r| r.cheap_writes)
+            .map(|r| r.read_correctness)
+            .sum::<f64>()
+            / 4.0;
+        let heavy_avg: f64 = rows
+            .iter()
+            .filter(|r| !r.cheap_writes)
+            .map(|r| r.read_correctness)
+            .sum::<f64>()
+            / 4.0;
+        // The paper's pair: (2,3) + repeated reads matches or beats
+        // (3,3) + single reads on correctness despite cheaper writes.
+        assert!(
+            cheap_avg >= heavy_avg - 0.05,
+            "repeated reads must compensate for cheaper writes: {cheap_avg} vs {heavy_avg}"
+        );
+    }
+}

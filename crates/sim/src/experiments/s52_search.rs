@@ -1,0 +1,160 @@
+//! **§5.2 — search reliability** on the F4 grid.
+//!
+//! The paper searches 10000 random keys of length 9 on the 20000-peer grid
+//! with only 30% of peers online: 99.97% of the searches succeed at an
+//! average of 5.56 messages. This module reruns that measurement and also
+//! compares against the §4 analytical bound
+//! `(1 - (1-p)^refmax)^k`.
+
+use pgrid_core::search_success_probability;
+use pgrid_net::BernoulliOnline;
+use serde::Serialize;
+
+use crate::experiments::f4;
+use crate::workload::UniformKeys;
+use crate::{fmt_f, Table};
+
+/// Parameters of the reliability measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// The grid to build (defaults to the paper's F4 grid).
+    pub grid: f4::Config,
+    /// Number of searches (paper: 10000).
+    pub searches: usize,
+    /// Query key length (paper: 9).
+    pub key_len: u8,
+    /// Online probability during searches (paper: 0.3).
+    pub p_online: f64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            grid: f4::Config::default(),
+            searches: 10_000,
+            key_len: 9,
+            p_online: 0.3,
+        }
+    }
+}
+
+impl Config {
+    /// A laptop-fast preset.
+    pub fn small() -> Self {
+        Config {
+            grid: f4::Config {
+                refmax: 10,
+                ..f4::Config::small()
+            },
+            searches: 1_000,
+            key_len: 6,
+            p_online: 0.3,
+        }
+    }
+}
+
+/// Measured reliability.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Outcome {
+    /// Fraction of successful searches (paper: 0.9997).
+    pub success_rate: f64,
+    /// Mean messages per search (paper: 5.5576).
+    pub avg_messages: f64,
+    /// Mean messages per *successful* search.
+    pub avg_messages_success: f64,
+    /// The §4 analytical lower-bound estimate for comparison.
+    pub analytical_bound: f64,
+}
+
+/// Builds the grid and measures search reliability.
+pub fn run(cfg: &Config) -> (Outcome, Table) {
+    let (_, _, mut built) = f4::run(&cfg.grid);
+    let keygen = UniformKeys { len: cfg.key_len };
+    let mut online = BernoulliOnline::new(cfg.p_online);
+
+    let (successes, total_msgs, success_msgs) = built.with_ctx(&mut online, |grid, ctx| {
+        let mut successes = 0u64;
+        let mut total_msgs = 0u64;
+        let mut success_msgs = 0u64;
+        for _ in 0..cfg.searches {
+            let key = keygen.sample(ctx.rng);
+            let start = grid.random_peer(ctx);
+            let out = grid.search(start, &key, ctx);
+            total_msgs += out.messages;
+            if out.responsible.is_some() {
+                successes += 1;
+                success_msgs += out.messages;
+            }
+        }
+        (successes, total_msgs, success_msgs)
+    });
+
+    let outcome = Outcome {
+        success_rate: successes as f64 / cfg.searches as f64,
+        avg_messages: total_msgs as f64 / cfg.searches as f64,
+        avg_messages_success: if successes > 0 {
+            success_msgs as f64 / successes as f64
+        } else {
+            0.0
+        },
+        analytical_bound: search_success_probability(
+            cfg.p_online,
+            cfg.grid.refmax as u32,
+            u32::from(cfg.key_len),
+        ),
+    };
+    let mut table = Table::new(
+        format!(
+            "S5.2: search reliability (N={}, {} searches of length-{} keys, p={})",
+            cfg.grid.n, cfg.searches, cfg.key_len, cfg.p_online
+        ),
+        &["metric", "value"],
+    );
+    table.push_row(vec!["success rate".into(), fmt_f(outcome.success_rate, 4)]);
+    table.push_row(vec!["avg messages".into(), fmt_f(outcome.avg_messages, 4)]);
+    table.push_row(vec![
+        "avg messages (successful)".into(),
+        fmt_f(outcome.avg_messages_success, 4),
+    ]);
+    table.push_row(vec![
+        "analytical bound (§4)".into(),
+        fmt_f(outcome.analytical_bound, 4),
+    ]);
+    (outcome, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_is_reliable_despite_churn() {
+        let cfg = Config::small();
+        let (out, table) = run(&cfg);
+        assert!(
+            out.success_rate > 0.9,
+            "searches should almost always succeed: {}",
+            out.success_rate
+        );
+        assert!(
+            out.avg_messages < 30.0,
+            "searches stay cheap: {}",
+            out.avg_messages
+        );
+        assert_eq!(table.rows.len(), 4);
+    }
+
+    #[test]
+    fn measured_rate_at_least_analytical_bound_ballpark() {
+        // The analytical formula is a worst-case (new peer at every level);
+        // the measurement should not fall dramatically below it.
+        let cfg = Config::small();
+        let (out, _) = run(&cfg);
+        assert!(
+            out.success_rate >= out.analytical_bound - 0.1,
+            "measured {} vs bound {}",
+            out.success_rate,
+            out.analytical_bound
+        );
+    }
+}

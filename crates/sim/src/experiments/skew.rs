@@ -1,0 +1,175 @@
+//! **Extra — skewed key populations** (the §6 future-work limitation,
+//! demonstrated).
+//!
+//! The paper: *"The approach presented in this paper is limited to uniform
+//! data distributions."* The construction balances **peers** over paths, not
+//! **data** over peers — with a skewed key population, peers responsible for
+//! dense regions index far more entries than peers in sparse regions. This
+//! experiment quantifies that imbalance so the limitation is visible rather
+//! than anecdotal.
+
+use pgrid_core::{IndexEntry, PGridConfig};
+use pgrid_net::PeerId;
+use pgrid_store::{ItemId, Version};
+use serde::Serialize;
+
+use crate::workload::{SkewedKeys, UniformKeys};
+use crate::{built_grid, fmt_f, Table};
+
+/// Parameters of the skew demonstration.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Community size.
+    pub n: usize,
+    /// Maximal path length.
+    pub maxl: usize,
+    /// Data items to index.
+    pub items: usize,
+    /// Key length of items.
+    pub key_len: u8,
+    /// Skew intensities to sweep (0 = uniform).
+    pub skews: [u32; 3],
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n: 1000,
+            maxl: 7,
+            items: 10_000,
+            key_len: 16,
+            skews: [0, 1, 3],
+            seed: 0x5e3d,
+        }
+    }
+}
+
+impl Config {
+    /// A laptop-fast preset.
+    pub fn small() -> Self {
+        Config {
+            n: 256,
+            maxl: 5,
+            items: 2_000,
+            key_len: 12,
+            skews: [0, 1, 3],
+            seed: 0x5e3d,
+        }
+    }
+}
+
+/// One measured skew level.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Row {
+    /// Skew intensity (0 = uniform).
+    pub skew: u32,
+    /// Mean index entries per peer.
+    pub mean_entries: f64,
+    /// Largest per-peer index.
+    pub max_entries: usize,
+    /// Imbalance ratio `max / mean` — near 1–3 when uniform, growing with
+    /// skew.
+    pub imbalance: f64,
+    /// Fraction of peers with an empty index.
+    pub empty_fraction: f64,
+}
+
+/// Runs the sweep.
+pub fn run(cfg: &Config) -> (Vec<Row>, Table) {
+    let mut rows = Vec::new();
+    for &skew in &cfg.skews {
+        let grid_cfg = PGridConfig {
+            maxl: cfg.maxl,
+            refmax: 2,
+            ..PGridConfig::default()
+        };
+        let mut built = built_grid(
+            cfg.n,
+            grid_cfg,
+            1.0,
+            0.99,
+            None,
+            cfg.seed ^ (u64::from(skew) << 40),
+        );
+        let keys: Vec<_> = if skew == 0 {
+            let gen = UniformKeys { len: cfg.key_len };
+            (0..cfg.items).map(|_| gen.sample(&mut built.rng)).collect()
+        } else {
+            let gen = SkewedKeys {
+                len: cfg.key_len,
+                skew,
+            };
+            (0..cfg.items).map(|_| gen.sample(&mut built.rng)).collect()
+        };
+        for (i, key) in keys.iter().enumerate() {
+            built.grid.seed_index(
+                *key,
+                IndexEntry {
+                    item: ItemId(i as u64),
+                    holder: PeerId((i % cfg.n) as u32),
+                    version: Version(0),
+                },
+            );
+        }
+        let sizes: Vec<usize> = built.grid.peers().map(|p| p.index().len()).collect();
+        let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        let max = sizes.iter().copied().max().unwrap_or(0);
+        let empty = sizes.iter().filter(|&&s| s == 0).count();
+        rows.push(Row {
+            skew,
+            mean_entries: mean,
+            max_entries: max,
+            imbalance: max as f64 / mean.max(f64::EPSILON),
+            empty_fraction: empty as f64 / sizes.len() as f64,
+        });
+    }
+
+    let mut table = Table::new(
+        format!(
+            "Skew: index imbalance vs key skew (N={}, maxl={}, {} items)",
+            cfg.n, cfg.maxl, cfg.items
+        ),
+        &["skew", "mean entries", "max entries", "imbalance", "empty peers"],
+    );
+    for r in &rows {
+        table.push_row(vec![
+            r.skew.to_string(),
+            fmt_f(r.mean_entries, 1),
+            r.max_entries.to_string(),
+            fmt_f(r.imbalance, 2),
+            fmt_f(r.empty_fraction, 3),
+        ]);
+    }
+    (rows, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_inflates_imbalance() {
+        let (rows, _) = run(&Config::small());
+        let at = |skew: u32| rows.iter().find(|r| r.skew == skew).unwrap();
+        assert!(
+            at(3).imbalance > at(0).imbalance * 1.5,
+            "skew 3 ({}) must clearly exceed uniform ({})",
+            at(3).imbalance,
+            at(0).imbalance
+        );
+        assert!(at(3).empty_fraction >= at(0).empty_fraction);
+    }
+
+    #[test]
+    fn uniform_load_is_roughly_balanced() {
+        let (rows, _) = run(&Config::small());
+        let uniform = rows.iter().find(|r| r.skew == 0).unwrap();
+        assert!(
+            uniform.imbalance < 15.0,
+            "uniform imbalance should be modest: {}",
+            uniform.imbalance
+        );
+    }
+}

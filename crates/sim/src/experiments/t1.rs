@@ -1,0 +1,158 @@
+//! **T1 — construction cost vs community size** (first table of §5.1).
+//!
+//! The paper varies `N` from 200 to 1000 peers (maxl = 6, refmax = 1,
+//! threshold 99% of maxl) for `recmax ∈ {0, 2}` and reports the total
+//! number of exchange calls `e` and the per-peer cost `e/N`. Expected
+//! shape: `e` linear in `N` (`e/N` ≈ constant, around 70–80 without
+//! recursion and around 25 with `recmax = 2`).
+
+use pgrid_core::PGridConfig;
+use serde::Serialize;
+
+use crate::{built_grid, fmt_f, Table};
+
+/// Parameters of the T1 sweep.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Community sizes to sweep.
+    pub ns: Vec<usize>,
+    /// Maximal path length.
+    pub maxl: usize,
+    /// Recursion depths to compare.
+    pub recmaxes: Vec<u32>,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            ns: vec![200, 400, 600, 800, 1000],
+            maxl: 6,
+            recmaxes: vec![0, 2],
+            seed: 0x7161,
+        }
+    }
+}
+
+impl Config {
+    /// A small preset for tests and benches.
+    pub fn small() -> Self {
+        Config {
+            ns: vec![100, 200],
+            maxl: 4,
+            recmaxes: vec![0, 2],
+            seed: 0x7161,
+        }
+    }
+}
+
+/// One measured cell of the sweep.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Row {
+    /// Community size.
+    pub n: usize,
+    /// Recursion depth used.
+    pub recmax: u32,
+    /// Total exchange calls until convergence.
+    pub e: u64,
+    /// Per-peer cost.
+    pub e_per_n: f64,
+    /// Whether the threshold was reached.
+    pub converged: bool,
+}
+
+/// Runs the sweep.
+pub fn run(cfg: &Config) -> (Vec<Row>, Table) {
+    let mut rows = Vec::new();
+    for &recmax in &cfg.recmaxes {
+        for &n in &cfg.ns {
+            let grid_cfg = PGridConfig {
+                maxl: cfg.maxl,
+                refmax: 1,
+                recmax,
+                ..PGridConfig::default()
+            };
+            let built = built_grid(n, grid_cfg, 1.0, 0.99, None, cfg.seed ^ (n as u64) << 8);
+            rows.push(Row {
+                n,
+                recmax,
+                e: built.report.exchange_calls,
+                e_per_n: built.report.exchange_calls as f64 / n as f64,
+                converged: built.report.reached_threshold,
+            });
+        }
+    }
+    let mut table = Table::new(
+        format!("T1: construction cost vs N (maxl={}, refmax=1)", cfg.maxl),
+        &["recmax", "N", "e", "e/N", "converged"],
+    );
+    for r in &rows {
+        table.push_row(vec![
+            r.recmax.to_string(),
+            r.n.to_string(),
+            r.e.to_string(),
+            fmt_f(r.e_per_n, 2),
+            r.converged.to_string(),
+        ]);
+    }
+    (rows, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_is_roughly_linear_in_n() {
+        let cfg = Config {
+            ns: vec![100, 200, 400],
+            maxl: 4,
+            recmaxes: vec![0],
+            seed: 1,
+        };
+        let (rows, table) = run(&cfg);
+        assert!(rows.iter().all(|r| r.converged));
+        // e/N stays within a factor ~2 across a 4x size range (the paper
+        // observes near-constancy; randomized runs wobble).
+        let ratios: Vec<f64> = rows.iter().map(|r| r.e_per_n).collect();
+        let (min, max) = (
+            ratios.iter().cloned().fold(f64::MAX, f64::min),
+            ratios.iter().cloned().fold(0.0, f64::max),
+        );
+        assert!(
+            max / min < 2.0,
+            "e/N should be roughly constant: {ratios:?}"
+        );
+        assert_eq!(table.rows.len(), 3);
+    }
+
+    #[test]
+    fn recursion_cuts_per_peer_cost() {
+        let (rows, _) = run(&Config::small());
+        let avg = |recmax: u32| {
+            let v: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.recmax == recmax)
+                .map(|r| r.e_per_n)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(
+            avg(2) < avg(0),
+            "recmax=2 ({}) must beat recmax=0 ({})",
+            avg(2),
+            avg(0)
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let (a, _) = run(&Config::small());
+        let (b, _) = run(&Config::small());
+        assert_eq!(
+            a.iter().map(|r| r.e).collect::<Vec<_>>(),
+            b.iter().map(|r| r.e).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! **T2 — construction cost vs maximal path length** (second table of §5.1).
+//!
+//! N = 500 peers, `maxl` swept from 2 to 7, `recmax ∈ {0, 2}`. The paper
+//! reports `e`, `e/N` and the growth ratio `e(maxl)/e(maxl-1)`: without
+//! recursion the cost roughly **doubles per level** (ratio ≈ 2); with
+//! `recmax = 2` the growth is strongly damped (ratios ≈ 1.1–1.6).
+
+use pgrid_core::PGridConfig;
+use serde::Serialize;
+
+use crate::{built_grid, fmt_f, Table};
+
+/// Parameters of the T2 sweep.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Community size (paper: 500).
+    pub n: usize,
+    /// `maxl` values to sweep (paper: 2..=7).
+    pub maxls: Vec<usize>,
+    /// Recursion depths to compare.
+    pub recmaxes: Vec<u32>,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n: 500,
+            maxls: (2..=7).collect(),
+            recmaxes: vec![0, 2],
+            seed: 0x7162,
+        }
+    }
+}
+
+impl Config {
+    /// A small preset for tests and benches.
+    pub fn small() -> Self {
+        Config {
+            n: 120,
+            maxls: (2..=4).collect(),
+            recmaxes: vec![0, 2],
+            seed: 0x7162,
+        }
+    }
+}
+
+/// One measured cell.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Row {
+    /// Recursion depth.
+    pub recmax: u32,
+    /// Maximal path length.
+    pub maxl: usize,
+    /// Total exchange calls.
+    pub e: u64,
+    /// Per-peer cost.
+    pub e_per_n: f64,
+    /// Growth ratio vs the previous `maxl` (None for the first).
+    pub ratio: Option<f64>,
+}
+
+/// Runs the sweep.
+pub fn run(cfg: &Config) -> (Vec<Row>, Table) {
+    let mut rows = Vec::new();
+    for &recmax in &cfg.recmaxes {
+        let mut prev: Option<u64> = None;
+        for &maxl in &cfg.maxls {
+            let grid_cfg = PGridConfig {
+                maxl,
+                refmax: 1,
+                recmax,
+                ..PGridConfig::default()
+            };
+            let built = built_grid(
+                cfg.n,
+                grid_cfg,
+                1.0,
+                0.99,
+                None,
+                cfg.seed ^ ((maxl as u64) << 16) ^ u64::from(recmax),
+            );
+            let e = built.report.exchange_calls;
+            rows.push(Row {
+                recmax,
+                maxl,
+                e,
+                e_per_n: e as f64 / cfg.n as f64,
+                ratio: prev.map(|p| e as f64 / p as f64),
+            });
+            prev = Some(e);
+        }
+    }
+    let mut table = Table::new(
+        format!("T2: construction cost vs maxl (N={})", cfg.n),
+        &["recmax", "maxl", "e", "e/N", "e/e_prev"],
+    );
+    for r in &rows {
+        table.push_row(vec![
+            r.recmax.to_string(),
+            r.maxl.to_string(),
+            r.e.to_string(),
+            fmt_f(r.e_per_n, 2),
+            r.ratio.map(|x| fmt_f(x, 3)).unwrap_or_default(),
+        ]);
+    }
+    (rows, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_grows_with_maxl() {
+        let (rows, _) = run(&Config::small());
+        for pair in rows.windows(2) {
+            if pair[0].recmax == pair[1].recmax {
+                assert!(
+                    pair[1].e > pair[0].e,
+                    "deeper grids must cost more: {pair:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_recursion_roughly_doubles_per_level() {
+        let cfg = Config {
+            n: 200,
+            maxls: (2..=5).collect(),
+            recmaxes: vec![0],
+            seed: 3,
+        };
+        let (rows, _) = run(&cfg);
+        let ratios: Vec<f64> = rows.iter().filter_map(|r| r.ratio).collect();
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        assert!(
+            (1.5..3.0).contains(&mean),
+            "paper sees ~2x growth per level, got mean ratio {mean} ({ratios:?})"
+        );
+    }
+
+    #[test]
+    fn recursion_damps_growth() {
+        let cfg = Config {
+            n: 200,
+            maxls: (2..=5).collect(),
+            recmaxes: vec![0, 2],
+            seed: 4,
+        };
+        let (rows, _) = run(&cfg);
+        let last = |recmax: u32| rows.iter().rfind(|r| r.recmax == recmax).unwrap().e;
+        assert!(
+            last(2) < last(0),
+            "deepest grid must be cheaper with recursion: {} vs {}",
+            last(2),
+            last(0)
+        );
+    }
+}

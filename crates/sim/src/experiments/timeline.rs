@@ -1,0 +1,292 @@
+//! **Extra — time-driven construction under churn** (convergence timeline).
+//!
+//! The paper's §5.1 counts meetings; this experiment puts them on a clock.
+//! Peers meet as a Poisson process (each peer initiates meetings at rate
+//! `1 / mean_meeting_interval`); peers churn through exponential on/off
+//! sessions; the structure's average path length and search reliability are
+//! sampled on a fixed schedule. This exercises the discrete-event scheduler
+//! ([`pgrid_net::EventQueue`]) and the session-churn availability model —
+//! and shows that construction still converges when peers are only
+//! intermittently present (a meeting requires both parties online).
+
+use pgrid_core::{Ctx, PGrid, PGridConfig};
+use pgrid_keys::BitPath;
+use pgrid_net::{EventQueue, NetStats, OnlineModel, SessionChurn};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use crate::{fmt_f, Table};
+
+/// Parameters of the timeline run.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Community size.
+    pub n: usize,
+    /// Maximal path length.
+    pub maxl: usize,
+    /// References per level.
+    pub refmax: usize,
+    /// Mean ticks between two meetings initiated by one peer.
+    pub mean_meeting_interval: f64,
+    /// Mean online-session length in ticks.
+    pub mean_online: f64,
+    /// Mean offline-gap length in ticks.
+    pub mean_offline: f64,
+    /// Total simulated ticks.
+    pub duration: u64,
+    /// Sampling period in ticks.
+    pub sample_every: u64,
+    /// Searches per sample.
+    pub probe_searches: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n: 1000,
+            maxl: 6,
+            refmax: 3,
+            mean_meeting_interval: 100.0,
+            mean_online: 300.0,
+            mean_offline: 700.0,
+            duration: 40_000,
+            sample_every: 4_000,
+            probe_searches: 300,
+            seed: 0x71e1,
+        }
+    }
+}
+
+impl Config {
+    /// A laptop-fast preset.
+    pub fn small() -> Self {
+        Config {
+            n: 200,
+            maxl: 4,
+            refmax: 2,
+            mean_meeting_interval: 100.0,
+            mean_online: 300.0,
+            mean_offline: 700.0,
+            duration: 20_000,
+            sample_every: 2_500,
+            probe_searches: 150,
+            seed: 0x71e1,
+        }
+    }
+}
+
+/// One sample of the timeline.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Point {
+    /// Simulation time.
+    pub time: u64,
+    /// Average path length at that time.
+    pub avg_path_len: f64,
+    /// Exchange calls performed so far.
+    pub exchanges: u64,
+    /// Meetings attempted so far (including ones lost to churn).
+    pub meetings_attempted: u64,
+    /// Fraction of meeting attempts where both parties were online.
+    pub meeting_yield: f64,
+    /// Search success rate sampled at that time (searches by online peers,
+    /// targets subject to churn).
+    pub search_success: f64,
+}
+
+/// The discrete events of the timeline simulation.
+enum Event {
+    /// A peer wants to meet someone.
+    Meeting,
+    /// Take a measurement sample.
+    Sample,
+}
+
+/// Samples an exponential duration in whole ticks (≥ 1).
+fn exp_ticks(mean: f64, rng: &mut StdRng) -> u64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    (-mean * u.ln()).ceil().max(1.0) as u64
+}
+
+/// Runs the timeline.
+pub fn run(cfg: &Config) -> (Vec<Point>, Table) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut churn = SessionChurn::new(cfg.n, cfg.mean_online, cfg.mean_offline, &mut rng);
+    let mut stats = NetStats::new();
+    let mut grid = PGrid::new(
+        cfg.n,
+        PGridConfig {
+            maxl: cfg.maxl,
+            refmax: cfg.refmax,
+            ..PGridConfig::default()
+        },
+    );
+
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    // Poisson meeting process: the aggregate rate is n / interval, modelled
+    // as one recurring stream with mean interval `interval / n`.
+    let aggregate_mean = cfg.mean_meeting_interval / cfg.n as f64;
+    queue.push_in(exp_ticks(aggregate_mean, &mut rng), Event::Meeting);
+    queue.push_in(cfg.sample_every, Event::Sample);
+
+    let mut exchanges = 0u64;
+    let mut meetings_attempted = 0u64;
+    let mut meetings_held = 0u64;
+    let mut points = Vec::new();
+
+    while let Some((now, event)) = queue.pop_until(cfg.duration) {
+        churn.set_time(now);
+        match event {
+            Event::Meeting => {
+                meetings_attempted += 1;
+                let mut ctx = Ctx::new(&mut rng, &mut churn, &mut stats);
+                let (i, j) = grid.random_pair(&mut ctx);
+                // A meeting happens only when both parties are online.
+                if ctx.online.is_online(i, ctx.rng) && ctx.online.is_online(j, ctx.rng) {
+                    meetings_held += 1;
+                    exchanges += grid.exchange(i, j, &mut ctx);
+                }
+                queue.push_in(exp_ticks(aggregate_mean, &mut rng), Event::Meeting);
+            }
+            Event::Sample => {
+                let success = probe(&grid, &mut churn, &mut rng, &mut stats, cfg, now);
+                points.push(Point {
+                    time: now,
+                    avg_path_len: grid.avg_path_len(),
+                    exchanges,
+                    meetings_attempted,
+                    meeting_yield: meetings_held as f64 / meetings_attempted.max(1) as f64,
+                    search_success: success,
+                });
+                queue.push_in(cfg.sample_every, Event::Sample);
+            }
+        }
+    }
+
+    let mut table = Table::new(
+        format!(
+            "Timeline: convergence under churn (N={}, online {:.0}%, meeting interval {})",
+            cfg.n,
+            100.0 * cfg.mean_online / (cfg.mean_online + cfg.mean_offline),
+            cfg.mean_meeting_interval
+        ),
+        &[
+            "time",
+            "avg path len",
+            "exchanges",
+            "meetings",
+            "meeting yield",
+            "search success",
+        ],
+    );
+    for p in &points {
+        table.push_row(vec![
+            p.time.to_string(),
+            fmt_f(p.avg_path_len, 3),
+            p.exchanges.to_string(),
+            p.meetings_attempted.to_string(),
+            fmt_f(p.meeting_yield, 3),
+            fmt_f(p.search_success, 3),
+        ]);
+    }
+    (points, table)
+}
+
+fn probe(
+    grid: &PGrid,
+    churn: &mut SessionChurn,
+    rng: &mut StdRng,
+    stats: &mut NetStats,
+    cfg: &Config,
+    now: u64,
+) -> f64 {
+    churn.set_time(now);
+    let mut ctx = Ctx::new(rng, churn, stats);
+    let mut hits = 0usize;
+    let mut issued = 0usize;
+    let mut guard = 0usize;
+    while issued < cfg.probe_searches && guard < cfg.probe_searches * 20 {
+        guard += 1;
+        let start = grid.random_peer(&mut ctx);
+        if !ctx.online.is_online(start, ctx.rng) {
+            continue;
+        }
+        issued += 1;
+        let key = BitPath::random(ctx.rng, cfg.maxl as u8);
+        if grid.search(start, &key, &mut ctx).responsible.is_some() {
+            hits += 1;
+        }
+    }
+    hits as f64 / issued.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_deepens_over_time() {
+        let (points, table) = run(&Config::small());
+        assert!(points.len() >= 3);
+        let first = points.first().unwrap();
+        let last = points.last().unwrap();
+        assert!(
+            last.avg_path_len > first.avg_path_len,
+            "paths must deepen: {} -> {}",
+            first.avg_path_len,
+            last.avg_path_len
+        );
+        assert!(last.avg_path_len > 0.5 * 4.0, "substantial convergence");
+        assert_eq!(table.rows.len(), points.len());
+    }
+
+    #[test]
+    fn meeting_yield_matches_squared_availability() {
+        // Both parties must be online: yield ≈ p², with p = 0.3.
+        let (points, _) = run(&Config::small());
+        let yield_final = points.last().unwrap().meeting_yield;
+        assert!(
+            (yield_final - 0.09).abs() < 0.05,
+            "meeting yield {yield_final} should sit near p^2 = 0.09"
+        );
+    }
+
+    #[test]
+    fn search_success_improves_with_convergence() {
+        let (points, _) = run(&Config::small());
+        let early = points.first().unwrap().search_success;
+        let late = points.last().unwrap().search_success;
+        // Early the grid is flat (almost everything is "responsible"), so
+        // success starts high, dips, then recovers as references densify;
+        // we assert only that the final structure remains searchable.
+        assert!(late > 0.3, "late success {late} (early {early})");
+    }
+
+    #[test]
+    fn invariants_hold_throughout() {
+        // Rerun and check invariants at the end (every exchange checked
+        // would be O(n²) — the proptests cover per-exchange invariants).
+        let cfg = Config::small();
+        let (_, _) = run(&cfg);
+        // run() is pure w.r.t. its locals; rebuild to inspect.
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut churn = SessionChurn::new(cfg.n, cfg.mean_online, cfg.mean_offline, &mut rng);
+        let mut stats = NetStats::new();
+        let mut grid = PGrid::new(
+            cfg.n,
+            PGridConfig {
+                maxl: cfg.maxl,
+                refmax: cfg.refmax,
+                ..PGridConfig::default()
+            },
+        );
+        let mut ctx = Ctx::new(&mut rng, &mut churn, &mut stats);
+        for _ in 0..2000 {
+            let (i, j) = grid.random_pair(&mut ctx);
+            grid.exchange(i, j, &mut ctx);
+        }
+        grid.check_invariants().unwrap();
+    }
+}

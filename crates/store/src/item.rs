@@ -1,0 +1,134 @@
+//! Versioned data items.
+
+use std::fmt;
+
+use pgrid_keys::Key;
+use serde::{Deserialize, Serialize};
+
+/// Globally unique identifier of a data item.
+///
+/// In a deployment this would be derived from content hashes; in the
+/// simulator items are numbered at creation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ItemId(pub u64);
+
+impl fmt::Debug for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "item#{}", self.0)
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "item#{}", self.0)
+    }
+}
+
+/// Monotonically increasing version of a data item.
+///
+/// §5.2 of the paper studies update propagation: replicas may lag behind the
+/// latest version, and repeated queries with a majority decision recover
+/// correct answers even when only a fraction of replicas has been reached.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Version(pub u64);
+
+impl Version {
+    /// The version every item starts at.
+    pub const INITIAL: Version = Version(0);
+
+    /// The next version.
+    #[must_use]
+    pub fn next(self) -> Version {
+        Version(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// An information item hosted by a peer: an application-level name, the
+/// binary index key derived from it, a version, and an opaque payload.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct DataItem {
+    /// Unique id.
+    pub id: ItemId,
+    /// Application-level name (e.g. a file name).
+    pub name: String,
+    /// Index key in the binary key space.
+    pub key: Key,
+    /// Current version.
+    pub version: Version,
+    /// Opaque payload (file contents stand-in).
+    pub payload: Vec<u8>,
+}
+
+impl DataItem {
+    /// Creates a fresh item at [`Version::INITIAL`].
+    pub fn new(id: ItemId, name: impl Into<String>, key: Key) -> Self {
+        DataItem {
+            id,
+            name: name.into(),
+            key,
+            version: Version::INITIAL,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Creates a fresh item carrying a payload.
+    pub fn with_payload(id: ItemId, name: impl Into<String>, key: Key, payload: Vec<u8>) -> Self {
+        DataItem {
+            payload,
+            ..DataItem::new(id, name, key)
+        }
+    }
+
+    /// Bumps the version, returning the new one.
+    pub fn bump(&mut self) -> Version {
+        self.version = self.version.next();
+        self.version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgrid_keys::BitPath;
+
+    #[test]
+    fn version_monotone() {
+        let v = Version::INITIAL;
+        assert!(v.next() > v);
+        assert_eq!(v.next().next(), Version(2));
+    }
+
+    #[test]
+    fn item_construction_and_bump() {
+        let key = BitPath::from_str_lossy("0101");
+        let mut item = DataItem::new(ItemId(7), "track.mp3", key);
+        assert_eq!(item.version, Version::INITIAL);
+        assert_eq!(item.bump(), Version(1));
+        assert_eq!(item.version, Version(1));
+        assert_eq!(item.key, key);
+        assert_eq!(format!("{}", item.id), "item#7");
+        assert_eq!(format!("{}", item.version), "v1");
+    }
+
+    #[test]
+    fn payload_constructor() {
+        let key = BitPath::from_str_lossy("1");
+        let item = DataItem::with_payload(ItemId(1), "x", key, vec![1, 2, 3]);
+        assert_eq!(item.payload, vec![1, 2, 3]);
+        assert_eq!(item.version, Version::INITIAL);
+    }
+}

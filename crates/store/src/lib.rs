@@ -1,0 +1,30 @@
+//! # pgrid-store
+//!
+//! Local storage substrate for P-Grid peers.
+//!
+//! In the paper's model (§2) every peer *hosts* information items from a set
+//! `DI`, each characterized by an index term (a binary key), and peers that
+//! are responsible for a trie path additionally keep an **index**
+//! `D ⊆ ADDR × K` mapping the keys under their path to the addresses of the
+//! hosting peers. This crate provides both halves:
+//!
+//! * [`DataItem`] / [`LocalStore`] — the versioned items a peer hosts;
+//! * [`TrieIndex`] — a binary-trie index with the prefix operations the
+//!   P-Grid algorithms need (prefix lookup, split-off on specialization);
+//! * [`prefix_range`] — the `BTreeMap`-range formulation of prefix lookup,
+//!   used where a flat ordered map is preferable to a linked trie;
+//! * [`DurableStore`] / [`WriteAheadLog`] — crash-safe persistence of the
+//!   hosted items via an append-only, compactable mutation log.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod item;
+mod local;
+mod trie;
+mod wal;
+
+pub use item::{DataItem, ItemId, Version};
+pub use local::LocalStore;
+pub use trie::{prefix_range, TrieIndex};
+pub use wal::{DurableStore, WalError, WalRecord, WriteAheadLog};

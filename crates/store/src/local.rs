@@ -1,0 +1,205 @@
+//! The set of items a peer hosts.
+
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
+
+use pgrid_keys::{BitPath, Key};
+
+use crate::{DataItem, ItemId, Version};
+
+/// The data items physically hosted by one peer, indexed by id and by key.
+///
+/// ```
+/// use pgrid_keys::BitPath;
+/// use pgrid_store::{DataItem, ItemId, LocalStore, Version};
+///
+/// let mut store = LocalStore::new();
+/// store.insert(DataItem::new(ItemId(1), "a.mp3", "0101".parse().unwrap()));
+/// store.insert(DataItem::new(ItemId(2), "b.mp3", "0110".parse().unwrap()));
+///
+/// assert_eq!(store.items_under(&"01".parse().unwrap()).count(), 2);
+/// assert_eq!(store.bump_version(ItemId(1)), Some(Version(1)));
+/// ```
+///
+/// Hosting is independent of P-Grid responsibility: any peer may host any
+/// item (it is the *index references* that follow the trie paths). The
+/// secondary key index makes "which of my items fall under path `p`"
+/// efficient, which the construction algorithm uses when peers split the key
+/// space.
+#[derive(Clone, Debug, Default)]
+pub struct LocalStore {
+    items: BTreeMap<ItemId, DataItem>,
+    by_key: BTreeMap<Key, BTreeSet<ItemId>>,
+}
+
+impl LocalStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        LocalStore::default()
+    }
+
+    /// Number of hosted items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when the peer hosts nothing.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Inserts (or replaces) an item. Returns the previous item with the same
+    /// id, if any.
+    pub fn insert(&mut self, item: DataItem) -> Option<DataItem> {
+        let prev = self.items.insert(item.id, item.clone());
+        if let Some(ref p) = prev {
+            self.unlink_key(p.key, p.id);
+        }
+        self.by_key.entry(item.key).or_default().insert(item.id);
+        prev
+    }
+
+    /// Removes an item by id.
+    pub fn remove(&mut self, id: ItemId) -> Option<DataItem> {
+        let item = self.items.remove(&id)?;
+        self.unlink_key(item.key, id);
+        Some(item)
+    }
+
+    fn unlink_key(&mut self, key: Key, id: ItemId) {
+        if let Entry::Occupied(mut e) = self.by_key.entry(key) {
+            e.get_mut().remove(&id);
+            if e.get().is_empty() {
+                e.remove();
+            }
+        }
+    }
+
+    /// Looks up an item by id.
+    pub fn get(&self, id: ItemId) -> Option<&DataItem> {
+        self.items.get(&id)
+    }
+
+    /// Bumps the version of an item, returning the new version.
+    pub fn bump_version(&mut self, id: ItemId) -> Option<Version> {
+        self.items.get_mut(&id).map(DataItem::bump)
+    }
+
+    /// Overwrites the stored version (replica applying a propagated update).
+    pub fn apply_version(&mut self, id: ItemId, version: Version) -> bool {
+        match self.items.get_mut(&id) {
+            Some(item) if version > item.version => {
+                item.version = version;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// All items whose key matches `key` exactly.
+    pub fn items_with_key(&self, key: &Key) -> impl Iterator<Item = &DataItem> + '_ {
+        self.by_key
+            .get(key)
+            .into_iter()
+            .flatten()
+            .filter_map(move |id| self.items.get(id))
+    }
+
+    /// All items whose key has `path` as a prefix — the items a peer
+    /// responsible for `path` must index.
+    pub fn items_under(&self, path: &BitPath) -> impl Iterator<Item = &DataItem> + '_ {
+        let path = *path;
+        // Keys under `path` form a contiguous lexicographic range; walk it.
+        crate::trie::prefix_range(&self.by_key, &path)
+            .flat_map(move |(_, ids)| ids.iter())
+            .filter_map(move |id| self.items.get(id))
+    }
+
+    /// Iterator over all hosted items.
+    pub fn iter(&self) -> impl Iterator<Item = &DataItem> + '_ {
+        self.items.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgrid_keys::BitPath;
+
+    fn item(id: u64, key: &str) -> DataItem {
+        DataItem::new(ItemId(id), format!("n{id}"), BitPath::from_str_lossy(key))
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut s = LocalStore::new();
+        assert!(s.is_empty());
+        s.insert(item(1, "0101"));
+        s.insert(item(2, "0101"));
+        s.insert(item(3, "1100"));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get(ItemId(2)).unwrap().name, "n2");
+        let removed = s.remove(ItemId(2)).unwrap();
+        assert_eq!(removed.id, ItemId(2));
+        assert_eq!(s.len(), 2);
+        assert!(s.get(ItemId(2)).is_none());
+        assert!(s.remove(ItemId(2)).is_none());
+    }
+
+    #[test]
+    fn replacing_item_updates_key_index() {
+        let mut s = LocalStore::new();
+        s.insert(item(1, "0000"));
+        let prev = s.insert(item(1, "1111"));
+        assert_eq!(prev.unwrap().key, BitPath::from_str_lossy("0000"));
+        assert_eq!(s.items_with_key(&BitPath::from_str_lossy("0000")).count(), 0);
+        assert_eq!(s.items_with_key(&BitPath::from_str_lossy("1111")).count(), 1);
+    }
+
+    #[test]
+    fn key_lookup() {
+        let mut s = LocalStore::new();
+        s.insert(item(1, "0101"));
+        s.insert(item(2, "0101"));
+        s.insert(item(3, "1100"));
+        let ids: Vec<ItemId> = s
+            .items_with_key(&BitPath::from_str_lossy("0101"))
+            .map(|i| i.id)
+            .collect();
+        assert_eq!(ids, vec![ItemId(1), ItemId(2)]);
+    }
+
+    #[test]
+    fn items_under_prefix() {
+        let mut s = LocalStore::new();
+        s.insert(item(1, "0001"));
+        s.insert(item(2, "0010"));
+        s.insert(item(3, "0100"));
+        s.insert(item(4, "1000"));
+        let under_00: Vec<ItemId> = s
+            .items_under(&BitPath::from_str_lossy("00"))
+            .map(|i| i.id)
+            .collect();
+        assert_eq!(under_00, vec![ItemId(1), ItemId(2)]);
+        let under_root: Vec<ItemId> = s
+            .items_under(&BitPath::EMPTY)
+            .map(|i| i.id)
+            .collect();
+        assert_eq!(under_root.len(), 4);
+        assert_eq!(s.items_under(&BitPath::from_str_lossy("11")).count(), 0);
+    }
+
+    #[test]
+    fn version_management() {
+        let mut s = LocalStore::new();
+        s.insert(item(1, "01"));
+        assert_eq!(s.bump_version(ItemId(1)), Some(Version(1)));
+        assert_eq!(s.get(ItemId(1)).unwrap().version, Version(1));
+        // apply_version only moves forward
+        assert!(s.apply_version(ItemId(1), Version(5)));
+        assert!(!s.apply_version(ItemId(1), Version(3)));
+        assert_eq!(s.get(ItemId(1)).unwrap().version, Version(5));
+        assert_eq!(s.bump_version(ItemId(9)), None);
+        assert!(!s.apply_version(ItemId(9), Version(1)));
+    }
+}

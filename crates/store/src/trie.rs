@@ -1,0 +1,392 @@
+//! Binary-trie index and prefix-range lookup.
+//!
+//! Peers keep their leaf-level index `D` (key → hosting peers) in a structure
+//! that must answer two questions efficiently during construction and search:
+//! *"which entries fall under trie path `p`?"* (when answering a query for a
+//! whole subtree) and *"hand me everything **not** under `p`"* (when a peer
+//! specializes its path and transfers the other half of its index to its
+//! exchange partner).
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use pgrid_keys::{BitPath, Key};
+
+/// Iterates over the entries of an ordered map whose keys have `path` as a
+/// prefix.
+///
+/// Relies on [`BitPath`]'s lexicographic `Ord`: the extensions of `path` form
+/// the contiguous range `[path, sibling-of-last-zero-ancestor)`.
+pub fn prefix_range<'a, V>(
+    map: &'a BTreeMap<Key, V>,
+    path: &BitPath,
+) -> impl Iterator<Item = (&'a Key, &'a V)> + 'a {
+    let lower = Bound::Included(*path);
+    let upper = match subtree_upper(path) {
+        Some(u) => Bound::Excluded(u),
+        None => Bound::Unbounded,
+    };
+    map.range((lower, upper))
+}
+
+/// The smallest path lexicographically greater than every extension of
+/// `path`, or `None` when no such path exists (`path` is empty or all ones).
+fn subtree_upper(path: &BitPath) -> Option<BitPath> {
+    let mut p = *path;
+    while !p.is_empty() && p.last_bit() == 1 {
+        p = p.parent();
+    }
+    if p.is_empty() {
+        None
+    } else {
+        Some(p.sibling())
+    }
+}
+
+/// A binary trie mapping exact keys to values, with subtree operations.
+///
+/// ```
+/// use pgrid_keys::BitPath;
+/// use pgrid_store::TrieIndex;
+///
+/// let mut index = TrieIndex::new();
+/// index.insert("0110".parse().unwrap(), "a");
+/// index.insert("0111".parse().unwrap(), "b");
+/// index.insert("10".parse().unwrap(), "c");
+///
+/// // Everything under the "01" subtree, in key order:
+/// let under: Vec<&str> = index
+///     .entries_under(&"01".parse().unwrap())
+///     .into_iter()
+///     .map(|(_, v)| *v)
+///     .collect();
+/// assert_eq!(under, vec!["a", "b"]);
+///
+/// // A peer specializing to "0" hands everything else away:
+/// let moved = index.extract_not_under(&"0".parse().unwrap());
+/// assert_eq!(moved.len(), 1);
+/// assert_eq!(index.len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TrieIndex<V> {
+    root: Node<V>,
+    len: usize,
+}
+
+#[derive(Clone, Debug)]
+struct Node<V> {
+    value: Option<V>,
+    children: [Option<Box<Node<V>>>; 2],
+}
+
+impl<V> Default for Node<V> {
+    fn default() -> Self {
+        Node {
+            value: None,
+            children: [None, None],
+        }
+    }
+}
+
+impl<V> Node<V> {
+    fn is_empty(&self) -> bool {
+        self.value.is_none() && self.children.iter().all(Option::is_none)
+    }
+}
+
+impl<V> Default for TrieIndex<V> {
+    fn default() -> Self {
+        TrieIndex {
+            root: Node::default(),
+            len: 0,
+        }
+    }
+}
+
+impl<V> TrieIndex<V> {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        TrieIndex::default()
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `value` at `key`, returning the previous value if present.
+    pub fn insert(&mut self, key: Key, value: V) -> Option<V> {
+        let mut node = &mut self.root;
+        for bit in key.bits() {
+            node = node.children[bit as usize].get_or_insert_with(Box::default);
+        }
+        let prev = node.value.replace(value);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    /// Looks up the value stored at exactly `key`.
+    pub fn get(&self, key: &Key) -> Option<&V> {
+        let mut node = &self.root;
+        for bit in key.bits() {
+            node = node.children[bit as usize].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+
+    /// Mutable lookup at exactly `key`.
+    pub fn get_mut(&mut self, key: &Key) -> Option<&mut V> {
+        let mut node = &mut self.root;
+        for bit in key.bits() {
+            node = node.children[bit as usize].as_deref_mut()?;
+        }
+        node.value.as_mut()
+    }
+
+    /// Returns the entry for `key`, inserting `default()` if absent.
+    pub fn get_or_insert_with(&mut self, key: Key, default: impl FnOnce() -> V) -> &mut V {
+        let mut node = &mut self.root;
+        for bit in key.bits() {
+            node = node.children[bit as usize].get_or_insert_with(Box::default);
+        }
+        if node.value.is_none() {
+            node.value = Some(default());
+            self.len += 1;
+        }
+        node.value.as_mut().expect("just inserted")
+    }
+
+    /// Removes and returns the value at `key`, pruning empty branches.
+    pub fn remove(&mut self, key: &Key) -> Option<V> {
+        fn rec<V>(node: &mut Node<V>, key: &Key, depth: usize) -> Option<V> {
+            if depth == key.len() {
+                return node.value.take();
+            }
+            let idx = key.bit(depth) as usize;
+            let child = node.children[idx].as_deref_mut()?;
+            let out = rec(child, key, depth + 1);
+            if out.is_some() && child.is_empty() {
+                node.children[idx] = None;
+            }
+            out
+        }
+        let out = rec(&mut self.root, key, 0);
+        if out.is_some() {
+            self.len -= 1;
+        }
+        out
+    }
+
+    /// Visits every `(key, value)` whose key has `path` as a prefix, in
+    /// lexicographic key order.
+    pub fn for_each_under<'a>(&'a self, path: &BitPath, mut f: impl FnMut(Key, &'a V)) {
+        fn rec<'a, V>(node: &'a Node<V>, key: Key, f: &mut impl FnMut(Key, &'a V)) {
+            if let Some(v) = &node.value {
+                f(key, v);
+            }
+            for bit in 0..2u8 {
+                if let Some(child) = &node.children[bit as usize] {
+                    rec(child, key.child(bit), f);
+                }
+            }
+        }
+        // Descend to the node at `path` first.
+        let mut node = &self.root;
+        for bit in path.bits() {
+            match node.children[bit as usize].as_deref() {
+                Some(c) => node = c,
+                None => return,
+            }
+        }
+        rec(node, *path, &mut f);
+    }
+
+    /// Collects every `(key, value)` under `path`.
+    pub fn entries_under(&self, path: &BitPath) -> Vec<(Key, &V)> {
+        let mut out = Vec::new();
+        self.for_each_under(path, |k, v| out.push((k, v)));
+        out
+    }
+
+    /// All entries, in lexicographic key order.
+    pub fn entries(&self) -> Vec<(Key, &V)> {
+        self.entries_under(&BitPath::EMPTY)
+    }
+
+    /// Number of keys under `path`.
+    pub fn count_under(&self, path: &BitPath) -> usize {
+        let mut n = 0;
+        self.for_each_under(path, |_, _| n += 1);
+        n
+    }
+
+    /// Removes and returns every entry whose key does **not** have `path` as
+    /// a prefix — the index half a peer hands to its partner when it
+    /// specializes its own path to `path`.
+    ///
+    /// Entries whose key is a *proper prefix* of `path` (coarser than the new
+    /// responsibility) are also extracted: the specialized peer can no longer
+    /// claim authority over the whole coarser subtree.
+    pub fn extract_not_under(&mut self, path: &BitPath) -> Vec<(Key, V)> {
+        let mut doomed = Vec::new();
+        self.for_each_under(&BitPath::EMPTY, |k, _| {
+            if !path.is_prefix_of(&k) {
+                doomed.push(k);
+            }
+        });
+        doomed
+            .into_iter()
+            .map(|k| {
+                let v = self.remove(&k).expect("key listed above");
+                (k, v)
+            })
+            .collect()
+    }
+}
+
+impl<V> FromIterator<(Key, V)> for TrieIndex<V> {
+    fn from_iter<T: IntoIterator<Item = (Key, V)>>(iter: T) -> Self {
+        let mut t = TrieIndex::new();
+        for (k, v) in iter {
+            t.insert(k, v);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> Key {
+        BitPath::from_str_lossy(s)
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut t = TrieIndex::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(k("0101"), 1), None);
+        assert_eq!(t.insert(k("0101"), 2), Some(1));
+        assert_eq!(t.insert(k("01"), 3), None);
+        assert_eq!(t.insert(k(""), 4), None);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(&k("0101")), Some(&2));
+        assert_eq!(t.get(&k("01")), Some(&3));
+        assert_eq!(t.get(&k("")), Some(&4));
+        assert_eq!(t.get(&k("010")), None);
+        assert_eq!(t.remove(&k("01")), Some(3));
+        assert_eq!(t.remove(&k("01")), None);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&k("0101")), Some(&2), "removal must not disturb deeper keys");
+    }
+
+    #[test]
+    fn get_mut_and_get_or_insert() {
+        let mut t = TrieIndex::new();
+        *t.get_or_insert_with(k("11"), || 0) += 5;
+        *t.get_or_insert_with(k("11"), || 100) += 1;
+        assert_eq!(t.get(&k("11")), Some(&6));
+        *t.get_mut(&k("11")).unwrap() = 9;
+        assert_eq!(t.get(&k("11")), Some(&9));
+        assert!(t.get_mut(&k("10")).is_none());
+    }
+
+    #[test]
+    fn entries_under_subtree() {
+        let mut t = TrieIndex::new();
+        for (i, s) in ["000", "001", "01", "0110", "10", "11"].iter().enumerate() {
+            t.insert(k(s), i);
+        }
+        let under_0: Vec<String> = t
+            .entries_under(&k("0"))
+            .iter()
+            .map(|(key, _)| key.to_string())
+            .collect();
+        assert_eq!(under_0, vec!["000", "001", "01", "0110"]);
+        assert_eq!(t.count_under(&k("")), 6);
+        assert_eq!(t.count_under(&k("011")), 1);
+        assert_eq!(t.count_under(&k("0111")), 0);
+    }
+
+    #[test]
+    fn entries_are_sorted() {
+        let mut t = TrieIndex::new();
+        for s in ["11", "0", "10", "011", "000"] {
+            t.insert(k(s), ());
+        }
+        let keys: Vec<String> = t.entries().iter().map(|(key, _)| key.to_string()).collect();
+        assert_eq!(keys, vec!["0", "000", "011", "10", "11"]);
+    }
+
+    #[test]
+    fn extract_not_under_splits_index() {
+        let mut t = TrieIndex::new();
+        for s in ["000", "001", "010", "011", "10", "0"] {
+            t.insert(k(s), s.to_string());
+        }
+        let moved = t.extract_not_under(&k("01"));
+        let moved_keys: Vec<String> = moved.iter().map(|(key, _)| key.to_string()).collect();
+        // "0" is a proper prefix of "01" and must be extracted too.
+        assert_eq!(moved_keys, vec!["0", "000", "001", "10"]);
+        assert_eq!(t.len(), 2);
+        assert!(t.get(&k("010")).is_some());
+        assert!(t.get(&k("011")).is_some());
+    }
+
+    #[test]
+    fn prefix_range_on_btreemap() {
+        let mut m = BTreeMap::new();
+        for s in ["000", "001", "01", "0110", "10", "11", "1"] {
+            m.insert(k(s), s.to_string());
+        }
+        let under: Vec<String> = prefix_range(&m, &k("0"))
+            .map(|(key, _)| key.to_string())
+            .collect();
+        assert_eq!(under, vec!["000", "001", "01", "0110"]);
+        let under_1: Vec<String> = prefix_range(&m, &k("1"))
+            .map(|(key, _)| key.to_string())
+            .collect();
+        assert_eq!(under_1, vec!["1", "10", "11"]);
+        let all: Vec<String> = prefix_range(&m, &BitPath::EMPTY)
+            .map(|(key, _)| key.to_string())
+            .collect();
+        assert_eq!(all.len(), 7);
+        assert_eq!(prefix_range(&m, &k("0111")).count(), 0);
+    }
+
+    #[test]
+    fn prefix_range_all_ones_path() {
+        let mut m = BTreeMap::new();
+        m.insert(k("111"), 1);
+        m.insert(k("1110"), 2);
+        m.insert(k("110"), 3);
+        let under: Vec<i32> = prefix_range(&m, &k("111")).map(|(_, v)| *v).collect();
+        assert_eq!(under, vec![1, 2]);
+    }
+
+    #[test]
+    fn subtree_upper_cases() {
+        // The bound must exclude the bare key "1", which sorts between the
+        // extensions of "01" and "10" — so the tight upper bound is "1".
+        assert_eq!(subtree_upper(&k("01")), Some(k("1")));
+        assert_eq!(subtree_upper(&k("0111")), Some(k("1")));
+        assert_eq!(subtree_upper(&k("111")), None);
+        assert_eq!(subtree_upper(&BitPath::EMPTY), None);
+        assert_eq!(subtree_upper(&k("0")), Some(k("1")));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let t: TrieIndex<u32> = [(k("01"), 1), (k("10"), 2)].into_iter().collect();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&k("10")), Some(&2));
+    }
+}

@@ -1,0 +1,108 @@
+//! Model-based property tests: `TrieIndex` must behave exactly like a
+//! `BTreeMap<Key, V>` under arbitrary operation sequences, and its prefix
+//! operations must agree with the naive filter.
+
+use std::collections::BTreeMap;
+
+use pgrid_keys::BitPath;
+use pgrid_store::{prefix_range, TrieIndex};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(BitPath, u32),
+    Remove(BitPath),
+    ExtractNotUnder(BitPath),
+}
+
+fn path_strategy() -> impl Strategy<Value = BitPath> {
+    (any::<u128>(), 0u8..=8).prop_map(|(bits, len)| BitPath::from_raw(bits, len))
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (path_strategy(), any::<u32>()).prop_map(|(p, v)| Op::Insert(p, v)),
+        2 => path_strategy().prop_map(Op::Remove),
+        1 => path_strategy().prop_map(Op::ExtractNotUnder),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn trie_matches_btreemap_model(ops in proptest::collection::vec(op_strategy(), 0..120)) {
+        let mut trie = TrieIndex::new();
+        let mut model: BTreeMap<BitPath, u32> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(trie.insert(k, v), model.insert(k, v));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(trie.remove(&k), model.remove(&k));
+                }
+                Op::ExtractNotUnder(p) => {
+                    let mut extracted = trie.extract_not_under(&p);
+                    extracted.sort_by_key(|(k, _)| *k);
+                    let mut expected: Vec<(BitPath, u32)> = model
+                        .iter()
+                        .filter(|(k, _)| !p.is_prefix_of(k))
+                        .map(|(k, v)| (*k, *v))
+                        .collect();
+                    expected.sort_by_key(|(k, _)| *k);
+                    for (k, _) in &expected {
+                        model.remove(k);
+                    }
+                    prop_assert_eq!(extracted, expected);
+                }
+            }
+            prop_assert_eq!(trie.len(), model.len());
+        }
+
+        // Final state: full iteration agrees.
+        let trie_entries: Vec<(BitPath, u32)> =
+            trie.entries().into_iter().map(|(k, v)| (k, *v)).collect();
+        let model_entries: Vec<(BitPath, u32)> =
+            model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(trie_entries, model_entries);
+    }
+
+    #[test]
+    fn entries_under_agrees_with_filter(
+        keys in proptest::collection::vec(path_strategy(), 0..60),
+        probe in path_strategy(),
+    ) {
+        let mut trie = TrieIndex::new();
+        let mut model = BTreeMap::new();
+        for (i, k) in keys.into_iter().enumerate() {
+            trie.insert(k, i);
+            model.insert(k, i);
+        }
+        let got: Vec<BitPath> = trie.entries_under(&probe).into_iter().map(|(k, _)| k).collect();
+        let want: Vec<BitPath> = model
+            .keys()
+            .filter(|k| probe.is_prefix_of(k))
+            .copied()
+            .collect();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(trie.count_under(&probe), trie.entries_under(&probe).len());
+    }
+
+    #[test]
+    fn prefix_range_agrees_with_filter(
+        keys in proptest::collection::vec(path_strategy(), 0..60),
+        probe in path_strategy(),
+    ) {
+        let mut model = BTreeMap::new();
+        for (i, k) in keys.into_iter().enumerate() {
+            model.insert(k, i);
+        }
+        let got: Vec<BitPath> = prefix_range(&model, &probe).map(|(k, _)| *k).collect();
+        let want: Vec<BitPath> = model
+            .keys()
+            .filter(|k| probe.is_prefix_of(k))
+            .copied()
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,88 @@
+//! LEB128 variable-length integers.
+
+use bytes::{Buf, BufMut};
+
+use crate::CodecError;
+
+/// Appends `value` as an unsigned LEB128 varint (1–10 bytes).
+pub fn write_varint(buf: &mut impl BufMut, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Reads an unsigned LEB128 varint.
+pub fn read_varint(buf: &mut impl Buf) -> Result<u64, CodecError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(CodecError::Truncated);
+        }
+        let byte = buf.get_u8();
+        if shift == 63 && byte > 1 {
+            return Err(CodecError::VarintOverflow);
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(CodecError::VarintOverflow);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    fn round_trip(v: u64) -> usize {
+        let mut buf = BytesMut::new();
+        write_varint(&mut buf, v);
+        let len = buf.len();
+        let mut cursor = buf.freeze();
+        assert_eq!(read_varint(&mut cursor).unwrap(), v);
+        assert!(!cursor.has_remaining());
+        len
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        for v in 0..=127u64 {
+            assert_eq!(round_trip(v), 1);
+        }
+    }
+
+    #[test]
+    fn boundaries() {
+        assert_eq!(round_trip(128), 2);
+        assert_eq!(round_trip(16_383), 2);
+        assert_eq!(round_trip(16_384), 3);
+        assert_eq!(round_trip(u64::MAX), 10);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut buf = BytesMut::new();
+        write_varint(&mut buf, u64::MAX);
+        let mut short = buf.freeze().slice(0..5);
+        assert_eq!(read_varint(&mut short), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn overlong_encoding_rejected() {
+        // 11 continuation bytes cannot fit in a u64.
+        let bytes = [0xffu8; 10];
+        let mut buf = &bytes[..];
+        assert_eq!(read_varint(&mut buf), Err(CodecError::VarintOverflow));
+    }
+}

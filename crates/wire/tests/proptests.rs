@@ -1,0 +1,124 @@
+//! Property tests: every representable message survives the codec, and the
+//! decoder never panics on arbitrary byte soup.
+
+use bytes::BytesMut;
+use pgrid_keys::BitPath;
+use pgrid_net::PeerId;
+use pgrid_wire::{decode_frame, encode_frame, Message, WireEntry};
+use proptest::prelude::*;
+
+fn bitpath() -> impl Strategy<Value = BitPath> {
+    (any::<u128>(), 0u8..=128).prop_map(|(bits, len)| BitPath::from_raw(bits, len))
+}
+
+fn entry() -> impl Strategy<Value = WireEntry> {
+    (any::<u64>(), any::<u32>(), any::<u64>()).prop_map(|(item, holder, version)| WireEntry {
+        item,
+        holder: PeerId(holder),
+        version,
+    })
+}
+
+fn peers(max: usize) -> impl Strategy<Value = Vec<PeerId>> {
+    proptest::collection::vec(any::<u32>().prop_map(PeerId), 0..max)
+}
+
+fn level_refs() -> impl Strategy<Value = Vec<(u16, Vec<PeerId>)>> {
+    proptest::collection::vec((any::<u16>(), peers(8)), 0..6)
+}
+
+fn message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        any::<u64>().prop_map(|nonce| Message::Ping { nonce }),
+        any::<u64>().prop_map(|nonce| Message::Pong { nonce }),
+        (any::<u64>(), any::<u32>(), bitpath(), any::<u16>(), any::<u16>()).prop_map(
+            |(id, origin, key, matched, ttl)| Message::Query {
+                id,
+                origin: PeerId(origin),
+                key,
+                matched,
+                ttl,
+            }
+        ),
+        (any::<u64>(), any::<u32>(), proptest::collection::vec(entry(), 0..10)).prop_map(
+            |(id, responsible, entries)| Message::QueryOk {
+                id,
+                responsible: PeerId(responsible),
+                entries,
+            }
+        ),
+        any::<u64>().prop_map(|id| Message::QueryFail { id }),
+        (any::<u64>(), any::<u8>(), bitpath(), level_refs()).prop_map(
+            |(id, depth, path, level_refs)| Message::ExchangeOffer {
+                id,
+                depth,
+                path,
+                level_refs,
+            }
+        ),
+        (
+            any::<u64>(),
+            bitpath(),
+            proptest::option::of(0u8..=1),
+            level_refs(),
+            peers(8)
+        )
+            .prop_map(|(id, responder_path, take_bit, adopt_refs, recurse_with)| {
+                Message::ExchangeAnswer {
+                    id,
+                    responder_path,
+                    take_bit,
+                    adopt_refs,
+                    recurse_with,
+                }
+            }),
+        (bitpath(), entry()).prop_map(|(key, entry)| Message::IndexInsert { key, entry }),
+        any::<u32>().prop_map(|w| Message::Meet { with: PeerId(w) }),
+        (any::<u64>(), bitpath()).prop_map(|(id, path)| Message::ExchangeConfirm { id, path }),
+        Just(Message::Shutdown),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn round_trip(msg in message()) {
+        let frame = encode_frame(&msg);
+        let mut buf = BytesMut::from(&frame[..]);
+        let back = decode_frame(&mut buf).unwrap().unwrap();
+        prop_assert_eq!(back, msg);
+        prop_assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn concatenated_frames_decode_in_order(msgs in proptest::collection::vec(message(), 0..8)) {
+        let mut buf = BytesMut::new();
+        for m in &msgs {
+            buf.extend_from_slice(&encode_frame(m));
+        }
+        for m in &msgs {
+            let got = decode_frame(&mut buf).unwrap().unwrap();
+            prop_assert_eq!(&got, m);
+        }
+        prop_assert_eq!(decode_frame(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let mut buf = BytesMut::from(&bytes[..]);
+        // Any result is fine — the property is "no panic, no infinite loop".
+        let _ = decode_frame(&mut buf);
+    }
+
+    #[test]
+    fn truncation_is_detected_or_pends(msg in message(), cut in 0usize..100) {
+        let frame = encode_frame(&msg);
+        if cut < frame.len() {
+            let mut buf = BytesMut::from(&frame[..cut]);
+            match decode_frame(&mut buf) {
+                Ok(None) => {}     // incomplete frame, waiting for more bytes
+                Ok(Some(_)) => prop_assert!(false, "decoded from truncated frame"),
+                Err(_) => {}       // detected corruption — also acceptable
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Prefix search over text with a non-binary alphabet — the paper's §6
+//! extension: *"For prefix search on text the algorithm can be adapted by
+//! extending the {0,1} alphabet."*
+//!
+//! Peers self-organize over a radix-27 (`a`–`z` + separator) trie; queries
+//! are word prefixes routed to the peer owning that branch of the trie.
+//!
+//! ```sh
+//! cargo run --release --example trie_search
+//! ```
+
+use pgrid::core::trie_ext::{TrieConfig, TrieGrid};
+use pgrid::core::Ctx;
+use pgrid::keys::RadixPath;
+use pgrid::net::{AlwaysOnline, NetStats, PeerId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut online = AlwaysOnline;
+    let mut stats = NetStats::new();
+    let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+
+    let config = TrieConfig {
+        radix: 27,
+        maxl: 2,
+        refmax: 3,
+        recmax: 2,
+        recfanout: 2,
+    };
+    // 27^2 = 729 two-symbol branches; 3000 peers give ~4 replicas each.
+    let mut grid = TrieGrid::new(3000, config);
+    println!("building a radix-27 trie grid over 3000 peers (maxl = 2)...");
+    let exchanges = grid.build(0.95, 5_000_000, &mut ctx);
+    println!(
+        "converged: avg path length {:.2} after {exchanges} exchanges",
+        grid.avg_path_len()
+    );
+    grid.check_invariants().expect("trie structure is valid");
+
+    let words = ["cat", "castle", "dog", "zebra", "apple", "xylophone"];
+    // Publish each word into the trie index. Repeated inserts from different
+    // entry points reach different replicas of the word's branch — the
+    // paper's repeated-search update strategy.
+    for (i, word) in words.iter().enumerate() {
+        let key = RadixPath::from_text(word);
+        for rep in 0..4u32 {
+            grid.insert(
+                PeerId((i as u32 * 31 + rep * 977) % 3000),
+                &key,
+                i as u64,
+                PeerId(i as u32),
+                &mut ctx,
+            );
+        }
+    }
+
+    println!("\nrouting word-prefix queries from peer0:");
+    let mut found = 0;
+    for (i, word) in words.iter().enumerate() {
+        let key = RadixPath::from_text(word);
+        // Repeated reads: different searches may answer from different
+        // replicas; accept the first that returns the entry.
+        let mut best: Option<(PeerId, bool)> = None;
+        for start in [0u32, 501, 1203, 2222, 2750] {
+            if let Some((peer, entries)) = grid.lookup(PeerId(start), &key, &mut ctx) {
+                assert!(grid.peer(peer).responsible_for(&key));
+                let stored = entries.iter().any(|(item, _)| *item == i as u64);
+                best = Some((peer, stored));
+                if stored {
+                    break;
+                }
+            }
+        }
+        match best {
+            Some((peer, stored)) => {
+                let path = grid.peer(peer).path().clone();
+                println!(
+                    "  {word:<10} -> {peer} (owns trie branch '{path}', entry found: {stored})"
+                );
+                found += 1;
+            }
+            None => println!("  {word:<10} -> no route"),
+        }
+    }
+    println!(
+        "\n{found}/{} prefixes routed; peers per query stay logarithmic in the\n\
+         branch count even though the alphabet is 27-wide",
+        words.len()
+    );
+}
