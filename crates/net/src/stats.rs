@@ -54,6 +54,33 @@ pub struct NetStats {
     pub contact_attempts: u64,
     /// Probes that failed because the target was offline.
     pub failed_contacts: u64,
+    /// Frames dropped in flight (injected loss or unreachable target).
+    #[serde(default)]
+    pub dropped: u64,
+    /// Frames delivered more than once by a faulty link.
+    #[serde(default)]
+    pub duplicated: u64,
+    /// Frames delivered out of order by a faulty link.
+    #[serde(default)]
+    pub reordered: u64,
+    /// Frames held back and delivered late by a faulty link.
+    #[serde(default)]
+    pub delayed: u64,
+    /// Retransmissions of unacknowledged frames.
+    #[serde(default)]
+    pub retries: u64,
+    /// Frames whose retransmit budget was exhausted without an ack.
+    #[serde(default)]
+    pub timeouts: u64,
+    /// Sends refused because the target mailbox was full (backpressure).
+    #[serde(default)]
+    pub rejected: u64,
+    /// Frames that failed to decode at the receiver.
+    #[serde(default)]
+    pub malformed: u64,
+    /// Routing-table references evicted after repeated timeouts.
+    #[serde(default)]
+    pub evictions: u64,
 }
 
 impl NetStats {
@@ -96,6 +123,15 @@ impl NetStats {
         }
         out.contact_attempts = self.contact_attempts - earlier.contact_attempts;
         out.failed_contacts = self.failed_contacts - earlier.failed_contacts;
+        out.dropped = self.dropped - earlier.dropped;
+        out.duplicated = self.duplicated - earlier.duplicated;
+        out.reordered = self.reordered - earlier.reordered;
+        out.delayed = self.delayed - earlier.delayed;
+        out.retries = self.retries - earlier.retries;
+        out.timeouts = self.timeouts - earlier.timeouts;
+        out.rejected = self.rejected - earlier.rejected;
+        out.malformed = self.malformed - earlier.malformed;
+        out.evictions = self.evictions - earlier.evictions;
         out
     }
 
@@ -106,6 +142,29 @@ impl NetStats {
         }
         self.contact_attempts += other.contact_attempts;
         self.failed_contacts += other.failed_contacts;
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.reordered += other.reordered;
+        self.delayed += other.delayed;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.rejected += other.rejected;
+        self.malformed += other.malformed;
+        self.evictions += other.evictions;
+    }
+
+    /// True when no fault, retry, or rejection counter is set — the
+    /// signature of a clean (fault-free) run with no phantom retries.
+    pub fn is_fault_free(&self) -> bool {
+        self.dropped == 0
+            && self.duplicated == 0
+            && self.reordered == 0
+            && self.delayed == 0
+            && self.retries == 0
+            && self.timeouts == 0
+            && self.rejected == 0
+            && self.malformed == 0
+            && self.evictions == 0
     }
 }
 
@@ -121,7 +180,23 @@ impl fmt::Display for NetStats {
             self.count(MsgKind::Control),
             self.contact_attempts,
             self.failed_contacts,
-        )
+        )?;
+        if !self.is_fault_free() {
+            write!(
+                f,
+                " [dropped={} dup={} reorder={} delayed={} retries={} timeouts={} rejected={} malformed={} evictions={}]",
+                self.dropped,
+                self.duplicated,
+                self.reordered,
+                self.delayed,
+                self.retries,
+                self.timeouts,
+                self.rejected,
+                self.malformed,
+                self.evictions,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -242,13 +317,43 @@ mod tests {
         let checkpoint = a.clone();
         a.record(MsgKind::Query);
         a.record(MsgKind::Update);
+        a.dropped += 3;
+        a.retries += 2;
+        a.timeouts += 1;
         let delta = a.since(&checkpoint);
         assert_eq!(delta.count(MsgKind::Query), 1);
         assert_eq!(delta.count(MsgKind::Update), 1);
+        assert_eq!(delta.dropped, 3);
+        assert_eq!(delta.retries, 2);
+        assert_eq!(delta.timeouts, 1);
 
         let mut merged = checkpoint.clone();
         merged.merge(&delta);
         assert_eq!(merged, a);
+    }
+
+    #[test]
+    fn fault_free_detection() {
+        let mut s = NetStats::new();
+        s.record(MsgKind::Query);
+        s.record_contact(false);
+        assert!(s.is_fault_free(), "message/contact counters are not faults");
+        s.malformed += 1;
+        assert!(!s.is_fault_free());
+    }
+
+    #[test]
+    fn fault_counters_survive_serde() {
+        let mut s = NetStats::new();
+        s.dropped = 5;
+        s.evictions = 2;
+        let json = serde_json::to_string(&s).unwrap();
+        let back: NetStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        // Old serialisations without the fault fields still deserialize.
+        let legacy = r#"{"counts":[0,0,0,0,0],"contact_attempts":0,"failed_contacts":0}"#;
+        let old: NetStats = serde_json::from_str(legacy).unwrap();
+        assert!(old.is_fault_free());
     }
 
     #[test]

@@ -1,18 +1,21 @@
 //! Driving a community of live nodes.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::BytesMut;
 use crossbeam::channel::Receiver;
 use parking_lot::Mutex;
 use pgrid_keys::Key;
-use pgrid_net::PeerId;
+use pgrid_net::{NetStats, PeerId};
 use pgrid_wire::{decode_frame, encode_frame, Message, WireEntry};
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-use crate::{spawn_node, Frame, LocalTransport, NodeConfig, NodeState};
+use crate::{
+    spawn_node, FaultPlan, Frame, LocalTransport, NodeConfig, NodeState, DEFAULT_MAILBOX_DEPTH,
+};
 
 /// Shape of a live cluster.
 #[derive(Clone, Copy, Debug)]
@@ -31,6 +34,15 @@ pub struct ClusterConfig {
     pub ttl: u16,
     /// RNG seed (thread scheduling still makes runs non-deterministic).
     pub seed: u64,
+    /// Mailbox depth per node (`0` = unbounded).
+    pub mailbox_depth: usize,
+    /// Client-level query attempts, each from a *different* random entry
+    /// node (the paper's remedy for dead-ended randomized searches).
+    pub query_attempts: usize,
+    /// How long one query attempt waits for its answer.
+    pub query_timeout_ms: u64,
+    /// Optional fault plan installed on the transport at spawn time.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ClusterConfig {
@@ -43,6 +55,10 @@ impl Default for ClusterConfig {
             recfanout: 2,
             ttl: 64,
             seed: 7,
+            mailbox_depth: DEFAULT_MAILBOX_DEPTH,
+            query_attempts: 4,
+            query_timeout_ms: 2000,
+            faults: None,
         }
     }
 }
@@ -52,7 +68,10 @@ impl Default for ClusterConfig {
 pub struct Cluster {
     transport: LocalTransport,
     states: Vec<Arc<Mutex<NodeState>>>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    handles: Vec<Option<std::thread::JoinHandle<()>>>,
+    /// Crash markers (parallel to `states`): a crashed node keeps its
+    /// durable state but has no thread or mailbox until restarted.
+    crashed: Vec<bool>,
     client_id: PeerId,
     client_rx: Receiver<Frame>,
     next_query_id: u64,
@@ -64,7 +83,10 @@ impl Cluster {
     /// Spawns `config.n` node threads.
     pub fn spawn(config: ClusterConfig) -> Self {
         assert!(config.n >= 2, "a cluster needs at least two nodes");
-        let transport = LocalTransport::new();
+        let transport = LocalTransport::with_mailbox_depth(config.mailbox_depth);
+        if let Some(plan) = config.faults {
+            transport.inject_faults(plan);
+        }
         let mut states = Vec::with_capacity(config.n);
         let mut handles = Vec::with_capacity(config.n);
         for i in 0..config.n {
@@ -78,16 +100,13 @@ impl Cluster {
             )));
             let handle = spawn_node(
                 Arc::clone(&state),
-                NodeConfig {
-                    recmax: config.recmax,
-                    ttl: config.ttl,
-                },
+                node_config(&config),
                 transport.clone(),
                 rx,
                 config.seed ^ ((i as u64) << 20),
             );
             states.push(state);
-            handles.push(handle);
+            handles.push(Some(handle));
         }
         // The client mailbox sits far above any plausible node id so nodes
         // added later never collide with it.
@@ -97,6 +116,7 @@ impl Cluster {
             transport,
             states,
             handles,
+            crashed: vec![false; config.n],
             client_id,
             client_rx,
             next_query_id: 1,
@@ -105,7 +125,7 @@ impl Cluster {
         }
     }
 
-    /// Number of nodes.
+    /// Number of nodes (live, crashed, or killed).
     pub fn len(&self) -> usize {
         self.states.len()
     }
@@ -115,8 +135,30 @@ impl Cluster {
         self.states.is_empty()
     }
 
+    /// The shared transport (fault injection, counters).
+    pub fn transport(&self) -> &LocalTransport {
+        &self.transport
+    }
+
+    /// Snapshot of the transport's fault/robustness counters.
+    pub fn net_stats(&self) -> NetStats {
+        self.transport.net_stats()
+    }
+
+    /// Installs a fault plan on the running cluster's transport.
+    pub fn inject_faults(&self, plan: FaultPlan) {
+        self.transport.inject_faults(plan);
+    }
+
+    /// Removes the fault plan (held-back frames are delivered at once).
+    pub fn clear_faults(&self) {
+        self.transport.clear_faults();
+    }
+
     /// Injects `meetings` random pairwise meetings (among live nodes) and
-    /// waits for the network to go quiescent.
+    /// waits for the network to go quiescent. The meeting instructions
+    /// themselves travel as control frames (the driver's steering wheel);
+    /// the exchanges they trigger use the faulty links.
     pub fn build(&mut self, meetings: usize) {
         let live = self.live_nodes();
         let n = live.len();
@@ -130,23 +172,41 @@ impl Cluster {
                 j += 1;
             }
             let frame = encode_frame(&Message::Meet { with: live[j] });
-            self.transport.send(self.client_id, live[i], frame);
+            self.transport.send_control(self.client_id, live[i], frame);
         }
         self.settle();
     }
 
-    /// Waits until no frames have been delivered for a few polling rounds.
+    /// Waits until no frames have been delivered (and none are held back
+    /// in flight) for a few polling rounds. Also drains the client mailbox,
+    /// acking stray answers so their senders stop retransmitting.
     pub fn settle(&self) {
         let mut last = self.transport.delivered();
         let mut stable_rounds = 0;
         while stable_rounds < 5 {
             std::thread::sleep(Duration::from_millis(2));
+            self.drain_client();
             let now = self.transport.delivered();
-            if now == last {
+            if now == last && self.transport.in_flight() == 0 {
                 stable_rounds += 1;
             } else {
                 stable_rounds = 0;
                 last = now;
+            }
+        }
+    }
+
+    /// Acks (and discards) everything sitting in the client mailbox —
+    /// answers to queries that already timed out at the client still need
+    /// acks, or their senders retransmit to nobody.
+    fn drain_client(&self) {
+        while let Ok(frame) = self.client_rx.try_recv() {
+            let mut buf = BytesMut::from(&frame.bytes[..]);
+            if let Ok(Some(Message::QueryOk { id, .. } | Message::QueryFail { id })) =
+                decode_frame(&mut buf)
+            {
+                let ack = encode_frame(&Message::Ack { seq: id });
+                let _ = self.transport.send_control(self.client_id, frame.from, ack);
             }
         }
     }
@@ -210,13 +270,20 @@ impl Cluster {
         Ok(())
     }
 
-    /// Issues a query, retrying from different random entry points up to
-    /// four times — the live protocol forwards to a single candidate per
-    /// hop (no distributed backtracking), so a stale reference can dead-end
-    /// one attempt; repeated randomized searches are the paper's own remedy.
+    /// Issues a query, failing over across up to `query_attempts`
+    /// *different* random entry nodes — the live protocol forwards to one
+    /// candidate per hop (no distributed backtracking), so a stale
+    /// reference or lossy link can dead-end one attempt; repeated
+    /// randomized searches are the paper's own remedy (§4).
     pub fn query(&mut self, key: &Key) -> Option<(PeerId, Vec<WireEntry>)> {
-        for _ in 0..4 {
-            if let Some(hit) = self.query_once(key) {
+        let mut entries = self.live_nodes();
+        if entries.is_empty() {
+            return None;
+        }
+        entries.shuffle(&mut self.rng);
+        for attempt in 0..self.config.query_attempts.max(1) {
+            let entry_node = entries[attempt % entries.len()];
+            if let Some(hit) = self.query_once_at(key, entry_node) {
                 return Some(hit);
             }
         }
@@ -225,13 +292,22 @@ impl Cluster {
 
     /// One single query attempt from one random entry node.
     pub fn query_once(&mut self, key: &Key) -> Option<(PeerId, Vec<WireEntry>)> {
-        let qid = self.next_query_id;
-        self.next_query_id += 1;
         let live = self.live_nodes();
         if live.is_empty() {
             return None;
         }
         let entry_node = live[self.rng.gen_range(0..live.len())];
+        self.query_once_at(key, entry_node)
+    }
+
+    /// One single query attempt entering at `entry_node`.
+    pub fn query_once_at(
+        &mut self,
+        key: &Key,
+        entry_node: PeerId,
+    ) -> Option<(PeerId, Vec<WireEntry>)> {
+        let qid = self.next_query_id;
+        self.next_query_id += 1;
         let frame = encode_frame(&Message::Query {
             id: qid,
             origin: self.client_id,
@@ -242,10 +318,10 @@ impl Cluster {
         if !self.transport.send(self.client_id, entry_node, frame) {
             return None;
         }
-        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        let deadline = Instant::now() + Duration::from_millis(self.config.query_timeout_ms);
         while let Ok(frame) = self
             .client_rx
-            .recv_timeout(deadline.saturating_duration_since(std::time::Instant::now()))
+            .recv_timeout(deadline.saturating_duration_since(Instant::now()))
         {
             let mut buf = BytesMut::from(&frame.bytes[..]);
             match decode_frame(&mut buf) {
@@ -253,12 +329,31 @@ impl Cluster {
                     id,
                     responsible,
                     entries,
-                })) if id == qid => return Some((responsible, entries)),
-                Ok(Some(Message::QueryFail { id })) if id == qid => return None,
-                _ => continue, // stale answer from an earlier timed-out query
+                })) if id == qid => {
+                    self.ack_answer(frame.from, id);
+                    return Some((responsible, entries));
+                }
+                Ok(Some(Message::QueryFail { id })) if id == qid => {
+                    self.ack_answer(frame.from, id);
+                    return None;
+                }
+                Ok(Some(Message::QueryOk { id, .. } | Message::QueryFail { id })) => {
+                    // Stale answer from an earlier timed-out attempt (or a
+                    // retransmit that crossed our ack): ack it and move on.
+                    self.ack_answer(frame.from, id);
+                }
+                _ => {} // acks to the client, garbage — ignore
             }
         }
         None
+    }
+
+    /// Acks a query answer so the answering node stops retransmitting. The
+    /// ack travels the faulty link like any protocol frame; a lost ack
+    /// costs the sender a retransmission, nothing more.
+    fn ack_answer(&self, to: PeerId, qid: u64) {
+        let ack = encode_frame(&Message::Ack { seq: qid });
+        let _ = self.transport.send(self.client_id, to, ack);
     }
 
     /// Routes an index insertion into the grid (fire-and-forget, like a
@@ -269,7 +364,9 @@ impl Cluster {
             return;
         }
         let entry_node = live[self.rng.gen_range(0..live.len())];
-        let frame = encode_frame(&Message::IndexInsert { key, entry });
+        let seq = self.next_query_id;
+        self.next_query_id += 1;
+        let frame = encode_frame(&Message::IndexInsert { seq, key, entry });
         self.transport.send(self.client_id, entry_node, frame);
     }
 
@@ -284,24 +381,71 @@ impl Cluster {
         }
     }
 
-    /// Kills one node abruptly: its mailbox disappears (in-flight and
-    /// future frames to it are dropped) and its thread exits. Models a
-    /// permanent departure without any goodbye protocol.
+    /// Kills one node abruptly and permanently: its mailbox disappears
+    /// (in-flight and future frames to it are dropped) and its thread
+    /// exits. Models a permanent departure without any goodbye protocol —
+    /// for the recoverable variant see [`Cluster::crash_node`].
     ///
     /// # Panics
-    /// If the node was already killed.
+    /// If the node was already killed or is currently crashed.
     pub fn kill_node(&mut self, id: PeerId) {
+        assert!(!self.crashed[id.index()], "node {id} is crashed, not killable");
         assert!(
             self.states[id.index()].lock().maxl != 0,
             "node {id} already killed"
         );
-        // Unregister first so nobody can reach it, then stop the thread.
+        // Stop the thread, then remove the mailbox so nobody can reach it.
         let frame = encode_frame(&Message::Shutdown);
-        self.transport.send(self.client_id, id, frame);
+        self.transport.send_control(self.client_id, id, frame);
         self.transport.unregister(id);
+        if let Some(h) = self.handles[id.index()].take() {
+            let _ = h.join();
+        }
         // Mark the state as dead for invariant checks (maxl 0 is otherwise
         // unconstructible).
         self.states[id.index()].lock().maxl = 0;
+    }
+
+    /// Crashes a node: mailbox and thread die (all volatile protocol state
+    /// — pending retransmits, dedup caches — is lost), but the node's
+    /// durable state (path, references, index) survives for a later
+    /// [`Cluster::restart_node`]. Peers that contact it meanwhile see a
+    /// departed peer and prune their references; the restarted node re-
+    /// integrates through ordinary meetings.
+    ///
+    /// # Panics
+    /// If the node is already crashed or was killed.
+    pub fn crash_node(&mut self, id: PeerId) {
+        assert!(!self.crashed[id.index()], "node {id} already crashed");
+        assert!(self.states[id.index()].lock().maxl != 0, "node {id} is dead");
+        // No goodbye: the mailbox vanishes, the thread drains what it
+        // already received and exits on the disconnected channel.
+        self.transport.unregister(id);
+        if let Some(h) = self.handles[id.index()].take() {
+            let _ = h.join();
+        }
+        self.crashed[id.index()] = true;
+    }
+
+    /// Restarts a crashed node on its surviving durable state with a fresh
+    /// mailbox, thread, and RNG stream.
+    ///
+    /// # Panics
+    /// If the node is not currently crashed.
+    pub fn restart_node(&mut self, id: PeerId) {
+        assert!(self.crashed[id.index()], "node {id} is not crashed");
+        let rx = self.transport.register(id);
+        let handle = spawn_node(
+            Arc::clone(&self.states[id.index()]),
+            node_config(&self.config),
+            self.transport.clone(),
+            rx,
+            // A distinct seed stream for the reincarnation: correlation ids
+            // must not repeat those of the previous life.
+            self.config.seed ^ ((u64::from(id.0)) << 20) ^ 0xDEAD_BEEF,
+        );
+        self.handles[id.index()] = Some(handle);
+        self.crashed[id.index()] = false;
     }
 
     /// Spawns one additional node and returns its id. The newcomer joins
@@ -319,25 +463,24 @@ impl Cluster {
         )));
         let handle = spawn_node(
             Arc::clone(&state),
-            NodeConfig {
-                recmax: self.config.recmax,
-                ttl: self.config.ttl,
-            },
+            node_config(&self.config),
             self.transport.clone(),
             rx,
-            self.config.seed ^ ((id.0 as u64) << 20),
+            self.config.seed ^ ((u64::from(id.0)) << 20),
         );
         self.states.push(state);
-        self.handles.push(handle);
+        self.handles.push(Some(handle));
+        self.crashed.push(false);
         id
     }
 
-    /// Ids of currently live nodes.
+    /// Ids of currently live (not killed, not crashed) nodes.
     pub fn live_nodes(&self) -> Vec<PeerId> {
         self.states
             .iter()
-            .filter(|s| s.lock().maxl != 0)
-            .map(|s| s.lock().id)
+            .enumerate()
+            .filter(|(i, s)| !self.crashed[*i] && s.lock().maxl != 0)
+            .map(|(_, s)| s.lock().id)
             .collect()
     }
 
@@ -429,15 +572,23 @@ impl Cluster {
     /// Shuts every node down and joins the threads.
     pub fn shutdown(self) {
         for i in 0..self.states.len() {
-            self.transport.send(
+            self.transport.send_control(
                 self.client_id,
                 PeerId::from_index(i),
                 encode_frame(&Message::Shutdown),
             );
         }
-        for h in self.handles {
+        for h in self.handles.into_iter().flatten() {
             let _ = h.join();
         }
+    }
+}
+
+fn node_config(config: &ClusterConfig) -> NodeConfig {
+    NodeConfig {
+        recmax: config.recmax,
+        ttl: config.ttl,
+        ..NodeConfig::default()
     }
 }
 
@@ -533,6 +684,77 @@ mod tests {
             n: 8,
             ..ClusterConfig::default()
         });
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn clean_run_reports_no_fault_counters() {
+        let mut cluster = Cluster::spawn(ClusterConfig {
+            n: 16,
+            seed: 31,
+            ..ClusterConfig::default()
+        });
+        for _ in 0..10 {
+            cluster.build(80);
+            if cluster.avg_path_len() >= 3.5 {
+                break;
+            }
+        }
+        let key = BitPath::from_str_lossy("0101");
+        let entry = WireEntry {
+            item: 2,
+            holder: PeerId(3),
+            version: 1,
+        };
+        cluster.seed_index(key, entry);
+        for _ in 0..10 {
+            let _ = cluster.query(&key);
+        }
+        cluster.settle();
+        let stats = cluster.net_stats();
+        assert!(
+            stats.is_fault_free(),
+            "no phantom retries on a clean run: {stats}"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn crash_and_restart_cycle() {
+        let mut cluster = Cluster::spawn(ClusterConfig {
+            n: 12,
+            seed: 41,
+            ..ClusterConfig::default()
+        });
+        for _ in 0..10 {
+            cluster.build(80);
+            if cluster.avg_path_len() >= 3.5 {
+                break;
+            }
+        }
+        let victim = PeerId(3);
+        let path_before = cluster.states[victim.index()].lock().path;
+        cluster.crash_node(victim);
+        assert!(!cluster.live_nodes().contains(&victim));
+        // The community keeps answering while the node is down.
+        let key = BitPath::from_str_lossy("1001");
+        let entry = WireEntry {
+            item: 9,
+            holder: PeerId(5),
+            version: 1,
+        };
+        cluster.seed_index(key, entry);
+        let _ = cluster.query(&key);
+        // Restart: durable state survived the crash.
+        cluster.restart_node(victim);
+        assert!(cluster.live_nodes().contains(&victim));
+        assert_eq!(
+            cluster.states[victim.index()].lock().path,
+            path_before,
+            "crash must not lose durable state"
+        );
+        cluster.build(40);
+        cluster.check_invariants().unwrap();
         cluster.shutdown();
     }
 }

@@ -1,0 +1,269 @@
+//! Deterministic fault injection for the in-process transport.
+//!
+//! A [`FaultPlan`] describes *which* faults a link may exhibit — message
+//! drop, duplication, reordering, and delay — with per-frame probabilities.
+//! The engine derives one RNG stream per directed link from the plan's
+//! single seed, so a run is exactly reproducible from that seed alone,
+//! independent of thread scheduling: whether node A's 3rd frame to node B
+//! is dropped depends only on `(seed, A, B, 3)`.
+//!
+//! Peer crash/restart is a *cluster*-level fault (a mailbox disappears and
+//! later reappears); see `Cluster::crash_node` / `Cluster::restart_node`.
+
+use pgrid_net::PeerId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Per-link fault probabilities, all driven by one seed.
+///
+/// Probabilities are clamped to `[0, 1]` when the plan is applied. The
+/// default plan injects nothing (all probabilities zero) — wrapping a
+/// transport in a default plan is byte-for-byte equivalent to no plan.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the per-link RNG streams.
+    pub seed: u64,
+    /// Probability a frame is silently dropped in flight.
+    pub drop: f64,
+    /// Probability a frame is delivered twice.
+    pub duplicate: f64,
+    /// Probability a frame is held back briefly so later frames overtake it.
+    pub reorder: f64,
+    /// Probability a frame is delayed by up to [`FaultPlan::delay_ms_max`].
+    pub delay: f64,
+    /// Upper bound (inclusive, milliseconds) on injected delays.
+    pub delay_ms_max: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            delay: 0.0,
+            delay_ms_max: 20,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing, with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Sets the drop probability.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop = p;
+        self
+    }
+
+    /// Sets the duplication probability.
+    pub fn with_duplicate(mut self, p: f64) -> Self {
+        self.duplicate = p;
+        self
+    }
+
+    /// Sets the reorder probability.
+    pub fn with_reorder(mut self, p: f64) -> Self {
+        self.reorder = p;
+        self
+    }
+
+    /// Sets the delay probability and its upper bound in milliseconds.
+    pub fn with_delay(mut self, p: f64, max_ms: u64) -> Self {
+        self.delay = p;
+        self.delay_ms_max = max_ms.max(1);
+        self
+    }
+
+    /// True when every fault probability is zero.
+    pub fn is_clean(&self) -> bool {
+        self.drop <= 0.0 && self.duplicate <= 0.0 && self.reorder <= 0.0 && self.delay <= 0.0
+    }
+
+    fn clamped(mut self) -> Self {
+        self.drop = self.drop.clamp(0.0, 1.0);
+        self.duplicate = self.duplicate.clamp(0.0, 1.0);
+        self.reorder = self.reorder.clamp(0.0, 1.0);
+        self.delay = self.delay.clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// What the engine decided for one frame on one link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct FaultDecision {
+    /// Silently discard the frame.
+    pub drop: bool,
+    /// Deliver a second copy.
+    pub duplicate: bool,
+    /// Hold the frame back for this many milliseconds before delivery.
+    pub hold_ms: Option<u64>,
+    /// The hold was caused by the reorder roll (stats attribution).
+    pub reordered: bool,
+}
+
+impl FaultDecision {
+    pub(crate) const DELIVER: FaultDecision = FaultDecision {
+        drop: false,
+        duplicate: false,
+        hold_ms: None,
+        reordered: false,
+    };
+}
+
+/// SplitMix64-style finalizer: decorrelates the per-link seeds even when
+/// peer ids are small consecutive integers.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn link_seed(seed: u64, from: PeerId, to: PeerId) -> u64 {
+    mix(seed ^ mix(u64::from(from.0)) ^ mix(u64::from(to.0)).rotate_left(32))
+}
+
+/// Stateful fault roller: one independent RNG stream per directed link.
+pub(crate) struct FaultEngine {
+    plan: FaultPlan,
+    links: HashMap<(PeerId, PeerId), StdRng>,
+}
+
+impl FaultEngine {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        FaultEngine {
+            plan: plan.clamped(),
+            links: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Rolls the fate of one frame travelling `from → to`.
+    pub(crate) fn decide(&mut self, from: PeerId, to: PeerId) -> FaultDecision {
+        let plan = self.plan;
+        let rng = self
+            .links
+            .entry((from, to))
+            .or_insert_with(|| StdRng::seed_from_u64(link_seed(plan.seed, from, to)));
+        // Every roll consumes RNG state unconditionally so the stream stays
+        // aligned regardless of which faults are enabled.
+        let drop = rng.gen::<f64>() < plan.drop;
+        let duplicate = rng.gen::<f64>() < plan.duplicate;
+        let reorder = rng.gen::<f64>() < plan.reorder;
+        let delay = rng.gen::<f64>() < plan.delay;
+        let jitter = rng.gen_range(1..=plan.delay_ms_max.max(1));
+        if drop {
+            return FaultDecision {
+                drop: true,
+                duplicate: false,
+                hold_ms: None,
+                reordered: false,
+            };
+        }
+        let hold_ms = if delay {
+            Some(jitter)
+        } else if reorder {
+            // A short holdback is enough for later frames to overtake.
+            Some(1 + jitter % 4)
+        } else {
+            None
+        };
+        FaultDecision {
+            drop: false,
+            duplicate,
+            hold_ms,
+            reordered: hold_ms.is_some() && !delay,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tally(plan: FaultPlan, from: PeerId, to: PeerId, n: usize) -> (usize, usize, usize) {
+        let mut eng = FaultEngine::new(plan);
+        let (mut drops, mut dups, mut holds) = (0, 0, 0);
+        for _ in 0..n {
+            let d = eng.decide(from, to);
+            drops += usize::from(d.drop);
+            dups += usize::from(d.duplicate);
+            holds += usize::from(d.hold_ms.is_some());
+        }
+        (drops, dups, holds)
+    }
+
+    #[test]
+    fn clean_plan_never_faults() {
+        let (drops, dups, holds) = tally(FaultPlan::new(7), PeerId(1), PeerId(2), 1000);
+        assert_eq!((drops, dups, holds), (0, 0, 0));
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_respected() {
+        let plan = FaultPlan::new(42).with_drop(0.3);
+        let (drops, _, _) = tally(plan, PeerId(1), PeerId(2), 10_000);
+        let rate = drops as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let plan = FaultPlan::new(9)
+            .with_drop(0.2)
+            .with_duplicate(0.1)
+            .with_reorder(0.1)
+            .with_delay(0.1, 10);
+        let mut a = FaultEngine::new(plan);
+        let mut b = FaultEngine::new(plan);
+        for i in 0..500 {
+            let from = PeerId(i % 7);
+            let to = PeerId((i * 3) % 11);
+            assert_eq!(a.decide(from, to), b.decide(from, to), "frame {i}");
+        }
+    }
+
+    #[test]
+    fn links_are_independent_streams() {
+        let plan = FaultPlan::new(5).with_drop(0.5);
+        // Interleaving traffic on another link must not perturb link (1,2).
+        let mut solo = FaultEngine::new(plan);
+        let solo_fates: Vec<bool> = (0..100).map(|_| solo.decide(PeerId(1), PeerId(2)).drop).collect();
+        let mut mixed = FaultEngine::new(plan);
+        let mut mixed_fates = Vec::new();
+        for _ in 0..100 {
+            mixed.decide(PeerId(3), PeerId(4));
+            mixed_fates.push(mixed.decide(PeerId(1), PeerId(2)).drop);
+        }
+        assert_eq!(solo_fates, mixed_fates);
+    }
+
+    #[test]
+    fn directions_differ() {
+        // (1→2) and (2→1) are distinct links with distinct streams.
+        let plan = FaultPlan::new(11).with_drop(0.5);
+        let mut eng = FaultEngine::new(plan);
+        let ab: Vec<bool> = (0..64).map(|_| eng.decide(PeerId(1), PeerId(2)).drop).collect();
+        let ba: Vec<bool> = (0..64).map(|_| eng.decide(PeerId(2), PeerId(1)).drop).collect();
+        assert_ne!(ab, ba);
+    }
+
+    #[test]
+    fn probabilities_are_clamped() {
+        let plan = FaultPlan::new(1).with_drop(7.5);
+        let eng = FaultEngine::new(plan);
+        assert_eq!(eng.plan().drop, 1.0);
+    }
+}

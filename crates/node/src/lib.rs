@@ -16,16 +16,29 @@
 //! Unlike the simulator, the live cluster is asynchronous and therefore not
 //! bit-deterministic; its tests assert *invariants* (structure validity,
 //! convergence, query soundness) rather than exact traces.
+//!
+//! ## Failure model
+//!
+//! The transport can be wrapped in a deterministic [`FaultPlan`] injecting
+//! per-link drop / duplication / reordering / delay, and the cluster can
+//! crash and restart whole peers. The node loop survives all of it through
+//! hop-level acks with bounded, jittered exponential-backoff retransmission
+//! ([`RetryPolicy`]), query failover to alternate references, and demotion
+//! of repeatedly unresponsive peers (see `DESIGN.md`, "Failure model").
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cluster;
+mod fault;
 mod node;
 mod state;
 mod transport;
 
 pub use cluster::{Cluster, ClusterConfig};
-pub use node::{spawn_node, NodeConfig};
-pub use state::{NodeState, RouteDecision};
-pub use transport::{Frame, LocalTransport};
+pub use fault::FaultPlan;
+pub use node::{spawn_node, NodeConfig, RetryPolicy};
+pub use state::{NodeState, RouteDecision, DEFAULT_SUSPECT_AFTER};
+pub use transport::{
+    Frame, LocalTransport, RegisterError, SendStatus, DEFAULT_MAILBOX_DEPTH,
+};

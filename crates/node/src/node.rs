@@ -1,19 +1,70 @@
 //! The actor event loop of a live node.
+//!
+//! # Reliability
+//!
+//! The loop assumes a *faulty* transport (see [`crate::FaultPlan`]): frames
+//! may be dropped, duplicated, reordered, or delayed, and peers may crash.
+//! Every state-carrying frame therefore follows one of two patterns:
+//!
+//! * **Request/response with retransmission** — exchange offers keep the
+//!   answer as their implicit ack; forwarded queries, query answers, and
+//!   index inserts are acked hop-by-hop with [`Message::Ack`]. Unacked
+//!   frames are retransmitted with exponential backoff + jitter
+//!   ([`RetryPolicy`]) up to a bounded attempt count, then the sender
+//!   **fails over** to the next candidate reference (queries/inserts) or
+//!   gives up (offers). A [`Message::Nack`] (downstream dead end) triggers
+//!   the failover immediately.
+//! * **Idempotent receipt** — retransmits are deduplicated: queries by
+//!   `(origin, id)`, inserts by `(sender, seq)`, and duplicate exchange
+//!   offers are re-answered from a bounded cache *without* re-applying the
+//!   (non-idempotent) Fig. 3 case.
+//!
+//! Peers that repeatedly exhaust a retransmit budget are demoted via
+//! [`NodeState::note_peer_failure`] and eventually evicted; a peer with no
+//! mailbox at all (definitively departed) is pruned on the spot.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use bytes::BytesMut;
-use crossbeam::channel::Receiver;
+use bytes::{Bytes, BytesMut};
+use crossbeam::channel::{Receiver, RecvTimeoutError};
 use parking_lot::Mutex;
 use pgrid_keys::BitPath;
 use pgrid_net::PeerId;
-use pgrid_wire::{decode_frame, encode_frame, Message};
+use pgrid_wire::{decode_frame, encode_frame, Message, WireEntry};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-use crate::{Frame, LocalTransport, NodeState, RouteDecision};
+use crate::{Frame, LocalTransport, NodeState, RouteDecision, SendStatus};
+
+/// How unacknowledged frames are retransmitted: `attempt` transmissions in
+/// total, the wait after the n-th doubling each time, plus uniform jitter
+/// to decorrelate competing retransmitters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Backoff after the first transmission, in milliseconds.
+    pub base_ms: u64,
+    /// Total transmissions (1 = no retransmission).
+    pub max_attempts: u32,
+    /// Upper bound of the uniform jitter added to every deadline.
+    pub jitter_ms: u64,
+}
+
+impl RetryPolicy {
+    /// The wait before declaring (1-based) transmission `attempt` lost:
+    /// `base · 2^(attempt−1) + U(0, jitter)`, capped at 64×base.
+    pub fn backoff(&self, attempt: u32, rng: &mut StdRng) -> Duration {
+        let shift = attempt.saturating_sub(1).min(6);
+        let jitter = if self.jitter_ms > 0 {
+            rng.gen_range(0..=self.jitter_ms)
+        } else {
+            0
+        };
+        Duration::from_millis(self.base_ms.saturating_mul(1 << shift) + jitter)
+    }
+}
 
 /// Behavioural knobs of a live node.
 #[derive(Clone, Copy, Debug)]
@@ -22,12 +73,147 @@ pub struct NodeConfig {
     pub recmax: u8,
     /// Query hop budget.
     pub ttl: u16,
+    /// Retransmission policy for exchange offers (acked by their answer).
+    pub exchange_retry: RetryPolicy,
+    /// Retransmission policy for hop-acked frames (queries, answers,
+    /// inserts).
+    pub ack_retry: RetryPolicy,
 }
 
 impl Default for NodeConfig {
     fn default() -> Self {
-        NodeConfig { recmax: 2, ttl: 64 }
+        NodeConfig {
+            recmax: 2,
+            ttl: 64,
+            // Bases are far above clean-run processing latency (micro-
+            // seconds), so a fault-free network never sees a retransmission.
+            exchange_retry: RetryPolicy {
+                base_ms: 120,
+                max_attempts: 3,
+                jitter_ms: 40,
+            },
+            ack_retry: RetryPolicy {
+                base_ms: 60,
+                max_attempts: 3,
+                jitter_ms: 20,
+            },
+        }
     }
+}
+
+/// Event-loop wakeup period for timer processing.
+const TICK: Duration = Duration::from_millis(5);
+/// Bound on the query/insert dedup sets.
+const SEEN_CAP: usize = 512;
+/// Bound on the duplicate-offer answer cache.
+const ANSWER_CACHE_CAP: usize = 256;
+
+/// An insertion-ordered set evicting its oldest member beyond `cap`.
+struct BoundedSet<K> {
+    order: VecDeque<K>,
+    set: HashSet<K>,
+    cap: usize,
+}
+
+impl<K: std::hash::Hash + Eq + Copy> BoundedSet<K> {
+    fn new(cap: usize) -> Self {
+        BoundedSet {
+            order: VecDeque::new(),
+            set: HashSet::new(),
+            cap,
+        }
+    }
+
+    /// Returns `true` when `k` was not present.
+    fn insert(&mut self, k: K) -> bool {
+        if !self.set.insert(k) {
+            return false;
+        }
+        self.order.push_back(k);
+        if self.order.len() > self.cap {
+            if let Some(old) = self.order.pop_front() {
+                self.set.remove(&old);
+            }
+        }
+        true
+    }
+}
+
+/// An insertion-ordered map evicting its oldest entry beyond `cap`.
+struct BoundedMap<K, V> {
+    order: VecDeque<K>,
+    map: HashMap<K, V>,
+    cap: usize,
+}
+
+impl<K: std::hash::Hash + Eq + Copy, V> BoundedMap<K, V> {
+    fn new(cap: usize) -> Self {
+        BoundedMap {
+            order: VecDeque::new(),
+            map: HashMap::new(),
+            cap,
+        }
+    }
+
+    fn get(&self, k: &K) -> Option<&V> {
+        self.map.get(k)
+    }
+
+    fn insert(&mut self, k: K, v: V) {
+        if self.map.insert(k, v).is_none() {
+            self.order.push_back(k);
+            if self.order.len() > self.cap {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+/// An offer we initiated, awaiting its answer.
+struct PendingOffer {
+    target: PeerId,
+    /// Path snapshot at send time: an answer telling us to extend is only
+    /// valid if our path has not changed in the meantime.
+    snapshot: BitPath,
+    depth: u8,
+    frame: Bytes,
+    attempt: u32,
+    deadline: Instant,
+}
+
+/// A query we forwarded, awaiting the next hop's ack.
+struct PendingForward {
+    /// Who handed the query to us (to `Nack` when we dead-end).
+    upstream: PeerId,
+    origin: PeerId,
+    frame: Bytes,
+    current: PeerId,
+    rest: Vec<PeerId>,
+    attempt: u32,
+    deadline: Instant,
+}
+
+/// A query answer we sent, awaiting the origin's ack.
+struct PendingAnswer {
+    to: PeerId,
+    frame: Bytes,
+    attempt: u32,
+    deadline: Instant,
+}
+
+/// An index entry we forwarded, awaiting the next hop's ack. We hold
+/// custody: if every candidate fails, the entry is kept locally and flagged
+/// for anti-entropy instead of being lost.
+struct PendingInsert {
+    key: BitPath,
+    entry: WireEntry,
+    frame: Bytes,
+    current: PeerId,
+    rest: Vec<PeerId>,
+    attempt: u32,
+    deadline: Instant,
 }
 
 /// Spawns a node thread processing frames from `rx` until it receives
@@ -42,331 +228,705 @@ pub fn spawn_node(
     seed: u64,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
-        let mut rng = StdRng::seed_from_u64(seed);
-        // Offers we initiated and the path snapshot at send time: an answer
-        // telling us to extend is only valid if our path has not changed in
-        // the meantime (another exchange may have specialized us already).
-        let mut pending_offers: HashMap<u64, (BitPath, u8)> = HashMap::new();
-        let mut next_offer_id: u64 = seed << 16;
-        let id = state.lock().id;
+        let rt = NodeRt::new(state, config, transport, seed);
+        rt.run(rx);
+    })
+}
 
-        while let Ok(frame) = rx.recv() {
-            // Anti-entropy: every incoming frame is an opportunity to retry
-            // re-homing entries that had no route when they arrived.
-            if state.lock().misplaced {
-                let stranded = {
-                    let mut guard = state.lock();
-                    guard.misplaced = false;
-                    guard.extract_misplaced()
-                };
-                rehome(&state, &transport, id, stranded, &mut rng);
+struct NodeRt {
+    id: PeerId,
+    state: Arc<Mutex<NodeState>>,
+    config: NodeConfig,
+    transport: LocalTransport,
+    rng: StdRng,
+    /// Correlation-id / hop-sequence counter. The high bit keeps node-
+    /// generated sequence numbers disjoint from client-generated query ids.
+    next_id: u64,
+    pending_offers: HashMap<u64, PendingOffer>,
+    pending_forwards: HashMap<u64, PendingForward>,
+    pending_answers: HashMap<u64, PendingAnswer>,
+    pending_inserts: HashMap<u64, PendingInsert>,
+    /// Queries already accepted (`true`) or refused (`false`), so
+    /// retransmits are re-acked without reprocessing.
+    seen_queries: BoundedMap<(PeerId, u64), bool>,
+    /// Inserts already accepted, by `(sender, seq)`.
+    seen_inserts: BoundedSet<(PeerId, u64)>,
+    /// Encoded answers by `(initiator, xid)`: duplicate offers are re-
+    /// answered from here because `handle_offer` is not idempotent.
+    answer_cache: BoundedMap<(PeerId, u64), Bytes>,
+}
+
+impl NodeRt {
+    fn new(
+        state: Arc<Mutex<NodeState>>,
+        config: NodeConfig,
+        transport: LocalTransport,
+        seed: u64,
+    ) -> Self {
+        let id = state.lock().id;
+        NodeRt {
+            id,
+            state,
+            config,
+            transport,
+            rng: StdRng::seed_from_u64(seed),
+            next_id: (1 << 63) | (seed << 20),
+            pending_offers: HashMap::new(),
+            pending_forwards: HashMap::new(),
+            pending_answers: HashMap::new(),
+            pending_inserts: HashMap::new(),
+            seen_queries: BoundedMap::new(SEEN_CAP),
+            seen_inserts: BoundedSet::new(SEEN_CAP),
+            answer_cache: BoundedMap::new(ANSWER_CACHE_CAP),
+        }
+    }
+
+    fn run(mut self, rx: Receiver<Frame>) {
+        loop {
+            match rx.recv_timeout(TICK) {
+                Ok(frame) => {
+                    if !self.handle_frame(frame) {
+                        return;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
             }
-            let mut buf = BytesMut::from(&frame.bytes[..]);
-            let message = match decode_frame(&mut buf) {
-                Ok(Some(m)) => m,
-                Ok(None) | Err(_) => continue, // malformed frame: drop
-            };
-            match message {
-                Message::Shutdown => break,
-                Message::Meet { with } => {
-                    send_offer(
-                        &state,
-                        &transport,
-                        id,
-                        with,
-                        0,
-                        &mut next_offer_id,
-                        &mut pending_offers,
+            self.tick(Instant::now());
+        }
+    }
+
+    fn next_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    fn send(&self, to: PeerId, msg: &Message) -> SendStatus {
+        self.transport.dispatch(self.id, to, encode_frame(msg))
+    }
+
+    fn send_ack(&self, to: PeerId, seq: u64) {
+        let _ = self.send(to, &Message::Ack { seq });
+    }
+
+    fn send_nack(&self, to: PeerId, seq: u64) {
+        let _ = self.send(to, &Message::Nack { seq });
+    }
+
+    /// Records a soft delivery failure (timeout / full mailbox) against
+    /// `peer`; eviction after repeated strikes is counted in the stats.
+    fn note_failure(&mut self, peer: PeerId) {
+        if self.state.lock().note_peer_failure(peer) {
+            self.transport.record_eviction();
+        }
+    }
+
+    /// A peer with no mailbox is gone for good: prune it everywhere.
+    fn note_gone(&mut self, peer: PeerId) {
+        self.state.lock().forget_peer(peer);
+    }
+
+    /// Returns `false` when the node must shut down.
+    fn handle_frame(&mut self, frame: Frame) -> bool {
+        // Anti-entropy: every incoming frame is an opportunity to retry
+        // re-homing entries that had no route when they arrived.
+        self.anti_entropy();
+        let mut buf = BytesMut::from(&frame.bytes[..]);
+        let message = match decode_frame(&mut buf) {
+            Ok(Some(m)) => m,
+            Ok(None) | Err(_) => {
+                // Malformed frame: count it and (in debug builds) say so
+                // instead of dropping invisibly.
+                self.transport.record_malformed();
+                if cfg!(debug_assertions) {
+                    eprintln!(
+                        "[pgrid-node] {}: malformed frame from {} ({} bytes)",
+                        self.id,
+                        frame.from,
+                        frame.bytes.len()
                     );
                 }
-                Message::Ping { nonce } => {
-                    let _ = transport.send(id, frame.from, encode_frame(&Message::Pong { nonce }));
+                return true;
+            }
+        };
+        let from = frame.from;
+        match message {
+            Message::Shutdown => return false,
+            Message::Meet { with } => self.send_offer(with, 0),
+            Message::Ping { nonce } => {
+                let _ = self.send(from, &Message::Pong { nonce });
+            }
+            Message::Pong { .. } => {}
+            Message::Ack { seq } => self.on_ack(from, seq),
+            Message::Nack { seq } => self.on_nack(from, seq),
+            Message::Query {
+                id,
+                origin,
+                key,
+                matched,
+                ttl,
+            } => self.on_query(from, id, origin, key, matched, ttl),
+            Message::QueryOk { .. } | Message::QueryFail { .. } => {
+                // Only the query origin consumes these; a node receives
+                // them only if it was an origin, which live nodes are
+                // not (clients are). Ignore.
+            }
+            Message::ExchangeOffer {
+                id,
+                depth,
+                path,
+                level_refs,
+            } => self.on_offer(from, id, depth, &path, &level_refs),
+            Message::ExchangeAnswer {
+                id,
+                take_bit,
+                adopt_refs,
+                recurse_with,
+                ..
+            } => self.on_answer(from, id, take_bit, adopt_refs, recurse_with),
+            Message::ExchangeConfirm { path, .. } => {
+                let mut guard = self.state.lock();
+                guard.maybe_add_ref(from, &path, &mut self.rng);
+            }
+            Message::IndexInsert { seq, key, entry } => self.on_insert(from, seq, key, entry),
+        }
+        true
+    }
+
+    // ---- timers ------------------------------------------------------
+
+    fn tick(&mut self, now: Instant) {
+        self.tick_offers(now);
+        self.tick_forwards(now);
+        self.tick_answers(now);
+        self.tick_inserts(now);
+    }
+
+    fn expired<P>(map: &HashMap<u64, P>, now: Instant, deadline: impl Fn(&P) -> Instant) -> Vec<u64> {
+        map.iter()
+            .filter(|(_, p)| deadline(p) <= now)
+            .map(|(&k, _)| k)
+            .collect()
+    }
+
+    fn tick_offers(&mut self, now: Instant) {
+        for xid in Self::expired(&self.pending_offers, now, |p| p.deadline) {
+            let Some(mut p) = self.pending_offers.remove(&xid) else {
+                continue;
+            };
+            if p.attempt < self.config.exchange_retry.max_attempts {
+                p.attempt += 1;
+                self.transport.record_retry();
+                let _ = self.transport.send(self.id, p.target, p.frame.clone());
+                p.deadline = now + self.config.exchange_retry.backoff(p.attempt, &mut self.rng);
+                self.pending_offers.insert(xid, p);
+            } else {
+                self.transport.record_timeout();
+                self.note_failure(p.target);
+            }
+        }
+    }
+
+    fn tick_forwards(&mut self, now: Instant) {
+        for qid in Self::expired(&self.pending_forwards, now, |p| p.deadline) {
+            let Some(mut p) = self.pending_forwards.remove(&qid) else {
+                continue;
+            };
+            if p.attempt < self.config.ack_retry.max_attempts {
+                p.attempt += 1;
+                self.transport.record_retry();
+                let _ = self.transport.send(self.id, p.current, p.frame.clone());
+                p.deadline = now + self.config.ack_retry.backoff(p.attempt, &mut self.rng);
+                self.pending_forwards.insert(qid, p);
+            } else {
+                self.transport.record_timeout();
+                let failed = p.current;
+                self.note_failure(failed);
+                self.drive_forward(qid, p);
+            }
+        }
+    }
+
+    fn tick_answers(&mut self, now: Instant) {
+        for qid in Self::expired(&self.pending_answers, now, |p| p.deadline) {
+            let Some(mut p) = self.pending_answers.remove(&qid) else {
+                continue;
+            };
+            if p.attempt < self.config.ack_retry.max_attempts {
+                p.attempt += 1;
+                self.transport.record_retry();
+                let _ = self.transport.send(self.id, p.to, p.frame.clone());
+                p.deadline = now + self.config.ack_retry.backoff(p.attempt, &mut self.rng);
+                self.pending_answers.insert(qid, p);
+            } else {
+                // The origin is a client, not a routing-table member; no
+                // demotion, the client's own query retry covers this.
+                self.transport.record_timeout();
+            }
+        }
+    }
+
+    fn tick_inserts(&mut self, now: Instant) {
+        for seq in Self::expired(&self.pending_inserts, now, |p| p.deadline) {
+            let Some(mut p) = self.pending_inserts.remove(&seq) else {
+                continue;
+            };
+            if p.attempt < self.config.ack_retry.max_attempts {
+                p.attempt += 1;
+                self.transport.record_retry();
+                let _ = self.transport.send(self.id, p.current, p.frame.clone());
+                p.deadline = now + self.config.ack_retry.backoff(p.attempt, &mut self.rng);
+                self.pending_inserts.insert(seq, p);
+            } else {
+                self.transport.record_timeout();
+                let failed = p.current;
+                self.note_failure(failed);
+                self.drive_insert(seq, p);
+            }
+        }
+    }
+
+    // ---- acks --------------------------------------------------------
+
+    fn on_ack(&mut self, from: PeerId, seq: u64) {
+        self.state.lock().note_peer_success(from);
+        if self
+            .pending_forwards
+            .get(&seq)
+            .is_some_and(|p| p.current == from)
+        {
+            self.pending_forwards.remove(&seq);
+            return;
+        }
+        if self.pending_answers.get(&seq).is_some_and(|p| p.to == from) {
+            self.pending_answers.remove(&seq);
+            return;
+        }
+        if self
+            .pending_inserts
+            .get(&seq)
+            .is_some_and(|p| p.current == from)
+        {
+            self.pending_inserts.remove(&seq);
+        }
+    }
+
+    fn on_nack(&mut self, from: PeerId, seq: u64) {
+        // A nack is a *response*: the peer is alive, it just can't help.
+        self.state.lock().note_peer_success(from);
+        if self
+            .pending_forwards
+            .get(&seq)
+            .is_some_and(|p| p.current == from)
+        {
+            let p = self.pending_forwards.remove(&seq).expect("checked above");
+            self.drive_forward(seq, p);
+            return;
+        }
+        if self
+            .pending_inserts
+            .get(&seq)
+            .is_some_and(|p| p.current == from)
+        {
+            let p = self.pending_inserts.remove(&seq).expect("checked above");
+            self.drive_insert(seq, p);
+        }
+    }
+
+    // ---- queries -----------------------------------------------------
+
+    fn on_query(
+        &mut self,
+        from: PeerId,
+        qid: u64,
+        origin: PeerId,
+        key: BitPath,
+        matched: u16,
+        ttl: u16,
+    ) {
+        if let Some(&accepted) = self.seen_queries.get(&(origin, qid)) {
+            // Retransmit or injected duplicate: repeat the receipt verdict
+            // without reprocessing.
+            if from != origin {
+                if accepted {
+                    self.send_ack(from, qid);
+                } else {
+                    self.send_nack(from, qid);
                 }
-                Message::Pong { .. } => {}
-                Message::Query {
+            }
+            return;
+        }
+        let decision = {
+            let guard = self.state.lock();
+            match guard.route(&key, matched, &mut self.rng) {
+                RouteDecision::Responsible => {
+                    let full = guard.full_key(&key, matched);
+                    Err(Message::QueryOk {
+                        id: qid,
+                        responsible: self.id,
+                        entries: guard.index_lookup(&full).to_vec(),
+                    })
+                }
+                RouteDecision::Forward {
+                    key,
+                    matched,
+                    candidates,
+                } => Ok((key, matched, candidates)),
+                RouteDecision::Dead => Err(Message::QueryFail { id: qid }),
+            }
+        };
+        match decision {
+            Err(reply) => {
+                let answered = matches!(reply, Message::QueryOk { .. });
+                if answered || from == origin {
+                    // We can settle the query (success, or the entry hop
+                    // reporting failure to its client): take custody.
+                    self.seen_queries.insert((origin, qid), true);
+                    if from != origin {
+                        self.send_ack(from, qid);
+                    }
+                    self.send_answer(origin, qid, encode_frame(&reply));
+                } else {
+                    // Dead end mid-route: push the query back upstream so
+                    // the previous hop fails over to its other candidates.
+                    self.seen_queries.insert((origin, qid), false);
+                    self.send_nack(from, qid);
+                }
+            }
+            Ok((key, matched, candidates)) => {
+                if ttl == 0 {
+                    if from == origin {
+                        self.seen_queries.insert((origin, qid), true);
+                        self.send_answer(origin, qid, encode_frame(&Message::QueryFail { id: qid }));
+                    } else {
+                        self.seen_queries.insert((origin, qid), false);
+                        self.send_nack(from, qid);
+                    }
+                    return;
+                }
+                self.seen_queries.insert((origin, qid), true);
+                if from != origin {
+                    self.send_ack(from, qid);
+                }
+                let fwd = encode_frame(&Message::Query {
                     id: qid,
                     origin,
                     key,
                     matched,
-                    ttl,
-                } => {
-                    let decision = {
-                        let guard = state.lock();
-                        match guard.route(&key, matched, &mut rng) {
-                            RouteDecision::Responsible => {
-                                let full = guard.full_key(&key, matched);
-                                let entries = guard.index_lookup(&full).to_vec();
-                                Err(Message::QueryOk {
-                                    id: qid,
-                                    responsible: id,
-                                    entries,
-                                })
-                            }
-                            RouteDecision::Forward {
-                                key,
-                                matched,
-                                candidates,
-                            } => Ok((key, matched, candidates)),
-                            RouteDecision::Dead => Err(Message::QueryFail { id: qid }),
-                        }
-                    };
-                    match decision {
-                        Err(reply) => {
-                            let _ = transport.send(id, origin, encode_frame(&reply));
-                        }
-                        Ok((key, matched, candidates)) => {
-                            if ttl == 0 {
-                                let _ = transport
-                                    .send(id, origin, encode_frame(&Message::QueryFail { id: qid }));
-                            } else {
-                                let fwd = encode_frame(&Message::Query {
-                                    id: qid,
-                                    origin,
-                                    key,
-                                    matched,
-                                    ttl: ttl - 1,
-                                });
-                                let mut delivered = false;
-                                for &c in &candidates {
-                                    if transport.send(id, c, fwd.clone()) {
-                                        delivered = true;
-                                        break;
-                                    }
-                                    // Unreachable mailbox = departed peer:
-                                    // prune the stale reference on the spot.
-                                    state.lock().forget_peer(c);
-                                }
-                                if !delivered {
-                                    let _ = transport.send(
-                                        id,
-                                        origin,
-                                        encode_frame(&Message::QueryFail { id: qid }),
-                                    );
-                                }
-                            }
-                        }
-                    }
-                }
-                Message::QueryOk { .. } | Message::QueryFail { .. } => {
-                    // Only the query origin consumes these; a node receives
-                    // them only if it was an origin, which live nodes are
-                    // not (clients are). Ignore.
-                }
-                Message::ExchangeOffer {
-                    id: xid,
-                    depth,
-                    path,
-                    level_refs,
-                } => {
-                    let (outcome, misplaced) = {
-                        let mut guard = state.lock();
-                        let before = guard.path;
-                        let outcome =
-                            guard.handle_offer(frame.from, &path, &level_refs, &mut rng);
-                        // Case 1/3 may have specialized us: entries outside
-                        // the new path must find their new homes.
-                        let misplaced = if guard.path != before {
-                            guard.extract_misplaced()
-                        } else {
-                            Vec::new()
-                        };
-                        (outcome, misplaced)
-                    };
-                    rehome(&state, &transport, id, misplaced, &mut rng);
-                    let answer = Message::ExchangeAnswer {
-                        id: xid,
-                        responder_path: state.lock().path,
-                        take_bit: outcome.take_bit,
-                        adopt_refs: outcome.adopt_refs,
-                        recurse_with: outcome.recurse_initiator,
-                    };
-                    let _ = transport.send(id, frame.from, encode_frame(&answer));
-                    // The responder's own recursion: exchange with peers
-                    // drawn from the initiator's digest.
-                    if depth < config.recmax {
-                        for target in outcome.recurse_responder {
-                            send_offer(
-                                &state,
-                                &transport,
-                                id,
-                                target,
-                                depth + 1,
-                                &mut next_offer_id,
-                                &mut pending_offers,
-                            );
-                        }
-                    }
-                }
-                Message::ExchangeAnswer {
-                    id: xid,
-                    take_bit,
-                    adopt_refs,
-                    recurse_with,
-                    ..
-                } => {
-                    let Some((snapshot, depth)) = pending_offers.remove(&xid) else {
-                        continue; // unsolicited answer
-                    };
-                    let confirm_path = {
-                        let mut guard = state.lock();
-                        if let Some(bit) = take_bit {
-                            // Only extend if nothing changed since the
-                            // offer — otherwise the whole answer is
-                            // stale (the responder computed its case
-                            // against a path we no longer hold) and we
-                            // drop it.
-                            if guard.path == snapshot && guard.path.len() < guard.maxl {
-                                guard.path = guard.path.child(bit);
-                            } else {
-                                // Stale: skip adopt/recurse entirely.
-                                continue;
-                            }
-                        }
-                        for (level, refs) in adopt_refs {
-                            // Valid even after concurrent growth: levels
-                            // ≤ the offer-time path depend only on prefixes,
-                            // which never change.
-                            if level as usize >= 1 {
-                                guard.union_refs(level as usize, &refs, &mut rng);
-                            }
-                        }
-                        guard.path
-                    };
-                    // Taking a bit may strand entries on the other side.
-                    let misplaced = {
-                        let mut guard = state.lock();
-                        if take_bit.is_some() {
-                            guard.extract_misplaced()
-                        } else {
-                            Vec::new()
-                        }
-                    };
-                    rehome(&state, &transport, id, misplaced, &mut rng);
-                    // Third leg: tell the responder what we actually hold so
-                    // it can (only now, race-free) record us as a reference.
-                    let _ = transport.send(
-                        id,
-                        frame.from,
-                        encode_frame(&Message::ExchangeConfirm {
-                            id: xid,
-                            path: confirm_path,
-                        }),
-                    );
-                    if depth < config.recmax {
-                        for target in recurse_with {
-                            send_offer(
-                                &state,
-                                &transport,
-                                id,
-                                target,
-                                depth + 1,
-                                &mut next_offer_id,
-                                &mut pending_offers,
-                            );
-                        }
-                    }
-                }
-                Message::ExchangeConfirm { path, .. } => {
-                    state.lock().maybe_add_ref(frame.from, &path, &mut rng);
-                }
-                Message::IndexInsert { key, entry } => {
-                    let forward = {
-                        let mut guard = state.lock();
-                        if guard.responsible_for(&key) {
-                            guard.index_insert(key, entry);
-                            None
-                        } else {
-                            // Not responsible: forward along the structure.
-                            // A dead route yields an EMPTY candidate list —
-                            // distinct from the handled-locally case — so
-                            // the keep-and-flag fallback below still runs.
-                            match guard.route(&key, 0, &mut rng) {
-                                RouteDecision::Forward { candidates, .. } => {
-                                    Some(candidates)
-                                }
-                                _ => Some(Vec::new()),
-                            }
-                        }
-                    };
-                    if let Some(candidates) = forward {
-                        // Forward the *full* key — inserts re-route from
-                        // scratch at every hop (keys are absolute).
-                        let fwd = encode_frame(&Message::IndexInsert { key, entry });
-                        let delivered =
-                            candidates.iter().any(|&c| transport.send(id, c, fwd.clone()));
-                        if !delivered {
-                            // No route (common mid-construction): keep the
-                            // entry rather than losing it; anti-entropy
-                            // retries on later traffic.
-                            let mut guard = state.lock();
-                            guard.index_insert(key, entry);
-                            guard.misplaced = true;
-                        }
-                    }
-                }
+                    ttl: ttl - 1,
+                });
+                let pf = PendingForward {
+                    upstream: from,
+                    origin,
+                    frame: fwd,
+                    current: self.id,
+                    rest: candidates,
+                    attempt: 0,
+                    deadline: Instant::now(),
+                };
+                self.drive_forward(qid, pf);
             }
         }
-    })
-}
+    }
 
-/// Re-routes index entries this node no longer covers: each travels as an
-/// ordinary [`Message::IndexInsert`] through the node's own routing table.
-/// Entries with no route stay local (still discoverable by peers that treat
-/// this node as covering their coarser prefix).
-fn rehome(
-    state: &Arc<Mutex<NodeState>>,
-    transport: &LocalTransport,
-    id: PeerId,
-    misplaced: Vec<(pgrid_keys::BitPath, Vec<pgrid_wire::WireEntry>)>,
-    rng: &mut StdRng,
-) {
-    for (key, entries) in misplaced {
-        let candidates = {
-            let guard = state.lock();
-            match guard.route(&key, 0, rng) {
-                RouteDecision::Forward { candidates, .. } => candidates,
-                _ => Vec::new(),
+    /// Transmits the forwarded query to the next viable candidate, or
+    /// reports failure (Nack upstream / QueryFail to the origin) when all
+    /// candidates are spent.
+    fn drive_forward(&mut self, qid: u64, mut pf: PendingForward) {
+        loop {
+            if pf.rest.is_empty() {
+                if pf.upstream == pf.origin {
+                    self.send_answer(pf.origin, qid, encode_frame(&Message::QueryFail { id: qid }));
+                } else {
+                    self.send_nack(pf.upstream, qid);
+                }
+                return;
+            }
+            let next = pf.rest.remove(0);
+            match self.transport.dispatch(self.id, next, pf.frame.clone()) {
+                SendStatus::Delivered | SendStatus::Dropped => {
+                    pf.current = next;
+                    pf.attempt = 1;
+                    pf.deadline = Instant::now() + self.config.ack_retry.backoff(1, &mut self.rng);
+                    self.pending_forwards.insert(qid, pf);
+                    return;
+                }
+                SendStatus::Rejected => self.note_failure(next),
+                SendStatus::NoRoute => self.note_gone(next),
+            }
+        }
+    }
+
+    /// Sends (and tracks for retransmission) a query answer to its origin.
+    fn send_answer(&mut self, to: PeerId, qid: u64, frame: Bytes) {
+        let _ = self.transport.send(self.id, to, frame.clone());
+        let deadline = Instant::now() + self.config.ack_retry.backoff(1, &mut self.rng);
+        self.pending_answers.insert(
+            qid,
+            PendingAnswer {
+                to,
+                frame,
+                attempt: 1,
+                deadline,
+            },
+        );
+    }
+
+    // ---- exchanges ---------------------------------------------------
+
+    fn send_offer(&mut self, target: PeerId, depth: u8) {
+        if target == self.id {
+            return;
+        }
+        let (path, digest) = {
+            let guard = self.state.lock();
+            (guard.path, guard.level_refs_digest())
+        };
+        let xid = self.next_id();
+        let frame = encode_frame(&Message::ExchangeOffer {
+            id: xid,
+            depth,
+            path,
+            level_refs: digest,
+        });
+        match self.transport.dispatch(self.id, target, frame.clone()) {
+            SendStatus::Delivered | SendStatus::Dropped => {
+                let deadline =
+                    Instant::now() + self.config.exchange_retry.backoff(1, &mut self.rng);
+                self.pending_offers.insert(
+                    xid,
+                    PendingOffer {
+                        target,
+                        snapshot: path,
+                        depth,
+                        frame,
+                        attempt: 1,
+                        deadline,
+                    },
+                );
+            }
+            SendStatus::Rejected => self.note_failure(target),
+            SendStatus::NoRoute => self.note_gone(target),
+        }
+    }
+
+    fn on_offer(
+        &mut self,
+        from: PeerId,
+        xid: u64,
+        depth: u8,
+        path: &BitPath,
+        level_refs: &[(u16, Vec<PeerId>)],
+    ) {
+        if let Some(cached) = self.answer_cache.get(&(from, xid)) {
+            // Retransmitted offer: the initiator lost our answer. Re-send
+            // it verbatim; re-running handle_offer would split us again.
+            let cached = cached.clone();
+            let _ = self.transport.send(self.id, from, cached);
+            return;
+        }
+        let (outcome, misplaced) = {
+            let mut guard = self.state.lock();
+            let before = guard.path;
+            let outcome = guard.handle_offer(from, path, level_refs, &mut self.rng);
+            // Case 1/3 may have specialized us: entries outside the new
+            // path must find their new homes.
+            let misplaced = if guard.path != before {
+                guard.extract_misplaced()
+            } else {
+                Vec::new()
+            };
+            (outcome, misplaced)
+        };
+        self.rehome(misplaced);
+        let answer = encode_frame(&Message::ExchangeAnswer {
+            id: xid,
+            responder_path: self.state.lock().path,
+            take_bit: outcome.take_bit,
+            adopt_refs: outcome.adopt_refs,
+            recurse_with: outcome.recurse_initiator,
+        });
+        self.answer_cache.insert((from, xid), answer.clone());
+        let _ = self.transport.send(self.id, from, answer);
+        // The responder's own recursion: exchange with peers drawn from
+        // the initiator's digest.
+        if depth < self.config.recmax {
+            for target in outcome.recurse_responder {
+                self.send_offer(target, depth + 1);
+            }
+        }
+    }
+
+    fn on_answer(
+        &mut self,
+        from: PeerId,
+        xid: u64,
+        take_bit: Option<u8>,
+        adopt_refs: Vec<(u16, Vec<PeerId>)>,
+        recurse_with: Vec<PeerId>,
+    ) {
+        let Some(po) = self.pending_offers.remove(&xid) else {
+            return; // unsolicited answer
+        };
+        if po.target != from {
+            // An answer for our xid from the wrong peer: keep waiting.
+            self.pending_offers.insert(xid, po);
+            return;
+        }
+        self.state.lock().note_peer_success(from);
+        let confirm_path = {
+            let mut guard = self.state.lock();
+            if let Some(bit) = take_bit {
+                // Only extend if nothing changed since the offer —
+                // otherwise the whole answer is stale (the responder
+                // computed its case against a path we no longer hold)
+                // and we drop it.
+                if guard.path == po.snapshot && guard.path.len() < guard.maxl {
+                    guard.path = guard.path.child(bit);
+                } else {
+                    return; // stale: skip adopt/confirm/recurse entirely
+                }
+            }
+            for (level, refs) in adopt_refs {
+                // Valid even after concurrent growth: levels ≤ the
+                // offer-time path depend only on prefixes, which never
+                // change.
+                if level >= 1 {
+                    guard.union_refs(level as usize, &refs, &mut self.rng);
+                }
+            }
+            guard.path
+        };
+        // Taking a bit may strand entries on the other side.
+        let misplaced = {
+            let mut guard = self.state.lock();
+            if take_bit.is_some() {
+                guard.extract_misplaced()
+            } else {
+                Vec::new()
             }
         };
-        for entry in entries {
-            let frame = encode_frame(&Message::IndexInsert { key, entry });
-            let delivered = candidates.iter().any(|&c| transport.send(id, c, frame.clone()));
-            if !delivered {
-                let mut guard = state.lock();
-                guard.index_insert(key, entry);
-                guard.misplaced = true;
+        self.rehome(misplaced);
+        // Third leg: tell the responder what we actually hold so it can
+        // (only now, race-free) record us as a reference. Best-effort: a
+        // lost confirm costs one reference edge, repaired by later
+        // exchanges.
+        let _ = self.send(
+            from,
+            &Message::ExchangeConfirm {
+                id: xid,
+                path: confirm_path,
+            },
+        );
+        if po.depth < self.config.recmax {
+            for target in recurse_with {
+                self.send_offer(target, po.depth + 1);
             }
         }
     }
-}
 
-/// Sends a fresh [`Message::ExchangeOffer`] to `target`, registering the
-/// pending state snapshot for the answer.
-fn send_offer(
-    state: &Arc<Mutex<NodeState>>,
-    transport: &LocalTransport,
-    id: PeerId,
-    target: PeerId,
-    depth: u8,
-    next_offer_id: &mut u64,
-    pending: &mut HashMap<u64, (BitPath, u8)>,
-) {
-    if target == id {
-        return;
+    // ---- index maintenance -------------------------------------------
+
+    fn on_insert(&mut self, from: PeerId, seq: u64, key: BitPath, entry: WireEntry) {
+        // Receipt-ack: we take custody of the entry (keep-and-flag below
+        // guarantees it is never lost once accepted).
+        self.send_ack(from, seq);
+        if !self.seen_inserts.insert((from, seq)) {
+            return; // retransmit of an insert we already own
+        }
+        let forward = {
+            let mut guard = self.state.lock();
+            if guard.responsible_for(&key) {
+                guard.index_insert(key, entry);
+                None
+            } else {
+                // Not responsible: forward along the structure. A dead
+                // route yields an EMPTY candidate list — distinct from the
+                // handled-locally case — so the keep-and-flag fallback
+                // below still runs.
+                match guard.route(&key, 0, &mut self.rng) {
+                    RouteDecision::Forward { candidates, .. } => Some(candidates),
+                    _ => Some(Vec::new()),
+                }
+            }
+        };
+        if let Some(candidates) = forward {
+            self.forward_insert(key, entry, candidates);
+        }
     }
-    let (path, digest) = {
-        let guard = state.lock();
-        (guard.path, guard.level_refs_digest())
-    };
-    let xid = *next_offer_id;
-    *next_offer_id += 1;
-    let offer = Message::ExchangeOffer {
-        id: xid,
-        depth,
-        path,
-        level_refs: digest,
-    };
-    if transport.send(id, target, encode_frame(&offer)) {
-        pending.insert(xid, (path, depth));
+
+    /// Forwards an entry with the *full* key (inserts re-route from scratch
+    /// at every hop, keys are absolute), stamped with a fresh hop sequence.
+    fn forward_insert(&mut self, key: BitPath, entry: WireEntry, candidates: Vec<PeerId>) {
+        let seq = self.next_id();
+        let frame = encode_frame(&Message::IndexInsert { seq, key, entry });
+        let pi = PendingInsert {
+            key,
+            entry,
+            frame,
+            current: self.id,
+            rest: candidates,
+            attempt: 0,
+            deadline: Instant::now(),
+        };
+        self.drive_insert(seq, pi);
+    }
+
+    /// Transmits the insert to the next viable candidate; when all are
+    /// spent, keeps the entry locally (flagged misplaced) rather than
+    /// losing it — anti-entropy retries on later traffic.
+    fn drive_insert(&mut self, seq: u64, mut pi: PendingInsert) {
+        loop {
+            if pi.rest.is_empty() {
+                let mut guard = self.state.lock();
+                guard.index_insert(pi.key, pi.entry);
+                guard.misplaced = true;
+                return;
+            }
+            let next = pi.rest.remove(0);
+            match self.transport.dispatch(self.id, next, pi.frame.clone()) {
+                SendStatus::Delivered | SendStatus::Dropped => {
+                    pi.current = next;
+                    pi.attempt = 1;
+                    pi.deadline = Instant::now() + self.config.ack_retry.backoff(1, &mut self.rng);
+                    self.pending_inserts.insert(seq, pi);
+                    return;
+                }
+                SendStatus::Rejected => self.note_failure(next),
+                SendStatus::NoRoute => self.note_gone(next),
+            }
+        }
+    }
+
+    /// Re-routes index entries this node no longer covers: each travels as
+    /// an ordinary [`Message::IndexInsert`] through the node's own routing
+    /// table. Entries with no route stay local (still discoverable by peers
+    /// that treat this node as covering their coarser prefix).
+    fn rehome(&mut self, misplaced: Vec<(BitPath, Vec<WireEntry>)>) {
+        for (key, entries) in misplaced {
+            let candidates = {
+                let guard = self.state.lock();
+                match guard.route(&key, 0, &mut self.rng) {
+                    RouteDecision::Forward { candidates, .. } => candidates,
+                    _ => Vec::new(),
+                }
+            };
+            for entry in entries {
+                self.forward_insert(key, entry, candidates.clone());
+            }
+        }
+    }
+
+    fn anti_entropy(&mut self) {
+        if !self.state.lock().misplaced {
+            return;
+        }
+        let stranded = {
+            let mut guard = self.state.lock();
+            guard.misplaced = false;
+            guard.extract_misplaced()
+        };
+        self.rehome(stranded);
     }
 }

@@ -5,7 +5,7 @@
 //! holds both state digests, computes the Fig. 3 case, applies its own half
 //! immediately and replies with instructions for the initiator.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use pgrid_keys::{BitPath, Key};
 use pgrid_net::PeerId;
@@ -48,6 +48,9 @@ pub enum RouteDecision {
     Dead,
 }
 
+/// Consecutive delivery failures before a peer is presumed departed.
+pub const DEFAULT_SUSPECT_AFTER: u32 = 3;
+
 /// The mutable state of a live node.
 #[derive(Clone, Debug)]
 pub struct NodeState {
@@ -71,6 +74,10 @@ pub struct NodeState {
     pub refmax: usize,
     /// Recursion fan-out bound for exchange answers.
     pub recfanout: usize,
+    /// Consecutive delivery failures per peer (cleared on any success).
+    pub failures: HashMap<PeerId, u32>,
+    /// Failure count at which a peer is evicted from the routing table.
+    pub suspect_after: u32,
 }
 
 impl NodeState {
@@ -87,6 +94,8 @@ impl NodeState {
             maxl,
             refmax,
             recfanout,
+            failures: HashMap::new(),
+            suspect_after: DEFAULT_SUSPECT_AFTER,
         }
     }
 
@@ -106,13 +115,39 @@ impl NodeState {
     }
 
     /// Removes a reference everywhere it appears — used when a delivery
-    /// fails, which on the in-process transport means the peer is gone for
-    /// good (a socket transport would do this after repeated timeouts).
+    /// definitively fails (no mailbox: the peer is gone for good). For the
+    /// softer signal of *repeated timeouts*, see
+    /// [`NodeState::note_peer_failure`], which demotes gradually and calls
+    /// this only once the failure budget is spent.
     pub fn forget_peer(&mut self, peer: PeerId) {
         for slot in &mut self.refs {
             slot.retain(|&p| p != peer);
         }
         self.buddies.retain(|&p| p != peer);
+        self.failures.remove(&peer);
+    }
+
+    /// Records one delivery timeout against `peer`. After
+    /// [`NodeState::suspect_after`] *consecutive* failures the peer is
+    /// evicted from the routing table ([`NodeState::forget_peer`]); returns
+    /// `true` exactly when that eviction happened. A lossy-but-alive peer
+    /// keeps its place as long as some traffic gets through
+    /// ([`NodeState::note_peer_success`] resets the count).
+    pub fn note_peer_failure(&mut self, peer: PeerId) -> bool {
+        let count = self.failures.entry(peer).or_insert(0);
+        *count += 1;
+        if *count >= self.suspect_after {
+            self.forget_peer(peer);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records a successful interaction with `peer`, clearing its
+    /// consecutive-failure count.
+    pub fn note_peer_success(&mut self, peer: PeerId) {
+        self.failures.remove(&peer);
     }
 
     /// Unions `new` into the reference set at 1-based `level`, evicting a
@@ -536,6 +571,31 @@ mod tests {
         state.index_insert(k, e(1)); // stale, ignored
         assert_eq!(state.index_lookup(&k), &[e(2)]);
         assert_eq!(state.index_lookup(&path("1")), &[]);
+    }
+
+    #[test]
+    fn repeated_failures_evict_a_peer() {
+        let mut state = NodeState::new(PeerId(0), 4, 2, 2);
+        state.refs = vec![vec![PeerId(1), PeerId(2)]];
+        state.buddies = vec![PeerId(1)];
+        assert!(!state.note_peer_failure(PeerId(1)));
+        assert!(!state.note_peer_failure(PeerId(1)));
+        assert!(state.note_peer_failure(PeerId(1)), "third strike evicts");
+        assert_eq!(state.refs[0], vec![PeerId(2)]);
+        assert!(state.buddies.is_empty());
+        assert!(!state.failures.contains_key(&PeerId(1)));
+    }
+
+    #[test]
+    fn success_resets_the_failure_count() {
+        let mut state = NodeState::new(PeerId(0), 4, 2, 2);
+        state.refs = vec![vec![PeerId(1)]];
+        assert!(!state.note_peer_failure(PeerId(1)));
+        assert!(!state.note_peer_failure(PeerId(1)));
+        state.note_peer_success(PeerId(1));
+        assert!(!state.note_peer_failure(PeerId(1)));
+        assert!(!state.note_peer_failure(PeerId(1)));
+        assert_eq!(state.refs[0], vec![PeerId(1)], "still referenced");
     }
 
     #[test]

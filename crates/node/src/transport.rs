@@ -1,13 +1,18 @@
-//! In-process transport: mailboxes keyed by peer id.
+//! In-process transport: mailboxes keyed by peer id, with optional
+//! deterministic fault injection (see [`crate::fault::FaultPlan`]).
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::RwLock;
-use pgrid_net::PeerId;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use parking_lot::{Mutex, RwLock};
+use pgrid_net::{NetStats, PeerId};
+
+use crate::fault::{FaultDecision, FaultEngine, FaultPlan};
 
 /// One delivered frame: the sender and the encoded bytes.
 #[derive(Clone, Debug)]
@@ -18,74 +23,384 @@ pub struct Frame {
     pub bytes: Bytes,
 }
 
+/// Outcome of handing one frame to the transport.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendStatus {
+    /// Accepted for delivery (possibly held back by an injected delay).
+    Delivered,
+    /// Discarded in flight by injected loss — the *sender cannot see this*;
+    /// [`LocalTransport::send`] reports it as success, exactly like a lossy
+    /// socket. Only [`LocalTransport::dispatch`] exposes it, for tests.
+    Dropped,
+    /// Refused because the target mailbox is full (backpressure).
+    Rejected,
+    /// The target has no mailbox (departed or never existed).
+    NoRoute,
+}
+
+/// Why a registration was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegisterError {
+    /// The peer id already owns a live mailbox.
+    AlreadyRegistered(PeerId),
+}
+
+impl std::fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegisterError::AlreadyRegistered(id) => write!(f, "{id} already registered"),
+        }
+    }
+}
+
+impl std::error::Error for RegisterError {}
+
+/// Default mailbox depth: deep enough that a healthy node never hits it,
+/// shallow enough that a flooded node sheds load instead of growing without
+/// bound.
+pub const DEFAULT_MAILBOX_DEPTH: usize = 4096;
+
+/// A frame held back by an injected delay or reorder.
+struct Held {
+    due: Instant,
+    seq: u64,
+    to: PeerId,
+    frame: Frame,
+}
+
+impl PartialEq for Held {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for Held {}
+impl PartialOrd for Held {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Held {
+    /// Reversed so the `BinaryHeap` (a max-heap) pops the *earliest* due
+    /// frame first; ties broken by submission order.
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Fault/robustness counters, shared by the transport and the node event
+/// loops (nodes report protocol-level events — retries, timeouts, decode
+/// failures, evictions — into the same sink the transport feeds).
+#[derive(Default)]
+struct Counters {
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    reordered: AtomicU64,
+    delayed: AtomicU64,
+    retries: AtomicU64,
+    timeouts: AtomicU64,
+    rejected: AtomicU64,
+    malformed: AtomicU64,
+    evictions: AtomicU64,
+}
+
+struct Inner {
+    mailboxes: RwLock<HashMap<PeerId, Sender<Frame>>>,
+    /// Bounded mailbox depth; `0` means unbounded.
+    depth: usize,
+    delivered: AtomicU64,
+    counters: Counters,
+    faults: Mutex<Option<FaultEngine>>,
+    holdback: Mutex<BinaryHeap<Held>>,
+    held_seq: AtomicU64,
+    pump_alive: AtomicBool,
+}
+
+impl Inner {
+    fn push(&self, to: PeerId, frame: Frame) -> SendStatus {
+        let guard = self.mailboxes.read();
+        let Some(tx) = guard.get(&to) else {
+            return SendStatus::NoRoute;
+        };
+        match tx.try_send(frame) {
+            Ok(()) => {
+                self.delivered.fetch_add(1, Ordering::Relaxed);
+                SendStatus::Delivered
+            }
+            Err(TrySendError::Full(_)) => {
+                self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                SendStatus::Rejected
+            }
+            Err(TrySendError::Disconnected(_)) => SendStatus::NoRoute,
+        }
+    }
+
+    /// Delivers every held frame that has come due. Late deliveries to a
+    /// since-departed peer count as drops.
+    fn flush_due(&self, now: Instant, flush_all: bool) {
+        loop {
+            let held = {
+                let mut heap = self.holdback.lock();
+                match heap.peek() {
+                    Some(h) if flush_all || h.due <= now => heap.pop().unwrap(),
+                    _ => return,
+                }
+            };
+            if self.push(held.to, held.frame) != SendStatus::Delivered {
+                self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
 /// An in-process message router. Every registered peer owns a mailbox; a
 /// send clones nothing but the `Bytes` handle. A socket-based transport
-/// would implement the same two operations.
-#[derive(Clone, Default)]
+/// would implement the same operations.
+///
+/// Mailboxes are **bounded** (see [`DEFAULT_MAILBOX_DEPTH`]): a flooded
+/// node rejects further frames (counted in [`NetStats::rejected`]) instead
+/// of exhausting memory.
+#[derive(Clone)]
 pub struct LocalTransport {
-    mailboxes: Arc<RwLock<HashMap<PeerId, Sender<Frame>>>>,
-    delivered: Arc<AtomicU64>,
+    inner: Arc<Inner>,
+}
+
+impl Default for LocalTransport {
+    fn default() -> Self {
+        LocalTransport::new()
+    }
 }
 
 impl LocalTransport {
-    /// Creates an empty transport.
+    /// Creates an empty transport with the default mailbox depth.
     pub fn new() -> Self {
-        LocalTransport::default()
+        LocalTransport::with_mailbox_depth(DEFAULT_MAILBOX_DEPTH)
     }
 
-    /// Registers a mailbox for `id`, returning its receiving end.
-    ///
-    /// # Panics
-    /// If `id` is already registered.
+    /// Creates an empty transport whose mailboxes hold at most `depth`
+    /// frames (`0` = unbounded).
+    pub fn with_mailbox_depth(depth: usize) -> Self {
+        LocalTransport {
+            inner: Arc::new(Inner {
+                mailboxes: RwLock::new(HashMap::new()),
+                depth,
+                delivered: AtomicU64::new(0),
+                counters: Counters::default(),
+                faults: Mutex::new(None),
+                holdback: Mutex::new(BinaryHeap::new()),
+                held_seq: AtomicU64::new(0),
+                pump_alive: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    fn make_channel(&self) -> (Sender<Frame>, Receiver<Frame>) {
+        if self.inner.depth == 0 {
+            unbounded()
+        } else {
+            bounded(self.inner.depth)
+        }
+    }
+
+    /// Registers a mailbox for `id`, returning its receiving end. An
+    /// existing mailbox for `id` is **replaced** — its sender is dropped, so
+    /// the stale receiver (a crashed node's old event loop) drains and then
+    /// disconnects. This is what makes crash/*restart* possible.
     pub fn register(&self, id: PeerId) -> Receiver<Frame> {
-        let (tx, rx) = unbounded();
-        let prev = self.mailboxes.write().insert(id, tx);
-        assert!(prev.is_none(), "{id} registered twice");
+        let (tx, rx) = self.make_channel();
+        self.inner.mailboxes.write().insert(id, tx);
         rx
+    }
+
+    /// Registers a mailbox for `id`, erroring when one already exists.
+    /// Callers that do not implement restart semantics should prefer this
+    /// over [`LocalTransport::register`] to surface id collisions.
+    pub fn try_register(&self, id: PeerId) -> Result<Receiver<Frame>, RegisterError> {
+        let mut guard = self.inner.mailboxes.write();
+        if guard.contains_key(&id) {
+            return Err(RegisterError::AlreadyRegistered(id));
+        }
+        let (tx, rx) = self.make_channel();
+        guard.insert(id, tx);
+        Ok(rx)
     }
 
     /// Removes a mailbox (a departed peer). Pending frames are dropped with
     /// the receiver.
     pub fn unregister(&self, id: PeerId) {
-        self.mailboxes.write().remove(&id);
+        self.inner.mailboxes.write().remove(&id);
     }
 
     /// Sends `bytes` from `from` to `to`. Returns `false` when the target is
-    /// not registered (departed or never existed) — the live-network
-    /// equivalent of an offline peer.
+    /// not registered (departed or never existed) or its mailbox is full —
+    /// the live-network equivalent of an offline or saturated peer. A frame
+    /// discarded by *injected loss* still returns `true`: the sender of a
+    /// lossy link cannot observe the loss.
     pub fn send(&self, from: PeerId, to: PeerId, bytes: Bytes) -> bool {
-        let guard = self.mailboxes.read();
-        match guard.get(&to) {
-            Some(tx) => {
-                let ok = tx.send(Frame { from, bytes }).is_ok();
-                if ok {
-                    self.delivered.fetch_add(1, Ordering::Relaxed);
-                }
-                ok
+        matches!(
+            self.dispatch(from, to, bytes),
+            SendStatus::Delivered | SendStatus::Dropped
+        )
+    }
+
+    /// Sends `bytes` from `from` to `to`, reporting the precise outcome
+    /// (including injected loss, which [`LocalTransport::send`] hides).
+    pub fn dispatch(&self, from: PeerId, to: PeerId, bytes: Bytes) -> SendStatus {
+        let decision = {
+            let mut guard = self.inner.faults.lock();
+            match guard.as_mut() {
+                Some(engine) => engine.decide(from, to),
+                None => FaultDecision::DELIVER,
             }
-            None => false,
+        };
+        let counters = &self.inner.counters;
+        if decision.drop {
+            counters.dropped.fetch_add(1, Ordering::Relaxed);
+            return SendStatus::Dropped;
         }
+        let frame = Frame { from, bytes };
+        if decision.duplicate {
+            counters.duplicated.fetch_add(1, Ordering::Relaxed);
+            // The extra copy is delivered immediately; when the original is
+            // also held back, the copies additionally arrive out of order.
+            let _ = self.inner.push(to, frame.clone());
+        }
+        match decision.hold_ms {
+            Some(ms) => {
+                if decision.reordered {
+                    counters.reordered.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    counters.delayed.fetch_add(1, Ordering::Relaxed);
+                }
+                self.hold(to, frame, Duration::from_millis(ms));
+                SendStatus::Delivered
+            }
+            None => self.inner.push(to, frame),
+        }
+    }
+
+    /// Sends a harness control frame (`Meet`, `Shutdown`), bypassing fault
+    /// injection and mailbox bounds: the test driver's steering wheel must
+    /// work even on a fully faulty network. Returns `false` when `to` has
+    /// no mailbox.
+    pub fn send_control(&self, from: PeerId, to: PeerId, bytes: Bytes) -> bool {
+        let guard = self.inner.mailboxes.read();
+        let Some(tx) = guard.get(&to) else {
+            return false;
+        };
+        let ok = tx.send(Frame { from, bytes }).is_ok();
+        if ok {
+            self.inner.delivered.fetch_add(1, Ordering::Relaxed);
+        }
+        ok
+    }
+
+    fn hold(&self, to: PeerId, frame: Frame, for_ms: Duration) {
+        let held = Held {
+            due: Instant::now() + for_ms,
+            seq: self.inner.held_seq.fetch_add(1, Ordering::Relaxed),
+            to,
+            frame,
+        };
+        self.inner.holdback.lock().push(held);
+        self.ensure_pump();
+    }
+
+    /// Spawns the holdback pump (at most one per transport): a thread that
+    /// flushes due frames every millisecond until the transport is dropped.
+    fn ensure_pump(&self) {
+        if self.inner.pump_alive.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let weak: Weak<Inner> = Arc::downgrade(&self.inner);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(Duration::from_millis(1));
+            let Some(inner) = weak.upgrade() else { return };
+            inner.flush_due(Instant::now(), false);
+        });
+    }
+
+    /// Installs a fault plan: subsequent frames are subjected to its drop /
+    /// duplicate / reorder / delay rolls, deterministically from its seed.
+    pub fn inject_faults(&self, plan: FaultPlan) {
+        *self.inner.faults.lock() = Some(FaultEngine::new(plan));
+    }
+
+    /// Removes the fault plan and delivers every held-back frame at once.
+    pub fn clear_faults(&self) {
+        *self.inner.faults.lock() = None;
+        self.inner.flush_due(Instant::now(), true);
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.inner.faults.lock().as_ref().map(|e| *e.plan())
+    }
+
+    /// Frames currently held back by injected delay/reorder (quiescence
+    /// detection must wait for these).
+    pub fn in_flight(&self) -> usize {
+        self.inner.holdback.lock().len()
     }
 
     /// Total frames delivered so far (used to detect quiescence).
     pub fn delivered(&self) -> u64 {
-        self.delivered.load(Ordering::Relaxed)
+        self.inner.delivered.load(Ordering::Relaxed)
     }
 
     /// Number of registered mailboxes.
     pub fn len(&self) -> usize {
-        self.mailboxes.read().len()
+        self.inner.mailboxes.read().len()
     }
 
     /// `true` when no mailbox is registered.
     pub fn is_empty(&self) -> bool {
-        self.mailboxes.read().is_empty()
+        self.inner.mailboxes.read().is_empty()
+    }
+
+    /// Records a protocol-level retransmission (reported by node loops).
+    pub fn record_retry(&self) {
+        self.inner.counters.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an exhausted retransmit budget (reported by node loops).
+    pub fn record_timeout(&self) {
+        self.inner.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a frame that failed to decode (reported by node loops).
+    pub fn record_malformed(&self) {
+        self.inner.counters.malformed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a routing-table eviction after repeated failures.
+    pub fn record_eviction(&self) {
+        self.inner.counters.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the fault/robustness counters as a [`NetStats`].
+    pub fn net_stats(&self) -> NetStats {
+        let c = &self.inner.counters;
+        let mut s = NetStats::new();
+        s.dropped = c.dropped.load(Ordering::Relaxed);
+        s.duplicated = c.duplicated.load(Ordering::Relaxed);
+        s.reordered = c.reordered.load(Ordering::Relaxed);
+        s.delayed = c.delayed.load(Ordering::Relaxed);
+        s.retries = c.retries.load(Ordering::Relaxed);
+        s.timeouts = c.timeouts.load(Ordering::Relaxed);
+        s.rejected = c.rejected.load(Ordering::Relaxed);
+        s.malformed = c.malformed.load(Ordering::Relaxed);
+        s.evictions = c.evictions.load(Ordering::Relaxed);
+        s
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn register_send_receive() {
@@ -116,11 +431,41 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "registered twice")]
-    fn double_registration_panics() {
+    fn reregistration_replaces_the_stale_mailbox() {
         let t = LocalTransport::new();
-        let _a = t.register(PeerId(1));
-        let _b = t.register(PeerId(1));
+        let old_rx = t.register(PeerId(1));
+        assert!(t.send(PeerId(0), PeerId(1), Bytes::from_static(b"old")));
+        let new_rx = t.register(PeerId(1));
+        assert!(t.send(PeerId(0), PeerId(1), Bytes::from_static(b"new")));
+        // The stale receiver drains its backlog, then disconnects.
+        assert_eq!(&old_rx.recv().unwrap().bytes[..], b"old");
+        assert!(old_rx.recv_timeout(Duration::from_millis(50)).is_err());
+        assert_eq!(&new_rx.recv().unwrap().bytes[..], b"new");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn try_register_errors_on_collision() {
+        let t = LocalTransport::new();
+        let _rx = t.try_register(PeerId(1)).unwrap();
+        assert_eq!(
+            t.try_register(PeerId(1)).unwrap_err(),
+            RegisterError::AlreadyRegistered(PeerId(1))
+        );
+        t.unregister(PeerId(1));
+        assert!(t.try_register(PeerId(1)).is_ok());
+    }
+
+    #[test]
+    fn bounded_mailbox_rejects_overflow() {
+        let t = LocalTransport::with_mailbox_depth(2);
+        let _rx = t.register(PeerId(1));
+        assert_eq!(t.dispatch(PeerId(0), PeerId(1), Bytes::new()), SendStatus::Delivered);
+        assert_eq!(t.dispatch(PeerId(0), PeerId(1), Bytes::new()), SendStatus::Delivered);
+        assert_eq!(t.dispatch(PeerId(0), PeerId(1), Bytes::new()), SendStatus::Rejected);
+        assert!(!t.send(PeerId(0), PeerId(1), Bytes::new()));
+        assert_eq!(t.net_stats().rejected, 2);
+        assert_eq!(t.delivered(), 2);
     }
 
     #[test]
@@ -130,5 +475,78 @@ mod tests {
         let rx = t.register(PeerId(5));
         assert!(t2.send(PeerId(0), PeerId(5), Bytes::from_static(b"x")));
         assert!(rx.try_recv().is_ok());
+    }
+
+    #[test]
+    fn injected_drops_are_silent_and_counted() {
+        let t = LocalTransport::new();
+        let rx = t.register(PeerId(1));
+        t.inject_faults(FaultPlan::new(3).with_drop(1.0));
+        // A certain drop still looks like success to the sender.
+        assert!(t.send(PeerId(0), PeerId(1), Bytes::from_static(b"x")));
+        assert_eq!(t.dispatch(PeerId(0), PeerId(1), Bytes::new()), SendStatus::Dropped);
+        assert!(rx.try_recv().is_err());
+        assert_eq!(t.net_stats().dropped, 2);
+        t.clear_faults();
+        assert!(t.send(PeerId(0), PeerId(1), Bytes::new()));
+        assert!(rx.recv_timeout(Duration::from_millis(100)).is_ok());
+    }
+
+    #[test]
+    fn injected_duplicates_arrive_twice() {
+        let t = LocalTransport::new();
+        let rx = t.register(PeerId(1));
+        t.inject_faults(FaultPlan::new(3).with_duplicate(1.0));
+        assert!(t.send(PeerId(0), PeerId(1), Bytes::from_static(b"d")));
+        assert_eq!(&rx.recv_timeout(Duration::from_millis(100)).unwrap().bytes[..], b"d");
+        assert_eq!(&rx.recv_timeout(Duration::from_millis(100)).unwrap().bytes[..], b"d");
+        assert_eq!(t.net_stats().duplicated, 1);
+    }
+
+    #[test]
+    fn injected_delay_holds_then_delivers() {
+        let t = LocalTransport::new();
+        let rx = t.register(PeerId(1));
+        t.inject_faults(FaultPlan::new(3).with_delay(1.0, 30));
+        assert!(t.send(PeerId(0), PeerId(1), Bytes::from_static(b"late")));
+        assert!(t.in_flight() > 0 || rx.try_recv().is_ok());
+        let frame = rx.recv_timeout(Duration::from_millis(500)).unwrap();
+        assert_eq!(&frame.bytes[..], b"late");
+        assert_eq!(t.net_stats().delayed, 1);
+        assert_eq!(t.delivered(), 1);
+    }
+
+    #[test]
+    fn control_frames_bypass_faults() {
+        let t = LocalTransport::new();
+        let rx = t.register(PeerId(1));
+        t.inject_faults(FaultPlan::new(3).with_drop(1.0));
+        assert!(t.send_control(PeerId(0), PeerId(1), Bytes::from_static(b"ctl")));
+        assert_eq!(&rx.recv_timeout(Duration::from_millis(100)).unwrap().bytes[..], b"ctl");
+    }
+
+    #[test]
+    fn fault_decisions_are_reproducible_across_transports() {
+        let plan = FaultPlan::new(77).with_drop(0.4);
+        let run = || {
+            let t = LocalTransport::new();
+            let _rx = t.register(PeerId(1));
+            t.inject_faults(plan);
+            (0..200)
+                .map(|_| t.dispatch(PeerId(0), PeerId(1), Bytes::new()) == SendStatus::Dropped)
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn clean_run_has_zero_fault_counters() {
+        let t = LocalTransport::new();
+        let rx = t.register(PeerId(1));
+        for _ in 0..50 {
+            assert!(t.send(PeerId(0), PeerId(1), Bytes::new()));
+        }
+        drop(rx);
+        assert!(t.net_stats().is_fault_free());
     }
 }

@@ -105,11 +105,15 @@ pub fn encode_frame(message: &Message) -> Bytes {
                 put_peer(&mut payload, *p);
             }
         }
-        Message::IndexInsert { key, entry } => {
+        Message::IndexInsert { seq, key, entry } => {
+            write_varint(&mut payload, *seq);
             put_path(&mut payload, key);
             put_entry(&mut payload, entry);
         }
         Message::Shutdown => {}
+        Message::Ack { seq } | Message::Nack { seq } => {
+            write_varint(&mut payload, *seq);
+        }
         Message::Meet { with } => {
             put_peer(&mut payload, *with);
         }
@@ -234,6 +238,7 @@ fn decode_payload(buf: &mut Bytes) -> Result<Message, CodecError> {
             }
         }
         7 => Message::IndexInsert {
+            seq: read_varint(buf)?,
             key: get_path(buf)?,
             entry: get_entry(buf)?,
         },
@@ -244,6 +249,12 @@ fn decode_payload(buf: &mut Bytes) -> Result<Message, CodecError> {
         10 => Message::ExchangeConfirm {
             id: read_varint(buf)?,
             path: get_path(buf)?,
+        },
+        11 => Message::Ack {
+            seq: read_varint(buf)?,
+        },
+        12 => Message::Nack {
+            seq: read_varint(buf)?,
         },
         t => return Err(CodecError::UnknownTag(t)),
     };
@@ -427,6 +438,7 @@ mod tests {
     #[test]
     fn index_and_shutdown() {
         round_trip(Message::IndexInsert {
+            seq: 41,
             key: path("110011001100"),
             entry: WireEntry {
                 item: 9,
@@ -440,6 +452,13 @@ mod tests {
             id: 12,
             path: path("0101"),
         });
+    }
+
+    #[test]
+    fn ack_and_nack() {
+        round_trip(Message::Ack { seq: 0 });
+        round_trip(Message::Ack { seq: u64::MAX });
+        round_trip(Message::Nack { seq: 7 });
     }
 
     #[test]
@@ -509,6 +528,7 @@ mod tests {
     fn full_length_paths_survive() {
         let full = BitPath::from_raw(u128::MAX, 128);
         round_trip(Message::IndexInsert {
+            seq: 0,
             key: full,
             entry: WireEntry {
                 item: 0,

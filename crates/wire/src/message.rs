@@ -99,6 +99,10 @@ pub enum Message {
     },
     /// Installs an index entry at a responsible peer.
     IndexInsert {
+        /// Hop-level sequence number: the receiver acknowledges this frame
+        /// with [`Message::Ack`] carrying the same `seq`. Each forwarding
+        /// hop re-stamps its own sequence number.
+        seq: u64,
         /// Key of the entry.
         key: BitPath,
         /// The entry.
@@ -112,6 +116,21 @@ pub enum Message {
     },
     /// Orderly shutdown of a node's event loop.
     Shutdown,
+    /// Hop-level positive acknowledgement: the receiver accepted (and will
+    /// process) the frame the sender stamped with `seq`. Retransmission
+    /// timers for that frame stop on receipt.
+    Ack {
+        /// Sequence number being acknowledged.
+        seq: u64,
+    },
+    /// Hop-level negative acknowledgement: the receiver saw the frame
+    /// stamped `seq` but cannot make progress on it (e.g. a query hit a
+    /// dead end). The sender should fail over to an alternate candidate
+    /// immediately instead of waiting out its retransmit timer.
+    Nack {
+        /// Sequence number being refused.
+        seq: u64,
+    },
 }
 
 impl Message {
@@ -129,6 +148,8 @@ impl Message {
             Message::Shutdown => 8,
             Message::Meet { .. } => 9,
             Message::ExchangeConfirm { .. } => 10,
+            Message::Ack { .. } => 11,
+            Message::Nack { .. } => 12,
         }
     }
 }

@@ -20,6 +20,7 @@ fn main() {
         recfanout: 2,
         ttl: 64,
         seed: 42,
+        ..ClusterConfig::default()
     };
     println!(
         "spawning {} node threads (maxl={}, refmax={})...",

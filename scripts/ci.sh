@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI gate: lint-clean build plus the full test suite, chaos tests included.
+#
+#   scripts/ci.sh          # everything
+#   scripts/ci.sh quick    # skip the (slower) chaos suite
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> clippy (all targets, warnings are errors)"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> build (release)"
+cargo build --release
+
+echo "==> tests"
+cargo test -q
+
+if [[ "${1:-}" != "quick" ]]; then
+    echo "==> chaos suite (fault injection, three fixed seeds)"
+    cargo test --release --test live_chaos -- --nocapture
+fi
+
+echo "CI green."
