@@ -1,0 +1,66 @@
+//! Throughput benchmark of the parallel experiment engine.
+//!
+//! Runs the same query workload serially and at 1/2/4/8 worker threads,
+//! verifies every run is byte-identical to the serial reference, and writes
+//! the measurements as JSON (default `BENCH_engine.json`).
+//!
+//! ```text
+//! engine_bench [--quick] [--out PATH]
+//! ```
+
+use std::path::PathBuf;
+
+use pgrid_sim::experiments::engine::{run, Config};
+
+fn main() {
+    let mut quick = false;
+    let mut out = PathBuf::from("BENCH_engine.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = PathBuf::from(args.next().expect("--out needs a path")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: engine_bench [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut cfg = if quick { Config::small() } else { Config::default() };
+    cfg.threads = vec![1, 2, 4, 8];
+
+    let (rows, table) = run(&cfg);
+    println!("{}", table.render());
+
+    let all_identical = rows.iter().all(|r| r.identical);
+    let serial_qps = rows.first().map_or(0.0, |r| r.qps);
+    let best = rows
+        .iter()
+        .max_by(|a, b| a.qps.total_cmp(&b.qps))
+        .expect("at least one row");
+
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let report = serde_json::json!({
+        "bench": "engine",
+        "profile": if quick { "quick" } else { "full" },
+        "measured": true,
+        "host_threads": host_threads,
+        "grid": { "n": cfg.n, "maxl": cfg.maxl, "refmax": cfg.refmax },
+        "workload": { "queries": cfg.queries, "key_len": cfg.key_len, "shards": cfg.shards },
+        "seed": cfg.seed,
+        "serial_qps": serial_qps,
+        "best_qps": best.qps,
+        "best_threads": best.threads,
+        "all_identical": all_identical,
+        "rows": rows,
+    });
+    std::fs::write(&out, format!("{:#}\n", report)).expect("write benchmark JSON");
+    println!("wrote {}", out.display());
+
+    if !all_identical {
+        eprintln!("FATAL: a parallel run diverged from the serial reference");
+        std::process::exit(1);
+    }
+}

@@ -1,7 +1,8 @@
 //! Execution context threaded through every protocol operation.
 
-use pgrid_net::{MsgKind, NetStats, OnlineModel, PeerId};
+use pgrid_net::{task_seed, MsgKind, NetStats, OnlineModel, PeerId};
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// Bundles the deterministic RNG, the availability model, and the message
 /// counters. Every randomized algorithm in this crate draws exclusively from
@@ -38,6 +39,57 @@ impl<'a> Ctx<'a> {
     pub fn message(&mut self, kind: MsgKind) {
         self.stats.record(kind);
     }
+
+    /// Creates the owned context of parallel task `task_id`: a private RNG
+    /// stream derived from `master_seed` (see [`pgrid_net::task_seed`]), a
+    /// forked copy of `online`, and zeroed local counters.
+    ///
+    /// Task 0 continues the master stream unchanged, so running a workload
+    /// as one task reproduces historical single-stream results bit for bit.
+    /// Shards merge their counters in task order afterwards, which makes
+    /// results independent of thread count and scheduling.
+    pub fn fork_for_task(
+        master_seed: u64,
+        task_id: u64,
+        online: Box<dyn OnlineModel + Send>,
+    ) -> OwnedCtx {
+        OwnedCtx {
+            rng: StdRng::seed_from_u64(task_seed(master_seed, task_id)),
+            online,
+            stats: NetStats::new(),
+        }
+    }
+}
+
+/// An owning variant of [`Ctx`] for code that cannot thread three separate
+/// `&mut` borrows around — parallel tasks, test fixtures, long-lived
+/// experiment state. Borrow a [`Ctx`] view with [`OwnedCtx::ctx`] whenever a
+/// protocol operation needs one.
+pub struct OwnedCtx {
+    /// Source of all randomness for this task.
+    pub rng: StdRng,
+    /// Who is reachable, from this task's point of view.
+    pub online: Box<dyn OnlineModel + Send>,
+    /// This task's local message accounting (merged in task order later).
+    pub stats: NetStats,
+}
+
+impl OwnedCtx {
+    /// Borrows the `Ctx` view protocol operations expect.
+    pub fn ctx(&mut self) -> Ctx<'_> {
+        Ctx {
+            rng: &mut self.rng,
+            online: &mut *self.online,
+            stats: &mut self.stats,
+        }
+    }
+
+    /// Swaps the availability model mid-experiment (e.g. build with
+    /// `AlwaysOnline`, then query under churn) without disturbing the RNG
+    /// stream or the accumulated counters.
+    pub fn set_online(&mut self, online: Box<dyn OnlineModel + Send>) {
+        self.online = online;
+    }
 }
 
 #[cfg(test)]
@@ -67,5 +119,41 @@ mod tests {
         let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
         assert!(!ctx.contact(PeerId(3)));
         assert_eq!(stats.failed_contacts, 1);
+    }
+
+    #[test]
+    fn fork_for_task_zero_continues_the_master_stream() {
+        use rand::Rng;
+        let mut owned = Ctx::fork_for_task(21, 0, Box::new(AlwaysOnline));
+        let mut direct = StdRng::seed_from_u64(21);
+        for _ in 0..32 {
+            assert_eq!(owned.rng.gen::<u64>(), direct.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn forked_tasks_draw_from_distinct_streams() {
+        use rand::Rng;
+        let mut draws = std::collections::BTreeSet::new();
+        for task in 0..64u64 {
+            let mut owned = Ctx::fork_for_task(7, task, Box::new(AlwaysOnline));
+            draws.insert(owned.rng.gen::<u64>());
+        }
+        assert_eq!(draws.len(), 64, "task streams must not collide");
+    }
+
+    #[test]
+    fn owned_ctx_records_like_a_borrowed_one() {
+        let mut owned = Ctx::fork_for_task(0, 3, Box::new(AlwaysOnline));
+        {
+            let mut ctx = owned.ctx();
+            assert!(ctx.contact(PeerId(1)));
+            ctx.message(MsgKind::Update);
+        }
+        assert_eq!(owned.stats.contact_attempts, 1);
+        assert_eq!(owned.stats.count(MsgKind::Update), 1);
+        owned.set_online(Box::new(BernoulliOnline::new(0.0)));
+        assert!(!owned.ctx().contact(PeerId(1)));
+        assert_eq!(owned.stats.failed_contacts, 1);
     }
 }

@@ -20,10 +20,210 @@
 //! is not responsible either — see `rebalance_pair_data`).
 
 use pgrid_keys::Key;
-use pgrid_net::{MsgKind, PeerId};
+use pgrid_net::{MsgKind, NetStats, PeerId};
+use rand::rngs::StdRng;
 
 use crate::routing::RefSet;
-use crate::{Ctx, IndexEntry, PGrid};
+use crate::{Ctx, IndexEntry, PGrid, PGridConfig, Peer};
+
+/// What a pair-local exchange did, reported back to the grid level: the
+/// container must maintain its running path-length sum, and a Case-4
+/// divergence may continue as recursive exchanges with *other* peers —
+/// which a pair-local execution (possibly on a worker thread holding only
+/// the two peers) must defer to the caller.
+pub(crate) struct PairEffect {
+    /// Path bits added across the two peers (0, 1, or 2).
+    pub new_path_bits: u64,
+    /// `Some(lc + 1)` when the paths diverged right after their common
+    /// prefix (Case 4): the level recursion would continue at.
+    pub divergence_level: Option<usize>,
+}
+
+/// The pair-local part of the exchange algorithm (paper Fig. 3): everything
+/// except Case-4 recursion, which needs peers outside the pair. Touches only
+/// `p1` and `p2`, so disjoint pairs can execute concurrently — each with its
+/// own RNG stream and counter shard.
+pub(crate) fn exchange_pair_local(
+    cfg: &PGridConfig,
+    p1: &mut Peer,
+    p2: &mut Peer,
+    rng: &mut StdRng,
+    stats: &mut NetStats,
+) -> PairEffect {
+    stats.record(MsgKind::Exchange);
+
+    // Anti-entropy: a meeting is an opportunity to re-home index
+    // entries a previous hand-off could not place at a responsible
+    // peer (misplaced entries are rare; the flag keeps this O(1) on
+    // the common path).
+    settle_misplaced_pair(p1, p2);
+    settle_misplaced_pair(p2, p1);
+
+    let path1 = p1.path();
+    let path2 = p2.path();
+    let lc = path1.common_prefix_len(&path2);
+    let l1 = path1.len() - lc;
+    let l2 = path2.len() - lc;
+
+    // Mix reference sets where the paths agree. The paper's pseudocode
+    // mixes only the deepest common level `lc`; `exchange_all_levels`
+    // extends that to every shared level (ablation knob).
+    if lc > 0 {
+        let first = if cfg.exchange_all_levels { 1 } else { lc };
+        for level in first..=lc {
+            let mixed_a = RefSet::mixed(
+                p1.routing().level(level),
+                p2.routing().level(level),
+                cfg.refmax,
+                rng,
+            );
+            let mixed_b = RefSet::mixed(
+                p1.routing().level(level),
+                p2.routing().level(level),
+                cfg.refmax,
+                rng,
+            );
+            p1.routing_mut().set_level(level, mixed_a);
+            p2.routing_mut().set_level(level, mixed_b);
+        }
+    }
+
+    let mut new_path_bits = 0u64;
+    let mut divergence_level = None;
+    match (l1 == 0, l2 == 0) {
+        // Case 1: identical paths below maxl — split a fresh level.
+        (true, true) if lc < cfg.maxl => {
+            p1.extend_path(0);
+            p2.extend_path(1);
+            new_path_bits = 2;
+            p1.routing_mut().set_level(lc + 1, RefSet::singleton(p2.id()));
+            p2.routing_mut().set_level(lc + 1, RefSet::singleton(p1.id()));
+            rebalance_pair(p1, p2);
+        }
+        // Identical paths at maxl — the peers are replicas: buddies.
+        (true, true) => {
+            p1.add_buddy(p2.id());
+            p2.add_buddy(p1.id());
+        }
+        // Case 2: a1's path is a proper prefix of a2's — a1 specializes
+        // opposite to a2's next bit.
+        (true, false) if lc < cfg.maxl => {
+            let bit = path2.bit(lc) ^ 1;
+            p1.extend_path(bit);
+            new_path_bits = 1;
+            p1.routing_mut().set_level(lc + 1, RefSet::singleton(p2.id()));
+            p2.routing_mut()
+                .level_mut(lc + 1)
+                .insert_bounded(p1.id(), cfg.refmax, rng);
+            rebalance_pair(p1, p2);
+        }
+        // Case 3: symmetric to Case 2.
+        (false, true) if lc < cfg.maxl => {
+            let bit = path1.bit(lc) ^ 1;
+            p2.extend_path(bit);
+            new_path_bits = 1;
+            p2.routing_mut().set_level(lc + 1, RefSet::singleton(p1.id()));
+            p1.routing_mut()
+                .level_mut(lc + 1)
+                .insert_bounded(p2.id(), cfg.refmax, rng);
+            rebalance_pair(p1, p2);
+        }
+        // Case 4: paths diverge right after the common prefix. Recursion
+        // (if any) is the caller's job — it needs peers outside the pair.
+        (false, false) => {
+            if cfg.add_ref_on_divergence {
+                p1.routing_mut()
+                    .level_mut(lc + 1)
+                    .insert_bounded(p2.id(), cfg.refmax, rng);
+                p2.routing_mut()
+                    .level_mut(lc + 1)
+                    .insert_bounded(p1.id(), cfg.refmax, rng);
+            }
+            divergence_level = Some(lc + 1);
+        }
+        // One path a prefix of the other but the shorter already at
+        // maxl: impossible (the longer would exceed maxl); the guard
+        // arms above only fall through when lc == maxl.
+        _ => {}
+    }
+    PairEffect {
+        new_path_bits,
+        divergence_level,
+    }
+}
+
+/// After one or both partners specialized, move index entries to
+/// whichever of the two is (still) responsible.
+fn rebalance_pair(p1: &mut Peer, p2: &mut Peer) {
+    let path1 = p1.path();
+    let path2 = p2.path();
+    let moved1 = p1.index_mut().extract_not_under(&path1);
+    let moved2 = p2.index_mut().extract_not_under(&path2);
+    place_entries_pair(moved1, p2, p1);
+    place_entries_pair(moved2, p1, p2);
+}
+
+/// Installs extracted entries at `prefer` when it is responsible, else
+/// back at `fallback`. A key that matches neither (possible in Case 2/3
+/// when the longer partner is more specific than the key's branch) stays
+/// at `fallback` with its *misplaced* flag set, to be re-homed by the
+/// anti-entropy step of a later meeting.
+fn place_entries_pair(
+    moved: Vec<(Key, Vec<IndexEntry>)>,
+    prefer: &mut Peer,
+    fallback: &mut Peer,
+) {
+    for (key, entries) in moved {
+        let target = if prefer.responsible_for(&key) {
+            &mut *prefer
+        } else {
+            &mut *fallback
+        };
+        let misplaced = !target.responsible_for(&key);
+        for e in entries {
+            target.index_insert(key, e);
+        }
+        if misplaced {
+            target.set_misplaced(true);
+        }
+    }
+}
+
+/// Moves entries `holder` is not responsible for over to `partner` when
+/// *it* is (or at least is strictly closer to the key's branch), then
+/// recomputes the misplaced flag.
+fn settle_misplaced_pair(holder: &mut Peer, partner: &mut Peer) {
+    if !holder.has_misplaced() {
+        return;
+    }
+    let holder_path = holder.path();
+    let partner_path = partner.path();
+    let mut strays = Vec::new();
+    holder.index().for_each_under(&pgrid_keys::BitPath::EMPTY, |key, _| {
+        if !holder_path.responsible_for(&key) {
+            strays.push(key);
+        }
+    });
+    let mut remaining = false;
+    for key in strays {
+        let to_partner = partner_path.responsible_for(&key)
+            || key.common_prefix_len(&partner_path) > key.common_prefix_len(&holder_path);
+        if to_partner {
+            if let Some(entries) = holder.index_mut().remove(&key) {
+                let misplaced = !partner.responsible_for(&key);
+                for e in entries {
+                    partner.index_insert(key, e);
+                }
+                if misplaced {
+                    partner.set_misplaced(true);
+                }
+            }
+        } else {
+            remaining = true;
+        }
+    }
+    holder.set_misplaced(remaining);
+}
 
 impl PGrid {
     /// Two peers meet and run the exchange algorithm (paper Fig. 3).
@@ -34,240 +234,85 @@ impl PGrid {
         self.exchange_rec(a1, a2, 0, ctx)
     }
 
-    fn exchange_rec(&mut self, a1: PeerId, a2: PeerId, r: u32, ctx: &mut Ctx<'_>) -> u64 {
+    pub(crate) fn exchange_rec(
+        &mut self,
+        a1: PeerId,
+        a2: PeerId,
+        r: u32,
+        ctx: &mut Ctx<'_>,
+    ) -> u64 {
         if a1 == a2 {
             // A peer can be handed a reference to its own partner during
             // recursion; meeting oneself is a no-op and not counted.
             return 0;
         }
-        ctx.message(MsgKind::Exchange);
-        let mut calls = 1u64;
-
-        // Anti-entropy: a meeting is an opportunity to re-home index
-        // entries a previous hand-off could not place at a responsible
-        // peer (misplaced entries are rare; the flag keeps this O(1) on
-        // the common path).
-        self.settle_misplaced(a1, a2);
-        self.settle_misplaced(a2, a1);
-
         let cfg = *self.config();
-        let path1 = self.peer(a1).path();
-        let path2 = self.peer(a2).path();
-        let lc = path1.common_prefix_len(&path2);
-        let l1 = path1.len() - lc;
-        let l2 = path2.len() - lc;
-
-        // Mix reference sets where the paths agree. The paper's pseudocode
-        // mixes only the deepest common level `lc`; `exchange_all_levels`
-        // extends that to every shared level (ablation knob).
-        if lc > 0 {
-            let first = if cfg.exchange_all_levels { 1 } else { lc };
-            for level in first..=lc {
-                let mixed_a = RefSet::mixed(
-                    self.peer(a1).routing().level(level),
-                    self.peer(a2).routing().level(level),
-                    cfg.refmax,
-                    ctx.rng,
-                );
-                let mixed_b = RefSet::mixed(
-                    self.peer(a1).routing().level(level),
-                    self.peer(a2).routing().level(level),
-                    cfg.refmax,
-                    ctx.rng,
-                );
-                self.peer_mut(a1).routing_mut().set_level(level, mixed_a);
-                self.peer_mut(a2).routing_mut().set_level(level, mixed_b);
-            }
-        }
-
-        match (l1 == 0, l2 == 0) {
-            // Case 1: identical paths below maxl — split a fresh level.
-            (true, true) if lc < cfg.maxl => {
-                self.extend_peer_path(a1, 0);
-                self.extend_peer_path(a2, 1);
-                self.peer_mut(a1)
-                    .routing_mut()
-                    .set_level(lc + 1, RefSet::singleton(a2));
-                self.peer_mut(a2)
-                    .routing_mut()
-                    .set_level(lc + 1, RefSet::singleton(a1));
-                self.rebalance_pair_data(a1, a2);
-            }
-            // Identical paths at maxl — the peers are replicas: buddies.
-            (true, true) => {
-                let (p1, p2) = self.pair_mut(a1, a2);
-                p1.add_buddy(a2);
-                p2.add_buddy(a1);
-            }
-            // Case 2: a1's path is a proper prefix of a2's — a1 specializes
-            // opposite to a2's next bit.
-            (true, false) if lc < cfg.maxl => {
-                let bit = path2.bit(lc) ^ 1;
-                self.extend_peer_path(a1, bit);
-                self.peer_mut(a1)
-                    .routing_mut()
-                    .set_level(lc + 1, RefSet::singleton(a2));
-                self.peer_mut(a2).routing_mut().level_mut(lc + 1).insert_bounded(
-                    a1,
-                    cfg.refmax,
-                    ctx.rng,
-                );
-                self.rebalance_pair_data(a1, a2);
-            }
-            // Case 3: symmetric to Case 2.
-            (false, true) if lc < cfg.maxl => {
-                let bit = path1.bit(lc) ^ 1;
-                self.extend_peer_path(a2, bit);
-                self.peer_mut(a2)
-                    .routing_mut()
-                    .set_level(lc + 1, RefSet::singleton(a1));
-                self.peer_mut(a1).routing_mut().level_mut(lc + 1).insert_bounded(
-                    a2,
-                    cfg.refmax,
-                    ctx.rng,
-                );
-                self.rebalance_pair_data(a1, a2);
-            }
-            // Case 4: paths diverge right after the common prefix.
-            (false, false) => {
-                if cfg.add_ref_on_divergence {
-                    self.peer_mut(a1).routing_mut().level_mut(lc + 1).insert_bounded(
-                        a2,
-                        cfg.refmax,
-                        ctx.rng,
-                    );
-                    self.peer_mut(a2).routing_mut().level_mut(lc + 1).insert_bounded(
-                        a1,
-                        cfg.refmax,
-                        ctx.rng,
-                    );
-                }
-                if r < cfg.recmax {
-                    let fanout = cfg.recfanout.unwrap_or(usize::MAX);
-                    let refs1 = self
-                        .peer(a1)
-                        .routing()
-                        .level(lc + 1)
-                        .sample_excluding(fanout, a2, ctx.rng);
-                    let refs2 = self
-                        .peer(a2)
-                        .routing()
-                        .level(lc + 1)
-                        .sample_excluding(fanout, a1, ctx.rng);
-                    // a2 exchanges with a1's references (they live on a2's
-                    // side of the split) and vice versa.
-                    for r1 in refs1 {
-                        if ctx.contact(r1) {
-                            calls += self.exchange_rec(a2, r1, r + 1, ctx);
-                        }
-                    }
-                    for r2 in refs2 {
-                        if ctx.contact(r2) {
-                            calls += self.exchange_rec(a1, r2, r + 1, ctx);
-                        }
-                    }
-                }
-            }
-            // One path a prefix of the other but the shorter already at
-            // maxl: impossible (the longer would exceed maxl); the guard
-            // arms above only fall through when lc == maxl.
-            _ => {}
+        let effect = {
+            let (p1, p2) = self.pair_mut(a1, a2);
+            exchange_pair_local(&cfg, p1, p2, ctx.rng, ctx.stats)
+        };
+        self.add_path_bits(effect.new_path_bits);
+        let mut calls = 1u64;
+        if let Some(level) = effect.divergence_level {
+            calls += self.recurse_divergence(a1, a2, level, r, ctx);
         }
         calls
     }
 
-    /// After one or both partners specialized, move index entries to
-    /// whichever of the two is (still) responsible.
-    fn rebalance_pair_data(&mut self, a1: PeerId, a2: PeerId) {
-        let p1 = self.peer(a1).path();
-        let p2 = self.peer(a2).path();
-        let moved1 = self.peer_mut(a1).index_mut().extract_not_under(&p1);
-        let moved2 = self.peer_mut(a2).index_mut().extract_not_under(&p2);
-        self.place_entries(moved1, a2, a1);
-        self.place_entries(moved2, a1, a2);
-    }
-
-    /// Installs extracted entries at `prefer` when it is responsible, else
-    /// back at `fallback`. A key that matches neither (possible in Case 2/3
-    /// when the longer partner is more specific than the key's branch) stays
-    /// at `fallback` with its *misplaced* flag set, to be re-homed by the
-    /// anti-entropy step of a later meeting.
-    fn place_entries(
+    /// Case-4 continuation: each partner exchanges with the other's
+    /// references on the divergent side (they live on *its* side of the
+    /// split), bounded by `recmax` depth and `recfanout` partners per side.
+    pub(crate) fn recurse_divergence(
         &mut self,
-        moved: Vec<(Key, Vec<IndexEntry>)>,
-        prefer: PeerId,
-        fallback: PeerId,
-    ) {
-        for (key, entries) in moved {
-            let target = if self.peer(prefer).responsible_for(&key) {
-                prefer
-            } else {
-                fallback
-            };
-            let misplaced = !self.peer(target).responsible_for(&key);
-            let peer = self.peer_mut(target);
-            for e in entries {
-                peer.index_insert(key, e);
-            }
-            if misplaced {
-                peer.set_misplaced(true);
-            }
+        a1: PeerId,
+        a2: PeerId,
+        level: usize,
+        r: u32,
+        ctx: &mut Ctx<'_>,
+    ) -> u64 {
+        let cfg = *self.config();
+        if r >= cfg.recmax {
+            return 0;
         }
-    }
-
-    /// Moves entries `holder` is not responsible for over to `partner` when
-    /// *it* is (or at least is strictly closer to the key's branch), then
-    /// recomputes the misplaced flag.
-    fn settle_misplaced(&mut self, holder: PeerId, partner: PeerId) {
-        if !self.peer(holder).has_misplaced() {
-            return;
-        }
-        let holder_path = self.peer(holder).path();
-        let partner_path = self.peer(partner).path();
-        let mut strays = Vec::new();
-        self.peer(holder).index().for_each_under(
-            &pgrid_keys::BitPath::EMPTY,
-            |key, _| {
-                if !holder_path.responsible_for(&key) {
-                    strays.push(key);
-                }
-            },
-        );
-        let mut remaining = false;
-        for key in strays {
-            let to_partner = partner_path.responsible_for(&key)
-                || key.common_prefix_len(&partner_path) > key.common_prefix_len(&holder_path);
-            if to_partner {
-                if let Some(entries) = self.peer_mut(holder).index_mut().remove(&key) {
-                    let misplaced = !self.peer(partner).responsible_for(&key);
-                    let peer = self.peer_mut(partner);
-                    for e in entries {
-                        peer.index_insert(key, e);
-                    }
-                    if misplaced {
-                        peer.set_misplaced(true);
-                    }
-                }
-            } else {
-                remaining = true;
+        let fanout = cfg.recfanout.unwrap_or(usize::MAX);
+        let refs1 = self
+            .peer(a1)
+            .routing()
+            .level(level)
+            .sample_excluding(fanout, a2, ctx.rng);
+        let refs2 = self
+            .peer(a2)
+            .routing()
+            .level(level)
+            .sample_excluding(fanout, a1, ctx.rng);
+        let mut calls = 0u64;
+        for r1 in refs1 {
+            if ctx.contact(r1) {
+                calls += self.exchange_rec(a2, r1, r + 1, ctx);
             }
         }
-        self.peer_mut(holder).set_misplaced(remaining);
+        for r2 in refs2 {
+            if ctx.contact(r2) {
+                calls += self.exchange_rec(a1, r2, r + 1, ctx);
+            }
+        }
+        calls
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{PGridConfig, SearchOutcome};
+    use crate::{OwnedCtx, SearchOutcome};
     use pgrid_keys::BitPath;
-    use pgrid_net::{AlwaysOnline, NetStats};
+    use pgrid_net::AlwaysOnline;
     use pgrid_store::{ItemId, Version};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
-    fn ctx_parts() -> (StdRng, AlwaysOnline, NetStats) {
-        (StdRng::seed_from_u64(11), AlwaysOnline, NetStats::new())
+    /// Task 0 continues the master stream, so this reproduces the RNG
+    /// draws of the old hand-rolled `(StdRng, AlwaysOnline, NetStats)`
+    /// helper bit for bit.
+    fn owned_ctx() -> OwnedCtx {
+        Ctx::fork_for_task(11, 0, Box::new(AlwaysOnline))
     }
 
     fn grid(n: usize, maxl: usize) -> PGrid {
@@ -282,8 +327,8 @@ mod tests {
 
     #[test]
     fn case1_splits_fresh_peers() {
-        let (mut rng, mut online, mut stats) = ctx_parts();
-        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut owned = owned_ctx();
+        let mut ctx = owned.ctx();
         let mut g = grid(2, 4);
         let calls = g.exchange(PeerId(0), PeerId(1), &mut ctx);
         assert_eq!(calls, 1);
@@ -296,8 +341,8 @@ mod tests {
 
     #[test]
     fn case1_repeated_meetings_deepen_paths() {
-        let (mut rng, mut online, mut stats) = ctx_parts();
-        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut owned = owned_ctx();
+        let mut ctx = owned.ctx();
         let mut g = grid(2, 4);
         for _ in 0..10 {
             g.exchange(PeerId(0), PeerId(1), &mut ctx);
@@ -311,8 +356,8 @@ mod tests {
 
     #[test]
     fn case2_shorter_peer_specializes_opposite() {
-        let (mut rng, mut online, mut stats) = ctx_parts();
-        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut owned = owned_ctx();
+        let mut ctx = owned.ctx();
         let mut g = grid(3, 4);
         // Peer 1 already owns "10"; peer 0 is fresh (empty path).
         g.extend_peer_path(PeerId(1), 1);
@@ -327,8 +372,8 @@ mod tests {
 
     #[test]
     fn case3_is_symmetric_to_case2() {
-        let (mut rng, mut online, mut stats) = ctx_parts();
-        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut owned = owned_ctx();
+        let mut ctx = owned.ctx();
         let mut g = grid(3, 4);
         g.extend_peer_path(PeerId(0), 1);
         g.extend_peer_path(PeerId(0), 0);
@@ -339,8 +384,8 @@ mod tests {
 
     #[test]
     fn case2_respects_common_prefix() {
-        let (mut rng, mut online, mut stats) = ctx_parts();
-        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut owned = owned_ctx();
+        let mut ctx = owned.ctx();
         let mut g = grid(3, 4);
         // Peer 0 owns "0", peer 1 owns "01" — prefix relation with lc = 1.
         g.extend_peer_path(PeerId(0), 0);
@@ -356,8 +401,8 @@ mod tests {
 
     #[test]
     fn maxl_stops_specialization_and_makes_buddies() {
-        let (mut rng, mut online, mut stats) = ctx_parts();
-        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut owned = owned_ctx();
+        let mut ctx = owned.ctx();
         let mut g = grid(2, 1);
         g.exchange(PeerId(0), PeerId(1), &mut ctx); // split to "0"/"1"
         let before0 = g.peer(PeerId(0)).path();
@@ -376,8 +421,8 @@ mod tests {
 
     #[test]
     fn case4_adds_divergence_refs() {
-        let (mut rng, mut online, mut stats) = ctx_parts();
-        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut owned = owned_ctx();
+        let mut ctx = owned.ctx();
         let mut g = grid(2, 4);
         g.extend_peer_path(PeerId(0), 0);
         g.extend_peer_path(PeerId(0), 0);
@@ -390,8 +435,8 @@ mod tests {
 
     #[test]
     fn case4_divergence_refs_can_be_disabled() {
-        let (mut rng, mut online, mut stats) = ctx_parts();
-        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut owned = owned_ctx();
+        let mut ctx = owned.ctx();
         let mut g = PGrid::new(
             2,
             PGridConfig {
@@ -412,8 +457,8 @@ mod tests {
         // is Case 4; recursion introduces... nothing here (no further refs).
         // But meeting 2 with 0 (Case 2) then 0 with 1 (Case 4) must keep
         // invariants across recursive exchanges in a larger community.
-        let (mut rng, mut online, mut stats) = ctx_parts();
-        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut owned = owned_ctx();
+        let mut ctx = owned.ctx();
         let mut g = grid(12, 3);
         for _ in 0..200 {
             let (i, j) = g.random_pair(&mut ctx);
@@ -425,8 +470,8 @@ mod tests {
 
     #[test]
     fn exchange_counts_include_recursion() {
-        let (mut rng, mut online, mut stats) = ctx_parts();
-        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut owned = owned_ctx();
+        let mut ctx = owned.ctx();
         let mut g = grid(32, 4);
         let mut total = 0u64;
         for _ in 0..200 {
@@ -435,7 +480,7 @@ mod tests {
         }
         assert_eq!(
             total,
-            stats.count(MsgKind::Exchange),
+            owned.stats.count(MsgKind::Exchange),
             "returned call count must equal recorded exchange messages"
         );
         assert!(total >= 200);
@@ -443,8 +488,8 @@ mod tests {
 
     #[test]
     fn self_exchange_is_noop() {
-        let (mut rng, mut online, mut stats) = ctx_parts();
-        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut owned = owned_ctx();
+        let mut ctx = owned.ctx();
         let mut g = grid(2, 4);
         assert_eq!(g.exchange(PeerId(0), PeerId(0), &mut ctx), 0);
         assert_eq!(g.peer(PeerId(0)).path().len(), 0);
@@ -452,8 +497,8 @@ mod tests {
 
     #[test]
     fn data_moves_with_specialization() {
-        let (mut rng, mut online, mut stats) = ctx_parts();
-        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut owned = owned_ctx();
+        let mut ctx = owned.ctx();
         let mut g = grid(2, 4);
         // Peer 0 (root) indexes two items on opposite sides of the first bit.
         let k0 = BitPath::from_str_lossy("0011");
@@ -475,8 +520,8 @@ mod tests {
 
     #[test]
     fn search_after_exchange_based_construction() {
-        let (mut rng, mut online, mut stats) = ctx_parts();
-        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut owned = owned_ctx();
+        let mut ctx = owned.ctx();
         let mut g = grid(64, 4);
         for _ in 0..4000 {
             let (i, j) = g.random_pair(&mut ctx);

@@ -59,7 +59,7 @@ pub use analysis::{
 };
 pub use builder::{BuildOptions, BuildReport};
 pub use config::PGridConfig;
-pub use ctx::Ctx;
+pub use ctx::{Ctx, OwnedCtx};
 pub use grid::PGrid;
 pub use metrics::GridMetrics;
 pub use peer::{IndexEntry, Peer};

@@ -184,15 +184,18 @@ mod tests {
         g
     }
 
-    fn ctx_parts() -> (StdRng, AlwaysOnline, NetStats) {
-        (StdRng::seed_from_u64(21), AlwaysOnline, NetStats::new())
+    /// Task 0 continues the master stream, so this reproduces the RNG
+    /// draws of the old hand-rolled `(StdRng, AlwaysOnline, NetStats)`
+    /// helper bit for bit.
+    fn owned_ctx() -> crate::OwnedCtx {
+        Ctx::fork_for_task(21, 0, Box::new(AlwaysOnline))
     }
 
     #[test]
     fn local_answer_costs_no_messages() {
         let g = fig1_grid();
-        let (mut rng, mut online, mut stats) = ctx_parts();
-        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut owned = owned_ctx();
+        let mut ctx = owned.ctx();
         // Paper example: query 00 submitted to peer 1 (our peer 0).
         let out = g.search(PeerId(0), &BitPath::from_str_lossy("00"), &mut ctx);
         assert_eq!(out.responsible, Some(PeerId(0)));
@@ -203,8 +206,8 @@ mod tests {
     #[test]
     fn fig1_query_10_from_peer_6_routes_via_references() {
         let g = fig1_grid();
-        let (mut rng, mut online, mut stats) = ctx_parts();
-        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut owned = owned_ctx();
+        let mut ctx = owned.ctx();
         // Paper example: query 10 submitted to peer 6 (our peer 5, path 11).
         let out = g.search(PeerId(5), &BitPath::from_str_lossy("10"), &mut ctx);
         assert_eq!(out.responsible, Some(PeerId(3)), "peer 4 (id 3) owns 10");
@@ -214,8 +217,8 @@ mod tests {
     #[test]
     fn every_key_reachable_from_every_peer() {
         let g = fig1_grid();
-        let (mut rng, mut online, mut stats) = ctx_parts();
-        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut owned = owned_ctx();
+        let mut ctx = owned.ctx();
         for start in 0..6u32 {
             for v in 0..4u128 {
                 let key = BitPath::from_value(v, 2);
@@ -229,8 +232,8 @@ mod tests {
     #[test]
     fn longer_and_shorter_queries_resolve() {
         let g = fig1_grid();
-        let (mut rng, mut online, mut stats) = ctx_parts();
-        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut owned = owned_ctx();
+        let mut ctx = owned.ctx();
         // Longer than any path: peer with matching 2-bit path answers.
         let out = g.search(PeerId(5), &BitPath::from_str_lossy("0111"), &mut ctx);
         assert_eq!(out.responsible, Some(PeerId(2)));
@@ -305,8 +308,8 @@ mod tests {
             version: Version(3),
         };
         g.seed_index(key, entry);
-        let (mut rng, mut online, mut stats) = ctx_parts();
-        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut owned = owned_ctx();
+        let mut ctx = owned.ctx();
         let (out, entries) = g.search_entries(PeerId(0), &key, &mut ctx);
         assert!(out.responsible.is_some());
         assert_eq!(entries, vec![entry]);
@@ -319,9 +322,9 @@ mod tests {
     #[test]
     fn message_count_matches_stats() {
         let g = fig1_grid();
-        let (mut rng, mut online, mut stats) = ctx_parts();
-        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut owned = owned_ctx();
+        let mut ctx = owned.ctx();
         let out = g.search(PeerId(5), &BitPath::from_str_lossy("00"), &mut ctx);
-        assert_eq!(out.messages, stats.count(pgrid_net::MsgKind::Query));
+        assert_eq!(out.messages, owned.stats.count(pgrid_net::MsgKind::Query));
     }
 }

@@ -102,6 +102,27 @@ impl InformationSystem<HashKeyMapper> {
             next_item: 0,
         }
     }
+
+    /// Like [`InformationSystem::bootstrap`], but constructs the access
+    /// structure with round-based disjoint matchings
+    /// ([`PGrid::build_rounds`]), optionally across `threads` worker
+    /// threads. The result is bit-identical for every thread count.
+    pub fn bootstrap_rounds(
+        n: usize,
+        config: SystemConfig,
+        master_seed: u64,
+        threads: usize,
+        ctx: &mut Ctx<'_>,
+    ) -> Self {
+        let mut grid = PGrid::new(n, config.grid);
+        grid.build_rounds(&BuildOptions::default(), master_seed, threads, ctx);
+        InformationSystem {
+            grid,
+            mapper: HashKeyMapper::default(),
+            config,
+            next_item: 0,
+        }
+    }
 }
 
 impl<M: KeyMapper> InformationSystem<M> {
@@ -226,18 +247,19 @@ impl<M: KeyMapper> InformationSystem<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pgrid_net::{AlwaysOnline, BernoulliOnline, NetStats};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pgrid_net::{AlwaysOnline, BernoulliOnline};
 
-    fn ctx_parts(seed: u64) -> (StdRng, AlwaysOnline, NetStats) {
-        (StdRng::seed_from_u64(seed), AlwaysOnline, NetStats::new())
+    /// Task 0 continues the master stream, so this reproduces the RNG
+    /// draws of the old hand-rolled `(StdRng, AlwaysOnline, NetStats)`
+    /// helper bit for bit.
+    fn owned_ctx(seed: u64) -> crate::OwnedCtx {
+        Ctx::fork_for_task(seed, 0, Box::new(AlwaysOnline))
     }
 
     #[test]
     fn publish_lookup_fetch_round_trip() {
-        let (mut rng, mut online, mut stats) = ctx_parts(1);
-        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut owned = owned_ctx(1);
+        let mut ctx = owned.ctx();
         let mut sys = InformationSystem::bootstrap(256, SystemConfig::default(), &mut ctx);
         let (item, cost) = sys.publish(PeerId(7), "report.pdf", b"PDF".to_vec(), &mut ctx);
         assert!(cost > 0, "insertion routes through the grid");
@@ -251,16 +273,16 @@ mod tests {
 
     #[test]
     fn missing_names_return_none() {
-        let (mut rng, mut online, mut stats) = ctx_parts(2);
-        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut owned = owned_ctx(2);
+        let mut ctx = owned.ctx();
         let sys = InformationSystem::bootstrap(128, SystemConfig::default(), &mut ctx);
         assert!(sys.lookup("never-published", &mut ctx).is_none());
     }
 
     #[test]
     fn updates_become_visible() {
-        let (mut rng, mut online, mut stats) = ctx_parts(3);
-        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut owned = owned_ctx(3);
+        let mut ctx = owned.ctx();
         let mut sys = InformationSystem::bootstrap(256, SystemConfig::default(), &mut ctx);
         let (item, _) = sys.publish(PeerId(1), "config.toml", b"v0".to_vec(), &mut ctx);
         let (updated, _) = sys.update("config.toml", item, Version(1), &mut ctx);
@@ -277,8 +299,8 @@ mod tests {
 
     #[test]
     fn many_publishers_all_discoverable() {
-        let (mut rng, mut online, mut stats) = ctx_parts(4);
-        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let mut owned = owned_ctx(4);
+        let mut ctx = owned.ctx();
         let mut sys = InformationSystem::bootstrap(512, SystemConfig::default(), &mut ctx);
         for i in 0..30u32 {
             sys.publish(PeerId(i * 17 % 512), &format!("file-{i}"), vec![i as u8], &mut ctx);
@@ -295,19 +317,19 @@ mod tests {
 
     #[test]
     fn lookups_survive_churn() {
-        let (mut rng, mut online, mut stats) = ctx_parts(5);
+        let mut owned = owned_ctx(5);
         let mut sys = {
-            let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+            let mut ctx = owned.ctx();
             InformationSystem::bootstrap(512, SystemConfig::default(), &mut ctx)
         };
         {
-            let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+            let mut ctx = owned.ctx();
             for i in 0..10u32 {
                 sys.publish(PeerId(i), &format!("item-{i}"), vec![], &mut ctx);
             }
         }
-        let mut churny = BernoulliOnline::new(0.5);
-        let mut ctx = Ctx::new(&mut rng, &mut churny, &mut stats);
+        owned.set_online(Box::new(BernoulliOnline::new(0.5)));
+        let mut ctx = owned.ctx();
         let mut found = 0;
         for i in 0..10u32 {
             if sys.lookup(&format!("item-{i}"), &mut ctx).is_some() {
@@ -315,5 +337,24 @@ mod tests {
             }
         }
         assert!(found >= 7, "lookups retry through churn: {found}/10");
+    }
+
+    #[test]
+    fn round_based_bootstrap_is_operational() {
+        let mut owned = owned_ctx(6);
+        let mut ctx = owned.ctx();
+        let mut sys =
+            InformationSystem::bootstrap_rounds(256, SystemConfig::default(), 6, 4, &mut ctx);
+        sys.grid().check_invariants().unwrap();
+        for i in 0..10u32 {
+            sys.publish(PeerId(i * 11 % 256), &format!("doc-{i}"), vec![i as u8], &mut ctx);
+        }
+        let mut found = 0;
+        for i in 0..10u32 {
+            if sys.lookup(&format!("doc-{i}"), &mut ctx).is_some() {
+                found += 1;
+            }
+        }
+        assert!(found >= 8, "round-built grid serves lookups: {found}/10");
     }
 }

@@ -16,7 +16,10 @@
 //! * [`NetStats`] / [`Histogram`] — message and hop accounting (the paper
 //!   counts "successful calls of the query operation to another peer");
 //! * [`EventQueue`] — a discrete-event scheduler for time-driven simulations;
-//! * [`LatencyModel`] — per-message delay models for the event-driven mode.
+//! * [`LatencyModel`] — per-message delay models for the event-driven mode;
+//! * [`task_seed`] / [`splitmix64`] — deterministic per-task RNG stream
+//!   derivation for the parallel experiment engine ([`NetStats`] shards merge
+//!   with [`NetStats::merge`] / `+` / `Sum`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,10 +28,12 @@ mod events;
 mod id;
 mod latency;
 mod online;
+mod seed;
 mod stats;
 
 pub use events::EventQueue;
 pub use id::PeerId;
 pub use latency::LatencyModel;
 pub use online::{AlwaysOnline, BernoulliOnline, EpochOnline, OnlineModel, SessionChurn};
+pub use seed::{splitmix64, task_seed};
 pub use stats::{Histogram, MsgKind, NetStats};

@@ -26,6 +26,18 @@ pub trait OnlineModel {
 
     /// Advances model-internal time (no-op for memoryless models).
     fn set_time(&mut self, _now: u64) {}
+
+    /// Creates an independent copy of this model for parallel task
+    /// `task_id`, so each shard of a parallel experiment can evaluate
+    /// availability without sharing mutable state.
+    ///
+    /// The models in this crate are either memoryless per probe (randomness
+    /// comes from the caller's RNG, so the copy is exact) or carry coherent
+    /// state (epoch sets, churn schedules) that every task must observe
+    /// identically — both fork by cloning, ignoring `task_id`. Models with
+    /// private randomness should derive it from `task_id` so forks stay
+    /// deterministic under any thread count.
+    fn fork(&self, task_id: u64) -> Box<dyn OnlineModel + Send>;
 }
 
 /// Every peer is always reachable. Used for the §5.1 construction-cost
@@ -40,6 +52,10 @@ impl OnlineModel for AlwaysOnline {
 
     fn online_probability(&self) -> f64 {
         1.0
+    }
+
+    fn fork(&self, _task_id: u64) -> Box<dyn OnlineModel + Send> {
+        Box::new(*self)
     }
 }
 
@@ -68,6 +84,10 @@ impl OnlineModel for BernoulliOnline {
 
     fn online_probability(&self) -> f64 {
         self.p
+    }
+
+    fn fork(&self, _task_id: u64) -> Box<dyn OnlineModel + Send> {
+        Box::new(*self)
     }
 }
 
@@ -117,6 +137,12 @@ impl OnlineModel for EpochOnline {
 
     fn online_probability(&self) -> f64 {
         self.p
+    }
+
+    /// Forks share the current epoch's online set, so every parallel task
+    /// observes the same coherent availability snapshot.
+    fn fork(&self, _task_id: u64) -> Box<dyn OnlineModel + Send> {
+        Box::new(self.clone())
     }
 }
 
@@ -189,6 +215,12 @@ impl OnlineModel for SessionChurn {
     fn set_time(&mut self, now: u64) {
         debug_assert!(now >= self.now, "simulation time moved backwards");
         self.now = now;
+    }
+
+    /// Forks copy the per-peer session schedules as of the fork point; each
+    /// task then advances its own copy with its own RNG stream.
+    fn fork(&self, _task_id: u64) -> Box<dyn OnlineModel + Send> {
+        Box::new(self.clone())
     }
 }
 
@@ -271,6 +303,57 @@ mod tests {
         }
         let rate = online_samples as f64 / total as f64;
         assert!((rate - 0.3).abs() < 0.05, "stationary rate = {rate}");
+    }
+
+    #[test]
+    fn forked_bernoulli_replays_the_same_stream() {
+        let original = BernoulliOnline::new(0.3);
+        let mut fork = original.fork(5);
+        let mut m = original;
+        let mut r1 = rng();
+        let mut r2 = rng();
+        for i in 0..500 {
+            assert_eq!(
+                m.is_online(PeerId(i), &mut r1),
+                fork.is_online(PeerId(i), &mut r2),
+                "fork must be an exact copy; divergence at probe {i}"
+            );
+        }
+        assert_eq!(fork.online_probability(), 0.3);
+    }
+
+    #[test]
+    fn forked_epoch_shares_the_online_set() {
+        let mut m = EpochOnline::new(64, 0.5);
+        let mut r = rng();
+        m.resample(&mut r);
+        m.set_online(PeerId(7), false);
+        let mut fork = m.fork(3);
+        for i in 0..64 {
+            assert_eq!(
+                m.is_online(PeerId(i), &mut r),
+                fork.is_online(PeerId(i), &mut r),
+                "every task must observe the same epoch snapshot"
+            );
+        }
+    }
+
+    #[test]
+    fn forked_churn_advances_independently() {
+        let mut r = rng();
+        let mut m = SessionChurn::new(32, 10.0, 10.0, &mut r);
+        let mut fork = m.fork(1);
+        // Advancing the fork far into the future must not disturb the
+        // parent's state at its own (earlier) time.
+        fork.set_time(10_000);
+        let mut fork_rng = StdRng::seed_from_u64(99);
+        for i in 0..32 {
+            fork.is_online(PeerId(i), &mut fork_rng);
+        }
+        m.set_time(1);
+        let a: Vec<bool> = (0..32).map(|i| m.is_online(PeerId(i), &mut r)).collect();
+        let b: Vec<bool> = (0..32).map(|i| m.is_online(PeerId(i), &mut r)).collect();
+        assert_eq!(a, b, "parent state unaffected by the fork's progress");
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Message accounting and distribution summaries.
 
 use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
 
 use serde::{Deserialize, Serialize};
 
@@ -168,6 +170,42 @@ impl NetStats {
     }
 }
 
+impl AddAssign<&NetStats> for NetStats {
+    fn add_assign(&mut self, other: &NetStats) {
+        self.merge(other);
+    }
+}
+
+impl AddAssign for NetStats {
+    fn add_assign(&mut self, other: NetStats) {
+        self.merge(&other);
+    }
+}
+
+impl Add for NetStats {
+    type Output = NetStats;
+
+    fn add(mut self, other: NetStats) -> NetStats {
+        self.merge(&other);
+        self
+    }
+}
+
+impl Sum for NetStats {
+    fn sum<I: Iterator<Item = NetStats>>(iter: I) -> NetStats {
+        iter.fold(NetStats::new(), |acc, s| acc + s)
+    }
+}
+
+impl<'a> Sum<&'a NetStats> for NetStats {
+    fn sum<I: Iterator<Item = &'a NetStats>>(iter: I) -> NetStats {
+        iter.fold(NetStats::new(), |mut acc, s| {
+            acc.merge(s);
+            acc
+        })
+    }
+}
+
 impl fmt::Display for NetStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -330,6 +368,119 @@ mod tests {
         let mut merged = checkpoint.clone();
         merged.merge(&delta);
         assert_eq!(merged, a);
+    }
+
+    /// Every recording event the counters know about, for replaying one
+    /// event stream into either a single accumulator or per-shard ones.
+    #[derive(Clone, Copy)]
+    enum Event {
+        Msg(MsgKind),
+        Contact(bool),
+        Fault(usize),
+    }
+
+    fn apply(s: &mut NetStats, ev: Event) {
+        match ev {
+            Event::Msg(k) => s.record(k),
+            Event::Contact(ok) => s.record_contact(ok),
+            Event::Fault(i) => {
+                let slot = [
+                    &mut s.dropped,
+                    &mut s.duplicated,
+                    &mut s.reordered,
+                    &mut s.delayed,
+                    &mut s.retries,
+                    &mut s.timeouts,
+                    &mut s.rejected,
+                    &mut s.malformed,
+                    &mut s.evictions,
+                ];
+                *slot[i] += 1;
+            }
+        }
+    }
+
+    /// `merge` must equal interleaved serial recording: replaying one event
+    /// stream into a single accumulator gives the same counters as splitting
+    /// it across two shards (round-robin) and merging them — covering the
+    /// message, contact, and all nine fault counters.
+    #[test]
+    fn merge_equals_interleaved_serial_recording() {
+        let events: Vec<Event> = (0..200)
+            .map(|i| match i % 4 {
+                0 => Event::Msg(MsgKind::ALL[i % 5]),
+                1 => Event::Contact(i % 3 == 0),
+                _ => Event::Fault(i % 9),
+            })
+            .collect();
+
+        let mut serial = NetStats::new();
+        for &ev in &events {
+            apply(&mut serial, ev);
+        }
+
+        let mut shard_a = NetStats::new();
+        let mut shard_b = NetStats::new();
+        for (i, &ev) in events.iter().enumerate() {
+            apply(if i % 2 == 0 { &mut shard_a } else { &mut shard_b }, ev);
+        }
+        let mut merged = shard_a.clone();
+        merged.merge(&shard_b);
+        assert_eq!(merged, serial);
+
+        // Merge order must not matter either.
+        let mut reversed = shard_b.clone();
+        reversed.merge(&shard_a);
+        assert_eq!(reversed, serial);
+
+        // The operator forms agree with `merge`.
+        let mut via_add_assign = shard_a.clone();
+        via_add_assign += &shard_b;
+        assert_eq!(via_add_assign, serial);
+        assert_eq!(shard_a.clone() + shard_b.clone(), serial);
+        assert_eq!([shard_a, shard_b].into_iter().sum::<NetStats>(), serial);
+    }
+
+    #[test]
+    fn sum_over_shards_covers_fault_counters() {
+        let shards: Vec<NetStats> = (0..5)
+            .map(|i| {
+                let mut s = NetStats::new();
+                s.record(MsgKind::Query);
+                s.dropped = i;
+                s.retries = 2 * i;
+                s.evictions = 1;
+                s
+            })
+            .collect();
+        let total: NetStats = shards.iter().sum();
+        assert_eq!(total.count(MsgKind::Query), 5);
+        assert_eq!(total.dropped, 10, "0+1+2+3+4");
+        assert_eq!(total.retries, 20);
+        assert_eq!(total.evictions, 5);
+    }
+
+    /// Merged counters — fault fields included — survive a serde round trip.
+    #[test]
+    fn merged_fault_counters_survive_serde() {
+        let mut a = NetStats::new();
+        a.record(MsgKind::Exchange);
+        a.dropped = 3;
+        a.duplicated = 1;
+        a.reordered = 4;
+        a.delayed = 1;
+        let mut b = NetStats::new();
+        b.record_contact(false);
+        b.retries = 5;
+        b.timeouts = 9;
+        b.rejected = 2;
+        b.malformed = 6;
+        b.evictions = 5;
+        a.merge(&b);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: NetStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a);
+        assert!(!back.is_fault_free());
     }
 
     #[test]

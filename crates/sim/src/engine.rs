@@ -1,0 +1,282 @@
+//! The parallel deterministic experiment engine.
+//!
+//! Query workloads split into a **fixed number of tasks** (shards). Task `t`
+//! draws from its own RNG stream `task_seed(master_seed, t)`, probes a
+//! forked copy of the availability model, and records into a private
+//! [`NetStats`] shard; shards merge **in task order** afterwards. Because
+//! nothing a task observes depends on when or where it ran, the merged
+//! counters and the per-query outcomes are bit-identical for every thread
+//! count — `threads` is purely a wall-clock knob.
+//!
+//! Without the `parallel` cargo feature, `threads` is clamped to 1 and
+//! everything runs on the calling thread.
+
+use pgrid_core::{Ctx, OwnedCtx, PGrid};
+use pgrid_net::{NetStats, OnlineModel, PeerId};
+use serde::Serialize;
+
+use crate::workload::UniformKeys;
+
+/// Result of a sharded run: one `T` per task, in task order, plus the
+/// counters of all shards merged in task order.
+pub struct ShardedRun<T> {
+    /// Per-task results, index = task id.
+    pub results: Vec<T>,
+    /// All shard counters, merged in task order.
+    pub stats: NetStats,
+}
+
+/// Runs `f` once per task over its own forked context and merges the
+/// shards in task order. `f` receives the task id and a [`Ctx`] whose RNG
+/// stream, availability fork, and counters belong exclusively to that task.
+///
+/// The decomposition into `tasks` fixes the result; `threads` only decides
+/// how many scoped worker threads execute them.
+pub fn run_sharded<T, F>(
+    master_seed: u64,
+    online: &dyn OnlineModel,
+    tasks: u64,
+    threads: usize,
+    f: F,
+) -> ShardedRun<T>
+where
+    T: Send,
+    F: Fn(u64, &mut Ctx<'_>) -> T + Sync,
+{
+    // Fork every task context up front, on the calling thread, in task
+    // order — forking models like `EpochOnline` may consult shared state.
+    let mut shards: Vec<OwnedCtx> = (0..tasks)
+        .map(|t| Ctx::fork_for_task(master_seed, t, online.fork(t)))
+        .collect();
+    let threads = if cfg!(feature = "parallel") {
+        threads.max(1)
+    } else {
+        1
+    };
+
+    let results: Vec<T> = if threads == 1 || shards.len() <= 1 {
+        shards
+            .iter_mut()
+            .enumerate()
+            .map(|(t, shard)| f(t as u64, &mut shard.ctx()))
+            .collect()
+    } else {
+        let chunk_len = shards.len().div_ceil(threads);
+        let mut per_chunk: Vec<Vec<T>> = Vec::new();
+        std::thread::scope(|scope| {
+            let f = &f;
+            let handles: Vec<_> = shards
+                .chunks_mut(chunk_len)
+                .enumerate()
+                .map(|(c, chunk)| {
+                    scope.spawn(move || {
+                        chunk
+                            .iter_mut()
+                            .enumerate()
+                            .map(|(i, shard)| {
+                                f((c * chunk_len + i) as u64, &mut shard.ctx())
+                            })
+                            .collect::<Vec<T>>()
+                    })
+                })
+                .collect();
+            per_chunk = handles
+                .into_iter()
+                .map(|h| h.join().expect("engine worker panicked"))
+                .collect();
+        });
+        per_chunk.into_iter().flatten().collect()
+    };
+
+    let mut stats = NetStats::new();
+    for shard in &shards {
+        stats.merge(&shard.stats);
+    }
+    ShardedRun { results, stats }
+}
+
+/// A deterministic query workload: `queries` uniform random keys of
+/// `key_len` bits, decomposed into `shards` tasks.
+///
+/// The shard count is part of the experiment definition (it fixes which
+/// RNG stream serves which query); the thread count is not.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryPlan {
+    /// Total number of queries.
+    pub queries: usize,
+    /// Query key length in bits.
+    pub key_len: u8,
+    /// Number of tasks the workload splits into.
+    pub shards: u64,
+}
+
+/// What one query did — comparable byte for byte across runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct QueryRecord {
+    /// Peer found responsible, if any.
+    pub responsible: Option<PeerId>,
+    /// Messages the search spent.
+    pub messages: u64,
+    /// Depth of the delegation chain.
+    pub hops: u32,
+}
+
+/// Outcome of a [`QueryPlan`] execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryRunOutcome {
+    /// One record per query, grouped by shard, in task order.
+    pub records: Vec<QueryRecord>,
+    /// Merged counters of all shards.
+    pub stats: NetStats,
+}
+
+impl QueryRunOutcome {
+    /// Number of successful queries.
+    pub fn successes(&self) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.responsible.is_some())
+            .count() as u64
+    }
+}
+
+/// Executes `plan` against `grid` (read-only, shared by all workers) with
+/// `threads` workers. Deterministic in `(plan, master_seed, online)`;
+/// independent of `threads`.
+pub fn run_query_plan(
+    grid: &PGrid,
+    plan: &QueryPlan,
+    master_seed: u64,
+    online: &dyn OnlineModel,
+    threads: usize,
+) -> QueryRunOutcome {
+    let shards = plan.shards.max(1);
+    let per = plan.queries / shards as usize;
+    let rem = plan.queries % shards as usize;
+    let keygen = UniformKeys { len: plan.key_len };
+
+    let run = run_sharded(master_seed, online, shards, threads, |task, ctx| {
+        // Shards 0..rem take one extra query, so every query runs exactly once.
+        let count = per + usize::from((task as usize) < rem);
+        let mut records = Vec::with_capacity(count);
+        for _ in 0..count {
+            let key = keygen.sample(ctx.rng);
+            let start = grid.random_peer(ctx);
+            let out = grid.search(start, &key, ctx);
+            records.push(QueryRecord {
+                responsible: out.responsible,
+                messages: out.messages,
+                hops: out.hops,
+            });
+        }
+        records
+    });
+
+    QueryRunOutcome {
+        records: run.results.into_iter().flatten().collect(),
+        stats: run.stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::built_grid;
+    use pgrid_core::PGridConfig;
+    use pgrid_net::{AlwaysOnline, BernoulliOnline, EpochOnline};
+
+    fn grid() -> PGrid {
+        built_grid(
+            128,
+            PGridConfig {
+                maxl: 4,
+                ..PGridConfig::default()
+            },
+            1.0,
+            0.99,
+            None,
+            3,
+        )
+        .grid
+    }
+
+    #[test]
+    fn sharded_counters_merge_in_task_order() {
+        let run = run_sharded(9, &AlwaysOnline, 4, 2, |task, ctx| {
+            for _ in 0..=task {
+                ctx.contact(PeerId(0));
+            }
+            task
+        });
+        assert_eq!(run.results, vec![0, 1, 2, 3]);
+        assert_eq!(run.stats.contact_attempts, 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn query_plan_is_thread_count_invariant() {
+        let g = grid();
+        let plan = QueryPlan {
+            queries: 300,
+            key_len: 4,
+            shards: 8,
+        };
+        let online = BernoulliOnline::new(0.7);
+        let base = run_query_plan(&g, &plan, 17, &online, 1);
+        assert_eq!(base.records.len(), 300);
+        assert!(base.successes() > 0);
+        for threads in [2, 4, 8] {
+            let other = run_query_plan(&g, &plan, 17, &online, threads);
+            assert_eq!(base, other, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn shard_count_changes_streams_but_not_totals_shape() {
+        let g = grid();
+        let online = AlwaysOnline;
+        let a = run_query_plan(
+            &g,
+            &QueryPlan {
+                queries: 100,
+                key_len: 4,
+                shards: 1,
+            },
+            5,
+            &online,
+            1,
+        );
+        let b = run_query_plan(
+            &g,
+            &QueryPlan {
+                queries: 100,
+                key_len: 4,
+                shards: 4,
+            },
+            5,
+            &online,
+            1,
+        );
+        // Different decomposition = different streams — but both answer all
+        // queries on an always-online converged grid.
+        assert_eq!(a.records.len(), 100);
+        assert_eq!(b.records.len(), 100);
+        assert_eq!(a.successes(), 100);
+        assert_eq!(b.successes(), 100);
+    }
+
+    #[test]
+    fn epoch_forks_share_the_online_set() {
+        let g = grid();
+        let plan = QueryPlan {
+            queries: 200,
+            key_len: 4,
+            shards: 4,
+        };
+        // EpochOnline::fork shares the frozen online subset, so parallel
+        // shards see a coherent epoch.
+        let online = EpochOnline::new(128, 0.5);
+        let base = run_query_plan(&g, &plan, 23, &online, 1);
+        let par = run_query_plan(&g, &plan, 23, &online, 4);
+        assert_eq!(base, par);
+    }
+}

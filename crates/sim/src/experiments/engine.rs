@@ -1,0 +1,152 @@
+//! **extra — parallel engine throughput**: the same query workload executed
+//! serially and across worker threads.
+//!
+//! The engine's contract is *determinism first*: every row below answers the
+//! identical queries with the identical RNG streams, so the thread count
+//! only moves wall-clock time. `run` verifies that bit-for-bit (the
+//! `identical` column) while measuring queries/second.
+
+use std::time::Instant;
+
+use pgrid_core::PGridConfig;
+use pgrid_net::AlwaysOnline;
+use serde::Serialize;
+
+use crate::engine::{run_query_plan, QueryPlan};
+use crate::{built_grid, fmt_f, Table};
+
+/// Parameters of the throughput measurement.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Community size.
+    pub n: usize,
+    /// Maximum path length.
+    pub maxl: usize,
+    /// References per level.
+    pub refmax: usize,
+    /// Total queries per row.
+    pub queries: usize,
+    /// Query key length in bits.
+    pub key_len: u8,
+    /// Task decomposition of the workload (fixed across rows).
+    pub shards: u64,
+    /// Thread counts to measure; the first row is the serial reference.
+    pub threads: Vec<usize>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n: 5_000,
+            maxl: 9,
+            refmax: 5,
+            queries: 20_000,
+            key_len: 9,
+            shards: 64,
+            threads: vec![1, 2, 4, 8],
+            seed: 42,
+        }
+    }
+}
+
+impl Config {
+    /// A laptop-fast preset.
+    pub fn small() -> Self {
+        Config {
+            n: 256,
+            maxl: 4,
+            refmax: 4,
+            queries: 2_000,
+            key_len: 4,
+            shards: 16,
+            threads: vec![1, 2],
+            seed: 42,
+        }
+    }
+}
+
+/// One measured thread count.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Row {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock milliseconds for the whole workload.
+    pub elapsed_ms: f64,
+    /// Queries per second.
+    pub qps: f64,
+    /// Speedup over the serial reference row.
+    pub speedup: f64,
+    /// Whether records and counters matched the serial reference byte for
+    /// byte (must always be `true`).
+    pub identical: bool,
+}
+
+/// Builds the grid once, then runs the workload at every configured thread
+/// count, checking each run against the serial reference.
+pub fn run(cfg: &Config) -> (Vec<Row>, Table) {
+    let grid_cfg = PGridConfig {
+        maxl: cfg.maxl,
+        refmax: cfg.refmax,
+        ..PGridConfig::default()
+    };
+    let built = built_grid(cfg.n, grid_cfg, 1.0, 0.99, None, cfg.seed);
+    let plan = QueryPlan {
+        queries: cfg.queries,
+        key_len: cfg.key_len,
+        shards: cfg.shards,
+    };
+    let online = AlwaysOnline;
+
+    let reference = run_query_plan(&built.grid, &plan, cfg.seed, &online, 1);
+
+    let mut rows = Vec::with_capacity(cfg.threads.len());
+    let mut serial_qps = None;
+    for &threads in &cfg.threads {
+        let start = Instant::now();
+        let out = run_query_plan(&built.grid, &plan, cfg.seed, &online, threads);
+        let elapsed = start.elapsed().as_secs_f64();
+        let qps = cfg.queries as f64 / elapsed.max(1e-9);
+        let serial = *serial_qps.get_or_insert(qps);
+        rows.push(Row {
+            threads,
+            elapsed_ms: elapsed * 1e3,
+            qps,
+            speedup: qps / serial,
+            identical: out == reference,
+        });
+    }
+
+    let mut table = Table::new(
+        format!(
+            "engine: {} queries (len {}, {} shards) on N={}, maxl={}",
+            cfg.queries, cfg.key_len, cfg.shards, cfg.n, cfg.maxl
+        ),
+        &["threads", "elapsed ms", "qps", "speedup", "identical"],
+    );
+    for r in &rows {
+        table.push_row(vec![
+            r.threads.to_string(),
+            fmt_f(r.elapsed_ms, 1),
+            fmt_f(r.qps, 0),
+            fmt_f(r.speedup, 2),
+            r.identical.to_string(),
+        ]);
+    }
+    (rows, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_thread_count_matches_the_serial_reference() {
+        let (rows, table) = run(&Config::small());
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.identical), "rows: {rows:?}");
+        assert!(rows.iter().all(|r| r.qps > 0.0));
+        assert_eq!(table.rows.len(), 2);
+    }
+}

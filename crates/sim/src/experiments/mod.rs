@@ -10,6 +10,7 @@
 
 pub mod ablation;
 pub mod caching;
+pub mod engine;
 pub mod f4;
 pub mod f5;
 pub mod flooding;

@@ -28,16 +28,23 @@
 //! | extra | multi-seed replication of T3 | [`experiments::variance`] |
 //! | extra | mixed read/write workloads (empirical break-even) | [`experiments::mixed`] |
 //! | extra | ablations of the design knobs | [`experiments::ablation`] |
+//! | extra | parallel engine throughput (serial vs threaded) | [`experiments::engine`] |
+//!
+//! Query workloads can execute across worker threads via [`engine`] — task-
+//! sharded RNG streams and counters merged in task order keep every result
+//! bit-identical for every thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod engine;
 pub mod experiments;
 mod report;
 mod runner;
 pub mod stats;
 pub mod workload;
 
+pub use engine::{run_query_plan, run_sharded, QueryPlan, QueryRecord, QueryRunOutcome};
 pub use report::{fmt_f, Table};
 pub use runner::{built_grid, BuiltGrid};

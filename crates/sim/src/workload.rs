@@ -40,6 +40,11 @@ pub struct SkewedKeys {
 }
 
 impl SkewedKeys {
+    /// `n` skewed keys (possibly with repeats, like real traffic).
+    pub fn sample_n(&self, n: usize, rng: &mut StdRng) -> Vec<Key> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
     /// One skewed key.
     pub fn sample(&self, rng: &mut StdRng) -> Key {
         let mut x: f64 = rng.gen_range(0.0..1.0);

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Engine throughput smoke: serial vs parallel queries/second.
+#
+#   scripts/bench.sh          # quick profile, writes/updates BENCH_engine.json
+#   scripts/bench.sh full     # paper-scale workload (minutes, not seconds)
+#
+# The run aborts (non-zero exit) if any parallel execution diverges from the
+# serial reference — determinism is part of the benchmark's contract.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+profile_flag="--quick"
+if [[ "${1:-}" == "full" ]]; then
+    profile_flag=""
+fi
+
+echo "==> engine throughput (${profile_flag:-full})"
+# shellcheck disable=SC2086  # an empty flag must expand to nothing
+cargo run --release -p pgrid-bench --bin engine_bench -- ${profile_flag} --out BENCH_engine.json
+
+echo "Benchmark written to BENCH_engine.json."
