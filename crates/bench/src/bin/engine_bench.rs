@@ -4,13 +4,73 @@
 //! verifies every run is byte-identical to the serial reference, and writes
 //! the measurements as JSON (default `BENCH_engine.json`).
 //!
+//! With the `count-allocs` cargo feature the binary also registers the
+//! counting global allocator and reports **steady-state allocations per
+//! query and per exchange** on a warm scratch arena (`allocs_per_query`
+//! must stay at 0.0 — `scripts/bench.sh` guards regressions). Without the
+//! feature those fields are `null`.
+//!
 //! ```text
 //! engine_bench [--quick] [--out PATH]
 //! ```
 
 use std::path::PathBuf;
 
+use pgrid_bench::{alloc_count, Fixture};
+use pgrid_core::Ctx;
+use pgrid_keys::BitPath;
+use pgrid_net::AlwaysOnline;
 use pgrid_sim::experiments::engine::{run, Config};
+
+#[cfg(feature = "count-allocs")]
+#[global_allocator]
+static COUNTING_ALLOC: alloc_count::CountingAlloc = alloc_count::CountingAlloc;
+
+/// Steady-state allocation accounting on a warm scratch arena: one
+/// converged grid, one long-lived task context, `WARM` unmeasured
+/// operations to grow every scratch buffer to its high-water mark, then
+/// `MEASURE` operations under the counter. Runs strictly serially, after
+/// the engine's worker threads have joined, so the process-wide counter
+/// diff is attributable to the measured loop alone.
+fn measure_allocs(seed: u64) -> (f64, f64) {
+    const WARM: usize = 200;
+    const MEASURE: usize = 1000;
+
+    // Grid size is irrelevant to steady-state counts (capacities saturate
+    // during warmup), so measure at the laptop-fast preset regardless of
+    // profile.
+    let mut grid = Fixture::converged(256, 4, 4, seed).grid;
+    let mut owned = Ctx::fork_for_task(seed, 0, Box::new(AlwaysOnline));
+    let mut sink = 0u64;
+
+    let mut before = 0u64;
+    for i in 0..WARM + MEASURE {
+        if i == WARM {
+            before = alloc_count::allocation_count();
+        }
+        let mut ctx = owned.ctx();
+        let key = BitPath::random(ctx.rng, 4);
+        let start = grid.random_peer(&mut ctx);
+        sink += grid.search(start, &key, &mut ctx).messages;
+    }
+    let per_query = (alloc_count::allocation_count() - before) as f64 / MEASURE as f64;
+
+    for i in 0..WARM + MEASURE {
+        if i == WARM {
+            before = alloc_count::allocation_count();
+        }
+        let mut ctx = owned.ctx();
+        let (a, b) = grid.random_pair(&mut ctx);
+        sink += grid.exchange(a, b, &mut ctx);
+    }
+    let per_exchange = (alloc_count::allocation_count() - before) as f64 / MEASURE as f64;
+
+    println!(
+        "allocs/query: {per_query:.3}   allocs/exchange: {per_exchange:.3}   \
+         ({MEASURE} measured after {WARM} warmup ops; sink {sink})"
+    );
+    (per_query, per_exchange)
+}
 
 fn main() {
     let mut quick = false;
@@ -34,6 +94,13 @@ fn main() {
     let (rows, table) = run(&cfg);
     println!("{}", table.render());
 
+    let alloc_metrics = if alloc_count::ENABLED {
+        Some(measure_allocs(cfg.seed))
+    } else {
+        println!("alloc accounting disabled (build with --features count-allocs)");
+        None
+    };
+
     let all_identical = rows.iter().all(|r| r.identical);
     let serial_qps = rows.first().map_or(0.0, |r| r.qps);
     let best = rows
@@ -54,6 +121,9 @@ fn main() {
         "best_qps": best.qps,
         "best_threads": best.threads,
         "all_identical": all_identical,
+        "alloc_counter_enabled": alloc_count::ENABLED,
+        "allocs_per_query": alloc_metrics.map(|(q, _)| q),
+        "allocs_per_exchange": alloc_metrics.map(|(_, x)| x),
         "rows": rows,
     });
     std::fs::write(&out, format!("{:#}\n", report)).expect("write benchmark JSON");

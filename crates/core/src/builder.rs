@@ -11,6 +11,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::exchange::{exchange_pair_local, PairEffect};
+use crate::scratch::Scratch;
 use crate::{Ctx, PGrid, PGridConfig, Peer};
 
 /// Options of the construction loop.
@@ -63,10 +64,11 @@ fn run_matched_pair(
     p2: &mut Peer,
     round_master: u64,
     k: usize,
+    scratch: &mut Scratch,
 ) -> (PairEffect, NetStats) {
     let mut rng = StdRng::seed_from_u64(task_seed(round_master, k as u64 + 1));
     let mut stats = NetStats::new();
-    let effect = exchange_pair_local(cfg, p1, p2, &mut rng, &mut stats);
+    let effect = exchange_pair_local(cfg, p1, p2, &mut rng, &mut stats, scratch);
     (effect, stats)
 }
 
@@ -136,10 +138,14 @@ impl PGrid {
 
         let mut slots = self.disjoint_pairs_mut(pairs);
         let results: Vec<(PairEffect, NetStats)> = if threads == 1 || slots.len() == 1 {
+            // One warm scratch (the caller's) serves the whole round.
+            let scratch = ctx.scratch_mut();
             slots
                 .iter_mut()
                 .enumerate()
-                .map(|(k, pair)| run_matched_pair(&cfg, &mut *pair.0, &mut *pair.1, round_master, k))
+                .map(|(k, pair)| {
+                    run_matched_pair(&cfg, &mut *pair.0, &mut *pair.1, round_master, k, scratch)
+                })
                 .collect()
         } else {
             let chunk_len = slots.len().div_ceil(threads);
@@ -151,6 +157,9 @@ impl PGrid {
                     .map(|(c, chunk)| {
                         let cfg = &cfg;
                         scope.spawn(move || {
+                            // Scratch is capacity reuse only — never results
+                            // — so a per-worker arena preserves determinism.
+                            let mut scratch = Scratch::new();
                             chunk
                                 .iter_mut()
                                 .enumerate()
@@ -161,6 +170,7 @@ impl PGrid {
                                         &mut *pair.1,
                                         round_master,
                                         c * chunk_len + i,
+                                        &mut scratch,
                                     )
                                 })
                                 .collect::<Vec<_>>()

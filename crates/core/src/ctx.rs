@@ -4,9 +4,25 @@ use pgrid_net::{task_seed, MsgKind, NetStats, OnlineModel, PeerId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::scratch::Scratch;
+
+/// Where a context's scratch arena lives: short-lived contexts own a fresh
+/// (empty, allocation-free) one; long-lived owners such as [`OwnedCtx`]
+/// lend theirs so buffer capacity survives across operations.
+enum ScratchSlot<'a> {
+    Owned(Scratch),
+    Borrowed(&'a mut Scratch),
+}
+
 /// Bundles the deterministic RNG, the availability model, and the message
 /// counters. Every randomized algorithm in this crate draws exclusively from
 /// `ctx.rng`, so a fixed seed reproduces an entire experiment bit-for-bit.
+///
+/// A context also carries a [`Scratch`] arena of reusable buffers for the
+/// allocation-free hot paths. The arena never influences results — only
+/// whether buffer capacity is reused between operations — so contexts built
+/// with [`Ctx::new`] (private arena) and [`Ctx::with_scratch`] (shared
+/// arena) behave identically.
 pub struct Ctx<'a> {
     /// Source of all randomness.
     pub rng: &'a mut StdRng,
@@ -14,16 +30,60 @@ pub struct Ctx<'a> {
     pub online: &'a mut dyn OnlineModel,
     /// Message accounting.
     pub stats: &'a mut NetStats,
+    /// Reusable hot-path buffers.
+    scratch: ScratchSlot<'a>,
 }
 
 impl<'a> Ctx<'a> {
-    /// Creates a context.
+    /// Creates a context with a private scratch arena (empty until first
+    /// use; creating it allocates nothing).
     pub fn new(
         rng: &'a mut StdRng,
         online: &'a mut dyn OnlineModel,
         stats: &'a mut NetStats,
     ) -> Self {
-        Ctx { rng, online, stats }
+        Ctx {
+            rng,
+            online,
+            stats,
+            scratch: ScratchSlot::Owned(Scratch::new()),
+        }
+    }
+
+    /// Creates a context that borrows an external scratch arena, so buffer
+    /// capacity warmed by one operation is reused by the next even when the
+    /// `Ctx` itself is rebuilt per call.
+    pub fn with_scratch(
+        rng: &'a mut StdRng,
+        online: &'a mut dyn OnlineModel,
+        stats: &'a mut NetStats,
+        scratch: &'a mut Scratch,
+    ) -> Self {
+        Ctx {
+            rng,
+            online,
+            stats,
+            scratch: ScratchSlot::Borrowed(scratch),
+        }
+    }
+
+    /// The scratch arena (owned or borrowed).
+    pub fn scratch_mut(&mut self) -> &mut Scratch {
+        match &mut self.scratch {
+            ScratchSlot::Owned(s) => s,
+            ScratchSlot::Borrowed(s) => s,
+        }
+    }
+
+    /// Splits the context into the disjoint parts the exchange and update
+    /// hot paths need simultaneously: the RNG, the counters, and the
+    /// scratch arena each under their own `&mut`.
+    pub(crate) fn parts(&mut self) -> (&mut StdRng, &mut NetStats, &mut Scratch) {
+        let scratch = match &mut self.scratch {
+            ScratchSlot::Owned(s) => s,
+            ScratchSlot::Borrowed(s) => &mut **s,
+        };
+        (self.rng, self.stats, scratch)
     }
 
     /// Probes whether `peer` is reachable, recording the attempt. A `true`
@@ -57,6 +117,7 @@ impl<'a> Ctx<'a> {
             rng: StdRng::seed_from_u64(task_seed(master_seed, task_id)),
             online,
             stats: NetStats::new(),
+            scratch: Scratch::new(),
         }
     }
 }
@@ -72,6 +133,10 @@ pub struct OwnedCtx {
     pub online: Box<dyn OnlineModel + Send>,
     /// This task's local message accounting (merged in task order later).
     pub stats: NetStats,
+    /// This task's reusable hot-path buffers: lent to every [`Ctx`] view,
+    /// so a batch of operations on one `OwnedCtx` warms the buffers once
+    /// and then runs allocation-free.
+    pub scratch: Scratch,
 }
 
 impl OwnedCtx {
@@ -81,6 +146,7 @@ impl OwnedCtx {
             rng: &mut self.rng,
             online: &mut *self.online,
             stats: &mut self.stats,
+            scratch: ScratchSlot::Borrowed(&mut self.scratch),
         }
     }
 
@@ -119,6 +185,29 @@ mod tests {
         let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
         assert!(!ctx.contact(PeerId(3)));
         assert_eq!(stats.failed_contacts, 1);
+    }
+
+    #[test]
+    fn with_scratch_shares_warmth_across_contexts() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut online = AlwaysOnline;
+        let mut stats = NetStats::new();
+        let mut scratch = Scratch::new();
+        {
+            let mut ctx = Ctx::with_scratch(&mut rng, &mut online, &mut stats, &mut scratch);
+            ctx.scratch_mut().query_refs.extend((0..32).map(PeerId));
+            ctx.scratch_mut().query_refs.clear();
+        }
+        assert!(
+            scratch.retained_capacity() >= 32,
+            "buffer capacity must survive the Ctx that warmed it"
+        );
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        assert_eq!(
+            ctx.scratch_mut().retained_capacity(),
+            0,
+            "private arenas start cold and allocation-free"
+        );
     }
 
     #[test]

@@ -24,6 +24,7 @@ use pgrid_net::{MsgKind, NetStats, PeerId};
 use rand::rngs::StdRng;
 
 use crate::routing::RefSet;
+use crate::scratch::Scratch;
 use crate::{Ctx, IndexEntry, PGrid, PGridConfig, Peer};
 
 /// What a pair-local exchange did, reported back to the grid level: the
@@ -49,6 +50,7 @@ pub(crate) fn exchange_pair_local(
     p2: &mut Peer,
     rng: &mut StdRng,
     stats: &mut NetStats,
+    scratch: &mut Scratch,
 ) -> PairEffect {
     stats.record(MsgKind::Exchange);
 
@@ -67,24 +69,32 @@ pub(crate) fn exchange_pair_local(
 
     // Mix reference sets where the paths agree. The paper's pseudocode
     // mixes only the deepest common level `lc`; `exchange_all_levels`
-    // extends that to every shared level (ablation knob).
+    // extends that to every shared level (ablation knob). Both mixes are
+    // computed into scratch from the pre-update sets, then installed over
+    // the existing level allocations — same RNG draws as the one-shot
+    // `RefSet::mixed` pair, zero steady-state allocation.
     if lc > 0 {
         let first = if cfg.exchange_all_levels { 1 } else { lc };
+        let (mix_a, mix_b, seen) = scratch.mix_buffers();
         for level in first..=lc {
-            let mixed_a = RefSet::mixed(
+            RefSet::mixed_into(
                 p1.routing().level(level),
                 p2.routing().level(level),
                 cfg.refmax,
                 rng,
+                mix_a,
+                seen,
             );
-            let mixed_b = RefSet::mixed(
+            RefSet::mixed_into(
                 p1.routing().level(level),
                 p2.routing().level(level),
                 cfg.refmax,
                 rng,
+                mix_b,
+                seen,
             );
-            p1.routing_mut().set_level(level, mixed_a);
-            p2.routing_mut().set_level(level, mixed_b);
+            p1.routing_mut().level_mut(level).overwrite(mix_a);
+            p2.routing_mut().level_mut(level).overwrite(mix_b);
         }
     }
 
@@ -248,8 +258,9 @@ impl PGrid {
         }
         let cfg = *self.config();
         let effect = {
+            let (rng, stats, scratch) = ctx.parts();
             let (p1, p2) = self.pair_mut(a1, a2);
-            exchange_pair_local(&cfg, p1, p2, ctx.rng, ctx.stats)
+            exchange_pair_local(&cfg, p1, p2, rng, stats, scratch)
         };
         self.add_path_bits(effect.new_path_bits);
         let mut calls = 1u64;
@@ -275,27 +286,39 @@ impl PGrid {
             return 0;
         }
         let fanout = cfg.recfanout.unwrap_or(usize::MAX);
-        let refs1 = self
-            .peer(a1)
-            .routing()
-            .level(level)
-            .sample_excluding(fanout, a2, ctx.rng);
-        let refs2 = self
-            .peer(a2)
-            .routing()
-            .level(level)
-            .sample_excluding(fanout, a1, ctx.rng);
+        // Sample both partners' recursion candidates into the shared scratch
+        // arena (same RNG draw order as the old owning `sample_excluding`
+        // pair). The contact loops index the arena by position: deeper
+        // recursive activations append past `end` and truncate back to it
+        // on exit, so `base..end` stays valid throughout.
+        let (base, split, end) = {
+            let (rng, _, scratch) = ctx.parts();
+            let base = scratch.ref_arena.len();
+            self.peer(a1)
+                .routing()
+                .level(level)
+                .sample_excluding_into(fanout, a2, rng, &mut scratch.ref_arena);
+            let split = scratch.ref_arena.len();
+            self.peer(a2)
+                .routing()
+                .level(level)
+                .sample_excluding_into(fanout, a1, rng, &mut scratch.ref_arena);
+            (base, split, scratch.ref_arena.len())
+        };
         let mut calls = 0u64;
-        for r1 in refs1 {
+        for i in base..split {
+            let r1 = ctx.scratch_mut().ref_arena[i];
             if ctx.contact(r1) {
                 calls += self.exchange_rec(a2, r1, r + 1, ctx);
             }
         }
-        for r2 in refs2 {
+        for i in split..end {
+            let r2 = ctx.scratch_mut().ref_arena[i];
             if ctx.contact(r2) {
                 calls += self.exchange_rec(a1, r2, r + 1, ctx);
             }
         }
+        ctx.scratch_mut().ref_arena.truncate(base);
         calls
     }
 }

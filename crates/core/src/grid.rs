@@ -326,6 +326,31 @@ mod tests {
     }
 
     #[test]
+    fn pair_mut_mutations_persist_in_both_orderings() {
+        // Both split_at_mut arms (i < j and i > j) must hand out references
+        // into the real peer storage, not copies.
+        let mut g = small_grid();
+        {
+            let (a, b) = g.pair_mut(PeerId(1), PeerId(4)); // i < j arm
+            a.extend_path(0);
+            b.extend_path(1);
+        }
+        assert_eq!(g.peer(PeerId(1)).path().len(), 1);
+        assert_eq!(g.peer(PeerId(1)).path().bit(0), 0);
+        assert_eq!(g.peer(PeerId(4)).path().len(), 1);
+        assert_eq!(g.peer(PeerId(4)).path().bit(0), 1);
+        {
+            let (a, b) = g.pair_mut(PeerId(4), PeerId(1)); // i > j arm
+            a.extend_path(0);
+            b.extend_path(1);
+        }
+        assert_eq!(g.peer(PeerId(4)).path().len(), 2);
+        assert_eq!(g.peer(PeerId(4)).path().bit(1), 0);
+        assert_eq!(g.peer(PeerId(1)).path().len(), 2);
+        assert_eq!(g.peer(PeerId(1)).path().bit(1), 1);
+    }
+
+    #[test]
     fn random_pair_is_distinct_and_uniformish() {
         let g = small_grid();
         let mut rng = StdRng::seed_from_u64(8);

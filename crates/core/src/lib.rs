@@ -48,6 +48,7 @@ mod peer;
 mod range;
 mod repair;
 mod routing;
+mod scratch;
 mod search;
 mod snapshot;
 mod system;
@@ -66,6 +67,7 @@ pub use peer::{IndexEntry, Peer};
 pub use range::RangeOutcome;
 pub use repair::RepairReport;
 pub use routing::{RefSet, RoutingTable};
+pub use scratch::Scratch;
 pub use search::SearchOutcome;
 pub use snapshot::{GridSnapshot, PeerSnapshot};
 pub use system::{InformationSystem, Lookup, SystemConfig};

@@ -75,16 +75,58 @@ impl RefSet {
 
     /// The paper's `random_select(refmax, union(r1, r2))`: a uniformly random
     /// `bound`-subset of the union of two reference sets.
+    ///
+    /// Owning convenience over [`RefSet::mixed_into`]; hot paths call the
+    /// `_into` variant with reused buffers instead.
     pub fn mixed(a: &RefSet, b: &RefSet, bound: usize, rng: &mut StdRng) -> RefSet {
-        let mut union: Vec<PeerId> = a.ids.clone();
-        for &id in &b.ids {
-            if !union.contains(&id) {
-                union.push(id);
+        let mut ids = Vec::new();
+        let mut seen = Vec::new();
+        RefSet::mixed_into(a, b, bound, rng, &mut ids, &mut seen);
+        RefSet { ids }
+    }
+
+    /// [`RefSet::mixed`] into a caller-provided buffer: `out` is replaced by
+    /// the bounded random union; `seen` is membership scratch for large sets.
+    ///
+    /// Draw-order contract: the union is laid out as `a`'s ids followed by
+    /// `b`'s ids not in `a` (both in insertion order) and then shuffled —
+    /// exactly the layout the original one-shot `mixed` produced, and
+    /// `shuffle` draws depend only on the slice length, so results are
+    /// byte-identical to the allocating version. Deduplicating `b` against
+    /// `a` alone is sound because a `RefSet` never holds duplicates, so an
+    /// already-pushed union element other than the current `b` id cannot
+    /// equal it. Membership switches from a linear scan to a sorted-buffer
+    /// binary search once `a` outgrows a cache line, which fixes the O(n²)
+    /// behaviour the linear `union.contains` had on large reference sets.
+    pub fn mixed_into(
+        a: &RefSet,
+        b: &RefSet,
+        bound: usize,
+        rng: &mut StdRng,
+        out: &mut Vec<PeerId>,
+        seen: &mut Vec<PeerId>,
+    ) {
+        const LINEAR_SCAN_MAX: usize = 16;
+        out.clear();
+        out.extend_from_slice(&a.ids);
+        if a.ids.len() <= LINEAR_SCAN_MAX {
+            for &id in &b.ids {
+                if !a.ids.contains(&id) {
+                    out.push(id);
+                }
+            }
+        } else {
+            seen.clear();
+            seen.extend_from_slice(&a.ids);
+            seen.sort_unstable();
+            for &id in &b.ids {
+                if seen.binary_search(&id).is_err() {
+                    out.push(id);
+                }
             }
         }
-        union.shuffle(rng);
-        union.truncate(bound);
-        RefSet { ids: union }
+        out.shuffle(rng);
+        out.truncate(bound);
     }
 
     /// Removes `id` if present.
@@ -95,19 +137,60 @@ impl RefSet {
     /// A uniformly random sample of up to `k` references, excluding `not`.
     /// Used by Case 4 to pick recursion partners (`recfanout`).
     pub fn sample_excluding(&self, k: usize, not: PeerId, rng: &mut StdRng) -> Vec<PeerId> {
-        let mut candidates: Vec<PeerId> =
-            self.ids.iter().copied().filter(|&id| id != not).collect();
-        candidates.shuffle(rng);
-        candidates.truncate(k);
+        let mut candidates = Vec::new();
+        self.sample_excluding_into(k, not, rng, &mut candidates);
         candidates
+    }
+
+    /// [`RefSet::sample_excluding`] appended to a caller-provided buffer:
+    /// the sample lands at `out[base..]` where `base` is `out.len()` on
+    /// entry (arena style — existing contents are preserved).
+    ///
+    /// The filtered candidate list has the same length and order as the
+    /// one-shot version's, and only its tail of `out` is shuffled, so the
+    /// RNG draws and the resulting sample are byte-identical.
+    pub fn sample_excluding_into(
+        &self,
+        k: usize,
+        not: PeerId,
+        rng: &mut StdRng,
+        out: &mut Vec<PeerId>,
+    ) {
+        let base = out.len();
+        out.extend(self.ids.iter().copied().filter(|&id| id != not));
+        out[base..].shuffle(rng);
+        // `saturating_add` keeps `k == usize::MAX` (unbounded recfanout)
+        // meaning "take everything".
+        out.truncate(base.saturating_add(k));
     }
 
     /// The references in a random order — the search algorithm's
     /// `random_select(refs)` loop consumes them one by one.
     pub fn shuffled(&self, rng: &mut StdRng) -> Vec<PeerId> {
-        let mut v = self.ids.clone();
-        v.shuffle(rng);
+        let mut v = Vec::new();
+        self.shuffled_into(rng, &mut v);
         v
+    }
+
+    /// [`RefSet::shuffled`] appended to a caller-provided buffer: the
+    /// permutation lands at `out[base..]` (arena style). Shuffling only the
+    /// appended tail draws exactly what shuffling an owned clone would, so
+    /// the iterative search visits references in the same order as the
+    /// recursive, allocating one did.
+    pub fn shuffled_into(&self, rng: &mut StdRng, out: &mut Vec<PeerId>) {
+        let base = out.len();
+        out.extend_from_slice(&self.ids);
+        out[base..].shuffle(rng);
+    }
+
+    /// Replaces the contents with `ids`, keeping the allocation. The
+    /// exchange hot path uses this to install a mixed set computed in
+    /// scratch without dropping and reallocating the level's `Vec`.
+    ///
+    /// Callers must hand in a duplicate-free list (scratch mixes are).
+    pub(crate) fn overwrite(&mut self, ids: &[PeerId]) {
+        self.ids.clear();
+        self.ids.extend_from_slice(ids);
     }
 }
 
@@ -261,6 +344,97 @@ mod tests {
         assert!(!sample.contains(&PeerId(3)));
         let all = s.sample_excluding(100, PeerId(3), &mut r);
         assert_eq!(all.len(), 9);
+    }
+
+    #[test]
+    fn mixing_large_sets_dedups_exactly() {
+        // Above the linear-scan threshold the sorted-membership path must
+        // produce the same union semantics: every element once, no strays.
+        let a = RefSet {
+            ids: (0..300).map(PeerId).collect(),
+        };
+        let b = RefSet {
+            ids: (150..450).map(PeerId).collect(),
+        };
+        let mut r = rng();
+        let m = RefSet::mixed(&a, &b, usize::MAX, &mut r);
+        assert_eq!(m.len(), 450, "union of 0..300 and 150..450");
+        let mut sorted: Vec<PeerId> = m.as_slice().to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 450, "no duplicates in the union");
+        let bounded = RefSet::mixed(&a, &b, 7, &mut r);
+        assert_eq!(bounded.len(), 7);
+        for id in bounded.as_slice() {
+            assert!(a.contains(*id) || b.contains(*id));
+        }
+    }
+
+    #[test]
+    fn mixed_into_matches_owning_variant_byte_for_byte() {
+        // Small (linear-scan) and large (sorted-membership) sets, same RNG
+        // stream: the buffered variant must reproduce the owning one.
+        for (na, nb) in [(3usize, 5usize), (40, 60)] {
+            let a = RefSet {
+                ids: (0..na as u32).map(PeerId).collect(),
+            };
+            let b = RefSet {
+                ids: (na as u32 / 2..nb as u32 + na as u32 / 2).map(PeerId).collect(),
+            };
+            let mut r1 = rng();
+            let mut r2 = rng();
+            let mut out = vec![PeerId(999)]; // stale contents must not leak
+            let mut seen = Vec::new();
+            for bound in [2usize, 5, usize::MAX] {
+                let owned = RefSet::mixed(&a, &b, bound, &mut r1);
+                RefSet::mixed_into(&a, &b, bound, &mut r2, &mut out, &mut seen);
+                assert_eq!(owned.as_slice(), &out[..], "na={na} nb={nb} bound={bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn sample_excluding_into_appends_and_matches() {
+        let s = RefSet {
+            ids: (0..10).map(PeerId).collect(),
+        };
+        let mut r1 = rng();
+        let mut r2 = rng();
+        for k in [0usize, 4, 100, usize::MAX] {
+            let owned = s.sample_excluding(k, PeerId(3), &mut r1);
+            let mut out = vec![PeerId(77)]; // arena prefix must survive
+            s.sample_excluding_into(k, PeerId(3), &mut r2, &mut out);
+            assert_eq!(out[0], PeerId(77));
+            assert_eq!(owned, out[1..], "k = {k}");
+        }
+    }
+
+    #[test]
+    fn shuffled_into_appends_and_matches() {
+        let s = RefSet {
+            ids: (0..6).map(PeerId).collect(),
+        };
+        let mut r1 = rng();
+        let mut r2 = rng();
+        let owned = s.shuffled(&mut r1);
+        let mut out = vec![PeerId(55)];
+        s.shuffled_into(&mut r2, &mut out);
+        assert_eq!(out[0], PeerId(55));
+        assert_eq!(owned, out[1..]);
+    }
+
+    #[test]
+    fn overwrite_reuses_the_allocation() {
+        let mut s = RefSet {
+            ids: (0..8).map(PeerId).collect(),
+        };
+        let cap = {
+            s.ids.reserve(32);
+            s.ids.capacity()
+        };
+        s.overwrite(&[PeerId(1), PeerId(2)]);
+        assert_eq!(s.as_slice(), &[PeerId(1), PeerId(2)]);
+        assert_eq!(s.ids.capacity(), cap, "overwrite must not reallocate");
     }
 
     #[test]

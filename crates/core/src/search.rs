@@ -16,6 +16,7 @@ use pgrid_keys::Key;
 use pgrid_net::{MsgKind, PeerId};
 use pgrid_store::Version;
 
+use crate::scratch::QueryFrame;
 use crate::{Ctx, PGrid};
 
 /// Result of one randomized depth-first search.
@@ -36,9 +37,26 @@ impl PGrid {
     ///
     /// The starting peer is the querying user's own machine and is assumed
     /// online; every further contact consults `ctx.online`.
+    ///
+    /// Fig. 2's recursion runs as an explicit iterative descent over frames
+    /// and reference lists borrowed from `ctx`'s scratch arena, so a warm
+    /// context executes the whole search without heap allocation. The RNG
+    /// draw order is byte-identical to the recursive formulation: each
+    /// visited peer shuffles its reference list exactly when the recursion
+    /// would have, and contacts interleave identically (preorder DFS).
     pub fn search(&self, start: PeerId, key: &Key, ctx: &mut Ctx<'_>) -> SearchOutcome {
         let mut messages = 0u64;
-        let found = self.query_rec(start, *key, 0, 0, &mut messages, ctx);
+        // Move the buffers out of the scratch slot for the duration of the
+        // descent — `ctx` stays fully usable (contact/message/rng) while
+        // the arena and frame stack are independently `&mut`-borrowed.
+        let mut arena = std::mem::take(&mut ctx.scratch_mut().query_refs);
+        let mut frames = std::mem::take(&mut ctx.scratch_mut().query_frames);
+        arena.clear();
+        frames.clear();
+        let found = self.query_descent(start, *key, &mut messages, &mut arena, &mut frames, ctx);
+        let scratch = ctx.scratch_mut();
+        scratch.query_refs = arena;
+        scratch.query_frames = frames;
         SearchOutcome {
             responsible: found.map(|(peer, _)| peer),
             messages,
@@ -46,16 +64,59 @@ impl PGrid {
         }
     }
 
-    /// The recursive `query(a, p, l)` of Fig. 2. `p` is the query remainder,
-    /// `l` the number of already-matched bits of `a`'s path. Returns the
-    /// responsible peer and the depth at which it was found.
-    fn query_rec(
+    /// The iterative form of Fig. 2's `query(a, p, l)`: a preorder DFS over
+    /// explicit [`QueryFrame`]s. Every suspended level keeps a cursor into
+    /// the shared `arena` slice holding its shuffled references; exhausted
+    /// levels pop and truncate the arena back to their base, exactly
+    /// mirroring the recursive WHILE loop's backtracking.
+    fn query_descent(
+        &self,
+        start: PeerId,
+        key: Key,
+        messages: &mut u64,
+        arena: &mut Vec<PeerId>,
+        frames: &mut Vec<QueryFrame>,
+        ctx: &mut Ctx<'_>,
+    ) -> Option<(PeerId, u32)> {
+        if let Some(found) = self.query_visit(start, key, 0, 0, arena, frames, ctx) {
+            return Some(found);
+        }
+        while let Some(top) = frames.last_mut() {
+            if top.cursor == top.end {
+                // Every reference of this level tried: backtrack (the
+                // recursive formulation's `return None` to the caller).
+                let base = top.base;
+                frames.pop();
+                arena.truncate(base);
+                continue;
+            }
+            let r = arena[top.cursor];
+            top.cursor += 1;
+            let (querypath, child_l, child_depth) = (top.querypath, top.child_l, top.child_depth);
+            if ctx.contact(r) {
+                *messages += 1;
+                ctx.message(MsgKind::Query);
+                if let Some(found) =
+                    self.query_visit(r, querypath, child_l, child_depth, arena, frames, ctx)
+                {
+                    return Some(found);
+                }
+            }
+        }
+        None
+    }
+
+    /// One node visit of the descent: either `a` is responsible (the Fig. 2
+    /// base case) or its divergence-level references are shuffled into the
+    /// arena and a frame is pushed for the main loop to drain.
+    fn query_visit(
         &self,
         a: PeerId,
         p: Key,
         l: usize,
         depth: u32,
-        messages: &mut u64,
+        arena: &mut Vec<PeerId>,
+        frames: &mut Vec<QueryFrame>,
         ctx: &mut Ctx<'_>,
     ) -> Option<(PeerId, u32)> {
         let path = self.peer(a).path();
@@ -74,35 +135,48 @@ impl PGrid {
         // offline peers (the DFS retry of Fig. 2's WHILE loop).
         let querypath = p.suffix(com);
         let level = l + com + 1;
-        for r in self.peer(a).routing().level(level).shuffled(ctx.rng) {
-            if ctx.contact(r) {
-                *messages += 1;
-                ctx.message(MsgKind::Query);
-                if let Some(found) =
-                    self.query_rec(r, querypath, l + com, depth + 1, messages, ctx)
-                {
-                    return Some(found);
-                }
-            }
-        }
+        let base = arena.len();
+        self.peer(a).routing().level(level).shuffled_into(ctx.rng, arena);
+        frames.push(QueryFrame {
+            querypath,
+            child_l: l + com,
+            child_depth: depth + 1,
+            base,
+            cursor: base,
+            end: arena.len(),
+        });
         None
     }
 
     /// Searches for `key` and reads the index entries at the responsible
-    /// peer. Returns `(outcome, entries)` — entries are empty when the
-    /// search failed or the replica has no entry for the key.
+    /// peer without copying them. Returns `(outcome, entries)` — the entry
+    /// slice borrows from the grid and is empty when the search failed or
+    /// the replica has no entry for the key.
+    pub fn search_entries_ref<'s>(
+        &'s self,
+        start: PeerId,
+        key: &Key,
+        ctx: &mut Ctx<'_>,
+    ) -> (SearchOutcome, &'s [crate::IndexEntry]) {
+        let outcome = self.search(start, key, ctx);
+        let entries = outcome
+            .responsible
+            .map(|peer| self.peer(peer).index_lookup(key))
+            .unwrap_or(&[]);
+        (outcome, entries)
+    }
+
+    /// Owning wrapper over [`PGrid::search_entries_ref`] for callers that
+    /// need the entries to outlive the grid borrow (e.g. before mutating
+    /// the grid).
     pub fn search_entries(
         &self,
         start: PeerId,
         key: &Key,
         ctx: &mut Ctx<'_>,
     ) -> (SearchOutcome, Vec<crate::IndexEntry>) {
-        let outcome = self.search(start, key, ctx);
-        let entries = outcome
-            .responsible
-            .map(|peer| self.peer(peer).index_lookup(key).to_vec())
-            .unwrap_or_default();
-        (outcome, entries)
+        let (outcome, entries) = self.search_entries_ref(start, key, ctx);
+        (outcome, entries.to_vec())
     }
 
     /// Convenience for the consistency experiments: the version of `item`
@@ -114,7 +188,7 @@ impl PGrid {
         item: pgrid_store::ItemId,
         ctx: &mut Ctx<'_>,
     ) -> (SearchOutcome, Option<Version>) {
-        let (outcome, entries) = self.search_entries(start, key, ctx);
+        let (outcome, entries) = self.search_entries_ref(start, key, ctx);
         let version = entries.iter().find(|e| e.item == item).map(|e| e.version);
         (outcome, version)
     }
@@ -317,6 +391,23 @@ mod tests {
         assert_eq!(version, Some(Version(3)));
         let (_, missing) = g.search_version(PeerId(0), &key, ItemId(7), &mut ctx);
         assert_eq!(missing, None);
+    }
+
+    #[test]
+    fn search_warms_and_restores_the_scratch_arena() {
+        let g = fig1_grid();
+        let mut owned = owned_ctx();
+        {
+            let mut ctx = owned.ctx();
+            let out = g.search(PeerId(5), &BitPath::from_str_lossy("10"), &mut ctx);
+            assert!(out.responsible.is_some());
+        }
+        // The descent borrowed the OwnedCtx's arena and put it back warm:
+        // later searches reuse this capacity instead of allocating.
+        assert!(
+            owned.scratch.retained_capacity() > 0,
+            "a routed query must leave warmed buffers behind"
+        );
     }
 
     #[test]

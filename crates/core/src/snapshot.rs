@@ -191,7 +191,7 @@ mod tests {
         let mut stats = NetStats::new();
         let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
         let key = BitPath::from_str_lossy("0110");
-        let (out, entries) = restored.search_entries(PeerId(0), &key, &mut ctx);
+        let (out, entries) = restored.search_entries_ref(PeerId(0), &key, &mut ctx);
         assert!(out.responsible.is_some());
         assert!(!entries.is_empty(), "seeded entry survives the round trip");
     }

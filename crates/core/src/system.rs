@@ -188,7 +188,7 @@ impl<M: KeyMapper> InformationSystem<M> {
         let mut messages = 0u64;
         for _ in 0..self.config.read_policy.max_searches {
             let start = self.grid.random_peer(ctx);
-            let (outcome, entries) = self.grid.search_entries(start, &key, ctx);
+            let (outcome, entries) = self.grid.search_entries_ref(start, &key, ctx);
             messages += outcome.messages;
             if let Some(best) = entries.iter().max_by_key(|e| e.version) {
                 let holders = entries

@@ -194,12 +194,25 @@ impl PGrid {
         }
         let querypath = p.suffix(com);
         let level = l + com + 1;
-        let refs = self.peer(a).routing().level(level).shuffled(ctx.rng);
+        // Shuffle this level's references into the shared scratch arena and
+        // walk them by index — recursive sweeps append past `end` and
+        // truncate back, so the slice stays valid and no per-level Vec is
+        // allocated. Draw order matches the old owning `shuffled` exactly.
+        let (base, end) = {
+            let (rng, _, scratch) = ctx.parts();
+            let base = scratch.ref_arena.len();
+            self.peer(a)
+                .routing()
+                .level(level)
+                .shuffled_into(rng, &mut scratch.ref_arena);
+            (base, scratch.ref_arena.len())
+        };
         let mut followed = 0usize;
-        for r in refs {
+        for i in base..end {
             if followed >= recbreadth {
                 break;
             }
+            let r = ctx.scratch_mut().ref_arena[i];
             if ctx.contact(r) {
                 followed += 1;
                 out.messages += 1;
@@ -207,6 +220,7 @@ impl PGrid {
                 self.bfs_rec(r, querypath, l + com, recbreadth, out, ctx);
             }
         }
+        ctx.scratch_mut().ref_arena.truncate(base);
     }
 
     /// Propagates a new version of `(key, item)` to every replica located by

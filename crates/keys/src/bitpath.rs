@@ -145,6 +145,7 @@ impl BitPath {
     }
 
     /// Samples a uniformly random path of exactly `len` bits.
+    #[inline]
     pub fn random<R: Rng + ?Sized>(rng: &mut R, len: u8) -> Self {
         BitPath::from_raw(rng.gen::<u128>(), len)
     }

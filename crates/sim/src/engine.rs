@@ -10,6 +10,12 @@
 //!
 //! Without the `parallel` cargo feature, `threads` is clamped to 1 and
 //! everything runs on the calling thread.
+//!
+//! Each task's [`OwnedCtx`] also owns one scratch arena, lent to every
+//! operation run through it: a shard's first query warms the buffers and
+//! the rest of the batch executes without heap allocation (see DESIGN.md
+//! "Hot-path memory discipline"). Scratch reuse is capacity-only — it never
+//! affects RNG draws or results.
 
 use pgrid_core::{Ctx, OwnedCtx, PGrid};
 use pgrid_net::{NetStats, OnlineModel, PeerId};
@@ -143,6 +149,11 @@ impl QueryRunOutcome {
 /// Executes `plan` against `grid` (read-only, shared by all workers) with
 /// `threads` workers. Deterministic in `(plan, master_seed, online)`;
 /// independent of `threads`.
+///
+/// Per shard, the record buffer is reserved once up front and the searches
+/// run on the shard's warm scratch arena, so the steady-state per-query
+/// allocation count is zero (measured by `engine_bench` with the
+/// `count-allocs` feature).
 pub fn run_query_plan(
     grid: &PGrid,
     plan: &QueryPlan,

@@ -126,7 +126,7 @@ pub fn run(cfg: &Config) -> (Vec<Row>, Table) {
             for q in 0..cfg.searches {
                 let key = catalogue.keys[q % catalogue.len()];
                 let start = grid.random_peer(ctx);
-                let (out, entries) = grid.search_entries(start, &key, ctx);
+                let (out, entries) = grid.search_entries_ref(start, &key, ctx);
                 msgs += out.messages;
                 hits += u64::from(out.responsible.is_some() && !entries.is_empty());
             }

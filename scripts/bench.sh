@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Engine throughput smoke: serial vs parallel queries/second.
+# Engine throughput smoke: serial vs parallel queries/second, plus
+# steady-state allocation accounting on the warm scratch arena.
 #
 #   scripts/bench.sh          # quick profile, writes/updates BENCH_engine.json
 #   scripts/bench.sh full     # paper-scale workload (minutes, not seconds)
 #
 # The run aborts (non-zero exit) if any parallel execution diverges from the
-# serial reference — determinism is part of the benchmark's contract.
+# serial reference — determinism is part of the benchmark's contract — or if
+# allocs_per_query regresses more than 10% against the committed
+# BENCH_engine.json baseline. (The CI workflow runs this step with
+# continue-on-error, so a regression is loud but non-blocking there.)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,8 +18,46 @@ if [[ "${1:-}" == "full" ]]; then
     profile_flag=""
 fi
 
-echo "==> engine throughput (${profile_flag:-full})"
+# Capture the committed allocation baseline BEFORE the run overwrites it.
+baseline_allocs="$(python3 - <<'EOF'
+import json
+try:
+    with open("BENCH_engine.json") as f:
+        v = json.load(f).get("allocs_per_query")
+    print("" if v is None else v)
+except Exception:
+    print("")
+EOF
+)"
+
+echo "==> engine throughput (${profile_flag:-full}) + alloc accounting"
 # shellcheck disable=SC2086  # an empty flag must expand to nothing
-cargo run --release -p pgrid-bench --bin engine_bench -- ${profile_flag} --out BENCH_engine.json
+cargo run --release -p pgrid-bench --features count-allocs --bin engine_bench -- ${profile_flag} --out BENCH_engine.json
+
+new_allocs="$(python3 - <<'EOF'
+import json
+with open("BENCH_engine.json") as f:
+    v = json.load(f).get("allocs_per_query")
+print("" if v is None else v)
+EOF
+)"
+
+if [[ -n "${baseline_allocs}" && -n "${new_allocs}" ]]; then
+    python3 - "${baseline_allocs}" "${new_allocs}" <<'EOF'
+import sys
+base, new = float(sys.argv[1]), float(sys.argv[2])
+# 10% relative, with a small absolute floor so a 0.0 baseline still
+# tolerates counter noise but catches a real per-query allocation.
+limit = max(base * 1.10, base + 0.05)
+if new > limit:
+    sys.exit(
+        f"FATAL: allocs_per_query regressed: {new} > {limit:.3f} "
+        f"(committed baseline {base}). The query hot path allocated."
+    )
+print(f"allocs_per_query {new} within budget (baseline {base}).")
+EOF
+else
+    echo "No committed allocs_per_query baseline; regression guard skipped."
+fi
 
 echo "Benchmark written to BENCH_engine.json."

@@ -6,8 +6,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> clippy (all targets, warnings are errors)"
-cargo clippy --all-targets -- -D warnings
+echo "==> clippy (all targets, warnings are errors, perf lints on)"
+cargo clippy --all-targets -- -D warnings -D clippy::perf -W clippy::redundant_clone
 
 echo "==> build (release)"
 cargo build --release
