@@ -21,6 +21,7 @@
 
 use pgrid_keys::Key;
 use pgrid_net::{MsgKind, NetStats, PeerId};
+use pgrid_proto::{classify, split_bits, ExchangeCase, SplitBitPolicy};
 use rand::rngs::StdRng;
 
 use crate::routing::RefSet;
@@ -63,9 +64,9 @@ pub(crate) fn exchange_pair_local(
 
     let path1 = p1.path();
     let path2 = p2.path();
-    let lc = path1.common_prefix_len(&path2);
-    let l1 = path1.len() - lc;
-    let l2 = path2.len() - lc;
+    // The case analysis itself is the shared sans-I/O kernel — the same
+    // classification the live node's offer/answer handshake runs.
+    let (lc, case) = classify(&path1, &path2, cfg.maxl);
 
     // Mix reference sets where the paths agree. The paper's pseudocode
     // mixes only the deepest common level `lc`; `exchange_all_levels`
@@ -100,25 +101,27 @@ pub(crate) fn exchange_pair_local(
 
     let mut new_path_bits = 0u64;
     let mut divergence_level = None;
-    match (l1 == 0, l2 == 0) {
-        // Case 1: identical paths below maxl — split a fresh level.
-        (true, true) if lc < cfg.maxl => {
-            p1.extend_path(0);
-            p2.extend_path(1);
+    match case {
+        // Case 1: identical paths below maxl — split a fresh level. The
+        // synchronous driver applies both halves atomically, so the Fixed
+        // bit policy (p1 → 0, p2 → 1, no RNG draw) is sound.
+        ExchangeCase::Split => {
+            let (bit1, bit2) = split_bits(SplitBitPolicy::Fixed, rng);
+            p1.extend_path(bit1);
+            p2.extend_path(bit2);
             new_path_bits = 2;
             p1.routing_mut().set_level(lc + 1, RefSet::singleton(p2.id()));
             p2.routing_mut().set_level(lc + 1, RefSet::singleton(p1.id()));
             rebalance_pair(p1, p2);
         }
         // Identical paths at maxl — the peers are replicas: buddies.
-        (true, true) => {
+        ExchangeCase::Replicas => {
             p1.add_buddy(p2.id());
             p2.add_buddy(p1.id());
         }
         // Case 2: a1's path is a proper prefix of a2's — a1 specializes
         // opposite to a2's next bit.
-        (true, false) if lc < cfg.maxl => {
-            let bit = path2.bit(lc) ^ 1;
+        ExchangeCase::FirstSpecializes { bit } => {
             p1.extend_path(bit);
             new_path_bits = 1;
             p1.routing_mut().set_level(lc + 1, RefSet::singleton(p2.id()));
@@ -128,8 +131,7 @@ pub(crate) fn exchange_pair_local(
             rebalance_pair(p1, p2);
         }
         // Case 3: symmetric to Case 2.
-        (false, true) if lc < cfg.maxl => {
-            let bit = path1.bit(lc) ^ 1;
+        ExchangeCase::SecondSpecializes { bit } => {
             p2.extend_path(bit);
             new_path_bits = 1;
             p2.routing_mut().set_level(lc + 1, RefSet::singleton(p1.id()));
@@ -140,7 +142,7 @@ pub(crate) fn exchange_pair_local(
         }
         // Case 4: paths diverge right after the common prefix. Recursion
         // (if any) is the caller's job — it needs peers outside the pair.
-        (false, false) => {
+        ExchangeCase::Diverged => {
             if cfg.add_ref_on_divergence {
                 p1.routing_mut()
                     .level_mut(lc + 1)
@@ -151,10 +153,9 @@ pub(crate) fn exchange_pair_local(
             }
             divergence_level = Some(lc + 1);
         }
-        // One path a prefix of the other but the shorter already at
-        // maxl: impossible (the longer would exceed maxl); the guard
-        // arms above only fall through when lc == maxl.
-        _ => {}
+        // One path a prefix of the other with the shorter already at maxl:
+        // it cannot extend, nothing structural to do.
+        ExchangeCase::Saturated => {}
     }
     PairEffect {
         new_path_bits,

@@ -14,6 +14,7 @@
 
 use pgrid_keys::Key;
 use pgrid_net::{MsgKind, PeerId};
+use pgrid_proto::{route_step, RouteStep};
 use pgrid_store::Version;
 
 use crate::scratch::QueryFrame;
@@ -121,25 +122,22 @@ impl PGrid {
     ) -> Option<(PeerId, u32)> {
         let path = self.peer(a).path();
         debug_assert!(l <= path.len(), "matched prefix longer than path");
-        let rempath = path.suffix(l);
-        let com = p.common_prefix_len(&rempath);
-
-        if com == p.len() || com == rempath.len() {
-            // The peer's remaining path covers the query (or vice versa):
-            // `a` is responsible.
-            return Some((a, depth));
-        }
+        // The routing decision itself is the shared sans-I/O kernel — the
+        // same step the live node runs per received Query frame.
+        let (consumed, level) = match route_step(&path, l, &p) {
+            RouteStep::Responsible => return Some((a, depth)),
+            RouteStep::Forward { consumed, level } => (consumed, level),
+        };
 
         // Divergence: forward the unmatched remainder to references at the
         // level just past the matched bits, in random order, skipping
         // offline peers (the DFS retry of Fig. 2's WHILE loop).
-        let querypath = p.suffix(com);
-        let level = l + com + 1;
+        let querypath = p.suffix(consumed);
         let base = arena.len();
         self.peer(a).routing().level(level).shuffled_into(ctx.rng, arena);
         frames.push(QueryFrame {
             querypath,
-            child_l: l + com,
+            child_l: l + consumed,
             child_depth: depth + 1,
             base,
             cursor: base,

@@ -1,0 +1,183 @@
+//! Bounded, insertion-ordered dedup collections.
+//!
+//! Protocol dedup state (seen queries, seen inserts, answer caches) must be
+//! bounded or a retransmitting peer can grow it without limit. These
+//! collections evict their **oldest** entry once a capacity is exceeded —
+//! the right policy for dedup windows, where only recent traffic can still
+//! be retransmitted. Shared here so the sans-I/O protocol core and any
+//! driver use one tested implementation instead of private copies.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::Hash;
+
+/// An insertion-ordered set evicting its oldest member beyond `cap`.
+#[derive(Clone, Debug)]
+pub struct BoundedSet<K> {
+    order: VecDeque<K>,
+    set: HashSet<K>,
+    cap: usize,
+}
+
+impl<K: Hash + Eq + Copy> BoundedSet<K> {
+    /// An empty set holding at most `cap` members.
+    pub fn new(cap: usize) -> Self {
+        BoundedSet {
+            order: VecDeque::new(),
+            set: HashSet::new(),
+            cap,
+        }
+    }
+
+    /// Inserts `k`; returns `true` when it was not present. Evicts the
+    /// oldest member when the capacity is exceeded.
+    pub fn insert(&mut self, k: K) -> bool {
+        if !self.set.insert(k) {
+            return false;
+        }
+        self.order.push_back(k);
+        if self.order.len() > self.cap {
+            if let Some(old) = self.order.pop_front() {
+                self.set.remove(&old);
+            }
+        }
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, k: &K) -> bool {
+        self.set.contains(k)
+    }
+
+    /// Current number of members.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// `true` when no member is held.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+/// An insertion-ordered map evicting its oldest entry beyond `cap`.
+///
+/// Re-inserting an existing key replaces its value **without** refreshing
+/// its age: dedup windows measure time since first sight, not last.
+#[derive(Clone, Debug)]
+pub struct BoundedMap<K, V> {
+    order: VecDeque<K>,
+    map: HashMap<K, V>,
+    cap: usize,
+}
+
+impl<K: Hash + Eq + Copy, V> BoundedMap<K, V> {
+    /// An empty map holding at most `cap` entries.
+    pub fn new(cap: usize) -> Self {
+        BoundedMap {
+            order: VecDeque::new(),
+            map: HashMap::new(),
+            cap,
+        }
+    }
+
+    /// The value stored under `k`, if any.
+    pub fn get(&self, k: &K) -> Option<&V> {
+        self.map.get(k)
+    }
+
+    /// Inserts or replaces the value under `k`, evicting the oldest entry
+    /// when a *new* key pushes the map over capacity.
+    pub fn insert(&mut self, k: K, v: V) {
+        if self.map.insert(k, v).is_none() {
+            self.order.push_back(k);
+            if self.order.len() > self.cap {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no entry is held.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_dedups_and_reports_novelty() {
+        let mut s = BoundedSet::new(4);
+        assert!(s.insert(1));
+        assert!(!s.insert(1), "second insert is a duplicate");
+        assert!(s.contains(&1));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn set_evicts_oldest_beyond_cap() {
+        let mut s = BoundedSet::new(3);
+        for k in 0..5 {
+            assert!(s.insert(k));
+        }
+        assert_eq!(s.len(), 3);
+        assert!(!s.contains(&0) && !s.contains(&1), "oldest two evicted");
+        assert!(s.contains(&2) && s.contains(&3) && s.contains(&4));
+        // An evicted key counts as novel again — the dedup window moved on.
+        assert!(s.insert(0));
+    }
+
+    #[test]
+    fn map_inserts_and_looks_up() {
+        let mut m = BoundedMap::new(4);
+        m.insert("a", 1);
+        m.insert("b", 2);
+        assert_eq!(m.get(&"a"), Some(&1));
+        assert_eq!(m.get(&"c"), None);
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn map_evicts_oldest_beyond_cap() {
+        let mut m = BoundedMap::new(3);
+        for k in 0..5 {
+            m.insert(k, k * 10);
+        }
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(&0), None);
+        assert_eq!(m.get(&1), None);
+        assert_eq!(m.get(&4), Some(&40));
+    }
+
+    #[test]
+    fn map_replacement_keeps_the_original_age() {
+        let mut m = BoundedMap::new(2);
+        m.insert(1, 'a');
+        m.insert(2, 'b');
+        m.insert(1, 'z'); // replace, no age refresh
+        assert_eq!(m.get(&1), Some(&'z'));
+        m.insert(3, 'c'); // evicts key 1 (still the oldest)
+        assert_eq!(m.get(&1), None);
+        assert_eq!(m.get(&2), Some(&'b'));
+        assert_eq!(m.get(&3), Some(&'c'));
+    }
+
+    #[test]
+    fn empty_collections_report_empty() {
+        let s: BoundedSet<u32> = BoundedSet::new(1);
+        let m: BoundedMap<u32, u32> = BoundedMap::new(1);
+        assert!(s.is_empty());
+        assert!(m.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(m.len(), 0);
+    }
+}

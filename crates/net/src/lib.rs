@@ -16,6 +16,8 @@
 //! * [`NetStats`] / [`Histogram`] — message and hop accounting (the paper
 //!   counts "successful calls of the query operation to another peer");
 //! * [`EventQueue`] — a discrete-event scheduler for time-driven simulations;
+//! * [`BoundedSet`] / [`BoundedMap`] — insertion-ordered dedup collections
+//!   with oldest-first eviction, shared by the protocol core and drivers;
 //! * [`LatencyModel`] — per-message delay models for the event-driven mode;
 //! * [`task_seed`] / [`splitmix64`] — deterministic per-task RNG stream
 //!   derivation for the parallel experiment engine ([`NetStats`] shards merge
@@ -24,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bounded;
 mod events;
 mod id;
 mod latency;
@@ -31,6 +34,7 @@ mod online;
 mod seed;
 mod stats;
 
+pub use bounded::{BoundedMap, BoundedSet};
 pub use events::EventQueue;
 pub use id::PeerId;
 pub use latency::LatencyModel;

@@ -177,6 +177,26 @@ impl Cluster {
         self.settle();
     }
 
+    /// Introduces `node` to `with`: one deterministic meeting instruction
+    /// (the scripted counterpart of [`Cluster::build`]'s random meetings).
+    /// The instruction travels as a control frame; the exchange it
+    /// triggers uses the (possibly faulty) links. Call
+    /// [`Cluster::settle`] to wait the exchange out.
+    pub fn meet(&self, node: PeerId, with: PeerId) {
+        let frame = encode_frame(&Message::Meet { with });
+        self.transport.send_control(self.client_id, node, frame);
+    }
+
+    /// Routes an index insertion into the grid entering at a *chosen* node
+    /// (the scripted counterpart of [`Cluster::insert`]; call
+    /// [`Cluster::settle`] before querying it back).
+    pub fn insert_at(&mut self, key: Key, entry: WireEntry, entry_node: PeerId) {
+        let seq = self.next_query_id;
+        self.next_query_id += 1;
+        let frame = encode_frame(&Message::IndexInsert { seq, key, entry });
+        self.transport.send(self.client_id, entry_node, frame);
+    }
+
     /// Waits until no frames have been delivered (and none are held back
     /// in flight) for a few polling rounds. Also drains the client mailbox,
     /// acking stray answers so their senders stop retransmitting.
@@ -364,10 +384,7 @@ impl Cluster {
             return;
         }
         let entry_node = live[self.rng.gen_range(0..live.len())];
-        let seq = self.next_query_id;
-        self.next_query_id += 1;
-        let frame = encode_frame(&Message::IndexInsert { seq, key, entry });
-        self.transport.send(self.client_id, entry_node, frame);
+        self.insert_at(key, entry, entry_node);
     }
 
     /// Installs an entry directly at every responsible node (oracle seed

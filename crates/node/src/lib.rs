@@ -7,15 +7,22 @@
 //!
 //! * [`LocalTransport`] — mailbox routing of encoded frames between threads
 //!   (swap in a socket transport and nothing above it changes);
-//! * [`NodeState`] — the peer state plus the responder side of the Fig. 3
-//!   exchange handshake and the routing decision of the Fig. 2 query;
-//! * [`spawn_node`] — the actor event loop;
+//! * [`NodeState`] — the protocol state machine, an alias of
+//!   [`pgrid_proto::ProtocolPeer`]: all decision logic (Fig. 2 routing,
+//!   Fig. 3 exchange cases, dedup, anti-entropy) lives in the sans-I/O
+//!   core crate, shared with the deterministic simulator;
+//! * [`spawn_node`] — the actor event loop: a pure I/O shell decoding
+//!   frames into events, encoding effects into frames, and owning the
+//!   retransmission / failover machinery;
 //! * [`Cluster`] — spawns a community, drives random meetings, issues
 //!   queries from a client mailbox, and snapshots convergence.
 //!
-//! Unlike the simulator, the live cluster is asynchronous and therefore not
-//! bit-deterministic; its tests assert *invariants* (structure validity,
-//! convergence, query soundness) rather than exact traces.
+//! Unlike the inline simulator, the live cluster is asynchronous and
+//! therefore not bit-deterministic under concurrency; its tests assert
+//! *invariants* (structure validity, convergence, query soundness). Under
+//! sequential driving, a seeded cluster reproduces the decisions of a
+//! seeded [`pgrid_proto::SimNet`] exactly — the differential test at the
+//! workspace root asserts that.
 //!
 //! ## Failure model
 //!
@@ -38,7 +45,7 @@ mod transport;
 pub use cluster::{Cluster, ClusterConfig};
 pub use fault::FaultPlan;
 pub use node::{spawn_node, NodeConfig, RetryPolicy};
-pub use state::{NodeState, RouteDecision, DEFAULT_SUSPECT_AFTER};
+pub use state::{NodeState, OfferOutcome, RouteDecision, DEFAULT_SUSPECT_AFTER};
 pub use transport::{
     Frame, LocalTransport, RegisterError, SendStatus, DEFAULT_MAILBOX_DEPTH,
 };

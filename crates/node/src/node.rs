@@ -1,4 +1,14 @@
-//! The actor event loop of a live node.
+//! The I/O shell of a live node: an actor loop driving the sans-I/O
+//! protocol core.
+//!
+//! Every protocol decision lives in [`pgrid_proto::ProtocolPeer`] — this
+//! module owns only I/O: decoding frames into [`Event`]s, encoding
+//! [`Effect`]s into frames, retransmission timers, candidate failover, and
+//! the failure signals fed back as events. Because the core draws all its
+//! randomness from one seeded stream (`proto_rng`) and the shell draws its
+//! retransmit jitter from a *separate* stream (`io_rng`), a node's protocol
+//! decisions are a pure function of its seed and event order — which is what
+//! lets the inline simulator ([`pgrid_proto::SimNet`]) reproduce them.
 //!
 //! # Reliability
 //!
@@ -14,16 +24,15 @@
 //!   **fails over** to the next candidate reference (queries/inserts) or
 //!   gives up (offers). A [`Message::Nack`] (downstream dead end) triggers
 //!   the failover immediately.
-//! * **Idempotent receipt** — retransmits are deduplicated: queries by
-//!   `(origin, id)`, inserts by `(sender, seq)`, and duplicate exchange
-//!   offers are re-answered from a bounded cache *without* re-applying the
-//!   (non-idempotent) Fig. 3 case.
+//! * **Idempotent receipt** — handled *inside the core*: retransmitted
+//!   queries, inserts, and exchange offers are deduplicated there, so replay
+//!   never re-applies a non-idempotent transition.
 //!
-//! Peers that repeatedly exhaust a retransmit budget are demoted via
-//! [`NodeState::note_peer_failure`] and eventually evicted; a peer with no
-//! mailbox at all (definitively departed) is pruned on the spot.
+//! Delivery failures surface to the core as [`Event::PeerSuspected`] (soft
+//! strike; eviction after repeated ones) or [`Event::PeerGone`] (no mailbox
+//! at all: pruned on the spot).
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -33,11 +42,12 @@ use crossbeam::channel::{Receiver, RecvTimeoutError};
 use parking_lot::Mutex;
 use pgrid_keys::BitPath;
 use pgrid_net::PeerId;
+use pgrid_proto::{Effect, Event, ProtoCtx};
 use pgrid_wire::{decode_frame, encode_frame, Message, WireEntry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{Frame, LocalTransport, NodeState, RouteDecision, SendStatus};
+use crate::{Frame, LocalTransport, NodeState, SendStatus};
 
 /// How unacknowledged frames are retransmitted: `attempt` transmissions in
 /// total, the wait after the n-th doubling each time, plus uniform jitter
@@ -103,89 +113,22 @@ impl Default for NodeConfig {
 
 /// Event-loop wakeup period for timer processing.
 const TICK: Duration = Duration::from_millis(5);
-/// Bound on the query/insert dedup sets.
-const SEEN_CAP: usize = 512;
-/// Bound on the duplicate-offer answer cache.
-const ANSWER_CACHE_CAP: usize = 256;
+/// Stream separator between the protocol RNG and the I/O (jitter) RNG
+/// derived from one node seed.
+const IO_STREAM_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
 
-/// An insertion-ordered set evicting its oldest member beyond `cap`.
-struct BoundedSet<K> {
-    order: VecDeque<K>,
-    set: HashSet<K>,
-    cap: usize,
-}
-
-impl<K: std::hash::Hash + Eq + Copy> BoundedSet<K> {
-    fn new(cap: usize) -> Self {
-        BoundedSet {
-            order: VecDeque::new(),
-            set: HashSet::new(),
-            cap,
-        }
-    }
-
-    /// Returns `true` when `k` was not present.
-    fn insert(&mut self, k: K) -> bool {
-        if !self.set.insert(k) {
-            return false;
-        }
-        self.order.push_back(k);
-        if self.order.len() > self.cap {
-            if let Some(old) = self.order.pop_front() {
-                self.set.remove(&old);
-            }
-        }
-        true
-    }
-}
-
-/// An insertion-ordered map evicting its oldest entry beyond `cap`.
-struct BoundedMap<K, V> {
-    order: VecDeque<K>,
-    map: HashMap<K, V>,
-    cap: usize,
-}
-
-impl<K: std::hash::Hash + Eq + Copy, V> BoundedMap<K, V> {
-    fn new(cap: usize) -> Self {
-        BoundedMap {
-            order: VecDeque::new(),
-            map: HashMap::new(),
-            cap,
-        }
-    }
-
-    fn get(&self, k: &K) -> Option<&V> {
-        self.map.get(k)
-    }
-
-    fn insert(&mut self, k: K, v: V) {
-        if self.map.insert(k, v).is_none() {
-            self.order.push_back(k);
-            if self.order.len() > self.cap {
-                if let Some(old) = self.order.pop_front() {
-                    self.map.remove(&old);
-                }
-            }
-        }
-    }
-}
-
-/// An offer we initiated, awaiting its answer.
-struct PendingOffer {
+/// I/O state of an offer in flight: the encoded frame and its retransmit
+/// schedule. The *protocol* state (path snapshot, depth) lives in the core.
+struct IoOffer {
     target: PeerId,
-    /// Path snapshot at send time: an answer telling us to extend is only
-    /// valid if our path has not changed in the meantime.
-    snapshot: BitPath,
-    depth: u8,
     frame: Bytes,
     attempt: u32,
     deadline: Instant,
 }
 
-/// A query we forwarded, awaiting the next hop's ack.
-struct PendingForward {
-    /// Who handed the query to us (to `Nack` when we dead-end).
+/// I/O state of a forwarded query awaiting the next hop's ack.
+struct IoForward {
+    /// Who handed the query to us (for the core's dead-end verdict).
     upstream: PeerId,
     origin: PeerId,
     frame: Bytes,
@@ -195,18 +138,18 @@ struct PendingForward {
     deadline: Instant,
 }
 
-/// A query answer we sent, awaiting the origin's ack.
-struct PendingAnswer {
+/// I/O state of a query answer awaiting the origin's ack.
+struct IoAnswer {
     to: PeerId,
     frame: Bytes,
     attempt: u32,
     deadline: Instant,
 }
 
-/// An index entry we forwarded, awaiting the next hop's ack. We hold
-/// custody: if every candidate fails, the entry is kept locally and flagged
-/// for anti-entropy instead of being lost.
-struct PendingInsert {
+/// I/O state of a forwarded index entry awaiting the next hop's ack. The
+/// key and entry ride along so the core can take custody if every
+/// candidate fails.
+struct IoInsert {
     key: BitPath,
     entry: WireEntry,
     frame: Bytes,
@@ -238,22 +181,23 @@ struct NodeRt {
     state: Arc<Mutex<NodeState>>,
     config: NodeConfig,
     transport: LocalTransport,
-    rng: StdRng,
-    /// Correlation-id / hop-sequence counter. The high bit keeps node-
-    /// generated sequence numbers disjoint from client-generated query ids.
-    next_id: u64,
-    pending_offers: HashMap<u64, PendingOffer>,
-    pending_forwards: HashMap<u64, PendingForward>,
-    pending_answers: HashMap<u64, PendingAnswer>,
-    pending_inserts: HashMap<u64, PendingInsert>,
-    /// Queries already accepted (`true`) or refused (`false`), so
-    /// retransmits are re-acked without reprocessing.
-    seen_queries: BoundedMap<(PeerId, u64), bool>,
-    /// Inserts already accepted, by `(sender, seq)`.
-    seen_inserts: BoundedSet<(PeerId, u64)>,
-    /// Encoded answers by `(initiator, xid)`: duplicate offers are re-
-    /// answered from here because `handle_offer` is not idempotent.
-    answer_cache: BoundedMap<(PeerId, u64), Bytes>,
+    /// All protocol randomness: seeded with the node seed, drawn from only
+    /// inside [`NodeState::handle`].
+    proto_rng: StdRng,
+    /// All I/O randomness (retransmit jitter): a separate stream, so
+    /// delivery timing never perturbs protocol draws.
+    io_rng: StdRng,
+    /// Events awaiting processing (failure signals and dead-end verdicts
+    /// feed back here).
+    inbox: VecDeque<Event>,
+    /// Reused effect buffer for [`NodeState::handle`] calls.
+    effects: Vec<Effect>,
+    /// Reused scratch for expired-deadline collection in the tick path.
+    expired: Vec<u64>,
+    pending_offers: HashMap<u64, IoOffer>,
+    pending_forwards: HashMap<u64, IoForward>,
+    pending_answers: HashMap<u64, IoAnswer>,
+    pending_inserts: HashMap<u64, IoInsert>,
 }
 
 impl NodeRt {
@@ -263,21 +207,26 @@ impl NodeRt {
         transport: LocalTransport,
         seed: u64,
     ) -> Self {
-        let id = state.lock().id;
+        let id = {
+            let mut guard = state.lock();
+            guard.recmax = config.recmax;
+            guard.seed_sequence(seed);
+            guard.id
+        };
         NodeRt {
             id,
             state,
             config,
             transport,
-            rng: StdRng::seed_from_u64(seed),
-            next_id: (1 << 63) | (seed << 20),
+            proto_rng: StdRng::seed_from_u64(seed),
+            io_rng: StdRng::seed_from_u64(seed ^ IO_STREAM_SALT),
+            inbox: VecDeque::new(),
+            effects: Vec::new(),
+            expired: Vec::new(),
             pending_offers: HashMap::new(),
             pending_forwards: HashMap::new(),
             pending_answers: HashMap::new(),
             pending_inserts: HashMap::new(),
-            seen_queries: BoundedMap::new(SEEN_CAP),
-            seen_inserts: BoundedSet::new(SEEN_CAP),
-            answer_cache: BoundedMap::new(ANSWER_CACHE_CAP),
         }
     }
 
@@ -296,42 +245,128 @@ impl NodeRt {
         }
     }
 
-    fn next_id(&mut self) -> u64 {
-        let id = self.next_id;
-        self.next_id += 1;
-        id
+    // ---- core plumbing -----------------------------------------------
+
+    /// Feeds one event into the protocol core and applies every effect,
+    /// including effects of the follow-up events those applications queue.
+    fn deliver(&mut self, event: Event) {
+        self.inbox.push_back(event);
+        self.pump();
     }
 
-    fn send(&self, to: PeerId, msg: &Message) -> SendStatus {
-        self.transport.dispatch(self.id, to, encode_frame(msg))
-    }
-
-    fn send_ack(&self, to: PeerId, seq: u64) {
-        let _ = self.send(to, &Message::Ack { seq });
-    }
-
-    fn send_nack(&self, to: PeerId, seq: u64) {
-        let _ = self.send(to, &Message::Nack { seq });
-    }
-
-    /// Records a soft delivery failure (timeout / full mailbox) against
-    /// `peer`; eviction after repeated strikes is counted in the stats.
-    fn note_failure(&mut self, peer: PeerId) {
-        if self.state.lock().note_peer_failure(peer) {
-            self.transport.record_eviction();
+    /// Drains the event inbox through the core (the tick path and nack
+    /// failover push events directly, then pump).
+    fn pump(&mut self) {
+        while let Some(ev) = self.inbox.pop_front() {
+            let mut out = std::mem::take(&mut self.effects);
+            out.clear();
+            {
+                let mut guard = self.state.lock();
+                let mut ctx = ProtoCtx {
+                    rng: &mut self.proto_rng,
+                };
+                guard.handle(ev, &mut ctx, &mut out);
+            }
+            for effect in out.drain(..) {
+                self.apply(effect);
+            }
+            self.effects = out;
         }
     }
 
-    /// A peer with no mailbox is gone for good: prune it everywhere.
-    fn note_gone(&mut self, peer: PeerId) {
-        self.state.lock().forget_peer(peer);
+    /// Maps one core effect onto the transport (and the retransmission
+    /// maps). Failure signals go back into `inbox` as events.
+    fn apply(&mut self, effect: Effect) {
+        match effect {
+            Effect::Send { to, msg } => {
+                let _ = self.transport.dispatch(self.id, to, encode_frame(&msg));
+            }
+            Effect::SendOffer { to, id, msg } => {
+                let frame = encode_frame(&msg);
+                match self.transport.dispatch(self.id, to, frame.clone()) {
+                    SendStatus::Delivered | SendStatus::Dropped => {
+                        let deadline = Instant::now()
+                            + self.config.exchange_retry.backoff(1, &mut self.io_rng);
+                        self.pending_offers.insert(
+                            id,
+                            IoOffer {
+                                target: to,
+                                frame,
+                                attempt: 1,
+                                deadline,
+                            },
+                        );
+                    }
+                    SendStatus::Rejected => {
+                        self.inbox.push_back(Event::OfferExpired { id });
+                        self.inbox.push_back(Event::PeerSuspected { peer: to });
+                    }
+                    SendStatus::NoRoute => {
+                        self.inbox.push_back(Event::OfferExpired { id });
+                        self.inbox.push_back(Event::PeerGone { peer: to });
+                    }
+                }
+            }
+            Effect::SendAnswer { to, id, msg } => {
+                let frame = encode_frame(&msg);
+                let _ = self.transport.send(self.id, to, frame.clone());
+                let deadline = Instant::now() + self.config.ack_retry.backoff(1, &mut self.io_rng);
+                self.pending_answers.insert(
+                    id,
+                    IoAnswer {
+                        to,
+                        frame,
+                        attempt: 1,
+                        deadline,
+                    },
+                );
+            }
+            Effect::ForwardQuery {
+                id,
+                upstream,
+                origin,
+                candidates,
+                msg,
+            } => {
+                let pf = IoForward {
+                    upstream,
+                    origin,
+                    frame: encode_frame(&msg),
+                    current: self.id,
+                    rest: candidates,
+                    attempt: 0,
+                    deadline: Instant::now(),
+                };
+                self.drive_forward(id, pf);
+            }
+            Effect::ForwardInsert {
+                seq,
+                key,
+                entry,
+                candidates,
+                msg,
+            } => {
+                let pi = IoInsert {
+                    key,
+                    entry,
+                    frame: encode_frame(&msg),
+                    current: self.id,
+                    rest: candidates,
+                    attempt: 0,
+                    deadline: Instant::now(),
+                };
+                self.drive_insert(seq, pi);
+            }
+            // The core's index *is* the store in this deployment; a durable
+            // backend would hook StoreWrite. Timers are subsumed by the
+            // per-frame anti-entropy pass in the core.
+            Effect::StoreWrite { .. } | Effect::SetTimer { .. } => {}
+            Effect::PeerEvicted { .. } => self.transport.record_eviction(),
+        }
     }
 
     /// Returns `false` when the node must shut down.
     fn handle_frame(&mut self, frame: Frame) -> bool {
-        // Anti-entropy: every incoming frame is an opportunity to retry
-        // re-homing entries that had no route when they arrived.
-        self.anti_entropy();
         let mut buf = BytesMut::from(&frame.bytes[..]);
         let message = match decode_frame(&mut buf) {
             Ok(Some(m)) => m,
@@ -353,9 +388,11 @@ impl NodeRt {
         let from = frame.from;
         match message {
             Message::Shutdown => return false,
-            Message::Meet { with } => self.send_offer(with, 0),
+            Message::Meet { with } => self.deliver(Event::Meet { with, depth: 0 }),
             Message::Ping { nonce } => {
-                let _ = self.send(from, &Message::Pong { nonce });
+                let _ = self
+                    .transport
+                    .dispatch(self.id, from, encode_frame(&Message::Pong { nonce }));
             }
             Message::Pong { .. } => {}
             Message::Ack { seq } => self.on_ack(from, seq),
@@ -366,7 +403,14 @@ impl NodeRt {
                 key,
                 matched,
                 ttl,
-            } => self.on_query(from, id, origin, key, matched, ttl),
+            } => self.deliver(Event::QueryReceived {
+                from,
+                id,
+                origin,
+                key,
+                matched,
+                ttl,
+            }),
             Message::QueryOk { .. } | Message::QueryFail { .. } => {
                 // Only the query origin consumes these; a node receives
                 // them only if it was an origin, which live nodes are
@@ -377,144 +421,74 @@ impl NodeRt {
                 depth,
                 path,
                 level_refs,
-            } => self.on_offer(from, id, depth, &path, &level_refs),
+            } => self.deliver(Event::OfferReceived {
+                from,
+                id,
+                depth,
+                path,
+                level_refs,
+            }),
             Message::ExchangeAnswer {
                 id,
                 take_bit,
                 adopt_refs,
                 recurse_with,
                 ..
-            } => self.on_answer(from, id, take_bit, adopt_refs, recurse_with),
-            Message::ExchangeConfirm { path, .. } => {
-                let mut guard = self.state.lock();
-                guard.maybe_add_ref(from, &path, &mut self.rng);
+            } => {
+                // Stop retransmitting the offer; the core performs its own
+                // (stricter) correlation checks.
+                if self
+                    .pending_offers
+                    .get(&id)
+                    .is_some_and(|p| p.target == from)
+                {
+                    self.pending_offers.remove(&id);
+                }
+                self.deliver(Event::AnswerReceived {
+                    from,
+                    id,
+                    take_bit,
+                    adopt_refs,
+                    recurse_with,
+                });
             }
-            Message::IndexInsert { seq, key, entry } => self.on_insert(from, seq, key, entry),
+            Message::ExchangeConfirm { path, .. } => {
+                self.deliver(Event::ConfirmReceived { from, path })
+            }
+            Message::IndexInsert { seq, key, entry } => self.deliver(Event::InsertReceived {
+                from,
+                seq,
+                key,
+                entry,
+            }),
         }
         true
-    }
-
-    // ---- timers ------------------------------------------------------
-
-    fn tick(&mut self, now: Instant) {
-        self.tick_offers(now);
-        self.tick_forwards(now);
-        self.tick_answers(now);
-        self.tick_inserts(now);
-    }
-
-    fn expired<P>(map: &HashMap<u64, P>, now: Instant, deadline: impl Fn(&P) -> Instant) -> Vec<u64> {
-        map.iter()
-            .filter(|(_, p)| deadline(p) <= now)
-            .map(|(&k, _)| k)
-            .collect()
-    }
-
-    fn tick_offers(&mut self, now: Instant) {
-        for xid in Self::expired(&self.pending_offers, now, |p| p.deadline) {
-            let Some(mut p) = self.pending_offers.remove(&xid) else {
-                continue;
-            };
-            if p.attempt < self.config.exchange_retry.max_attempts {
-                p.attempt += 1;
-                self.transport.record_retry();
-                let _ = self.transport.send(self.id, p.target, p.frame.clone());
-                p.deadline = now + self.config.exchange_retry.backoff(p.attempt, &mut self.rng);
-                self.pending_offers.insert(xid, p);
-            } else {
-                self.transport.record_timeout();
-                self.note_failure(p.target);
-            }
-        }
-    }
-
-    fn tick_forwards(&mut self, now: Instant) {
-        for qid in Self::expired(&self.pending_forwards, now, |p| p.deadline) {
-            let Some(mut p) = self.pending_forwards.remove(&qid) else {
-                continue;
-            };
-            if p.attempt < self.config.ack_retry.max_attempts {
-                p.attempt += 1;
-                self.transport.record_retry();
-                let _ = self.transport.send(self.id, p.current, p.frame.clone());
-                p.deadline = now + self.config.ack_retry.backoff(p.attempt, &mut self.rng);
-                self.pending_forwards.insert(qid, p);
-            } else {
-                self.transport.record_timeout();
-                let failed = p.current;
-                self.note_failure(failed);
-                self.drive_forward(qid, p);
-            }
-        }
-    }
-
-    fn tick_answers(&mut self, now: Instant) {
-        for qid in Self::expired(&self.pending_answers, now, |p| p.deadline) {
-            let Some(mut p) = self.pending_answers.remove(&qid) else {
-                continue;
-            };
-            if p.attempt < self.config.ack_retry.max_attempts {
-                p.attempt += 1;
-                self.transport.record_retry();
-                let _ = self.transport.send(self.id, p.to, p.frame.clone());
-                p.deadline = now + self.config.ack_retry.backoff(p.attempt, &mut self.rng);
-                self.pending_answers.insert(qid, p);
-            } else {
-                // The origin is a client, not a routing-table member; no
-                // demotion, the client's own query retry covers this.
-                self.transport.record_timeout();
-            }
-        }
-    }
-
-    fn tick_inserts(&mut self, now: Instant) {
-        for seq in Self::expired(&self.pending_inserts, now, |p| p.deadline) {
-            let Some(mut p) = self.pending_inserts.remove(&seq) else {
-                continue;
-            };
-            if p.attempt < self.config.ack_retry.max_attempts {
-                p.attempt += 1;
-                self.transport.record_retry();
-                let _ = self.transport.send(self.id, p.current, p.frame.clone());
-                p.deadline = now + self.config.ack_retry.backoff(p.attempt, &mut self.rng);
-                self.pending_inserts.insert(seq, p);
-            } else {
-                self.transport.record_timeout();
-                let failed = p.current;
-                self.note_failure(failed);
-                self.drive_insert(seq, p);
-            }
-        }
     }
 
     // ---- acks --------------------------------------------------------
 
     fn on_ack(&mut self, from: PeerId, seq: u64) {
-        self.state.lock().note_peer_success(from);
         if self
             .pending_forwards
             .get(&seq)
             .is_some_and(|p| p.current == from)
         {
             self.pending_forwards.remove(&seq);
-            return;
-        }
-        if self.pending_answers.get(&seq).is_some_and(|p| p.to == from) {
+        } else if self.pending_answers.get(&seq).is_some_and(|p| p.to == from) {
             self.pending_answers.remove(&seq);
-            return;
-        }
-        if self
+        } else if self
             .pending_inserts
             .get(&seq)
             .is_some_and(|p| p.current == from)
         {
             self.pending_inserts.remove(&seq);
         }
+        self.deliver(Event::PeerHeard { peer: from });
     }
 
     fn on_nack(&mut self, from: PeerId, seq: u64) {
         // A nack is a *response*: the peer is alive, it just can't help.
-        self.state.lock().note_peer_success(from);
+        self.deliver(Event::PeerHeard { peer: from });
         if self
             .pending_forwards
             .get(&seq)
@@ -522,6 +496,7 @@ impl NodeRt {
         {
             let p = self.pending_forwards.remove(&seq).expect("checked above");
             self.drive_forward(seq, p);
+            self.pump();
             return;
         }
         if self
@@ -531,116 +506,22 @@ impl NodeRt {
         {
             let p = self.pending_inserts.remove(&seq).expect("checked above");
             self.drive_insert(seq, p);
+            self.pump();
         }
     }
 
-    // ---- queries -----------------------------------------------------
+    // ---- transmission drivers ----------------------------------------
 
-    fn on_query(
-        &mut self,
-        from: PeerId,
-        qid: u64,
-        origin: PeerId,
-        key: BitPath,
-        matched: u16,
-        ttl: u16,
-    ) {
-        if let Some(&accepted) = self.seen_queries.get(&(origin, qid)) {
-            // Retransmit or injected duplicate: repeat the receipt verdict
-            // without reprocessing.
-            if from != origin {
-                if accepted {
-                    self.send_ack(from, qid);
-                } else {
-                    self.send_nack(from, qid);
-                }
-            }
-            return;
-        }
-        let decision = {
-            let guard = self.state.lock();
-            match guard.route(&key, matched, &mut self.rng) {
-                RouteDecision::Responsible => {
-                    let full = guard.full_key(&key, matched);
-                    Err(Message::QueryOk {
-                        id: qid,
-                        responsible: self.id,
-                        entries: guard.index_lookup(&full).to_vec(),
-                    })
-                }
-                RouteDecision::Forward {
-                    key,
-                    matched,
-                    candidates,
-                } => Ok((key, matched, candidates)),
-                RouteDecision::Dead => Err(Message::QueryFail { id: qid }),
-            }
-        };
-        match decision {
-            Err(reply) => {
-                let answered = matches!(reply, Message::QueryOk { .. });
-                if answered || from == origin {
-                    // We can settle the query (success, or the entry hop
-                    // reporting failure to its client): take custody.
-                    self.seen_queries.insert((origin, qid), true);
-                    if from != origin {
-                        self.send_ack(from, qid);
-                    }
-                    self.send_answer(origin, qid, encode_frame(&reply));
-                } else {
-                    // Dead end mid-route: push the query back upstream so
-                    // the previous hop fails over to its other candidates.
-                    self.seen_queries.insert((origin, qid), false);
-                    self.send_nack(from, qid);
-                }
-            }
-            Ok((key, matched, candidates)) => {
-                if ttl == 0 {
-                    if from == origin {
-                        self.seen_queries.insert((origin, qid), true);
-                        self.send_answer(origin, qid, encode_frame(&Message::QueryFail { id: qid }));
-                    } else {
-                        self.seen_queries.insert((origin, qid), false);
-                        self.send_nack(from, qid);
-                    }
-                    return;
-                }
-                self.seen_queries.insert((origin, qid), true);
-                if from != origin {
-                    self.send_ack(from, qid);
-                }
-                let fwd = encode_frame(&Message::Query {
-                    id: qid,
-                    origin,
-                    key,
-                    matched,
-                    ttl: ttl - 1,
-                });
-                let pf = PendingForward {
-                    upstream: from,
-                    origin,
-                    frame: fwd,
-                    current: self.id,
-                    rest: candidates,
-                    attempt: 0,
-                    deadline: Instant::now(),
-                };
-                self.drive_forward(qid, pf);
-            }
-        }
-    }
-
-    /// Transmits the forwarded query to the next viable candidate, or
-    /// reports failure (Nack upstream / QueryFail to the origin) when all
-    /// candidates are spent.
-    fn drive_forward(&mut self, qid: u64, mut pf: PendingForward) {
+    /// Transmits a forwarded query to the next viable candidate; when all
+    /// candidates are spent, the core issues the dead-end verdict.
+    fn drive_forward(&mut self, qid: u64, mut pf: IoForward) {
         loop {
             if pf.rest.is_empty() {
-                if pf.upstream == pf.origin {
-                    self.send_answer(pf.origin, qid, encode_frame(&Message::QueryFail { id: qid }));
-                } else {
-                    self.send_nack(pf.upstream, qid);
-                }
+                self.inbox.push_back(Event::ForwardDeadEnd {
+                    id: qid,
+                    upstream: pf.upstream,
+                    origin: pf.origin,
+                });
                 return;
             }
             let next = pf.rest.remove(0);
@@ -648,240 +529,27 @@ impl NodeRt {
                 SendStatus::Delivered | SendStatus::Dropped => {
                     pf.current = next;
                     pf.attempt = 1;
-                    pf.deadline = Instant::now() + self.config.ack_retry.backoff(1, &mut self.rng);
+                    pf.deadline =
+                        Instant::now() + self.config.ack_retry.backoff(1, &mut self.io_rng);
                     self.pending_forwards.insert(qid, pf);
                     return;
                 }
-                SendStatus::Rejected => self.note_failure(next),
-                SendStatus::NoRoute => self.note_gone(next),
+                SendStatus::Rejected => self.inbox.push_back(Event::PeerSuspected { peer: next }),
+                SendStatus::NoRoute => self.inbox.push_back(Event::PeerGone { peer: next }),
             }
         }
     }
 
-    /// Sends (and tracks for retransmission) a query answer to its origin.
-    fn send_answer(&mut self, to: PeerId, qid: u64, frame: Bytes) {
-        let _ = self.transport.send(self.id, to, frame.clone());
-        let deadline = Instant::now() + self.config.ack_retry.backoff(1, &mut self.rng);
-        self.pending_answers.insert(
-            qid,
-            PendingAnswer {
-                to,
-                frame,
-                attempt: 1,
-                deadline,
-            },
-        );
-    }
-
-    // ---- exchanges ---------------------------------------------------
-
-    fn send_offer(&mut self, target: PeerId, depth: u8) {
-        if target == self.id {
-            return;
-        }
-        let (path, digest) = {
-            let guard = self.state.lock();
-            (guard.path, guard.level_refs_digest())
-        };
-        let xid = self.next_id();
-        let frame = encode_frame(&Message::ExchangeOffer {
-            id: xid,
-            depth,
-            path,
-            level_refs: digest,
-        });
-        match self.transport.dispatch(self.id, target, frame.clone()) {
-            SendStatus::Delivered | SendStatus::Dropped => {
-                let deadline =
-                    Instant::now() + self.config.exchange_retry.backoff(1, &mut self.rng);
-                self.pending_offers.insert(
-                    xid,
-                    PendingOffer {
-                        target,
-                        snapshot: path,
-                        depth,
-                        frame,
-                        attempt: 1,
-                        deadline,
-                    },
-                );
-            }
-            SendStatus::Rejected => self.note_failure(target),
-            SendStatus::NoRoute => self.note_gone(target),
-        }
-    }
-
-    fn on_offer(
-        &mut self,
-        from: PeerId,
-        xid: u64,
-        depth: u8,
-        path: &BitPath,
-        level_refs: &[(u16, Vec<PeerId>)],
-    ) {
-        if let Some(cached) = self.answer_cache.get(&(from, xid)) {
-            // Retransmitted offer: the initiator lost our answer. Re-send
-            // it verbatim; re-running handle_offer would split us again.
-            let cached = cached.clone();
-            let _ = self.transport.send(self.id, from, cached);
-            return;
-        }
-        let (outcome, misplaced) = {
-            let mut guard = self.state.lock();
-            let before = guard.path;
-            let outcome = guard.handle_offer(from, path, level_refs, &mut self.rng);
-            // Case 1/3 may have specialized us: entries outside the new
-            // path must find their new homes.
-            let misplaced = if guard.path != before {
-                guard.extract_misplaced()
-            } else {
-                Vec::new()
-            };
-            (outcome, misplaced)
-        };
-        self.rehome(misplaced);
-        let answer = encode_frame(&Message::ExchangeAnswer {
-            id: xid,
-            responder_path: self.state.lock().path,
-            take_bit: outcome.take_bit,
-            adopt_refs: outcome.adopt_refs,
-            recurse_with: outcome.recurse_initiator,
-        });
-        self.answer_cache.insert((from, xid), answer.clone());
-        let _ = self.transport.send(self.id, from, answer);
-        // The responder's own recursion: exchange with peers drawn from
-        // the initiator's digest.
-        if depth < self.config.recmax {
-            for target in outcome.recurse_responder {
-                self.send_offer(target, depth + 1);
-            }
-        }
-    }
-
-    fn on_answer(
-        &mut self,
-        from: PeerId,
-        xid: u64,
-        take_bit: Option<u8>,
-        adopt_refs: Vec<(u16, Vec<PeerId>)>,
-        recurse_with: Vec<PeerId>,
-    ) {
-        let Some(po) = self.pending_offers.remove(&xid) else {
-            return; // unsolicited answer
-        };
-        if po.target != from {
-            // An answer for our xid from the wrong peer: keep waiting.
-            self.pending_offers.insert(xid, po);
-            return;
-        }
-        self.state.lock().note_peer_success(from);
-        let confirm_path = {
-            let mut guard = self.state.lock();
-            if let Some(bit) = take_bit {
-                // Only extend if nothing changed since the offer —
-                // otherwise the whole answer is stale (the responder
-                // computed its case against a path we no longer hold)
-                // and we drop it.
-                if guard.path == po.snapshot && guard.path.len() < guard.maxl {
-                    guard.path = guard.path.child(bit);
-                } else {
-                    return; // stale: skip adopt/confirm/recurse entirely
-                }
-            }
-            for (level, refs) in adopt_refs {
-                // Valid even after concurrent growth: levels ≤ the
-                // offer-time path depend only on prefixes, which never
-                // change.
-                if level >= 1 {
-                    guard.union_refs(level as usize, &refs, &mut self.rng);
-                }
-            }
-            guard.path
-        };
-        // Taking a bit may strand entries on the other side.
-        let misplaced = {
-            let mut guard = self.state.lock();
-            if take_bit.is_some() {
-                guard.extract_misplaced()
-            } else {
-                Vec::new()
-            }
-        };
-        self.rehome(misplaced);
-        // Third leg: tell the responder what we actually hold so it can
-        // (only now, race-free) record us as a reference. Best-effort: a
-        // lost confirm costs one reference edge, repaired by later
-        // exchanges.
-        let _ = self.send(
-            from,
-            &Message::ExchangeConfirm {
-                id: xid,
-                path: confirm_path,
-            },
-        );
-        if po.depth < self.config.recmax {
-            for target in recurse_with {
-                self.send_offer(target, po.depth + 1);
-            }
-        }
-    }
-
-    // ---- index maintenance -------------------------------------------
-
-    fn on_insert(&mut self, from: PeerId, seq: u64, key: BitPath, entry: WireEntry) {
-        // Receipt-ack: we take custody of the entry (keep-and-flag below
-        // guarantees it is never lost once accepted).
-        self.send_ack(from, seq);
-        if !self.seen_inserts.insert((from, seq)) {
-            return; // retransmit of an insert we already own
-        }
-        let forward = {
-            let mut guard = self.state.lock();
-            if guard.responsible_for(&key) {
-                guard.index_insert(key, entry);
-                None
-            } else {
-                // Not responsible: forward along the structure. A dead
-                // route yields an EMPTY candidate list — distinct from the
-                // handled-locally case — so the keep-and-flag fallback
-                // below still runs.
-                match guard.route(&key, 0, &mut self.rng) {
-                    RouteDecision::Forward { candidates, .. } => Some(candidates),
-                    _ => Some(Vec::new()),
-                }
-            }
-        };
-        if let Some(candidates) = forward {
-            self.forward_insert(key, entry, candidates);
-        }
-    }
-
-    /// Forwards an entry with the *full* key (inserts re-route from scratch
-    /// at every hop, keys are absolute), stamped with a fresh hop sequence.
-    fn forward_insert(&mut self, key: BitPath, entry: WireEntry, candidates: Vec<PeerId>) {
-        let seq = self.next_id();
-        let frame = encode_frame(&Message::IndexInsert { seq, key, entry });
-        let pi = PendingInsert {
-            key,
-            entry,
-            frame,
-            current: self.id,
-            rest: candidates,
-            attempt: 0,
-            deadline: Instant::now(),
-        };
-        self.drive_insert(seq, pi);
-    }
-
-    /// Transmits the insert to the next viable candidate; when all are
-    /// spent, keeps the entry locally (flagged misplaced) rather than
-    /// losing it — anti-entropy retries on later traffic.
-    fn drive_insert(&mut self, seq: u64, mut pi: PendingInsert) {
+    /// Transmits a forwarded insert to the next viable candidate; when all
+    /// are spent, the core keeps custody (stores the entry flagged
+    /// misplaced) rather than losing it.
+    fn drive_insert(&mut self, seq: u64, mut pi: IoInsert) {
         loop {
             if pi.rest.is_empty() {
-                let mut guard = self.state.lock();
-                guard.index_insert(pi.key, pi.entry);
-                guard.misplaced = true;
+                self.inbox.push_back(Event::InsertDeadEnd {
+                    key: pi.key,
+                    entry: pi.entry,
+                });
                 return;
             }
             let next = pi.rest.remove(0);
@@ -889,44 +557,131 @@ impl NodeRt {
                 SendStatus::Delivered | SendStatus::Dropped => {
                     pi.current = next;
                     pi.attempt = 1;
-                    pi.deadline = Instant::now() + self.config.ack_retry.backoff(1, &mut self.rng);
+                    pi.deadline =
+                        Instant::now() + self.config.ack_retry.backoff(1, &mut self.io_rng);
                     self.pending_inserts.insert(seq, pi);
                     return;
                 }
-                SendStatus::Rejected => self.note_failure(next),
-                SendStatus::NoRoute => self.note_gone(next),
+                SendStatus::Rejected => self.inbox.push_back(Event::PeerSuspected { peer: next }),
+                SendStatus::NoRoute => self.inbox.push_back(Event::PeerGone { peer: next }),
             }
         }
     }
 
-    /// Re-routes index entries this node no longer covers: each travels as
-    /// an ordinary [`Message::IndexInsert`] through the node's own routing
-    /// table. Entries with no route stay local (still discoverable by peers
-    /// that treat this node as covering their coarser prefix).
-    fn rehome(&mut self, misplaced: Vec<(BitPath, Vec<WireEntry>)>) {
-        for (key, entries) in misplaced {
-            let candidates = {
-                let guard = self.state.lock();
-                match guard.route(&key, 0, &mut self.rng) {
-                    RouteDecision::Forward { candidates, .. } => candidates,
-                    _ => Vec::new(),
-                }
+    // ---- timers ------------------------------------------------------
+
+    fn tick(&mut self, now: Instant) {
+        self.tick_offers(now);
+        self.tick_forwards(now);
+        self.tick_answers(now);
+        self.tick_inserts(now);
+        self.pump();
+    }
+
+    /// Collects the keys of expired entries into the reused scratch buffer
+    /// (the tick path runs every few milliseconds; allocating a fresh Vec
+    /// per tick showed up in profiles).
+    fn collect_expired<P>(
+        buf: &mut Vec<u64>,
+        map: &HashMap<u64, P>,
+        now: Instant,
+        deadline: impl Fn(&P) -> Instant,
+    ) {
+        buf.clear();
+        buf.extend(
+            map.iter()
+                .filter(|(_, p)| deadline(p) <= now)
+                .map(|(&k, _)| k),
+        );
+    }
+
+    fn tick_offers(&mut self, now: Instant) {
+        let mut expired = std::mem::take(&mut self.expired);
+        Self::collect_expired(&mut expired, &self.pending_offers, now, |p| p.deadline);
+        for &xid in &expired {
+            let Some(mut p) = self.pending_offers.remove(&xid) else {
+                continue;
             };
-            for entry in entries {
-                self.forward_insert(key, entry, candidates.clone());
+            if p.attempt < self.config.exchange_retry.max_attempts {
+                p.attempt += 1;
+                self.transport.record_retry();
+                let _ = self.transport.send(self.id, p.target, p.frame.clone());
+                p.deadline = now + self.config.exchange_retry.backoff(p.attempt, &mut self.io_rng);
+                self.pending_offers.insert(xid, p);
+            } else {
+                self.transport.record_timeout();
+                self.inbox.push_back(Event::OfferExpired { id: xid });
+                self.inbox.push_back(Event::PeerSuspected { peer: p.target });
             }
         }
+        self.expired = expired;
     }
 
-    fn anti_entropy(&mut self) {
-        if !self.state.lock().misplaced {
-            return;
+    fn tick_forwards(&mut self, now: Instant) {
+        let mut expired = std::mem::take(&mut self.expired);
+        Self::collect_expired(&mut expired, &self.pending_forwards, now, |p| p.deadline);
+        for &qid in &expired {
+            let Some(mut p) = self.pending_forwards.remove(&qid) else {
+                continue;
+            };
+            if p.attempt < self.config.ack_retry.max_attempts {
+                p.attempt += 1;
+                self.transport.record_retry();
+                let _ = self.transport.send(self.id, p.current, p.frame.clone());
+                p.deadline = now + self.config.ack_retry.backoff(p.attempt, &mut self.io_rng);
+                self.pending_forwards.insert(qid, p);
+            } else {
+                self.transport.record_timeout();
+                self.inbox
+                    .push_back(Event::PeerSuspected { peer: p.current });
+                self.drive_forward(qid, p);
+            }
         }
-        let stranded = {
-            let mut guard = self.state.lock();
-            guard.misplaced = false;
-            guard.extract_misplaced()
-        };
-        self.rehome(stranded);
+        self.expired = expired;
+    }
+
+    fn tick_answers(&mut self, now: Instant) {
+        let mut expired = std::mem::take(&mut self.expired);
+        Self::collect_expired(&mut expired, &self.pending_answers, now, |p| p.deadline);
+        for &qid in &expired {
+            let Some(mut p) = self.pending_answers.remove(&qid) else {
+                continue;
+            };
+            if p.attempt < self.config.ack_retry.max_attempts {
+                p.attempt += 1;
+                self.transport.record_retry();
+                let _ = self.transport.send(self.id, p.to, p.frame.clone());
+                p.deadline = now + self.config.ack_retry.backoff(p.attempt, &mut self.io_rng);
+                self.pending_answers.insert(qid, p);
+            } else {
+                // The origin is a client, not a routing-table member; no
+                // demotion, the client's own query retry covers this.
+                self.transport.record_timeout();
+            }
+        }
+        self.expired = expired;
+    }
+
+    fn tick_inserts(&mut self, now: Instant) {
+        let mut expired = std::mem::take(&mut self.expired);
+        Self::collect_expired(&mut expired, &self.pending_inserts, now, |p| p.deadline);
+        for &seq in &expired {
+            let Some(mut p) = self.pending_inserts.remove(&seq) else {
+                continue;
+            };
+            if p.attempt < self.config.ack_retry.max_attempts {
+                p.attempt += 1;
+                self.transport.record_retry();
+                let _ = self.transport.send(self.id, p.current, p.frame.clone());
+                p.deadline = now + self.config.ack_retry.backoff(p.attempt, &mut self.io_rng);
+                self.pending_inserts.insert(seq, p);
+            } else {
+                self.transport.record_timeout();
+                self.inbox
+                    .push_back(Event::PeerSuspected { peer: p.current });
+                self.drive_insert(seq, p);
+            }
+        }
+        self.expired = expired;
     }
 }

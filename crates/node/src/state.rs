@@ -1,610 +1,11 @@
-//! Per-node state and the protocol decision logic.
-//!
-//! The state machine mirrors `pgrid_core`'s peer but is formulated for the
-//! asynchronous offer/answer handshake: the **responder** of an exchange
-//! holds both state digests, computes the Fig. 3 case, applies its own half
-//! immediately and replies with instructions for the initiator.
+//! Compatibility re-exports: the node's protocol decision logic moved to
+//! the sans-I/O core crate (`pgrid-proto`), where it is shared with the
+//! deterministic simulator. [`NodeState`] is the same type as
+//! [`pgrid_proto::ProtocolPeer`]; the I/O shell in this crate is its live
+//! driver.
 
-use std::collections::{BTreeMap, HashMap};
+/// The protocol state machine of a live node (alias of
+/// [`pgrid_proto::ProtocolPeer`]).
+pub type NodeState = pgrid_proto::ProtocolPeer;
 
-use pgrid_keys::{BitPath, Key};
-use pgrid_net::PeerId;
-use pgrid_wire::WireEntry;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::Rng;
-
-/// What the responder tells the initiator, plus what the responder itself
-/// should do next.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct OfferOutcome {
-    /// Bit the initiator must append (Case 1/2).
-    pub take_bit: Option<u8>,
-    /// Levels the initiator must union into its table.
-    pub adopt_refs: Vec<(u16, Vec<PeerId>)>,
-    /// Peers the *initiator* should recursively exchange with.
-    pub recurse_initiator: Vec<PeerId>,
-    /// Peers the *responder* should recursively exchange with (drawn from
-    /// the initiator's digest).
-    pub recurse_responder: Vec<PeerId>,
-}
-
-/// Routing decision for one query hop.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum RouteDecision {
-    /// This node is responsible; answer with the entries under the key.
-    Responsible,
-    /// Forward the given remaining key at the given matched-bits count to
-    /// one of the candidate peers (in preference order).
-    Forward {
-        /// Remaining (unmatched) key to forward.
-        key: BitPath,
-        /// Matched bits count valid for every candidate.
-        matched: u16,
-        /// Candidate next hops, shuffled.
-        candidates: Vec<PeerId>,
-    },
-    /// No route (no references at the divergence level).
-    Dead,
-}
-
-/// Consecutive delivery failures before a peer is presumed departed.
-pub const DEFAULT_SUSPECT_AFTER: u32 = 3;
-
-/// The mutable state of a live node.
-#[derive(Clone, Debug)]
-pub struct NodeState {
-    /// This node's id.
-    pub id: PeerId,
-    /// Trie path.
-    pub path: BitPath,
-    /// References per level (`refs[i]` = level `i + 1`).
-    pub refs: Vec<Vec<PeerId>>,
-    /// Leaf-level index: full key → entries.
-    pub index: BTreeMap<Key, Vec<WireEntry>>,
-    /// Buddies (same-path peers met at `maxl`).
-    pub buddies: Vec<PeerId>,
-    /// Set when the index may hold entries outside this node's
-    /// responsibility (no route was available when they arrived); cleared
-    /// once anti-entropy re-homes them.
-    pub misplaced: bool,
-    /// Maximal path length.
-    pub maxl: usize,
-    /// Bound on references per level.
-    pub refmax: usize,
-    /// Recursion fan-out bound for exchange answers.
-    pub recfanout: usize,
-    /// Consecutive delivery failures per peer (cleared on any success).
-    pub failures: HashMap<PeerId, u32>,
-    /// Failure count at which a peer is evicted from the routing table.
-    pub suspect_after: u32,
-}
-
-impl NodeState {
-    /// Fresh root state.
-    pub fn new(id: PeerId, maxl: usize, refmax: usize, recfanout: usize) -> Self {
-        assert!(maxl >= 1 && refmax >= 1 && recfanout >= 1);
-        NodeState {
-            id,
-            path: BitPath::EMPTY,
-            refs: Vec::new(),
-            index: BTreeMap::new(),
-            buddies: Vec::new(),
-            misplaced: false,
-            maxl,
-            refmax,
-            recfanout,
-            failures: HashMap::new(),
-            suspect_after: DEFAULT_SUSPECT_AFTER,
-        }
-    }
-
-    /// The digest shipped in an [`pgrid_wire::Message::ExchangeOffer`].
-    pub fn level_refs_digest(&self) -> Vec<(u16, Vec<PeerId>)> {
-        self.refs
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| !r.is_empty())
-            .map(|(i, r)| ((i + 1) as u16, r.clone()))
-            .collect()
-    }
-
-    fn level(&self, level: usize) -> &[PeerId] {
-        assert!(level >= 1);
-        self.refs.get(level - 1).map(Vec::as_slice).unwrap_or(&[])
-    }
-
-    /// Removes a reference everywhere it appears — used when a delivery
-    /// definitively fails (no mailbox: the peer is gone for good). For the
-    /// softer signal of *repeated timeouts*, see
-    /// [`NodeState::note_peer_failure`], which demotes gradually and calls
-    /// this only once the failure budget is spent.
-    pub fn forget_peer(&mut self, peer: PeerId) {
-        for slot in &mut self.refs {
-            slot.retain(|&p| p != peer);
-        }
-        self.buddies.retain(|&p| p != peer);
-        self.failures.remove(&peer);
-    }
-
-    /// Records one delivery timeout against `peer`. After
-    /// [`NodeState::suspect_after`] *consecutive* failures the peer is
-    /// evicted from the routing table ([`NodeState::forget_peer`]); returns
-    /// `true` exactly when that eviction happened. A lossy-but-alive peer
-    /// keeps its place as long as some traffic gets through
-    /// ([`NodeState::note_peer_success`] resets the count).
-    pub fn note_peer_failure(&mut self, peer: PeerId) -> bool {
-        let count = self.failures.entry(peer).or_insert(0);
-        *count += 1;
-        if *count >= self.suspect_after {
-            self.forget_peer(peer);
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Records a successful interaction with `peer`, clearing its
-    /// consecutive-failure count.
-    pub fn note_peer_success(&mut self, peer: PeerId) {
-        self.failures.remove(&peer);
-    }
-
-    /// Unions `new` into the reference set at 1-based `level`, evicting a
-    /// random entry while over `refmax`.
-    pub fn union_refs(&mut self, level: usize, new: &[PeerId], rng: &mut StdRng) {
-        assert!(level >= 1);
-        if self.refs.len() < level {
-            self.refs.resize_with(level, Vec::new);
-        }
-        let slot = &mut self.refs[level - 1];
-        for &p in new {
-            if p != self.id && !slot.contains(&p) {
-                slot.push(p);
-            }
-        }
-        while slot.len() > self.refmax {
-            let victim = rng.gen_range(0..slot.len());
-            slot.swap_remove(victim);
-        }
-    }
-
-    /// `true` when this node must answer queries for `key`.
-    pub fn responsible_for(&self, key: &Key) -> bool {
-        self.path.responsible_for(key)
-    }
-
-    /// Routes one hop of a query: `key` is the remaining query, `matched`
-    /// the number of this node's path bits already consumed.
-    pub fn route(&self, key: &BitPath, matched: u16, rng: &mut StdRng) -> RouteDecision {
-        let matched = (matched as usize).min(self.path.len());
-        let rempath = self.path.suffix(matched);
-        let com = key.common_prefix_len(&rempath);
-        if com == key.len() || com == rempath.len() {
-            return RouteDecision::Responsible;
-        }
-        let level = matched + com + 1;
-        let mut candidates = self.level(level).to_vec();
-        if candidates.is_empty() {
-            return RouteDecision::Dead;
-        }
-        candidates.shuffle(rng);
-        RouteDecision::Forward {
-            key: key.suffix(com),
-            matched: (matched + com) as u16,
-            candidates,
-        }
-    }
-
-    /// Reconstructs the full key of a query this node received with
-    /// `matched` of its own path bits consumed.
-    pub fn full_key(&self, remaining: &BitPath, matched: u16) -> Key {
-        let matched = (matched as usize).min(self.path.len());
-        self.path.prefix(matched).append(remaining)
-    }
-
-    /// Inserts an index entry (idempotent per `(item, holder)`, newest
-    /// version wins).
-    pub fn index_insert(&mut self, key: Key, entry: WireEntry) {
-        let slot = self.index.entry(key).or_default();
-        match slot
-            .iter_mut()
-            .find(|e| e.item == entry.item && e.holder == entry.holder)
-        {
-            Some(existing) => {
-                if entry.version > existing.version {
-                    existing.version = entry.version;
-                }
-            }
-            None => slot.push(entry),
-        }
-    }
-
-    /// The entries stored under exactly `key`.
-    pub fn index_lookup(&self, key: &Key) -> &[WireEntry] {
-        self.index.get(key).map(Vec::as_slice).unwrap_or(&[])
-    }
-
-    /// Drains every index entry this node is no longer responsible for —
-    /// called right after the path extends, so the entries can be re-routed
-    /// to the peers now covering them.
-    pub fn extract_misplaced(&mut self) -> Vec<(Key, Vec<WireEntry>)> {
-        let path = self.path;
-        let doomed: Vec<Key> = self
-            .index
-            .keys()
-            .filter(|k| !path.responsible_for(k))
-            .copied()
-            .collect();
-        doomed
-            .into_iter()
-            .map(|k| {
-                let v = self.index.remove(&k).expect("listed above");
-                (k, v)
-            })
-            .collect()
-    }
-
-    /// The responder side of the Fig. 3 exchange. Applies this node's half
-    /// of the case and returns the initiator's instructions.
-    pub fn handle_offer(
-        &mut self,
-        initiator: PeerId,
-        initiator_path: &BitPath,
-        initiator_refs: &[(u16, Vec<PeerId>)],
-        rng: &mut StdRng,
-    ) -> OfferOutcome {
-        let mut out = OfferOutcome::default();
-        if initiator == self.id {
-            return out;
-        }
-        let lc = self.path.common_prefix_len(initiator_path);
-        let l_resp = self.path.len() - lc;
-        let l_init = initiator_path.len() - lc;
-
-        let refs_of = |level: usize| -> Vec<PeerId> {
-            initiator_refs
-                .iter()
-                .find(|(l, _)| *l as usize == level)
-                .map(|(_, r)| r.clone())
-                .unwrap_or_default()
-        };
-
-        // Mix reference sets at the deepest common level.
-        if lc > 0 {
-            let theirs = refs_of(lc);
-            let mine = self.level(lc).to_vec();
-            let mut union: Vec<PeerId> = mine.clone();
-            for p in &theirs {
-                if !union.contains(p) {
-                    union.push(*p);
-                }
-            }
-            union.retain(|&p| p != self.id && p != initiator);
-            let mut for_me = union.clone();
-            for_me.shuffle(rng);
-            for_me.truncate(self.refmax);
-            let mut for_them = union;
-            for_them.shuffle(rng);
-            for_them.truncate(self.refmax);
-            self.union_refs(lc, &for_me, rng);
-            if !for_them.is_empty() {
-                out.adopt_refs.push((lc as u16, for_them));
-            }
-        }
-
-        match (l_init == 0, l_resp == 0) {
-            // Case 1: identical paths below maxl — split the level. The bit
-            // assignment is randomized: the responder extends immediately
-            // but the initiator's extension is *conditional* (it declines
-            // when a concurrent exchange already specialized it), so a
-            // fixed assignment (paper: initiator 0, responder 1) would
-            // systematically over-populate the responder's side and leave
-            // coverage holes on the other. We also do NOT record the
-            // initiator as a reference yet: the ExchangeConfirm leg does
-            // that once its path is authoritative.
-            (true, true) if lc < self.maxl => {
-                let bit = rng.gen_range(0..2u8);
-                self.path = self.path.child(bit);
-                self.set_level(lc + 1, Vec::new());
-                out.take_bit = Some(bit ^ 1);
-                out.adopt_refs.push(((lc + 1) as u16, vec![self.id]));
-            }
-            // Identical full-length paths: replicas — buddy registration.
-            (true, true)
-                if !self.buddies.contains(&initiator) => {
-                    self.buddies.push(initiator);
-                }
-            // Case 2: initiator's path is a prefix of ours — it specializes
-            // opposite to our next bit. Recording it as a reference waits
-            // for the confirm leg (same race as Case 1).
-            (true, false) if lc < self.maxl => {
-                let bit = self.path.bit(lc) ^ 1;
-                out.take_bit = Some(bit);
-                out.adopt_refs.push(((lc + 1) as u16, vec![self.id]));
-            }
-            // Case 3: our path is a prefix of the initiator's — we
-            // specialize opposite to its next bit.
-            (false, true) if lc < self.maxl => {
-                let bit = initiator_path.bit(lc) ^ 1;
-                self.path = self.path.child(bit);
-                self.set_level(lc + 1, vec![initiator]);
-                out.adopt_refs.push(((lc + 1) as u16, vec![self.id]));
-            }
-            // Case 4: divergence — learn each other, recurse both ways.
-            (false, false) => {
-                self.union_refs(lc + 1, &[initiator], rng);
-                out.adopt_refs.push(((lc + 1) as u16, vec![self.id]));
-                let mut mine: Vec<PeerId> = self
-                    .level(lc + 1)
-                    .iter()
-                    .copied()
-                    .filter(|&p| p != initiator)
-                    .collect();
-                mine.shuffle(rng);
-                mine.truncate(self.recfanout);
-                out.recurse_initiator = mine;
-                let mut theirs: Vec<PeerId> = refs_of(lc + 1)
-                    .into_iter()
-                    .filter(|&p| p != self.id)
-                    .collect();
-                theirs.shuffle(rng);
-                theirs.truncate(self.recfanout);
-                out.recurse_responder = theirs;
-            }
-            _ => {}
-        }
-        out
-    }
-
-    /// Records `peer` (whose authoritative path is `path`) as a reference
-    /// at the level where the two paths diverge, if they do. Used by the
-    /// confirm leg of the exchange handshake; also a generally safe way to
-    /// learn about any peer, since paths only ever extend.
-    pub fn maybe_add_ref(&mut self, peer: PeerId, path: &BitPath, rng: &mut StdRng) {
-        if peer == self.id {
-            return;
-        }
-        let lc = self.path.common_prefix_len(path);
-        if self.path.len() > lc && path.len() > lc {
-            self.union_refs(lc + 1, &[peer], rng);
-        }
-    }
-
-    fn set_level(&mut self, level: usize, refs: Vec<PeerId>) {
-        if self.refs.len() < level {
-            self.refs.resize_with(level, Vec::new);
-        }
-        self.refs[level - 1] = refs;
-    }
-
-    /// Structural invariant: references never point to this node itself and
-    /// never exceed `refmax`; the path respects `maxl`.
-    pub fn check(&self) -> Result<(), String> {
-        if self.path.len() > self.maxl {
-            return Err(format!("{}: path exceeds maxl", self.id));
-        }
-        for (i, slot) in self.refs.iter().enumerate() {
-            if slot.len() > self.refmax {
-                return Err(format!("{}: refmax exceeded at level {}", self.id, i + 1));
-            }
-            if slot.contains(&self.id) {
-                return Err(format!("{}: self-reference at level {}", self.id, i + 1));
-            }
-        }
-        Ok(())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use rand::SeedableRng;
-
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(42)
-    }
-
-    fn path(s: &str) -> BitPath {
-        BitPath::from_str_lossy(s)
-    }
-
-    #[test]
-    fn case1_split_via_offer() {
-        let mut responder = NodeState::new(PeerId(1), 4, 2, 2);
-        let mut r = rng();
-        let out = responder.handle_offer(PeerId(0), &BitPath::EMPTY, &[], &mut r);
-        // The split assignment is randomized; initiator and responder must
-        // land on opposite sides.
-        let taken = out.take_bit.expect("case 1 instructs the initiator");
-        assert_eq!(responder.path.len(), 1);
-        assert_eq!(responder.path.bit(0), taken ^ 1);
-        assert!(responder.level(1).is_empty(), "refs wait for the confirm leg");
-        assert_eq!(out.adopt_refs, vec![(1, vec![PeerId(1)])]);
-        // The confirm leg records the initiator once its path is known.
-        let initiator_path = BitPath::EMPTY.child(taken);
-        responder.maybe_add_ref(PeerId(0), &initiator_path, &mut r);
-        assert_eq!(responder.level(1), &[PeerId(0)]);
-        responder.check().unwrap();
-    }
-
-    #[test]
-    fn case2_initiator_specializes_opposite() {
-        let mut responder = NodeState::new(PeerId(1), 4, 2, 2);
-        responder.path = path("10");
-        responder.refs = vec![vec![], vec![]];
-        let mut r = rng();
-        let out = responder.handle_offer(PeerId(0), &BitPath::EMPTY, &[], &mut r);
-        assert_eq!(out.take_bit, Some(0), "flip of our bit 0 (1)");
-        assert!(responder.level(1).is_empty(), "refs wait for the confirm leg");
-        responder.maybe_add_ref(PeerId(0), &path("0"), &mut r);
-        assert!(responder.level(1).contains(&PeerId(0)));
-        responder.check().unwrap();
-    }
-
-    #[test]
-    fn case3_responder_specializes() {
-        let mut responder = NodeState::new(PeerId(1), 4, 2, 2);
-        let mut r = rng();
-        let out = responder.handle_offer(PeerId(0), &path("01"), &[], &mut r);
-        assert_eq!(out.take_bit, None);
-        assert_eq!(responder.path, path("1"), "opposite of initiator's bit 0");
-        assert_eq!(responder.level(1), &[PeerId(0)]);
-        assert_eq!(out.adopt_refs, vec![(1, vec![PeerId(1)])]);
-    }
-
-    #[test]
-    fn case4_divergence_recursion_candidates() {
-        let mut responder = NodeState::new(PeerId(1), 4, 4, 2);
-        responder.path = path("1");
-        responder.refs = vec![vec![PeerId(5), PeerId(6), PeerId(7)]];
-        let mut r = rng();
-        let out = responder.handle_offer(
-            PeerId(0),
-            &path("0"),
-            &[(1, vec![PeerId(8), PeerId(9)])],
-            &mut r,
-        );
-        assert_eq!(out.take_bit, None);
-        // We learned the initiator; it learns us.
-        assert!(responder.level(1).contains(&PeerId(0)));
-        assert!(out.adopt_refs.contains(&(1, vec![PeerId(1)])));
-        // Recursion bounded by recfanout = 2.
-        assert_eq!(out.recurse_initiator.len(), 2);
-        assert!(out.recurse_initiator.iter().all(|p| [PeerId(5), PeerId(6), PeerId(7)].contains(p)));
-        assert_eq!(out.recurse_responder.len(), 2);
-        assert!(out.recurse_responder.iter().all(|p| [PeerId(8), PeerId(9)].contains(p)));
-    }
-
-    #[test]
-    fn buddies_at_maxl() {
-        let mut responder = NodeState::new(PeerId(1), 2, 2, 2);
-        responder.path = path("01");
-        let mut r = rng();
-        let out = responder.handle_offer(PeerId(0), &path("01"), &[], &mut r);
-        assert_eq!(out.take_bit, None);
-        assert_eq!(responder.buddies, vec![PeerId(0)]);
-        // Idempotent.
-        responder.handle_offer(PeerId(0), &path("01"), &[], &mut r);
-        assert_eq!(responder.buddies, vec![PeerId(0)]);
-    }
-
-    #[test]
-    fn ref_mixing_at_common_level() {
-        let mut responder = NodeState::new(PeerId(1), 4, 2, 2);
-        responder.path = path("010");
-        responder.refs = vec![vec![], vec![PeerId(3)], vec![]];
-        let mut r = rng();
-        // Initiator shares prefix "01" (lc = 2) and has refs at level 2.
-        let out = responder.handle_offer(PeerId(0), &path("011"), &[(2, vec![PeerId(4)])], &mut r);
-        // Level-2 union {3, 4} is bounded to refmax = 2 on both sides.
-        assert!(responder.level(2).len() <= 2 && !responder.level(2).is_empty());
-        let adopted = out.adopt_refs.iter().find(|(l, _)| *l == 2);
-        assert!(adopted.is_some(), "initiator receives a level-2 mix");
-    }
-
-    #[test]
-    fn routing_decisions() {
-        let mut state = NodeState::new(PeerId(0), 4, 2, 2);
-        state.path = path("0110");
-        state.refs = vec![
-            vec![PeerId(1)],
-            vec![PeerId(2)],
-            vec![PeerId(3)],
-            vec![PeerId(4)],
-        ];
-        let mut r = rng();
-        assert_eq!(
-            state.route(&path("0110"), 0, &mut r),
-            RouteDecision::Responsible
-        );
-        assert_eq!(
-            state.route(&path("01"), 0, &mut r),
-            RouteDecision::Responsible,
-            "query shorter than path"
-        );
-        match state.route(&path("00"), 0, &mut r) {
-            RouteDecision::Forward {
-                key,
-                matched,
-                candidates,
-            } => {
-                assert_eq!(key, path("0"));
-                assert_eq!(matched, 1);
-                assert_eq!(candidates, vec![PeerId(2)]);
-            }
-            other => panic!("expected forward, got {other:?}"),
-        }
-        // Remaining query relative to matched bits.
-        match state.route(&path("00"), 2, &mut r) {
-            RouteDecision::Forward {
-                matched, candidates, ..
-            } => {
-                assert_eq!(matched, 2);
-                assert_eq!(candidates, vec![PeerId(3)]);
-            }
-            other => panic!("expected forward, got {other:?}"),
-        }
-        state.refs[1].clear();
-        assert_eq!(state.route(&path("00"), 0, &mut r), RouteDecision::Dead);
-    }
-
-    #[test]
-    fn full_key_reconstruction() {
-        let mut state = NodeState::new(PeerId(0), 4, 2, 2);
-        state.path = path("0110");
-        assert_eq!(state.full_key(&path("10"), 2), path("0110"));
-        assert_eq!(state.full_key(&path("0110"), 0), path("0110"));
-    }
-
-    #[test]
-    fn index_semantics() {
-        let mut state = NodeState::new(PeerId(0), 4, 2, 2);
-        let k = path("0101");
-        let e = |v| WireEntry {
-            item: 1,
-            holder: PeerId(9),
-            version: v,
-        };
-        state.index_insert(k, e(0));
-        state.index_insert(k, e(2));
-        state.index_insert(k, e(1)); // stale, ignored
-        assert_eq!(state.index_lookup(&k), &[e(2)]);
-        assert_eq!(state.index_lookup(&path("1")), &[]);
-    }
-
-    #[test]
-    fn repeated_failures_evict_a_peer() {
-        let mut state = NodeState::new(PeerId(0), 4, 2, 2);
-        state.refs = vec![vec![PeerId(1), PeerId(2)]];
-        state.buddies = vec![PeerId(1)];
-        assert!(!state.note_peer_failure(PeerId(1)));
-        assert!(!state.note_peer_failure(PeerId(1)));
-        assert!(state.note_peer_failure(PeerId(1)), "third strike evicts");
-        assert_eq!(state.refs[0], vec![PeerId(2)]);
-        assert!(state.buddies.is_empty());
-        assert!(!state.failures.contains_key(&PeerId(1)));
-    }
-
-    #[test]
-    fn success_resets_the_failure_count() {
-        let mut state = NodeState::new(PeerId(0), 4, 2, 2);
-        state.refs = vec![vec![PeerId(1)]];
-        assert!(!state.note_peer_failure(PeerId(1)));
-        assert!(!state.note_peer_failure(PeerId(1)));
-        state.note_peer_success(PeerId(1));
-        assert!(!state.note_peer_failure(PeerId(1)));
-        assert!(!state.note_peer_failure(PeerId(1)));
-        assert_eq!(state.refs[0], vec![PeerId(1)], "still referenced");
-    }
-
-    #[test]
-    fn union_refs_bounds_and_excludes_self() {
-        let mut state = NodeState::new(PeerId(0), 4, 3, 2);
-        let mut r = rng();
-        state.union_refs(2, &[PeerId(0), PeerId(1), PeerId(2), PeerId(3), PeerId(4)], &mut r);
-        assert!(state.level(2).len() <= 3);
-        assert!(!state.level(2).contains(&PeerId(0)));
-        state.check().unwrap();
-    }
-}
+pub use pgrid_proto::{OfferOutcome, RouteDecision, DEFAULT_SUSPECT_AFTER};

@@ -1,0 +1,41 @@
+//! # pgrid-proto — the sans-I/O protocol core
+//!
+//! The P-Grid protocol logic — Fig. 2 search descent, Fig. 3 exchange
+//! cases, insert/update forwarding, anti-entropy re-homing — implemented
+//! **once**, as a deterministic state machine with no I/O of any kind.
+//!
+//! * [`route_step`] — the pure Fig. 2 routing decision, shared by the
+//!   simulator's depth-first search and the live node's hop forwarding;
+//! * [`classify`] / [`split_bits`] — the pure Fig. 3 case analysis, shared
+//!   by the simulator's synchronous exchange and the live offer/answer
+//!   handshake;
+//! * [`ProtocolPeer`] — one peer's full protocol state, advanced by typed
+//!   [`Event`]s into typed [`Effect`]s ([`ProtocolPeer::handle`]), with all
+//!   randomness supplied through [`ProtoCtx`];
+//! * [`SimNet`] — the inline deterministic driver: the same peers the live
+//!   node runs, exercised over a faultless FIFO network with no threads,
+//!   sockets, or clocks.
+//!
+//! Drivers own everything else: frames, retransmission, timeouts,
+//! failover, threads. Because every protocol decision (and every protocol
+//! RNG draw) lives here, a seeded [`SimNet`] run and a seeded live-cluster
+//! run of the *same* peers make identical decisions — which the
+//! differential test in the workspace root asserts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod fig2;
+mod fig3;
+mod peer;
+mod sim;
+
+pub use event::{Effect, Event, TimerToken};
+pub use fig2::{route_step, RouteStep};
+pub use fig3::{classify, split_bits, ExchangeCase, SplitBitPolicy};
+pub use peer::{
+    OfferOutcome, ProtoCtx, ProtocolPeer, RouteDecision, ANSWER_CACHE_CAP, DEFAULT_RECMAX,
+    DEFAULT_SUSPECT_AFTER, SEEN_CAP,
+};
+pub use sim::SimNet;

@@ -1,0 +1,1398 @@
+//! The sans-I/O protocol state machine of one live peer.
+//!
+//! [`ProtocolPeer`] holds everything a peer *decides with* — trie path,
+//! per-level references, leaf index, buddies, dedup windows, pending
+//! exchanges — and advances exclusively through [`ProtocolPeer::handle`]:
+//! events in, effects out, randomness only via the caller's [`ProtoCtx`].
+//! There are no channels, clocks, sockets, or threads in this module, which
+//! is precisely what makes the *production* protocol deterministically
+//! simulable: the same peer type runs under the live actor shell
+//! (`pgrid-node`) and under the inline simulator ([`crate::SimNet`]), and a
+//! fixed seed plus a fixed event order reproduces every decision
+//! bit-for-bit.
+
+use std::collections::{BTreeMap, HashMap};
+
+use pgrid_keys::{BitPath, Key};
+use pgrid_net::{BoundedMap, BoundedSet, PeerId};
+use pgrid_wire::{Message, WireEntry};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+use crate::event::{Effect, Event, TimerToken};
+use crate::fig2::{route_step, RouteStep};
+use crate::fig3::{classify, split_bits, ExchangeCase, SplitBitPolicy};
+
+/// Execution context threaded into [`ProtocolPeer::handle`]: the driver
+/// owns the RNG, so a driver-chosen seed reproduces every protocol draw.
+/// Drivers that also need randomness for I/O concerns (retransmit jitter)
+/// must draw that from a *separate* stream, or the protocol draw order
+/// would depend on delivery timing.
+pub struct ProtoCtx<'a> {
+    /// Source of all protocol randomness.
+    pub rng: &'a mut StdRng,
+}
+
+/// What the responder tells the initiator, plus what the responder itself
+/// should do next.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OfferOutcome {
+    /// Bit the initiator must append (Case 1/2).
+    pub take_bit: Option<u8>,
+    /// Levels the initiator must union into its table.
+    pub adopt_refs: Vec<(u16, Vec<PeerId>)>,
+    /// Peers the *initiator* should recursively exchange with.
+    pub recurse_initiator: Vec<PeerId>,
+    /// Peers the *responder* should recursively exchange with (drawn from
+    /// the initiator's digest).
+    pub recurse_responder: Vec<PeerId>,
+}
+
+/// Routing decision for one query hop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouteDecision {
+    /// This node is responsible; answer with the entries under the key.
+    Responsible,
+    /// Forward the given remaining key at the given matched-bits count to
+    /// one of the candidate peers (in preference order).
+    Forward {
+        /// Remaining (unmatched) key to forward.
+        key: BitPath,
+        /// Matched bits count valid for every candidate.
+        matched: u16,
+        /// Candidate next hops, shuffled.
+        candidates: Vec<PeerId>,
+    },
+    /// No route (no references at the divergence level).
+    Dead,
+}
+
+/// Consecutive delivery failures before a peer is presumed departed.
+pub const DEFAULT_SUSPECT_AFTER: u32 = 3;
+/// Default exchange recursion bound.
+pub const DEFAULT_RECMAX: u8 = 2;
+/// Bound on the query/insert dedup windows.
+pub const SEEN_CAP: usize = 512;
+/// Bound on the duplicate-offer answer cache.
+pub const ANSWER_CACHE_CAP: usize = 256;
+
+/// An exchange this peer initiated, awaiting its answer. Protocol state,
+/// not I/O state: the *frame bytes, deadlines and attempt counts* of the
+/// retransmitting driver live with the driver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct PendingExchange {
+    /// The responder the offer went to.
+    target: PeerId,
+    /// Path snapshot at offer time: an answer telling us to extend is only
+    /// valid if our path has not changed in the meantime.
+    snapshot: BitPath,
+    /// Recursion depth of this exchange.
+    depth: u8,
+}
+
+/// The protocol state machine of one peer. Fields are public because test
+/// harnesses and cluster drivers snapshot and pre-seed them; all *protocol
+/// transitions* go through [`ProtocolPeer::handle`] (or the finer-grained
+/// public methods it is built from).
+#[derive(Clone, Debug)]
+pub struct ProtocolPeer {
+    /// This peer's id.
+    pub id: PeerId,
+    /// Trie path.
+    pub path: BitPath,
+    /// References per level (`refs[i]` = level `i + 1`).
+    pub refs: Vec<Vec<PeerId>>,
+    /// Leaf-level index: full key → entries.
+    pub index: BTreeMap<Key, Vec<WireEntry>>,
+    /// Buddies (same-path peers met at `maxl`).
+    pub buddies: Vec<PeerId>,
+    /// Set when the index may hold entries outside this peer's
+    /// responsibility (no route was available when they arrived); cleared
+    /// once anti-entropy re-homes them.
+    pub misplaced: bool,
+    /// Maximal path length.
+    pub maxl: usize,
+    /// Bound on references per level.
+    pub refmax: usize,
+    /// Recursion fan-out bound for exchange answers.
+    pub recfanout: usize,
+    /// Exchange recursion depth bound.
+    pub recmax: u8,
+    /// Consecutive delivery failures per peer (cleared on any success).
+    pub failures: HashMap<PeerId, u32>,
+    /// Failure count at which a peer is evicted from the routing table.
+    pub suspect_after: u32,
+    /// Correlation-id / hop-sequence counter (see
+    /// [`ProtocolPeer::seed_sequence`]).
+    next_id: u64,
+    /// Exchanges we initiated, awaiting answers, by correlation id.
+    pending_exchanges: HashMap<u64, PendingExchange>,
+    /// Queries already accepted (`true`) or refused (`false`), so
+    /// retransmits are re-acked without reprocessing.
+    seen_queries: BoundedMap<(PeerId, u64), bool>,
+    /// Inserts already accepted, by `(sender, seq)`.
+    seen_inserts: BoundedSet<(PeerId, u64)>,
+    /// Answers by `(initiator, xid)`: duplicate offers are re-answered
+    /// from here because [`ProtocolPeer::handle_offer`] is not idempotent.
+    answer_cache: BoundedMap<(PeerId, u64), Message>,
+}
+
+impl ProtocolPeer {
+    /// Fresh root state.
+    pub fn new(id: PeerId, maxl: usize, refmax: usize, recfanout: usize) -> Self {
+        assert!(maxl >= 1 && refmax >= 1 && recfanout >= 1);
+        ProtocolPeer {
+            id,
+            path: BitPath::EMPTY,
+            refs: Vec::new(),
+            index: BTreeMap::new(),
+            buddies: Vec::new(),
+            misplaced: false,
+            maxl,
+            refmax,
+            recfanout,
+            recmax: DEFAULT_RECMAX,
+            failures: HashMap::new(),
+            suspect_after: DEFAULT_SUSPECT_AFTER,
+            next_id: 1 << 63,
+            pending_exchanges: HashMap::new(),
+            seen_queries: BoundedMap::new(SEEN_CAP),
+            seen_inserts: BoundedSet::new(SEEN_CAP),
+            answer_cache: BoundedMap::new(ANSWER_CACHE_CAP),
+        }
+    }
+
+    /// Derives the correlation-id / hop-sequence stream from a driver
+    /// seed. The high bit keeps peer-generated sequence numbers disjoint
+    /// from client-generated query ids; the shift keeps distinct seeds'
+    /// streams disjoint over any realistic run length.
+    pub fn seed_sequence(&mut self, seed: u64) {
+        self.next_id = (1 << 63) | (seed << 20);
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    // ---- the event interface -----------------------------------------
+
+    /// Advances the state machine by one event, appending the resulting
+    /// effects to `out` (existing contents are preserved, so drivers can
+    /// reuse one buffer). Every incoming event is also an anti-entropy
+    /// opportunity: entries stranded without a route are re-homed first,
+    /// exactly like the live loop retried them on every frame.
+    pub fn handle(&mut self, event: Event, ctx: &mut ProtoCtx<'_>, out: &mut Vec<Effect>) {
+        self.anti_entropy(ctx, out);
+        match event {
+            Event::Meet { with, depth } => self.start_exchange(with, depth, out),
+            Event::QueryReceived {
+                from,
+                id,
+                origin,
+                key,
+                matched,
+                ttl,
+            } => self.on_query(from, id, origin, key, matched, ttl, ctx, out),
+            Event::OfferReceived {
+                from,
+                id,
+                depth,
+                path,
+                level_refs,
+            } => self.on_offer(from, id, depth, &path, &level_refs, ctx, out),
+            Event::AnswerReceived {
+                from,
+                id,
+                take_bit,
+                adopt_refs,
+                recurse_with,
+            } => self.on_answer(from, id, take_bit, adopt_refs, recurse_with, ctx, out),
+            Event::ConfirmReceived { from, path } => self.maybe_add_ref(from, &path, ctx.rng),
+            Event::InsertReceived {
+                from,
+                seq,
+                key,
+                entry,
+            } => self.on_insert(from, seq, key, entry, ctx, out),
+            Event::TimerFired {
+                timer: TimerToken::AntiEntropy,
+            } => {} // already ran at the head of this call
+            Event::PeerHeard { peer } => self.note_peer_success(peer),
+            Event::PeerSuspected { peer } => {
+                if self.note_peer_failure(peer) {
+                    out.push(Effect::PeerEvicted { peer });
+                }
+            }
+            Event::PeerGone { peer } => self.forget_peer(peer),
+            Event::OfferExpired { id } => {
+                self.pending_exchanges.remove(&id);
+            }
+            Event::ForwardDeadEnd { id, upstream, origin } => {
+                if upstream == origin {
+                    out.push(Effect::SendAnswer {
+                        to: origin,
+                        id,
+                        msg: Message::QueryFail { id },
+                    });
+                } else {
+                    out.push(Effect::Send {
+                        to: upstream,
+                        msg: Message::Nack { seq: id },
+                    });
+                }
+            }
+            Event::InsertDeadEnd { key, entry } => self.keep_misplaced(key, entry, out),
+        }
+    }
+
+    /// Begins an exchange with `target` at recursion depth `depth`:
+    /// records the pending offer (with a path snapshot for the staleness
+    /// check) and emits the offer frame.
+    fn start_exchange(&mut self, target: PeerId, depth: u8, out: &mut Vec<Effect>) {
+        if target == self.id {
+            return;
+        }
+        let xid = self.fresh_id();
+        self.pending_exchanges.insert(
+            xid,
+            PendingExchange {
+                target,
+                snapshot: self.path,
+                depth,
+            },
+        );
+        out.push(Effect::SendOffer {
+            to: target,
+            id: xid,
+            msg: Message::ExchangeOffer {
+                id: xid,
+                depth,
+                path: self.path,
+                level_refs: self.level_refs_digest(),
+            },
+        });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_query(
+        &mut self,
+        from: PeerId,
+        qid: u64,
+        origin: PeerId,
+        key: BitPath,
+        matched: u16,
+        ttl: u16,
+        ctx: &mut ProtoCtx<'_>,
+        out: &mut Vec<Effect>,
+    ) {
+        if let Some(&accepted) = self.seen_queries.get(&(origin, qid)) {
+            // Retransmit or injected duplicate: repeat the receipt verdict
+            // without reprocessing.
+            if from != origin {
+                let msg = if accepted {
+                    Message::Ack { seq: qid }
+                } else {
+                    Message::Nack { seq: qid }
+                };
+                out.push(Effect::Send { to: from, msg });
+            }
+            return;
+        }
+        match self.route(&key, matched, ctx.rng) {
+            RouteDecision::Responsible => {
+                let full = self.full_key(&key, matched);
+                self.seen_queries.insert((origin, qid), true);
+                if from != origin {
+                    out.push(Effect::Send {
+                        to: from,
+                        msg: Message::Ack { seq: qid },
+                    });
+                }
+                out.push(Effect::SendAnswer {
+                    to: origin,
+                    id: qid,
+                    msg: Message::QueryOk {
+                        id: qid,
+                        responsible: self.id,
+                        entries: self.index_lookup(&full).to_vec(),
+                    },
+                });
+            }
+            RouteDecision::Dead => self.refuse_query(from, qid, origin, out),
+            RouteDecision::Forward {
+                key,
+                matched,
+                candidates,
+            } => {
+                if ttl == 0 {
+                    self.refuse_query(from, qid, origin, out);
+                    return;
+                }
+                self.seen_queries.insert((origin, qid), true);
+                if from != origin {
+                    out.push(Effect::Send {
+                        to: from,
+                        msg: Message::Ack { seq: qid },
+                    });
+                }
+                out.push(Effect::ForwardQuery {
+                    id: qid,
+                    upstream: from,
+                    origin,
+                    candidates,
+                    msg: Message::Query {
+                        id: qid,
+                        origin,
+                        key,
+                        matched,
+                        ttl: ttl - 1,
+                    },
+                });
+            }
+        }
+    }
+
+    /// The dead-end / TTL-exhausted verdict: the entry hop settles the
+    /// query with a failure answer to its client; a mid-route hop pushes
+    /// it back upstream so the previous hop fails over.
+    fn refuse_query(&mut self, from: PeerId, qid: u64, origin: PeerId, out: &mut Vec<Effect>) {
+        if from == origin {
+            self.seen_queries.insert((origin, qid), true);
+            out.push(Effect::SendAnswer {
+                to: origin,
+                id: qid,
+                msg: Message::QueryFail { id: qid },
+            });
+        } else {
+            self.seen_queries.insert((origin, qid), false);
+            out.push(Effect::Send {
+                to: from,
+                msg: Message::Nack { seq: qid },
+            });
+        }
+    }
+
+    fn on_offer(
+        &mut self,
+        from: PeerId,
+        xid: u64,
+        depth: u8,
+        path: &BitPath,
+        level_refs: &[(u16, Vec<PeerId>)],
+        ctx: &mut ProtoCtx<'_>,
+        out: &mut Vec<Effect>,
+    ) {
+        if let Some(cached) = self.answer_cache.get(&(from, xid)) {
+            // Retransmitted offer: the initiator lost our answer. Repeat
+            // it verbatim; re-running handle_offer would split us again.
+            let cached = cached.clone();
+            out.push(Effect::Send {
+                to: from,
+                msg: cached,
+            });
+            return;
+        }
+        let before = self.path;
+        let outcome = self.handle_offer(from, path, level_refs, ctx.rng);
+        if self.path != before {
+            // Case 1/3 specialized us: entries outside the new path must
+            // find their new homes.
+            let strays = self.extract_misplaced();
+            self.rehome(strays, ctx, out);
+        }
+        let answer = Message::ExchangeAnswer {
+            id: xid,
+            responder_path: self.path,
+            take_bit: outcome.take_bit,
+            adopt_refs: outcome.adopt_refs,
+            recurse_with: outcome.recurse_initiator,
+        };
+        self.answer_cache.insert((from, xid), answer.clone());
+        out.push(Effect::Send {
+            to: from,
+            msg: answer,
+        });
+        // The responder's own recursion: exchange with peers drawn from
+        // the initiator's digest.
+        if depth < self.recmax {
+            for target in outcome.recurse_responder {
+                self.start_exchange(target, depth + 1, out);
+            }
+        }
+    }
+
+    fn on_answer(
+        &mut self,
+        from: PeerId,
+        xid: u64,
+        take_bit: Option<u8>,
+        adopt_refs: Vec<(u16, Vec<PeerId>)>,
+        recurse_with: Vec<PeerId>,
+        ctx: &mut ProtoCtx<'_>,
+        out: &mut Vec<Effect>,
+    ) {
+        let Some(pe) = self.pending_exchanges.remove(&xid) else {
+            return; // unsolicited answer
+        };
+        if pe.target != from {
+            // An answer for our xid from the wrong peer: keep waiting.
+            self.pending_exchanges.insert(xid, pe);
+            return;
+        }
+        self.note_peer_success(from);
+        if let Some(bit) = take_bit {
+            // Only extend if nothing changed since the offer — otherwise
+            // the whole answer is stale (the responder computed its case
+            // against a path we no longer hold) and we drop it.
+            if self.path == pe.snapshot && self.path.len() < self.maxl {
+                self.path = self.path.child(bit);
+            } else {
+                return; // stale: skip adopt/confirm/recurse entirely
+            }
+        }
+        for (level, refs) in adopt_refs {
+            // Valid even after concurrent growth: levels ≤ the offer-time
+            // path depend only on prefixes, which never change.
+            if level >= 1 {
+                self.union_refs(level as usize, &refs, ctx.rng);
+            }
+        }
+        if take_bit.is_some() {
+            // Taking a bit may strand entries on the other side.
+            let strays = self.extract_misplaced();
+            self.rehome(strays, ctx, out);
+        }
+        // Third leg: tell the responder what we actually hold so it can
+        // (only now, race-free) record us as a reference. Best-effort: a
+        // lost confirm costs one reference edge, repaired by later
+        // exchanges.
+        out.push(Effect::Send {
+            to: from,
+            msg: Message::ExchangeConfirm {
+                id: xid,
+                path: self.path,
+            },
+        });
+        if pe.depth < self.recmax {
+            for target in recurse_with {
+                self.start_exchange(target, pe.depth + 1, out);
+            }
+        }
+    }
+
+    fn on_insert(
+        &mut self,
+        from: PeerId,
+        seq: u64,
+        key: BitPath,
+        entry: WireEntry,
+        ctx: &mut ProtoCtx<'_>,
+        out: &mut Vec<Effect>,
+    ) {
+        // Receipt-ack: we take custody of the entry (keep-and-flag below
+        // guarantees it is never lost once accepted).
+        out.push(Effect::Send {
+            to: from,
+            msg: Message::Ack { seq },
+        });
+        if !self.seen_inserts.insert((from, seq)) {
+            return; // retransmit of an insert we already own
+        }
+        if self.responsible_for(&key) {
+            self.index_insert(key, entry);
+            out.push(Effect::StoreWrite { key, entry });
+            return;
+        }
+        // Not responsible: forward along the structure; with no route the
+        // keep-and-flag fallback holds the entry for anti-entropy.
+        match self.route(&key, 0, ctx.rng) {
+            RouteDecision::Forward { candidates, .. } => {
+                self.forward_insert(key, entry, candidates, out)
+            }
+            _ => self.keep_misplaced(key, entry, out),
+        }
+    }
+
+    /// Emits a forwarded insert with the *full* key (inserts re-route from
+    /// scratch at every hop, keys are absolute), stamped with a fresh hop
+    /// sequence.
+    fn forward_insert(
+        &mut self,
+        key: BitPath,
+        entry: WireEntry,
+        candidates: Vec<PeerId>,
+        out: &mut Vec<Effect>,
+    ) {
+        let seq = self.fresh_id();
+        out.push(Effect::ForwardInsert {
+            seq,
+            key,
+            entry,
+            candidates,
+            msg: Message::IndexInsert { seq, key, entry },
+        });
+    }
+
+    /// Keeps custody of an entry that has nowhere to go: stored locally,
+    /// flagged misplaced, retried by anti-entropy on later traffic.
+    fn keep_misplaced(&mut self, key: BitPath, entry: WireEntry, out: &mut Vec<Effect>) {
+        self.index_insert(key, entry);
+        out.push(Effect::StoreWrite { key, entry });
+        if !self.misplaced {
+            self.misplaced = true;
+            out.push(Effect::SetTimer {
+                timer: TimerToken::AntiEntropy,
+            });
+        }
+    }
+
+    /// Re-routes index entries this peer no longer covers: each travels as
+    /// an ordinary [`Message::IndexInsert`] through the peer's own routing
+    /// table. Entries with no route stay local (still discoverable by
+    /// peers that treat this one as covering their coarser prefix).
+    fn rehome(
+        &mut self,
+        strays: Vec<(BitPath, Vec<WireEntry>)>,
+        ctx: &mut ProtoCtx<'_>,
+        out: &mut Vec<Effect>,
+    ) {
+        for (key, entries) in strays {
+            match self.route(&key, 0, ctx.rng) {
+                RouteDecision::Forward { candidates, .. } => {
+                    for entry in entries {
+                        self.forward_insert(key, entry, candidates.clone(), out);
+                    }
+                }
+                _ => {
+                    for entry in entries {
+                        self.keep_misplaced(key, entry, out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn anti_entropy(&mut self, ctx: &mut ProtoCtx<'_>, out: &mut Vec<Effect>) {
+        if !self.misplaced {
+            return;
+        }
+        self.misplaced = false;
+        let strays = self.extract_misplaced();
+        self.rehome(strays, ctx, out);
+    }
+
+    // ---- the state methods the events are built from -----------------
+
+    /// The digest shipped in an [`Message::ExchangeOffer`].
+    pub fn level_refs_digest(&self) -> Vec<(u16, Vec<PeerId>)> {
+        self.refs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.is_empty())
+            .map(|(i, r)| ((i + 1) as u16, r.clone()))
+            .collect()
+    }
+
+    fn level(&self, level: usize) -> &[PeerId] {
+        assert!(level >= 1);
+        self.refs.get(level - 1).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Removes a reference everywhere it appears — used when a delivery
+    /// definitively fails (no mailbox: the peer is gone for good). For the
+    /// softer signal of *repeated timeouts*, see
+    /// [`ProtocolPeer::note_peer_failure`], which demotes gradually and
+    /// calls this only once the failure budget is spent.
+    pub fn forget_peer(&mut self, peer: PeerId) {
+        for slot in &mut self.refs {
+            slot.retain(|&p| p != peer);
+        }
+        self.buddies.retain(|&p| p != peer);
+        self.failures.remove(&peer);
+    }
+
+    /// Records one delivery timeout against `peer`. After
+    /// [`ProtocolPeer::suspect_after`] *consecutive* failures the peer is
+    /// evicted from the routing table ([`ProtocolPeer::forget_peer`]);
+    /// returns `true` exactly when that eviction happened. A
+    /// lossy-but-alive peer keeps its place as long as some traffic gets
+    /// through ([`ProtocolPeer::note_peer_success`] resets the count).
+    pub fn note_peer_failure(&mut self, peer: PeerId) -> bool {
+        let count = self.failures.entry(peer).or_insert(0);
+        *count += 1;
+        if *count >= self.suspect_after {
+            self.forget_peer(peer);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records a successful interaction with `peer`, clearing its
+    /// consecutive-failure count.
+    pub fn note_peer_success(&mut self, peer: PeerId) {
+        self.failures.remove(&peer);
+    }
+
+    /// Unions `new` into the reference set at 1-based `level`, evicting a
+    /// random entry while over `refmax`.
+    pub fn union_refs(&mut self, level: usize, new: &[PeerId], rng: &mut StdRng) {
+        assert!(level >= 1);
+        if self.refs.len() < level {
+            self.refs.resize_with(level, Vec::new);
+        }
+        let slot = &mut self.refs[level - 1];
+        for &p in new {
+            if p != self.id && !slot.contains(&p) {
+                slot.push(p);
+            }
+        }
+        while slot.len() > self.refmax {
+            use rand::Rng;
+            let victim = rng.gen_range(0..slot.len());
+            slot.swap_remove(victim);
+        }
+    }
+
+    /// `true` when this peer must answer queries for `key`.
+    pub fn responsible_for(&self, key: &Key) -> bool {
+        self.path.responsible_for(key)
+    }
+
+    /// Routes one hop of a query: `key` is the remaining query, `matched`
+    /// the number of this peer's path bits already consumed. The pure
+    /// divergence computation is [`route_step`] (shared with the
+    /// simulator's search); this wrapper adds the candidate lookup and the
+    /// randomized preference order.
+    pub fn route(&self, key: &BitPath, matched: u16, rng: &mut StdRng) -> RouteDecision {
+        match route_step(&self.path, matched as usize, key) {
+            RouteStep::Responsible => RouteDecision::Responsible,
+            RouteStep::Forward { consumed, level } => {
+                let mut candidates = self.level(level).to_vec();
+                if candidates.is_empty() {
+                    return RouteDecision::Dead;
+                }
+                candidates.shuffle(rng);
+                let matched = (matched as usize).min(self.path.len());
+                RouteDecision::Forward {
+                    key: key.suffix(consumed),
+                    matched: (matched + consumed) as u16,
+                    candidates,
+                }
+            }
+        }
+    }
+
+    /// Reconstructs the full key of a query this peer received with
+    /// `matched` of its own path bits consumed.
+    pub fn full_key(&self, remaining: &BitPath, matched: u16) -> Key {
+        let matched = (matched as usize).min(self.path.len());
+        self.path.prefix(matched).append(remaining)
+    }
+
+    /// Inserts an index entry (idempotent per `(item, holder)`, newest
+    /// version wins).
+    pub fn index_insert(&mut self, key: Key, entry: WireEntry) {
+        let slot = self.index.entry(key).or_default();
+        match slot
+            .iter_mut()
+            .find(|e| e.item == entry.item && e.holder == entry.holder)
+        {
+            Some(existing) => {
+                if entry.version > existing.version {
+                    existing.version = entry.version;
+                }
+            }
+            None => slot.push(entry),
+        }
+    }
+
+    /// The entries stored under exactly `key`.
+    pub fn index_lookup(&self, key: &Key) -> &[WireEntry] {
+        self.index.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Drains every index entry this peer is no longer responsible for —
+    /// called right after the path extends, so the entries can be
+    /// re-routed to the peers now covering them.
+    pub fn extract_misplaced(&mut self) -> Vec<(Key, Vec<WireEntry>)> {
+        let path = self.path;
+        let doomed: Vec<Key> = self
+            .index
+            .keys()
+            .filter(|k| !path.responsible_for(k))
+            .copied()
+            .collect();
+        doomed
+            .into_iter()
+            .map(|k| {
+                let v = self.index.remove(&k).expect("listed above");
+                (k, v)
+            })
+            .collect()
+    }
+
+    /// The responder side of the Fig. 3 exchange. Applies this peer's half
+    /// of the case (classified by [`classify`], the kernel shared with the
+    /// simulator) and returns the initiator's instructions.
+    pub fn handle_offer(
+        &mut self,
+        initiator: PeerId,
+        initiator_path: &BitPath,
+        initiator_refs: &[(u16, Vec<PeerId>)],
+        rng: &mut StdRng,
+    ) -> OfferOutcome {
+        let mut out = OfferOutcome::default();
+        if initiator == self.id {
+            return out;
+        }
+        let (lc, case) = classify(initiator_path, &self.path, self.maxl);
+
+        let refs_of = |level: usize| -> Vec<PeerId> {
+            initiator_refs
+                .iter()
+                .find(|(l, _)| *l as usize == level)
+                .map(|(_, r)| r.clone())
+                .unwrap_or_default()
+        };
+
+        // Mix reference sets at the deepest common level.
+        if lc > 0 {
+            let theirs = refs_of(lc);
+            let mine = self.level(lc).to_vec();
+            let mut union: Vec<PeerId> = mine.clone();
+            for p in &theirs {
+                if !union.contains(p) {
+                    union.push(*p);
+                }
+            }
+            union.retain(|&p| p != self.id && p != initiator);
+            let mut for_me = union.clone();
+            for_me.shuffle(rng);
+            for_me.truncate(self.refmax);
+            let mut for_them = union;
+            for_them.shuffle(rng);
+            for_them.truncate(self.refmax);
+            self.union_refs(lc, &for_me, rng);
+            if !for_them.is_empty() {
+                out.adopt_refs.push((lc as u16, for_them));
+            }
+        }
+
+        match case {
+            // Case 1: identical paths below maxl — split the level. The
+            // bit assignment is randomized (SplitBitPolicy::Random): the
+            // responder extends immediately but the initiator's extension
+            // is *conditional* (it declines when a concurrent exchange
+            // already specialized it), so the paper's fixed assignment
+            // would systematically over-populate the responder's side and
+            // leave coverage holes on the other. We also do NOT record the
+            // initiator as a reference yet: the ExchangeConfirm leg does
+            // that once its path is authoritative.
+            ExchangeCase::Split => {
+                let (initiator_bit, responder_bit) = split_bits(SplitBitPolicy::Random, rng);
+                self.path = self.path.child(responder_bit);
+                self.set_level(lc + 1, Vec::new());
+                out.take_bit = Some(initiator_bit);
+                out.adopt_refs.push(((lc + 1) as u16, vec![self.id]));
+            }
+            // Identical full-length paths: replicas — buddy registration.
+            ExchangeCase::Replicas => {
+                if !self.buddies.contains(&initiator) {
+                    self.buddies.push(initiator);
+                }
+            }
+            // Case 2: the initiator's path is a prefix of ours — it
+            // specializes opposite to our next bit. Recording it as a
+            // reference waits for the confirm leg (same race as Case 1).
+            ExchangeCase::FirstSpecializes { bit } => {
+                out.take_bit = Some(bit);
+                out.adopt_refs.push(((lc + 1) as u16, vec![self.id]));
+            }
+            // Case 3: our path is a prefix of the initiator's — we
+            // specialize opposite to its next bit.
+            ExchangeCase::SecondSpecializes { bit } => {
+                self.path = self.path.child(bit);
+                self.set_level(lc + 1, vec![initiator]);
+                out.adopt_refs.push(((lc + 1) as u16, vec![self.id]));
+            }
+            // Case 4: divergence — learn each other, recurse both ways.
+            ExchangeCase::Diverged => {
+                self.union_refs(lc + 1, &[initiator], rng);
+                out.adopt_refs.push(((lc + 1) as u16, vec![self.id]));
+                let mut mine: Vec<PeerId> = self
+                    .level(lc + 1)
+                    .iter()
+                    .copied()
+                    .filter(|&p| p != initiator)
+                    .collect();
+                mine.shuffle(rng);
+                mine.truncate(self.recfanout);
+                out.recurse_initiator = mine;
+                let mut theirs: Vec<PeerId> = refs_of(lc + 1)
+                    .into_iter()
+                    .filter(|&p| p != self.id)
+                    .collect();
+                theirs.shuffle(rng);
+                theirs.truncate(self.recfanout);
+                out.recurse_responder = theirs;
+            }
+            ExchangeCase::Saturated => {}
+        }
+        out
+    }
+
+    /// Records `peer` (whose authoritative path is `path`) as a reference
+    /// at the level where the two paths diverge, if they do. Used by the
+    /// confirm leg of the exchange handshake; also a generally safe way to
+    /// learn about any peer, since paths only ever extend.
+    pub fn maybe_add_ref(&mut self, peer: PeerId, path: &BitPath, rng: &mut StdRng) {
+        if peer == self.id {
+            return;
+        }
+        let lc = self.path.common_prefix_len(path);
+        if self.path.len() > lc && path.len() > lc {
+            self.union_refs(lc + 1, &[peer], rng);
+        }
+    }
+
+    fn set_level(&mut self, level: usize, refs: Vec<PeerId>) {
+        if self.refs.len() < level {
+            self.refs.resize_with(level, Vec::new);
+        }
+        self.refs[level - 1] = refs;
+    }
+
+    /// Structural invariant: references never point to this peer itself
+    /// and never exceed `refmax`; the path respects `maxl`.
+    pub fn check(&self) -> Result<(), String> {
+        if self.path.len() > self.maxl {
+            return Err(format!("{}: path exceeds maxl", self.id));
+        }
+        for (i, slot) in self.refs.iter().enumerate() {
+            if slot.len() > self.refmax {
+                return Err(format!("{}: refmax exceeded at level {}", self.id, i + 1));
+            }
+            if slot.contains(&self.id) {
+                return Err(format!("{}: self-reference at level {}", self.id, i + 1));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn path(s: &str) -> BitPath {
+        BitPath::from_str_lossy(s)
+    }
+
+    #[test]
+    fn case1_split_via_offer() {
+        let mut responder = ProtocolPeer::new(PeerId(1), 4, 2, 2);
+        let mut r = rng();
+        let out = responder.handle_offer(PeerId(0), &BitPath::EMPTY, &[], &mut r);
+        // The split assignment is randomized; initiator and responder must
+        // land on opposite sides.
+        let taken = out.take_bit.expect("case 1 instructs the initiator");
+        assert_eq!(responder.path.len(), 1);
+        assert_eq!(responder.path.bit(0), taken ^ 1);
+        assert!(responder.level(1).is_empty(), "refs wait for the confirm leg");
+        assert_eq!(out.adopt_refs, vec![(1, vec![PeerId(1)])]);
+        // The confirm leg records the initiator once its path is known.
+        let initiator_path = BitPath::EMPTY.child(taken);
+        responder.maybe_add_ref(PeerId(0), &initiator_path, &mut r);
+        assert_eq!(responder.level(1), &[PeerId(0)]);
+        responder.check().unwrap();
+    }
+
+    #[test]
+    fn case2_initiator_specializes_opposite() {
+        let mut responder = ProtocolPeer::new(PeerId(1), 4, 2, 2);
+        responder.path = path("10");
+        responder.refs = vec![vec![], vec![]];
+        let mut r = rng();
+        let out = responder.handle_offer(PeerId(0), &BitPath::EMPTY, &[], &mut r);
+        assert_eq!(out.take_bit, Some(0), "flip of our bit 0 (1)");
+        assert!(responder.level(1).is_empty(), "refs wait for the confirm leg");
+        responder.maybe_add_ref(PeerId(0), &path("0"), &mut r);
+        assert!(responder.level(1).contains(&PeerId(0)));
+        responder.check().unwrap();
+    }
+
+    #[test]
+    fn case3_responder_specializes() {
+        let mut responder = ProtocolPeer::new(PeerId(1), 4, 2, 2);
+        let mut r = rng();
+        let out = responder.handle_offer(PeerId(0), &path("01"), &[], &mut r);
+        assert_eq!(out.take_bit, None);
+        assert_eq!(responder.path, path("1"), "opposite of initiator's bit 0");
+        assert_eq!(responder.level(1), &[PeerId(0)]);
+        assert_eq!(out.adopt_refs, vec![(1, vec![PeerId(1)])]);
+    }
+
+    #[test]
+    fn case4_divergence_recursion_candidates() {
+        let mut responder = ProtocolPeer::new(PeerId(1), 4, 4, 2);
+        responder.path = path("1");
+        responder.refs = vec![vec![PeerId(5), PeerId(6), PeerId(7)]];
+        let mut r = rng();
+        let out = responder.handle_offer(
+            PeerId(0),
+            &path("0"),
+            &[(1, vec![PeerId(8), PeerId(9)])],
+            &mut r,
+        );
+        assert_eq!(out.take_bit, None);
+        // We learned the initiator; it learns us.
+        assert!(responder.level(1).contains(&PeerId(0)));
+        assert!(out.adopt_refs.contains(&(1, vec![PeerId(1)])));
+        // Recursion bounded by recfanout = 2.
+        assert_eq!(out.recurse_initiator.len(), 2);
+        assert!(out
+            .recurse_initiator
+            .iter()
+            .all(|p| [PeerId(5), PeerId(6), PeerId(7)].contains(p)));
+        assert_eq!(out.recurse_responder.len(), 2);
+        assert!(out
+            .recurse_responder
+            .iter()
+            .all(|p| [PeerId(8), PeerId(9)].contains(p)));
+    }
+
+    #[test]
+    fn buddies_at_maxl() {
+        let mut responder = ProtocolPeer::new(PeerId(1), 2, 2, 2);
+        responder.path = path("01");
+        let mut r = rng();
+        let out = responder.handle_offer(PeerId(0), &path("01"), &[], &mut r);
+        assert_eq!(out.take_bit, None);
+        assert_eq!(responder.buddies, vec![PeerId(0)]);
+        // Idempotent.
+        responder.handle_offer(PeerId(0), &path("01"), &[], &mut r);
+        assert_eq!(responder.buddies, vec![PeerId(0)]);
+    }
+
+    #[test]
+    fn ref_mixing_at_common_level() {
+        let mut responder = ProtocolPeer::new(PeerId(1), 4, 2, 2);
+        responder.path = path("010");
+        responder.refs = vec![vec![], vec![PeerId(3)], vec![]];
+        let mut r = rng();
+        // Initiator shares prefix "01" (lc = 2) and has refs at level 2.
+        let out = responder.handle_offer(PeerId(0), &path("011"), &[(2, vec![PeerId(4)])], &mut r);
+        // Level-2 union {3, 4} is bounded to refmax = 2 on both sides.
+        assert!(responder.level(2).len() <= 2 && !responder.level(2).is_empty());
+        let adopted = out.adopt_refs.iter().find(|(l, _)| *l == 2);
+        assert!(adopted.is_some(), "initiator receives a level-2 mix");
+    }
+
+    #[test]
+    fn routing_decisions() {
+        let mut state = ProtocolPeer::new(PeerId(0), 4, 2, 2);
+        state.path = path("0110");
+        state.refs = vec![
+            vec![PeerId(1)],
+            vec![PeerId(2)],
+            vec![PeerId(3)],
+            vec![PeerId(4)],
+        ];
+        let mut r = rng();
+        assert_eq!(
+            state.route(&path("0110"), 0, &mut r),
+            RouteDecision::Responsible
+        );
+        assert_eq!(
+            state.route(&path("01"), 0, &mut r),
+            RouteDecision::Responsible,
+            "query shorter than path"
+        );
+        match state.route(&path("00"), 0, &mut r) {
+            RouteDecision::Forward {
+                key,
+                matched,
+                candidates,
+            } => {
+                assert_eq!(key, path("0"));
+                assert_eq!(matched, 1);
+                assert_eq!(candidates, vec![PeerId(2)]);
+            }
+            other => panic!("expected forward, got {other:?}"),
+        }
+        // Remaining query relative to matched bits.
+        match state.route(&path("00"), 2, &mut r) {
+            RouteDecision::Forward {
+                matched, candidates, ..
+            } => {
+                assert_eq!(matched, 2);
+                assert_eq!(candidates, vec![PeerId(3)]);
+            }
+            other => panic!("expected forward, got {other:?}"),
+        }
+        state.refs[1].clear();
+        assert_eq!(state.route(&path("00"), 0, &mut r), RouteDecision::Dead);
+    }
+
+    #[test]
+    fn full_key_reconstruction() {
+        let mut state = ProtocolPeer::new(PeerId(0), 4, 2, 2);
+        state.path = path("0110");
+        assert_eq!(state.full_key(&path("10"), 2), path("0110"));
+        assert_eq!(state.full_key(&path("0110"), 0), path("0110"));
+    }
+
+    #[test]
+    fn index_semantics() {
+        let mut state = ProtocolPeer::new(PeerId(0), 4, 2, 2);
+        let k = path("0101");
+        let e = |v| WireEntry {
+            item: 1,
+            holder: PeerId(9),
+            version: v,
+        };
+        state.index_insert(k, e(0));
+        state.index_insert(k, e(2));
+        state.index_insert(k, e(1)); // stale, ignored
+        assert_eq!(state.index_lookup(&k), &[e(2)]);
+        assert_eq!(state.index_lookup(&path("1")), &[]);
+    }
+
+    #[test]
+    fn repeated_failures_evict_a_peer() {
+        let mut state = ProtocolPeer::new(PeerId(0), 4, 2, 2);
+        state.refs = vec![vec![PeerId(1), PeerId(2)]];
+        state.buddies = vec![PeerId(1)];
+        assert!(!state.note_peer_failure(PeerId(1)));
+        assert!(!state.note_peer_failure(PeerId(1)));
+        assert!(state.note_peer_failure(PeerId(1)), "third strike evicts");
+        assert_eq!(state.refs[0], vec![PeerId(2)]);
+        assert!(state.buddies.is_empty());
+        assert!(!state.failures.contains_key(&PeerId(1)));
+    }
+
+    #[test]
+    fn success_resets_the_failure_count() {
+        let mut state = ProtocolPeer::new(PeerId(0), 4, 2, 2);
+        state.refs = vec![vec![PeerId(1)]];
+        assert!(!state.note_peer_failure(PeerId(1)));
+        assert!(!state.note_peer_failure(PeerId(1)));
+        state.note_peer_success(PeerId(1));
+        assert!(!state.note_peer_failure(PeerId(1)));
+        assert!(!state.note_peer_failure(PeerId(1)));
+        assert_eq!(state.refs[0], vec![PeerId(1)], "still referenced");
+    }
+
+    #[test]
+    fn union_refs_bounds_and_excludes_self() {
+        let mut state = ProtocolPeer::new(PeerId(0), 4, 3, 2);
+        let mut r = rng();
+        state.union_refs(
+            2,
+            &[PeerId(0), PeerId(1), PeerId(2), PeerId(3), PeerId(4)],
+            &mut r,
+        );
+        assert!(state.level(2).len() <= 3);
+        assert!(!state.level(2).contains(&PeerId(0)));
+        state.check().unwrap();
+    }
+
+    // ---- event-layer tests -------------------------------------------
+
+    fn drive(peer: &mut ProtocolPeer, rng: &mut StdRng, event: Event) -> Vec<Effect> {
+        let mut out = Vec::new();
+        peer.handle(event, &mut ProtoCtx { rng }, &mut out);
+        out
+    }
+
+    #[test]
+    fn meet_emits_a_tracked_offer() {
+        let mut p = ProtocolPeer::new(PeerId(0), 4, 2, 2);
+        p.seed_sequence(9);
+        let mut r = rng();
+        let out = drive(&mut p, &mut r, Event::Meet { with: PeerId(1), depth: 0 });
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            Effect::SendOffer { to, id, msg: Message::ExchangeOffer { id: mid, depth, path, .. } } => {
+                assert_eq!(*to, PeerId(1));
+                assert_eq!(id, mid);
+                assert_eq!(*depth, 0);
+                assert_eq!(*path, BitPath::EMPTY);
+                assert!(p.pending_exchanges.contains_key(id));
+            }
+            other => panic!("expected SendOffer, got {other:?}"),
+        }
+        // Meeting oneself is a no-op.
+        assert!(drive(&mut p, &mut r, Event::Meet { with: PeerId(0), depth: 0 }).is_empty());
+    }
+
+    #[test]
+    fn offer_answer_confirm_round_trip() {
+        let mut a = ProtocolPeer::new(PeerId(0), 4, 2, 2);
+        let mut b = ProtocolPeer::new(PeerId(1), 4, 2, 2);
+        a.seed_sequence(1);
+        b.seed_sequence(2);
+        let mut ra = rng();
+        let mut rb = StdRng::seed_from_u64(43);
+        let offer = drive(&mut a, &mut ra, Event::Meet { with: PeerId(1), depth: 0 });
+        let Effect::SendOffer { id, msg: Message::ExchangeOffer { depth, path, level_refs, .. }, .. } =
+            offer[0].clone()
+        else {
+            panic!("expected SendOffer")
+        };
+        let answers = drive(
+            &mut b,
+            &mut rb,
+            Event::OfferReceived { from: PeerId(0), id, depth, path, level_refs },
+        );
+        let Effect::Send { msg: Message::ExchangeAnswer { take_bit, adopt_refs, recurse_with, .. }, .. } =
+            answers[0].clone()
+        else {
+            panic!("expected answer")
+        };
+        let confirms = drive(
+            &mut a,
+            &mut ra,
+            Event::AnswerReceived { from: PeerId(1), id, take_bit, adopt_refs, recurse_with },
+        );
+        // Case 1: both specialized to opposite sides, confirm leg sent.
+        assert_eq!(a.path.len(), 1);
+        assert_eq!(b.path.len(), 1);
+        assert_eq!(a.path.bit(0), b.path.bit(0) ^ 1);
+        let Effect::Send { to, msg: Message::ExchangeConfirm { path: cpath, .. } } = confirms
+            .last()
+            .unwrap()
+            .clone()
+        else {
+            panic!("expected confirm")
+        };
+        assert_eq!(to, PeerId(1));
+        let _ = drive(&mut b, &mut rb, Event::ConfirmReceived { from: PeerId(0), path: cpath });
+        assert_eq!(b.level(1), &[PeerId(0)], "confirm leg records the initiator");
+        assert!(a.pending_exchanges.is_empty(), "answer settled the exchange");
+    }
+
+    #[test]
+    fn duplicate_offer_is_re_answered_from_cache() {
+        let mut b = ProtocolPeer::new(PeerId(1), 4, 2, 2);
+        let mut rb = rng();
+        let offer = Event::OfferReceived {
+            from: PeerId(0),
+            id: 77,
+            depth: 0,
+            path: BitPath::EMPTY,
+            level_refs: Vec::new(),
+        };
+        let first = drive(&mut b, &mut rb, offer.clone());
+        let path_after = b.path;
+        let second = drive(&mut b, &mut rb, offer);
+        assert_eq!(b.path, path_after, "re-running the case would split again");
+        assert_eq!(first, second, "cached answer repeats verbatim");
+    }
+
+    #[test]
+    fn stale_answer_is_dropped_entirely() {
+        let mut a = ProtocolPeer::new(PeerId(0), 4, 2, 2);
+        a.seed_sequence(1);
+        let mut ra = rng();
+        let offer = drive(&mut a, &mut ra, Event::Meet { with: PeerId(1), depth: 0 });
+        let Effect::SendOffer { id, .. } = offer[0] else {
+            panic!()
+        };
+        // A concurrent exchange specializes us in the meantime.
+        a.path = a.path.child(1);
+        let out = drive(
+            &mut a,
+            &mut ra,
+            Event::AnswerReceived {
+                from: PeerId(1),
+                id,
+                take_bit: Some(0),
+                adopt_refs: vec![(1, vec![PeerId(1)])],
+                recurse_with: Vec::new(),
+            },
+        );
+        assert!(out.is_empty(), "stale answer: no adopt, no confirm, no recurse");
+        assert_eq!(a.path, BitPath::EMPTY.child(1), "path unchanged by the answer");
+        assert!(a.refs.iter().all(Vec::is_empty), "no refs adopted");
+    }
+
+    #[test]
+    fn query_events_route_answer_and_dead_end() {
+        let mut p = ProtocolPeer::new(PeerId(0), 4, 2, 2);
+        p.path = path("0");
+        p.refs = vec![vec![PeerId(1)]];
+        let mut r = rng();
+        // Responsible: answer the origin, ack the upstream hop.
+        let out = drive(
+            &mut p,
+            &mut r,
+            Event::QueryReceived {
+                from: PeerId(9),
+                id: 1,
+                origin: PeerId(100),
+                key: path("0"),
+                matched: 0,
+                ttl: 8,
+            },
+        );
+        assert!(matches!(out[0], Effect::Send { to: PeerId(9), msg: Message::Ack { seq: 1 } }));
+        assert!(
+            matches!(&out[1], Effect::SendAnswer { to: PeerId(100), msg: Message::QueryOk { .. }, .. })
+        );
+        // Divergent key: forwarded along level-1 references.
+        let out = drive(
+            &mut p,
+            &mut r,
+            Event::QueryReceived {
+                from: PeerId(100),
+                id: 2,
+                origin: PeerId(100),
+                key: path("1"),
+                matched: 0,
+                ttl: 8,
+            },
+        );
+        match &out[0] {
+            Effect::ForwardQuery { id, candidates, msg: Message::Query { ttl, .. }, .. } => {
+                assert_eq!(*id, 2);
+                assert_eq!(candidates, &vec![PeerId(1)]);
+                assert_eq!(*ttl, 7, "budget decremented per hop");
+            }
+            other => panic!("expected ForwardQuery, got {other:?}"),
+        }
+        // Duplicate delivery: verdict repeated without reprocessing.
+        let out = drive(
+            &mut p,
+            &mut r,
+            Event::QueryReceived {
+                from: PeerId(9),
+                id: 1,
+                origin: PeerId(100),
+                key: path("0"),
+                matched: 0,
+                ttl: 8,
+            },
+        );
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0], Effect::Send { msg: Message::Ack { seq: 1 }, .. }));
+        // Dead end mid-route: nack upstream.
+        p.refs[0].clear();
+        let out = drive(
+            &mut p,
+            &mut r,
+            Event::QueryReceived {
+                from: PeerId(9),
+                id: 3,
+                origin: PeerId(100),
+                key: path("1"),
+                matched: 0,
+                ttl: 8,
+            },
+        );
+        assert!(matches!(out[0], Effect::Send { to: PeerId(9), msg: Message::Nack { seq: 3 } }));
+        // The dead-end verdict for an exhausted forward.
+        let out = drive(
+            &mut p,
+            &mut r,
+            Event::ForwardDeadEnd { id: 2, upstream: PeerId(100), origin: PeerId(100) },
+        );
+        assert!(
+            matches!(out[0], Effect::SendAnswer { to: PeerId(100), msg: Message::QueryFail { id: 2 }, .. })
+        );
+    }
+
+    #[test]
+    fn insert_events_store_forward_and_keep_custody() {
+        let mut p = ProtocolPeer::new(PeerId(0), 4, 2, 2);
+        p.path = path("0");
+        p.refs = vec![vec![PeerId(1)]];
+        p.seed_sequence(5);
+        let mut r = rng();
+        let e = WireEntry { item: 1, holder: PeerId(9), version: 0 };
+        // Responsible: ack + store.
+        let out = drive(
+            &mut p,
+            &mut r,
+            Event::InsertReceived { from: PeerId(8), seq: 10, key: path("01"), entry: e },
+        );
+        assert!(matches!(out[0], Effect::Send { msg: Message::Ack { seq: 10 }, .. }));
+        assert!(matches!(out[1], Effect::StoreWrite { .. }));
+        assert_eq!(p.index_lookup(&path("01")), &[e]);
+        // Duplicate: re-acked, not re-processed.
+        let out = drive(
+            &mut p,
+            &mut r,
+            Event::InsertReceived { from: PeerId(8), seq: 10, key: path("01"), entry: e },
+        );
+        assert_eq!(out.len(), 1);
+        // Not responsible: forwarded with a fresh hop sequence.
+        let out = drive(
+            &mut p,
+            &mut r,
+            Event::InsertReceived { from: PeerId(8), seq: 11, key: path("11"), entry: e },
+        );
+        match &out[1] {
+            Effect::ForwardInsert { seq, candidates, .. } => {
+                assert!(*seq >= 1 << 63, "hop sequences live in the high range");
+                assert_eq!(candidates, &vec![PeerId(1)]);
+            }
+            other => panic!("expected ForwardInsert, got {other:?}"),
+        }
+        // All candidates spent: keep custody, flag for anti-entropy.
+        let out = drive(&mut p, &mut r, Event::InsertDeadEnd { key: path("11"), entry: e });
+        assert!(matches!(out[0], Effect::StoreWrite { .. }));
+        assert!(matches!(out[1], Effect::SetTimer { timer: TimerToken::AntiEntropy }));
+        assert!(p.misplaced);
+        assert_eq!(p.index_lookup(&path("11")), &[e]);
+        // The next event re-homes the stranded entry through the table.
+        let out = drive(&mut p, &mut r, Event::PeerHeard { peer: PeerId(1) });
+        assert!(matches!(out[0], Effect::ForwardInsert { .. }));
+        assert!(!p.misplaced);
+        assert!(p.index_lookup(&path("11")).is_empty());
+    }
+
+    #[test]
+    fn failure_events_demote_and_evict() {
+        let mut p = ProtocolPeer::new(PeerId(0), 4, 2, 2);
+        p.refs = vec![vec![PeerId(1), PeerId(2)]];
+        let mut r = rng();
+        assert!(drive(&mut p, &mut r, Event::PeerSuspected { peer: PeerId(1) }).is_empty());
+        assert!(drive(&mut p, &mut r, Event::PeerSuspected { peer: PeerId(1) }).is_empty());
+        let out = drive(&mut p, &mut r, Event::PeerSuspected { peer: PeerId(1) });
+        assert!(matches!(out[0], Effect::PeerEvicted { peer: PeerId(1) }));
+        assert_eq!(p.refs[0], vec![PeerId(2)]);
+        // Definitive departure prunes immediately, silently.
+        assert!(drive(&mut p, &mut r, Event::PeerGone { peer: PeerId(2) }).is_empty());
+        assert!(p.refs[0].is_empty());
+    }
+
+    #[test]
+    fn unsolicited_answer_does_not_mutate_state() {
+        let mut p = ProtocolPeer::new(PeerId(0), 4, 2, 2);
+        let mut r = rng();
+        let before = p.clone();
+        let out = drive(
+            &mut p,
+            &mut r,
+            Event::AnswerReceived {
+                from: PeerId(3),
+                id: 999,
+                take_bit: Some(1),
+                adopt_refs: vec![(1, vec![PeerId(3)])],
+                recurse_with: vec![PeerId(4)],
+            },
+        );
+        assert!(out.is_empty());
+        assert_eq!(p.path, before.path);
+        assert_eq!(p.refs, before.refs);
+    }
+}

@@ -48,3 +48,7 @@ pub mod workload;
 pub use engine::{run_query_plan, run_sharded, QueryPlan, QueryRecord, QueryRunOutcome};
 pub use report::{fmt_f, Table};
 pub use runner::{built_grid, BuiltGrid};
+// The sans-I/O protocol core and its inline message-queue driver, re-exported
+// so experiment code can script event-level scenarios (and differential runs
+// against the live cluster) without a separate dependency.
+pub use pgrid_proto::{ProtocolPeer, SimNet};

@@ -1,0 +1,153 @@
+//! Exhaustive wire-format check: one representative of **every** [`Message`]
+//! variant, pinned to its on-the-wire kind byte.
+//!
+//! The tag byte is the protocol's compatibility contract — a renumbering
+//! silently breaks every deployed peer. This test (a) pins each variant's
+//! tag to its frozen value, (b) asserts the encoded frame really carries
+//! that byte at the start of the payload, and (c) round-trips the frame
+//! back to an equal value. The `match` in [`specimen`] is intentionally
+//! non-wildcard so adding a variant without extending the table is a
+//! compile error here.
+
+use bytes::BytesMut;
+use pgrid_keys::BitPath;
+use pgrid_net::PeerId;
+use pgrid_wire::{decode_frame, encode_frame, Message, WireEntry};
+
+fn path(s: &str) -> BitPath {
+    BitPath::from_str_lossy(s)
+}
+
+fn entry() -> WireEntry {
+    WireEntry {
+        item: 42,
+        holder: PeerId(7),
+        version: 3,
+    }
+}
+
+/// One representative value per variant, in tag order. Each tuple is
+/// `(frozen_tag, message)`.
+fn specimens() -> Vec<(u8, Message)> {
+    vec![
+        (0, Message::Ping { nonce: 9 }),
+        (1, Message::Pong { nonce: u64::MAX }),
+        (
+            2,
+            Message::Query {
+                id: 11,
+                origin: PeerId(1),
+                key: path("0110"),
+                matched: 2,
+                ttl: 16,
+            },
+        ),
+        (
+            3,
+            Message::QueryOk {
+                id: 11,
+                responsible: PeerId(2),
+                entries: vec![entry()],
+            },
+        ),
+        (4, Message::QueryFail { id: 11 }),
+        (
+            5,
+            Message::ExchangeOffer {
+                id: 12,
+                depth: 1,
+                path: path("01"),
+                level_refs: vec![(1, vec![PeerId(3), PeerId(4)]), (2, vec![])],
+            },
+        ),
+        (
+            6,
+            Message::ExchangeAnswer {
+                id: 12,
+                responder_path: path("011"),
+                take_bit: Some(0),
+                adopt_refs: vec![(3, vec![PeerId(5)])],
+                recurse_with: vec![PeerId(6)],
+            },
+        ),
+        (
+            7,
+            Message::IndexInsert {
+                seq: 13,
+                key: path("111"),
+                entry: entry(),
+            },
+        ),
+        (8, Message::Shutdown),
+        (9, Message::Meet { with: PeerId(8) }),
+        (
+            10,
+            Message::ExchangeConfirm {
+                id: 12,
+                path: path("0110"),
+            },
+        ),
+        (11, Message::Ack { seq: 14 }),
+        (12, Message::Nack { seq: 15 }),
+    ]
+}
+
+/// Exhaustiveness guard: maps every variant to its index in [`specimens`].
+/// No wildcard arm — a new `Message` variant fails to compile until this
+/// function (and the table above) are updated.
+fn specimen_index(msg: &Message) -> usize {
+    match msg {
+        Message::Ping { .. } => 0,
+        Message::Pong { .. } => 1,
+        Message::Query { .. } => 2,
+        Message::QueryOk { .. } => 3,
+        Message::QueryFail { .. } => 4,
+        Message::ExchangeOffer { .. } => 5,
+        Message::ExchangeAnswer { .. } => 6,
+        Message::IndexInsert { .. } => 7,
+        Message::Shutdown => 8,
+        Message::Meet { .. } => 9,
+        Message::ExchangeConfirm { .. } => 10,
+        Message::Ack { .. } => 11,
+        Message::Nack { .. } => 12,
+    }
+}
+
+#[test]
+fn every_variant_round_trips_with_its_frozen_tag() {
+    let specimens = specimens();
+    for (i, (tag, msg)) in specimens.iter().enumerate() {
+        assert_eq!(
+            specimen_index(msg),
+            i,
+            "specimen table out of order at index {i}"
+        );
+        assert_eq!(msg.tag(), *tag, "{msg:?}: tag() drifted from frozen value");
+        let frame = encode_frame(msg);
+        // Frame layout: u32-LE length ‖ payload; payload[0] is the tag.
+        assert!(frame.len() > 4, "{msg:?}: frame has no payload");
+        assert_eq!(
+            frame[4], *tag,
+            "{msg:?}: encoded kind byte disagrees with tag()"
+        );
+        let mut buf = BytesMut::from(&frame[..]);
+        let decoded = decode_frame(&mut buf)
+            .expect("well-formed frame")
+            .expect("complete frame");
+        assert_eq!(&decoded, msg, "round trip changed the message");
+        assert!(buf.is_empty(), "{msg:?}: decoder left residue");
+    }
+}
+
+#[test]
+fn tags_are_dense_and_collision_free() {
+    let specimens = specimens();
+    let mut seen = vec![false; specimens.len()];
+    for (tag, msg) in &specimens {
+        let t = *tag as usize;
+        assert!(t < seen.len(), "{msg:?}: tag {tag} out of dense range");
+        assert!(!seen[t], "{msg:?}: tag {tag} collides with another variant");
+        seen[t] = true;
+    }
+    assert!(seen.iter().all(|s| *s), "tag space has holes");
+}

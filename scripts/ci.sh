@@ -6,14 +6,23 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> rustfmt (check only)"
+cargo fmt --check
+
 echo "==> clippy (all targets, warnings are errors, perf lints on)"
 cargo clippy --all-targets -- -D warnings -D clippy::perf -W clippy::redundant_clone
+
+echo "==> docs (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
 echo "==> build (release)"
 cargo build --release
 
 echo "==> tests"
 cargo test -q
+
+echo "==> sim/live differential determinism (two fixed seeds)"
+cargo test --release --test differential_sim_node
 
 if [[ "${1:-}" != "quick" ]]; then
     echo "==> chaos suite (fault injection, three fixed seeds)"

@@ -11,6 +11,9 @@
 //! * [`store`] — per-peer data storage and trie indexes;
 //! * [`net`] — availability models, message accounting, event scheduling;
 //! * [`wire`] — the binary peer protocol;
+//! * [`proto`] — the sans-I/O protocol core (Fig. 2 / Fig. 3 kernels, the
+//!   event-driven [`proto::ProtocolPeer`] and its inline [`proto::SimNet`]
+//!   driver) shared by the simulator and the live node;
 //! * [`core`] — the P-Grid itself: construction, search, updates, analysis;
 //! * [`baselines`] — Gnutella flooding and central-server comparators;
 //! * [`node`] — the live actor deployment;
@@ -37,6 +40,7 @@ pub use pgrid_core as core;
 pub use pgrid_keys as keys;
 pub use pgrid_net as net;
 pub use pgrid_node as node;
+pub use pgrid_proto as proto;
 pub use pgrid_sim as sim;
 pub use pgrid_store as store;
 pub use pgrid_wire as wire;
