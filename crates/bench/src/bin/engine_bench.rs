@@ -15,12 +15,14 @@
 //! ```
 
 use std::path::PathBuf;
+use std::time::Instant;
 
 use pgrid_bench::{alloc_count, Fixture};
 use pgrid_core::Ctx;
 use pgrid_keys::BitPath;
 use pgrid_net::AlwaysOnline;
 use pgrid_sim::experiments::engine::{run, Config};
+use pgrid_sim::{run_query_plan, run_query_plan_traced, QueryPlan};
 
 #[cfg(feature = "count-allocs")]
 #[global_allocator]
@@ -72,6 +74,42 @@ fn measure_allocs(seed: u64) -> (f64, f64) {
     (per_query, per_exchange)
 }
 
+/// Flight-recorder cost, measured two ways on the same serial workload:
+/// the default `NullTracer` path (the per-site `enabled()` branch is the
+/// entire overhead — this is what every production run pays) and a full
+/// `RingTracer` recording. Returns `(untraced_qps, recording_qps,
+/// identical)` where `identical` asserts the traced run reproduced the
+/// untraced records and counters byte for byte.
+fn measure_trace_overhead(cfg: &Config) -> (f64, f64, bool) {
+    let grid = Fixture::converged(cfg.n, cfg.maxl, cfg.refmax, cfg.seed).grid;
+    let plan = QueryPlan {
+        queries: cfg.queries,
+        key_len: cfg.key_len,
+        shards: cfg.shards,
+    };
+    // Interleave A/B/A/B and keep the best of two so a one-off scheduler
+    // stall cannot masquerade as tracing overhead.
+    let mut untraced_qps = 0.0_f64;
+    let mut recording_qps = 0.0_f64;
+    let mut identical = true;
+    for _ in 0..2 {
+        let t = Instant::now();
+        let base = run_query_plan(&grid, &plan, cfg.seed, &AlwaysOnline, 1);
+        untraced_qps = untraced_qps.max(cfg.queries as f64 / t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        let (traced, events) =
+            run_query_plan_traced(&grid, &plan, cfg.seed, &AlwaysOnline, 1, 1 << 20);
+        recording_qps = recording_qps.max(cfg.queries as f64 / t.elapsed().as_secs_f64());
+        identical &= base == traced && !events.is_empty();
+    }
+    println!(
+        "trace overhead: untraced {untraced_qps:.0} qps, recording {recording_qps:.0} qps \
+         ({:+.1}% when recording; disabled-tracer cost is one branch per site)",
+        (untraced_qps / recording_qps - 1.0) * 100.0
+    );
+    (untraced_qps, recording_qps, identical)
+}
+
 fn main() {
     let mut quick = false;
     let mut out = PathBuf::from("BENCH_engine.json");
@@ -101,6 +139,8 @@ fn main() {
         None
     };
 
+    let (untraced_qps, recording_qps, traced_identical) = measure_trace_overhead(&cfg);
+
     let all_identical = rows.iter().all(|r| r.identical);
     let serial_qps = rows.first().map_or(0.0, |r| r.qps);
     let best = rows
@@ -121,6 +161,10 @@ fn main() {
         "best_qps": best.qps,
         "best_threads": best.threads,
         "all_identical": all_identical,
+        "untraced_qps": untraced_qps,
+        "recording_qps": recording_qps,
+        "trace_overhead_pct": (untraced_qps / recording_qps - 1.0) * 100.0,
+        "traced_identical": traced_identical,
         "alloc_counter_enabled": alloc_count::ENABLED,
         "allocs_per_query": alloc_metrics.map(|(q, _)| q),
         "allocs_per_exchange": alloc_metrics.map(|(_, x)| x),
@@ -131,6 +175,10 @@ fn main() {
 
     if !all_identical {
         eprintln!("FATAL: a parallel run diverged from the serial reference");
+        std::process::exit(1);
+    }
+    if !traced_identical {
+        eprintln!("FATAL: a traced run diverged from the untraced reference");
         std::process::exit(1);
     }
 }

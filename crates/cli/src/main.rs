@@ -51,6 +51,10 @@ usage:
   pgrid grid build [--n N] [--maxl L] [--refmax R] [--seed S] --out FILE
   pgrid grid info --grid FILE
   pgrid grid query --grid FILE --key BITS [--p-online P] [--seed S]
+  pgrid trace record [--n N] [--maxl L] [--queries Q] [--shards S]
+                     [--threads T] [--seed S] [--p-online P] --out FILE
+  pgrid trace replay --in FILE [--chains N]
+  pgrid trace diff --a FILE --b FILE
   pgrid list
 
 experiments:
@@ -83,6 +87,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         Some("grid") => grid_command(&mut it),
+        Some("trace") => trace_command(&mut it),
         Some("exp") => {
             let id = it.next().ok_or("missing experiment id")?.clone();
             let mut opts = Options {
@@ -227,6 +232,208 @@ fn grid_command(it: &mut std::slice::Iter<'_, String>) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!("unknown grid subcommand {other:?}")),
+    }
+}
+
+/// The flight-recorder toolbox: `record` builds a grid and runs a query
+/// plan with the recorder attached, writing the merged JSONL trace and
+/// cross-checking its replay against the live `NetStats`; `replay` turns a
+/// trace file back into per-phase tallies and query hop chains; `diff`
+/// pinpoints the first divergent event between two traces.
+fn trace_command(it: &mut std::slice::Iter<'_, String>) -> Result<(), String> {
+    use pgrid_core::{BuildOptions, Ctx, PGrid, PGridConfig};
+    use pgrid_net::{AlwaysOnline, BernoulliOnline, MsgKind, NetStats};
+    use pgrid_sim::{run_query_plan_traced, QueryPlan};
+    use pgrid_trace::{
+        encode_line, first_divergence, merge_shards, summarize, MsgTag, RingTracer,
+    };
+
+    let sub = it
+        .next()
+        .ok_or("trace needs a subcommand (record|replay|diff)")?;
+    let mut flags = std::collections::HashMap::new();
+    let mut key_iter = it.clone();
+    while let Some(flag) = key_iter.next() {
+        let name = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a flag, got {flag:?}"))?;
+        let value = key_iter.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    let get_usize = |name: &str, default: usize| -> Result<usize, String> {
+        flags
+            .get(name)
+            .map(|v| v.parse().map_err(|_| format!("bad --{name} {v:?}")))
+            .unwrap_or(Ok(default))
+    };
+    let get_u64 = |name: &str, default: u64| -> Result<u64, String> {
+        flags
+            .get(name)
+            .map(|v| v.parse().map_err(|_| format!("bad --{name} {v:?}")))
+            .unwrap_or(Ok(default))
+    };
+    let read_lines = |name: &str| -> Result<Vec<String>, String> {
+        let path = flags
+            .get(name)
+            .ok_or_else(|| format!("{sub} needs --{name} FILE"))?;
+        Ok(std::fs::read_to_string(path)
+            .map_err(|e| format!("{path}: {e}"))?
+            .lines()
+            .map(str::to_string)
+            .collect())
+    };
+
+    match sub.as_str() {
+        "record" => {
+            let n = get_usize("n", 256)?;
+            let maxl = get_usize("maxl", 5)?;
+            let queries = get_usize("queries", 200)?;
+            let shards = get_u64("shards", 4)?;
+            let threads = get_usize("threads", 1)?;
+            let seed = get_u64("seed", 42)?;
+            let p: f64 = flags
+                .get("p-online")
+                .map(|v| v.parse().map_err(|_| format!("bad --p-online {v:?}")))
+                .unwrap_or(Ok(1.0))?;
+            let out_path = flags.get("out").ok_or("record needs --out FILE")?;
+
+            // Phase 1: construction, under a recorder big enough to never
+            // drop (a drop would fail the reconciliation below).
+            let mut owned = Ctx::fork_for_task(seed, 0, Box::new(AlwaysOnline));
+            owned.set_tracer(Box::new(RingTracer::new(1 << 22)));
+            let mut grid = PGrid::new(
+                n,
+                PGridConfig {
+                    maxl,
+                    ..PGridConfig::default()
+                },
+            );
+            grid.build(&BuildOptions::default(), &mut owned.ctx());
+            let build_events = owned.take_trace_events();
+
+            // Phase 2: the query plan, recorded per shard and merged in
+            // task order by the engine.
+            let plan = QueryPlan {
+                queries,
+                key_len: maxl as u8,
+                shards,
+            };
+            let (outcome, query_events) = if (p - 1.0).abs() < f64::EPSILON {
+                run_query_plan_traced(&grid, &plan, seed, &AlwaysOnline, threads, 1 << 20)
+            } else {
+                let online = BernoulliOnline::new(p);
+                run_query_plan_traced(&grid, &plan, seed, &online, threads, 1 << 20)
+            };
+
+            let events = merge_shards(vec![build_events, query_events]);
+            let lines: Vec<String> = events.iter().map(encode_line).collect();
+            std::fs::write(out_path, lines.join("\n") + "\n")
+                .map_err(|e| format!("{out_path}: {e}"))?;
+
+            // Replay the file we just wrote and reconcile against the live
+            // counters — per kind, exactly.
+            let summary = summarize(&lines)?;
+            let mut total = NetStats::new();
+            total.merge(&owned.stats);
+            total.merge(&outcome.stats);
+            for kind in [
+                MsgKind::Exchange,
+                MsgKind::Query,
+                MsgKind::Update,
+                MsgKind::Flood,
+                MsgKind::Control,
+            ] {
+                let tag: MsgTag = kind.into();
+                let counted = total.count(kind);
+                let traced = summary.count(tag);
+                if counted != traced {
+                    return Err(format!(
+                        "reconciliation FAILED for {}: NetStats counted {counted}, \
+                         trace replay tallied {traced}",
+                        tag.name()
+                    ));
+                }
+            }
+            out(&format!(
+                "recorded {} events to {out_path}; replay reconciles with NetStats \
+                 (exchange {}, query {}, update {}); {} queries, {} rounds",
+                lines.len(),
+                total.count(MsgKind::Exchange),
+                total.count(MsgKind::Query),
+                total.count(MsgKind::Update),
+                summary.queries.len(),
+                summary.rounds,
+            ));
+            Ok(())
+        }
+        "replay" => {
+            let lines = read_lines("in")?;
+            let chains = get_usize("chains", 5)?;
+            let summary = summarize(&lines)?;
+            out(&format!(
+                "{} events: exchange {}, query {}, update {}, flood {}, control {}",
+                summary.events,
+                summary.count(MsgTag::Exchange),
+                summary.count(MsgTag::Query),
+                summary.count(MsgTag::Update),
+                summary.count(MsgTag::Flood),
+                summary.count(MsgTag::Control),
+            ));
+            if !summary.exchange_cases.is_empty() {
+                let cases: Vec<String> = summary
+                    .exchange_cases
+                    .iter()
+                    .map(|(name, count)| format!("{name} {count}"))
+                    .collect();
+                out(&format!("exchange cases: {}", cases.join(", ")));
+            }
+            out(&format!(
+                "rounds {}, retransmits {}, timeouts {}, evictions {}",
+                summary.rounds, summary.retransmits, summary.timeouts, summary.evictions
+            ));
+            for chain in summary.queries.iter().take(chains) {
+                let hops: Vec<String> = chain
+                    .hops
+                    .iter()
+                    .map(|(from, to, depth)| format!("{from}->{to}@{depth}"))
+                    .collect();
+                out(&format!(
+                    "query key={} start={} [{}] => {} ({} msgs, {} hops)",
+                    chain.key,
+                    chain.start,
+                    hops.join(" "),
+                    chain
+                        .responsible
+                        .map_or("no route".to_string(), |p| format!("peer {p}")),
+                    chain.messages,
+                    chain.hop_count,
+                ));
+            }
+            if summary.queries.len() > chains {
+                out(&format!(
+                    "... and {} more query chains (raise --chains to see them)",
+                    summary.queries.len() - chains
+                ));
+            }
+            Ok(())
+        }
+        "diff" => {
+            let a = read_lines("a")?;
+            let b = read_lines("b")?;
+            match first_divergence(&a, &b) {
+                None => {
+                    out(&format!("traces identical ({} events)", a.len()));
+                    Ok(())
+                }
+                Some((line, la, lb)) => {
+                    out(&format!("first divergence at event {line}:"));
+                    out(&format!("  a: {}", la.unwrap_or("<trace ended>")));
+                    out(&format!("  b: {}", lb.unwrap_or("<trace ended>")));
+                    Ok(())
+                }
+            }
+        }
+        other => Err(format!("unknown trace subcommand {other:?}")),
     }
 }
 
@@ -496,6 +703,43 @@ mod tests {
     #[test]
     fn small_experiment_with_explicit_seed() {
         assert!(run(&args(&["exp", "t3", "--small", "--seed", "5"])).is_ok());
+    }
+
+    #[test]
+    fn trace_lifecycle_record_replay_diff() {
+        let dir = std::env::temp_dir();
+        let a = dir.join(format!("pgrid-trace-a-{}.jsonl", std::process::id()));
+        let b = dir.join(format!("pgrid-trace-b-{}.jsonl", std::process::id()));
+        let a_s = a.to_str().unwrap();
+        let b_s = b.to_str().unwrap();
+        // record reconciles internally (it errors on any stats mismatch).
+        assert!(run(&args(&[
+            "trace", "record", "--n", "64", "--maxl", "4", "--queries", "40", "--shards", "2",
+            "--seed", "11", "--out", a_s
+        ]))
+        .is_ok());
+        // A different seed records a different trace; diff must find the
+        // first divergent event. The same seed must byte-match.
+        assert!(run(&args(&[
+            "trace", "record", "--n", "64", "--maxl", "4", "--queries", "40", "--shards", "2",
+            "--seed", "12", "--out", b_s
+        ]))
+        .is_ok());
+        assert!(run(&args(&["trace", "replay", "--in", a_s])).is_ok());
+        assert!(run(&args(&["trace", "diff", "--a", a_s, "--b", b_s])).is_ok());
+        let first = std::fs::read_to_string(&a).unwrap();
+        assert!(run(&args(&[
+            "trace", "record", "--n", "64", "--maxl", "4", "--queries", "40", "--shards", "2",
+            "--seed", "11", "--out", b_s
+        ]))
+        .is_ok());
+        let again = std::fs::read_to_string(&b).unwrap();
+        assert_eq!(first, again, "same seed must record byte-identical traces");
+        assert!(run(&args(&["trace", "replay", "--in", "/definitely/missing"])).is_err());
+        assert!(run(&args(&["trace", "nonsense"])).is_err());
+        assert!(run(&args(&["trace", "record", "--n", "64"])).is_err(), "missing --out");
+        std::fs::remove_file(&a).unwrap();
+        std::fs::remove_file(&b).unwrap();
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! t"* — the paper uses 99% of `maxl`.
 
 use pgrid_net::{task_seed, NetStats, PeerId};
+use pgrid_trace::{NullTracer, RingTracer, Stamped, TraceEvent, Tracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -65,11 +66,24 @@ fn run_matched_pair(
     round_master: u64,
     k: usize,
     scratch: &mut Scratch,
-) -> (PairEffect, NetStats) {
+    tracing: bool,
+) -> (PairEffect, NetStats, Vec<Stamped>) {
     let mut rng = StdRng::seed_from_u64(task_seed(round_master, k as u64 + 1));
     let mut stats = NetStats::new();
-    let effect = exchange_pair_local(cfg, p1, p2, &mut rng, &mut stats, scratch);
-    (effect, stats)
+    if tracing {
+        // A small per-pair buffer is the trace twin of the private counter
+        // shard: its events flow into the round tracer in pair order, so
+        // the merged stream is identical for every thread count. The bound
+        // must exceed what one pair-local exchange emits (currently two
+        // events) — a drop here would break trace-vs-stats reconciliation.
+        let mut tracer = RingTracer::new(32);
+        let effect = exchange_pair_local(cfg, p1, p2, &mut rng, &mut stats, scratch, &mut tracer);
+        (effect, stats, tracer.take_events())
+    } else {
+        let effect =
+            exchange_pair_local(cfg, p1, p2, &mut rng, &mut stats, scratch, &mut NullTracer);
+        (effect, stats, Vec::new())
+    }
 }
 
 impl PGrid {
@@ -136,20 +150,30 @@ impl PGrid {
             1
         };
 
+        let tracing = ctx.tracer_mut().enabled();
         let mut slots = self.disjoint_pairs_mut(pairs);
-        let results: Vec<(PairEffect, NetStats)> = if threads == 1 || slots.len() == 1 {
+        let results: Vec<(PairEffect, NetStats, Vec<Stamped>)> = if threads == 1 || slots.len() == 1
+        {
             // One warm scratch (the caller's) serves the whole round.
             let scratch = ctx.scratch_mut();
             slots
                 .iter_mut()
                 .enumerate()
                 .map(|(k, pair)| {
-                    run_matched_pair(&cfg, &mut *pair.0, &mut *pair.1, round_master, k, scratch)
+                    run_matched_pair(
+                        &cfg,
+                        &mut *pair.0,
+                        &mut *pair.1,
+                        round_master,
+                        k,
+                        scratch,
+                        tracing,
+                    )
                 })
                 .collect()
         } else {
             let chunk_len = slots.len().div_ceil(threads);
-            let mut per_chunk: Vec<Vec<(PairEffect, NetStats)>> = Vec::new();
+            let mut per_chunk: Vec<Vec<(PairEffect, NetStats, Vec<Stamped>)>> = Vec::new();
             std::thread::scope(|scope| {
                 let handles: Vec<_> = slots
                     .chunks_mut(chunk_len)
@@ -171,6 +195,7 @@ impl PGrid {
                                         round_master,
                                         c * chunk_len + i,
                                         &mut scratch,
+                                        tracing,
                                     )
                                 })
                                 .collect::<Vec<_>>()
@@ -188,8 +213,15 @@ impl PGrid {
 
         let mut calls = 0u64;
         let mut diverged = Vec::new();
-        for (k, (effect, shard)) in results.into_iter().enumerate() {
+        for (k, (effect, shard, events)) in results.into_iter().enumerate() {
             ctx.stats.merge(&shard);
+            // Replay the pair's buffered events into the round tracer at
+            // the same point its counter shard merges: the trace stream
+            // stays aligned with the stats it reconciles against.
+            let tracer = ctx.tracer_mut();
+            for stamped in events {
+                tracer.record(stamped.event);
+            }
             self.add_path_bits(effect.new_path_bits);
             calls += 1;
             if let Some(level) = effect.divergence_level {
@@ -232,8 +264,15 @@ impl PGrid {
             }
             let remaining = (cap - meetings) as usize;
             pairs.truncate(remaining);
-            exchange_calls += self.exchange_round(&pairs, master_seed, round, threads, ctx);
+            let round_calls = self.exchange_round(&pairs, master_seed, round, threads, ctx);
+            exchange_calls += round_calls;
             meetings += pairs.len() as u64;
+            ctx.trace(|| TraceEvent::RoundSummary {
+                round,
+                pairs: pairs.len() as u64,
+                exchanges: round_calls,
+                path_bits: self.path_len_sum(),
+            });
             round += 1;
             reached = self.avg_path_len() >= threshold;
         }

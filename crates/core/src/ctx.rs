@@ -1,6 +1,7 @@
 //! Execution context threaded through every protocol operation.
 
 use pgrid_net::{task_seed, MsgKind, NetStats, OnlineModel, PeerId};
+use pgrid_trace::{NullTracer, Stamped, TraceEvent, Tracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -12,6 +13,24 @@ use crate::scratch::Scratch;
 enum ScratchSlot<'a> {
     Owned(Scratch),
     Borrowed(&'a mut Scratch),
+}
+
+/// Where a context's tracer lives, mirroring [`ScratchSlot`]: contexts
+/// default to an inline [`NullTracer`] (a ZST, so this costs nothing);
+/// traced runs lend an external recorder. Like scratch, the tracer never
+/// influences results — it observes, it does not draw from the RNG.
+enum TracerSlot<'a> {
+    Null(NullTracer),
+    Borrowed(&'a mut dyn Tracer),
+}
+
+impl TracerSlot<'_> {
+    fn get(&mut self) -> &mut dyn Tracer {
+        match self {
+            TracerSlot::Null(t) => t,
+            TracerSlot::Borrowed(t) => &mut **t,
+        }
+    }
 }
 
 /// Bundles the deterministic RNG, the availability model, and the message
@@ -32,6 +51,8 @@ pub struct Ctx<'a> {
     pub stats: &'a mut NetStats,
     /// Reusable hot-path buffers.
     scratch: ScratchSlot<'a>,
+    /// Flight-recorder sink (disabled by default).
+    tracer: TracerSlot<'a>,
 }
 
 impl<'a> Ctx<'a> {
@@ -47,6 +68,7 @@ impl<'a> Ctx<'a> {
             online,
             stats,
             scratch: ScratchSlot::Owned(Scratch::new()),
+            tracer: TracerSlot::Null(NullTracer),
         }
     }
 
@@ -64,6 +86,27 @@ impl<'a> Ctx<'a> {
             online,
             stats,
             scratch: ScratchSlot::Borrowed(scratch),
+            tracer: TracerSlot::Null(NullTracer),
+        }
+    }
+
+    /// Creates a fully equipped context: shared scratch arena *and* an
+    /// attached flight recorder. Tracing is observation-only — a traced
+    /// run makes bit-identical decisions to an untraced one (pinned by the
+    /// determinism regression tests in the workspace root).
+    pub fn with_tracer(
+        rng: &'a mut StdRng,
+        online: &'a mut dyn OnlineModel,
+        stats: &'a mut NetStats,
+        scratch: &'a mut Scratch,
+        tracer: &'a mut dyn Tracer,
+    ) -> Self {
+        Ctx {
+            rng,
+            online,
+            stats,
+            scratch: ScratchSlot::Borrowed(scratch),
+            tracer: TracerSlot::Borrowed(tracer),
         }
     }
 
@@ -75,15 +118,35 @@ impl<'a> Ctx<'a> {
         }
     }
 
+    /// The attached tracer (the inline null sink unless one was lent).
+    pub fn tracer_mut(&mut self) -> &mut dyn Tracer {
+        self.tracer.get()
+    }
+
+    /// Records a trace event. The closure only runs when the tracer is
+    /// enabled, so a disabled run pays one branch and never constructs the
+    /// event (zero allocations, zero formatting).
+    #[inline]
+    pub fn trace(&mut self, event: impl FnOnce() -> TraceEvent) {
+        let tracer = self.tracer.get();
+        if tracer.enabled() {
+            tracer.record(event());
+        }
+    }
+
     /// Splits the context into the disjoint parts the exchange and update
-    /// hot paths need simultaneously: the RNG, the counters, and the
-    /// scratch arena each under their own `&mut`.
-    pub(crate) fn parts(&mut self) -> (&mut StdRng, &mut NetStats, &mut Scratch) {
+    /// hot paths need simultaneously: the RNG, the counters, the scratch
+    /// arena, and the tracer each under their own `&mut`.
+    pub(crate) fn parts(&mut self) -> (&mut StdRng, &mut NetStats, &mut Scratch, &mut dyn Tracer) {
         let scratch = match &mut self.scratch {
             ScratchSlot::Owned(s) => s,
             ScratchSlot::Borrowed(s) => &mut **s,
         };
-        (self.rng, self.stats, scratch)
+        let tracer = match &mut self.tracer {
+            TracerSlot::Null(t) => t as &mut dyn Tracer,
+            TracerSlot::Borrowed(t) => &mut **t,
+        };
+        (self.rng, self.stats, scratch, tracer)
     }
 
     /// Probes whether `peer` is reachable, recording the attempt. A `true`
@@ -95,9 +158,13 @@ impl<'a> Ctx<'a> {
         ok
     }
 
-    /// Records one delivered message.
+    /// Records one delivered message. When a tracer is attached, a
+    /// matching [`TraceEvent::Message`] is emitted alongside the counter,
+    /// which is what lets trace replay reconcile *exactly* with
+    /// [`NetStats`] per kind: the two records come from the same call.
     pub fn message(&mut self, kind: MsgKind) {
         self.stats.record(kind);
+        self.trace(|| TraceEvent::Message { kind: kind.into() });
     }
 
     /// Creates the owned context of parallel task `task_id`: a private RNG
@@ -118,6 +185,7 @@ impl<'a> Ctx<'a> {
             online,
             stats: NetStats::new(),
             scratch: Scratch::new(),
+            tracer: Box::new(NullTracer),
         }
     }
 }
@@ -137,6 +205,9 @@ pub struct OwnedCtx {
     /// so a batch of operations on one `OwnedCtx` warms the buffers once
     /// and then runs allocation-free.
     pub scratch: Scratch,
+    /// This task's flight recorder, lent to every [`Ctx`] view. Defaults
+    /// to a boxed [`NullTracer`] — a ZST, so the box never allocates.
+    pub tracer: Box<dyn Tracer>,
 }
 
 impl OwnedCtx {
@@ -147,6 +218,7 @@ impl OwnedCtx {
             online: &mut *self.online,
             stats: &mut self.stats,
             scratch: ScratchSlot::Borrowed(&mut self.scratch),
+            tracer: TracerSlot::Borrowed(&mut *self.tracer),
         }
     }
 
@@ -155,6 +227,19 @@ impl OwnedCtx {
     /// stream or the accumulated counters.
     pub fn set_online(&mut self, online: Box<dyn OnlineModel + Send>) {
         self.online = online;
+    }
+
+    /// Attaches a flight recorder; subsequent [`OwnedCtx::ctx`] views
+    /// record into it. The RNG stream and counters are untouched.
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.tracer = tracer;
+    }
+
+    /// Drains whatever the attached tracer buffered (empty for null and
+    /// streaming sinks). The sharded engine collects these per task, in
+    /// task order.
+    pub fn take_trace_events(&mut self) -> Vec<Stamped> {
+        self.tracer.take_events()
     }
 }
 
@@ -229,6 +314,51 @@ mod tests {
             draws.insert(owned.rng.gen::<u64>());
         }
         assert_eq!(draws.len(), 64, "task streams must not collide");
+    }
+
+    #[test]
+    fn message_emits_a_reconciling_trace_event() {
+        use pgrid_trace::{MsgTag, RingTracer};
+        let mut owned = Ctx::fork_for_task(0, 0, Box::new(AlwaysOnline));
+        owned.set_tracer(Box::new(RingTracer::new(16)));
+        {
+            let mut ctx = owned.ctx();
+            ctx.message(MsgKind::Query);
+            ctx.message(MsgKind::Exchange);
+            ctx.trace(|| TraceEvent::PeerEvicted { peer: 9 });
+        }
+        let events = owned.take_trace_events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events[0].event,
+            TraceEvent::Message {
+                kind: MsgTag::Query
+            }
+        );
+        assert_eq!(
+            events[1].event,
+            TraceEvent::Message {
+                kind: MsgTag::Exchange
+            }
+        );
+        assert_eq!(events[2].event, TraceEvent::PeerEvicted { peer: 9 });
+        assert_eq!(events[2].seq, 2, "stamps are the tracer's own sequence");
+        // The counters recorded the same two messages the trace did.
+        assert_eq!(owned.stats.count(MsgKind::Query), 1);
+        assert_eq!(owned.stats.count(MsgKind::Exchange), 1);
+    }
+
+    #[test]
+    fn disabled_tracer_never_constructs_events() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut online = AlwaysOnline;
+        let mut stats = NetStats::new();
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        // The closure must not run when tracing is off — if it did, this
+        // panic would fire.
+        ctx.trace(|| unreachable!("event constructed despite NullTracer"));
+        ctx.message(MsgKind::Control);
+        assert_eq!(stats.count(MsgKind::Control), 1);
     }
 
     #[test]

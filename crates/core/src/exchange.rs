@@ -22,6 +22,7 @@
 use pgrid_keys::Key;
 use pgrid_net::{MsgKind, NetStats, PeerId};
 use pgrid_proto::{classify, split_bits, ExchangeCase, SplitBitPolicy};
+use pgrid_trace::{MsgTag, TraceEvent, Tracer};
 use rand::rngs::StdRng;
 
 use crate::routing::RefSet;
@@ -52,8 +53,18 @@ pub(crate) fn exchange_pair_local(
     rng: &mut StdRng,
     stats: &mut NetStats,
     scratch: &mut Scratch,
+    tracer: &mut dyn Tracer,
 ) -> PairEffect {
+    // This is the one message-accounting site that bypasses
+    // `Ctx::message` (pair-local execution may run on a worker thread
+    // holding only counter shards), so it must mirror the trace emission
+    // itself to keep trace replay reconciling with `NetStats` exactly.
     stats.record(MsgKind::Exchange);
+    if tracer.enabled() {
+        tracer.record(TraceEvent::Message {
+            kind: MsgTag::Exchange,
+        });
+    }
 
     // Anti-entropy: a meeting is an opportunity to re-home index
     // entries a previous hand-off could not place at a responsible
@@ -101,6 +112,10 @@ pub(crate) fn exchange_pair_local(
 
     let mut new_path_bits = 0u64;
     let mut divergence_level = None;
+    // Which bit (if any) each side appended this meeting, for the trace
+    // event below; −1 means "no path change".
+    let mut bit_first: i8 = -1;
+    let mut bit_second: i8 = -1;
     match case {
         // Case 1: identical paths below maxl — split a fresh level. The
         // synchronous driver applies both halves atomically, so the Fixed
@@ -109,6 +124,8 @@ pub(crate) fn exchange_pair_local(
             let (bit1, bit2) = split_bits(SplitBitPolicy::Fixed, rng);
             p1.extend_path(bit1);
             p2.extend_path(bit2);
+            bit_first = bit1 as i8;
+            bit_second = bit2 as i8;
             new_path_bits = 2;
             p1.routing_mut().set_level(lc + 1, RefSet::singleton(p2.id()));
             p2.routing_mut().set_level(lc + 1, RefSet::singleton(p1.id()));
@@ -123,6 +140,7 @@ pub(crate) fn exchange_pair_local(
         // opposite to a2's next bit.
         ExchangeCase::FirstSpecializes { bit } => {
             p1.extend_path(bit);
+            bit_first = bit as i8;
             new_path_bits = 1;
             p1.routing_mut().set_level(lc + 1, RefSet::singleton(p2.id()));
             p2.routing_mut()
@@ -133,6 +151,7 @@ pub(crate) fn exchange_pair_local(
         // Case 3: symmetric to Case 2.
         ExchangeCase::SecondSpecializes { bit } => {
             p2.extend_path(bit);
+            bit_second = bit as i8;
             new_path_bits = 1;
             p2.routing_mut().set_level(lc + 1, RefSet::singleton(p1.id()));
             p1.routing_mut()
@@ -156,6 +175,16 @@ pub(crate) fn exchange_pair_local(
         // One path a prefix of the other with the shorter already at maxl:
         // it cannot extend, nothing structural to do.
         ExchangeCase::Saturated => {}
+    }
+    if tracer.enabled() {
+        tracer.record(TraceEvent::Exchange {
+            first: u64::from(p1.id().0),
+            second: u64::from(p2.id().0),
+            case: (&case).into(),
+            lc: lc as u32,
+            bit_first,
+            bit_second,
+        });
     }
     PairEffect {
         new_path_bits,
@@ -259,9 +288,9 @@ impl PGrid {
         }
         let cfg = *self.config();
         let effect = {
-            let (rng, stats, scratch) = ctx.parts();
+            let (rng, stats, scratch, tracer) = ctx.parts();
             let (p1, p2) = self.pair_mut(a1, a2);
-            exchange_pair_local(&cfg, p1, p2, rng, stats, scratch)
+            exchange_pair_local(&cfg, p1, p2, rng, stats, scratch, tracer)
         };
         self.add_path_bits(effect.new_path_bits);
         let mut calls = 1u64;
@@ -293,7 +322,7 @@ impl PGrid {
         // recursive activations append past `end` and truncate back to it
         // on exit, so `base..end` stays valid throughout.
         let (base, split, end) = {
-            let (rng, _, scratch) = ctx.parts();
+            let (rng, _, scratch, _) = ctx.parts();
             let base = scratch.ref_arena.len();
             self.peer(a1)
                 .routing()

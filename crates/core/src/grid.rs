@@ -91,6 +91,12 @@ impl PGrid {
         self.path_len_sum += n;
     }
 
+    /// Total path bits across the community — the numerator of
+    /// [`PGrid::avg_path_len`], reported per round by the flight recorder.
+    pub(crate) fn path_len_sum(&self) -> u64 {
+        self.path_len_sum
+    }
+
     /// Draws a random maximal matching over the community: a uniform
     /// permutation of all peers paired off consecutively, so every peer
     /// appears in at most one pair (one peer sits the round out when the

@@ -23,6 +23,9 @@ use pgrid_net::PeerId;
 /// (stored in [`Scratch::query_refs`] at `base..end`).
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct QueryFrame {
+    /// The peer whose references this frame drains — the hop source the
+    /// flight recorder names when a child contact succeeds.
+    pub peer: pgrid_net::PeerId,
     /// Query remainder to forward to children of this level.
     pub querypath: Key,
     /// Matched-prefix length (`l`) for children of this level.

@@ -16,6 +16,7 @@ use pgrid_keys::Key;
 use pgrid_net::{MsgKind, PeerId};
 use pgrid_proto::{route_step, RouteStep};
 use pgrid_store::Version;
+use pgrid_trace::TraceEvent;
 
 use crate::scratch::QueryFrame;
 use crate::{Ctx, PGrid};
@@ -46,7 +47,15 @@ impl PGrid {
     /// visited peer shuffles its reference list exactly when the recursion
     /// would have, and contacts interleave identically (preorder DFS).
     pub fn search(&self, start: PeerId, key: &Key, ctx: &mut Ctx<'_>) -> SearchOutcome {
+        ctx.trace(|| TraceEvent::QueryStart {
+            start: u64::from(start.0),
+            key: key.to_bit_string(),
+        });
         let mut messages = 0u64;
+        // Logical index of the next reference shuffle this descent will
+        // perform — the flight recorder's replayable stand-in for "which
+        // RNG draw decided this step".
+        let mut draws = 0u64;
         // Move the buffers out of the scratch slot for the duration of the
         // descent — `ctx` stays fully usable (contact/message/rng) while
         // the arena and frame stack are independently `&mut`-borrowed.
@@ -54,15 +63,29 @@ impl PGrid {
         let mut frames = std::mem::take(&mut ctx.scratch_mut().query_frames);
         arena.clear();
         frames.clear();
-        let found = self.query_descent(start, *key, &mut messages, &mut arena, &mut frames, ctx);
+        let found = self.query_descent(
+            start,
+            *key,
+            &mut messages,
+            &mut draws,
+            &mut arena,
+            &mut frames,
+            ctx,
+        );
         let scratch = ctx.scratch_mut();
         scratch.query_refs = arena;
         scratch.query_frames = frames;
-        SearchOutcome {
+        let outcome = SearchOutcome {
             responsible: found.map(|(peer, _)| peer),
             messages,
             hops: found.map(|(_, depth)| depth).unwrap_or(0),
-        }
+        };
+        ctx.trace(|| TraceEvent::QueryEnd {
+            responsible: outcome.responsible.map_or(-1, |p| i64::from(p.0)),
+            messages: outcome.messages,
+            hops: outcome.hops,
+        });
+        outcome
     }
 
     /// The iterative form of Fig. 2's `query(a, p, l)`: a preorder DFS over
@@ -75,11 +98,12 @@ impl PGrid {
         start: PeerId,
         key: Key,
         messages: &mut u64,
+        draws: &mut u64,
         arena: &mut Vec<PeerId>,
         frames: &mut Vec<QueryFrame>,
         ctx: &mut Ctx<'_>,
     ) -> Option<(PeerId, u32)> {
-        if let Some(found) = self.query_visit(start, key, 0, 0, arena, frames, ctx) {
+        if let Some(found) = self.query_visit(start, key, 0, 0, draws, arena, frames, ctx) {
             return Some(found);
         }
         while let Some(top) = frames.last_mut() {
@@ -93,12 +117,18 @@ impl PGrid {
             }
             let r = arena[top.cursor];
             top.cursor += 1;
-            let (querypath, child_l, child_depth) = (top.querypath, top.child_l, top.child_depth);
+            let (from, querypath, child_l, child_depth) =
+                (top.peer, top.querypath, top.child_l, top.child_depth);
             if ctx.contact(r) {
                 *messages += 1;
                 ctx.message(MsgKind::Query);
+                ctx.trace(|| TraceEvent::QueryHop {
+                    from: u64::from(from.0),
+                    to: u64::from(r.0),
+                    depth: child_depth,
+                });
                 if let Some(found) =
-                    self.query_visit(r, querypath, child_l, child_depth, arena, frames, ctx)
+                    self.query_visit(r, querypath, child_l, child_depth, draws, arena, frames, ctx)
                 {
                     return Some(found);
                 }
@@ -116,6 +146,7 @@ impl PGrid {
         p: Key,
         l: usize,
         depth: u32,
+        draws: &mut u64,
         arena: &mut Vec<PeerId>,
         frames: &mut Vec<QueryFrame>,
         ctx: &mut Ctx<'_>,
@@ -125,7 +156,18 @@ impl PGrid {
         // The routing decision itself is the shared sans-I/O kernel — the
         // same step the live node runs per received Query frame.
         let (consumed, level) = match route_step(&path, l, &p) {
-            RouteStep::Responsible => return Some((a, depth)),
+            RouteStep::Responsible => {
+                ctx.trace(|| TraceEvent::RouteStep {
+                    peer: u64::from(a.0),
+                    matched: l as u32,
+                    consumed: 0,
+                    level: 0,
+                    responsible: true,
+                    candidates: 0,
+                    draw: *draws,
+                });
+                return Some((a, depth));
+            }
             RouteStep::Forward { consumed, level } => (consumed, level),
         };
 
@@ -135,7 +177,19 @@ impl PGrid {
         let querypath = p.suffix(consumed);
         let base = arena.len();
         self.peer(a).routing().level(level).shuffled_into(ctx.rng, arena);
+        let draw = *draws;
+        *draws += 1;
+        ctx.trace(|| TraceEvent::RouteStep {
+            peer: u64::from(a.0),
+            matched: l as u32,
+            consumed: consumed as u32,
+            level: level as u32,
+            responsible: false,
+            candidates: (arena.len() - base) as u32,
+            draw,
+        });
         frames.push(QueryFrame {
+            peer: a,
             querypath,
             child_l: l + consumed,
             child_depth: depth + 1,

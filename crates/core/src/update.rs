@@ -19,6 +19,7 @@ use std::collections::HashMap;
 use pgrid_keys::Key;
 use pgrid_net::{MsgKind, PeerId};
 use pgrid_store::{ItemId, Version};
+use pgrid_trace::TraceEvent;
 use serde::{Deserialize, Serialize};
 
 use crate::{Ctx, PGrid};
@@ -199,7 +200,7 @@ impl PGrid {
         // truncate back, so the slice stays valid and no per-level Vec is
         // allocated. Draw order matches the old owning `shuffled` exactly.
         let (base, end) = {
-            let (rng, _, scratch) = ctx.parts();
+            let (rng, _, scratch, _) = ctx.parts();
             let base = scratch.ref_arena.len();
             self.peer(a)
                 .routing()
@@ -241,6 +242,10 @@ impl PGrid {
             if self.peer_mut(peer).index_apply_update(key, item, version) {
                 updated.insert(peer);
             }
+            ctx.trace(|| TraceEvent::ReplicaFanout {
+                replica: u64::from(peer.0),
+                update: true,
+            });
         }
         UpdateOutcome {
             updated,
@@ -262,6 +267,10 @@ impl PGrid {
         let total_replicas = self.replicas_of(key).len();
         for &peer in &located.found {
             self.peer_mut(peer).index_insert(*key, entry);
+            ctx.trace(|| TraceEvent::ReplicaFanout {
+                replica: u64::from(peer.0),
+                update: false,
+            });
         }
         UpdateOutcome {
             updated: located.found,

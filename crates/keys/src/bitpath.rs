@@ -423,6 +423,19 @@ impl Ord for BitPath {
     }
 }
 
+impl BitPath {
+    /// The path as an owned `'0'`/`'1'` string. This is the flight
+    /// recorder's key representation: one sized allocation per traced
+    /// query, instead of one formatter invocation per bit via `Display`.
+    pub fn to_bit_string(&self) -> String {
+        let mut s = String::with_capacity(self.len());
+        for b in self.bits() {
+            s.push(if b == 0 { '0' } else { '1' });
+        }
+        s
+    }
+}
+
 impl fmt::Display for BitPath {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for b in self.bits() {
@@ -478,6 +491,15 @@ mod tests {
 
     fn p(s: &str) -> BitPath {
         BitPath::from_str_lossy(s)
+    }
+
+    #[test]
+    fn to_bit_string_matches_display() {
+        for s in ["", "0", "1", "0110", "111000111000"] {
+            let path = p(s);
+            assert_eq!(path.to_bit_string(), s);
+            assert_eq!(path.to_bit_string(), format!("{path}"));
+        }
     }
 
     #[test]

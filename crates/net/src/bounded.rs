@@ -30,7 +30,15 @@ impl<K: Hash + Eq + Copy> BoundedSet<K> {
 
     /// Inserts `k`; returns `true` when it was not present. Evicts the
     /// oldest member when the capacity is exceeded.
+    ///
+    /// A zero-capacity set remembers nothing: every insert reports novel.
+    /// (The early return below is behaviourally identical to inserting and
+    /// immediately evicting, which is what the general path would do, but
+    /// without churning the hash set on every call.)
     pub fn insert(&mut self, k: K) -> bool {
+        if self.cap == 0 {
+            return true;
+        }
         if !self.set.insert(k) {
             return false;
         }
@@ -86,8 +94,12 @@ impl<K: Hash + Eq + Copy, V> BoundedMap<K, V> {
     }
 
     /// Inserts or replaces the value under `k`, evicting the oldest entry
-    /// when a *new* key pushes the map over capacity.
+    /// when a *new* key pushes the map over capacity. A zero-capacity map
+    /// stores nothing.
     pub fn insert(&mut self, k: K, v: V) {
+        if self.cap == 0 {
+            return;
+        }
         if self.map.insert(k, v).is_none() {
             self.order.push_back(k);
             if self.order.len() > self.cap {
@@ -179,5 +191,129 @@ mod tests {
         assert!(m.is_empty());
         assert_eq!(s.len(), 0);
         assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn capacity_one_set_is_last_key_wins() {
+        let mut s = BoundedSet::new(1);
+        assert!(s.insert(7));
+        assert!(!s.insert(7), "still within the window");
+        assert!(s.insert(8), "evicts 7");
+        assert!(!s.contains(&7));
+        assert!(s.insert(7), "re-insert after evict is novel again");
+        assert!(!s.contains(&8));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn capacity_zero_collections_remember_nothing() {
+        let mut s = BoundedSet::new(0);
+        assert!(s.insert(1));
+        assert!(s.insert(1), "nothing is remembered, so nothing dedups");
+        assert!(!s.contains(&1));
+        assert_eq!(s.len(), 0);
+
+        let mut m = BoundedMap::new(0);
+        m.insert(1, 'a');
+        assert_eq!(m.get(&1), None);
+        assert!(m.is_empty());
+    }
+
+    /// Unbounded reference model of [`BoundedSet`]: a plain vector of live
+    /// keys in first-sight order, truncated from the front. O(n) per op
+    /// and obviously correct.
+    struct ModelSet {
+        window: Vec<u16>,
+        cap: usize,
+    }
+
+    impl ModelSet {
+        fn insert(&mut self, k: u16) -> bool {
+            if self.cap == 0 {
+                return true;
+            }
+            if self.window.contains(&k) {
+                return false;
+            }
+            self.window.push(k);
+            if self.window.len() > self.cap {
+                self.window.remove(0);
+            }
+            true
+        }
+    }
+
+    /// Unbounded reference model of [`BoundedMap`], same construction.
+    struct ModelMap {
+        window: Vec<(u16, u32)>,
+        cap: usize,
+    }
+
+    impl ModelMap {
+        fn insert(&mut self, k: u16, v: u32) {
+            if self.cap == 0 {
+                return;
+            }
+            if let Some(slot) = self.window.iter_mut().find(|(key, _)| *key == k) {
+                slot.1 = v; // replace in place: age is first-sight
+                return;
+            }
+            self.window.push((k, v));
+            if self.window.len() > self.cap {
+                self.window.remove(0);
+            }
+        }
+
+        fn get(&self, k: u16) -> Option<u32> {
+            self.window.iter().find(|(key, _)| *key == k).map(|(_, v)| *v)
+        }
+    }
+
+    proptest::proptest! {
+        /// Random op sequences over a tiny key space (so evictions and
+        /// re-inserts after eviction happen constantly) agree with the
+        /// reference model on novelty, membership, and size — including
+        /// the capacity-0 and capacity-1 edges.
+        #[test]
+        fn set_matches_reference_model(
+            cap in 0usize..5,
+            ops in proptest::collection::vec(0u16..8, 0..200),
+        ) {
+            let mut real = BoundedSet::new(cap);
+            let mut model = ModelSet { window: Vec::new(), cap };
+            for k in ops {
+                proptest::prop_assert_eq!(real.insert(k), model.insert(k), "novelty of {}", k);
+                for probe in 0u16..8 {
+                    proptest::prop_assert_eq!(
+                        real.contains(&probe),
+                        model.window.contains(&probe),
+                        "membership of {}", probe
+                    );
+                }
+                proptest::prop_assert_eq!(real.len(), model.window.len());
+            }
+        }
+
+        /// Same model test for the map, with replacement in the op mix.
+        #[test]
+        fn map_matches_reference_model(
+            cap in 0usize..5,
+            ops in proptest::collection::vec((0u16..8, 0u32..1000), 0..200),
+        ) {
+            let mut real = BoundedMap::new(cap);
+            let mut model = ModelMap { window: Vec::new(), cap };
+            for (k, v) in ops {
+                real.insert(k, v);
+                model.insert(k, v);
+                for probe in 0u16..8 {
+                    proptest::prop_assert_eq!(
+                        real.get(&probe).copied(),
+                        model.get(probe),
+                        "value under {}", probe
+                    );
+                }
+                proptest::prop_assert_eq!(real.len(), model.window.len());
+            }
+        }
     }
 }

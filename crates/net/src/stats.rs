@@ -44,6 +44,36 @@ impl MsgKind {
     }
 }
 
+/// `pgrid-trace` sits below this crate and mirrors [`MsgKind`] as
+/// [`pgrid_trace::MsgTag`]; the conversion lives here so trace replay can
+/// reconcile per-kind tallies against [`NetStats`] without a dependency
+/// cycle.
+impl From<MsgKind> for pgrid_trace::MsgTag {
+    fn from(kind: MsgKind) -> pgrid_trace::MsgTag {
+        match kind {
+            MsgKind::Exchange => pgrid_trace::MsgTag::Exchange,
+            MsgKind::Query => pgrid_trace::MsgTag::Query,
+            MsgKind::Update => pgrid_trace::MsgTag::Update,
+            MsgKind::Flood => pgrid_trace::MsgTag::Flood,
+            MsgKind::Control => pgrid_trace::MsgTag::Control,
+        }
+    }
+}
+
+/// Inverse of the [`MsgKind`] → [`pgrid_trace::MsgTag`] mirror, for
+/// analyzers that start from a decoded trace.
+impl From<pgrid_trace::MsgTag> for MsgKind {
+    fn from(tag: pgrid_trace::MsgTag) -> MsgKind {
+        match tag {
+            pgrid_trace::MsgTag::Exchange => MsgKind::Exchange,
+            pgrid_trace::MsgTag::Query => MsgKind::Query,
+            pgrid_trace::MsgTag::Update => MsgKind::Update,
+            pgrid_trace::MsgTag::Flood => MsgKind::Flood,
+            pgrid_trace::MsgTag::Control => MsgKind::Control,
+        }
+    }
+}
+
 /// Network-wide message counters.
 ///
 /// `contact_attempts` additionally counts probes that failed because the

@@ -1,0 +1,81 @@
+//! Algebraic laws of `NetStats::merge`: identity, commutativity, and
+//! associativity over random counter vectors. Sharded experiment engines
+//! (and the sharded trace merge that mirrors them) fold per-task counters
+//! in task order; these laws are what make the fold's result independent
+//! of shard count and grouping.
+
+use pgrid_net::NetStats;
+use proptest::prelude::*;
+
+/// Builds a `NetStats` whose every counter (including the private per-kind
+/// message array) is set from `v`, via its serde representation.
+fn stats_from(v: &[u64; 16]) -> NetStats {
+    let json = serde_json::json!({
+        "counts": [v[0], v[1], v[2], v[3], v[4]],
+        "contact_attempts": v[5],
+        "failed_contacts": v[6],
+        "dropped": v[7],
+        "duplicated": v[8],
+        "reordered": v[9],
+        "delayed": v[10],
+        "retries": v[11],
+        "timeouts": v[12],
+        "rejected": v[13],
+        "malformed": v[14],
+        "evictions": v[15],
+    });
+    serde_json::from_value(json).expect("NetStats deserializes from its own shape")
+}
+
+// Halve the range so that even a three-way sum cannot overflow u64.
+fn counter_vec() -> impl Strategy<Value = [u64; 16]> {
+    prop::array::uniform16(0u64..=(u64::MAX / 4))
+}
+
+proptest! {
+    #[test]
+    fn merge_identity(v in counter_vec()) {
+        let a = stats_from(&v);
+        let mut left = a.clone();
+        left.merge(&NetStats::new());
+        prop_assert_eq!(&left, &a, "a ⊕ 0 = a");
+        let mut right = NetStats::new();
+        right.merge(&a);
+        prop_assert_eq!(&right, &a, "0 ⊕ a = a");
+    }
+
+    #[test]
+    fn merge_commutativity(x in counter_vec(), y in counter_vec()) {
+        let (a, b) = (stats_from(&x), stats_from(&y));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba, "a ⊕ b = b ⊕ a");
+    }
+
+    #[test]
+    fn merge_associativity(x in counter_vec(), y in counter_vec(), z in counter_vec()) {
+        let (a, b, c) = (stats_from(&x), stats_from(&y), stats_from(&z));
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right, "(a ⊕ b) ⊕ c = a ⊕ (b ⊕ c)");
+    }
+
+    #[test]
+    fn merge_agrees_with_add(x in counter_vec(), y in counter_vec()) {
+        let (a, b) = (stats_from(&x), stats_from(&y));
+        let mut merged = a.clone();
+        merged.merge(&b);
+        prop_assert_eq!(&merged, &(a.clone() + b.clone()), "merge = +");
+        let summed: NetStats = [a, b].into_iter().sum();
+        prop_assert_eq!(merged, summed, "merge = Sum");
+    }
+}

@@ -43,6 +43,7 @@ use parking_lot::Mutex;
 use pgrid_keys::BitPath;
 use pgrid_net::PeerId;
 use pgrid_proto::{Effect, Event, ProtoCtx};
+use pgrid_trace::{NullTracer, OpTag, TraceEvent, Tracer};
 use pgrid_wire::{decode_frame, encode_frame, Message, WireEntry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -170,8 +171,26 @@ pub fn spawn_node(
     rx: Receiver<Frame>,
     seed: u64,
 ) -> JoinHandle<()> {
+    spawn_node_traced(state, config, transport, rx, seed, Box::new(NullTracer))
+}
+
+/// [`spawn_node`] with a flight recorder attached: the tracer observes
+/// every protocol decision and every retransmission/timeout of this node.
+/// Events are stamped with the node's own logical sequence (per-node
+/// streams; cross-node ordering is the analyzer's job). Pass a
+/// [`NullTracer`] boxed for the untraced behavior — observation never
+/// changes a decision or an RNG draw.
+pub fn spawn_node_traced(
+    state: Arc<Mutex<NodeState>>,
+    config: NodeConfig,
+    transport: LocalTransport,
+    rx: Receiver<Frame>,
+    seed: u64,
+    tracer: Box<dyn Tracer>,
+) -> JoinHandle<()> {
     std::thread::spawn(move || {
-        let rt = NodeRt::new(state, config, transport, seed);
+        let mut rt = NodeRt::new(state, config, transport, seed);
+        rt.tracer = tracer;
         rt.run(rx);
     })
 }
@@ -198,6 +217,9 @@ struct NodeRt {
     pending_forwards: HashMap<u64, IoForward>,
     pending_answers: HashMap<u64, IoAnswer>,
     pending_inserts: HashMap<u64, IoInsert>,
+    /// Flight recorder shared between the protocol core (via [`ProtoCtx`])
+    /// and the shell's own retransmit/timeout events. Observation only.
+    tracer: Box<dyn Tracer>,
 }
 
 impl NodeRt {
@@ -227,6 +249,16 @@ impl NodeRt {
             pending_forwards: HashMap::new(),
             pending_answers: HashMap::new(),
             pending_inserts: HashMap::new(),
+            tracer: Box::new(NullTracer),
+        }
+    }
+
+    /// Records a shell-side event; the closure runs only when a real
+    /// tracer is attached, so the untraced path constructs nothing.
+    #[inline]
+    fn trace(&mut self, event: impl FnOnce() -> TraceEvent) {
+        if self.tracer.enabled() {
+            self.tracer.record(event());
         }
     }
 
@@ -264,6 +296,7 @@ impl NodeRt {
                 let mut guard = self.state.lock();
                 let mut ctx = ProtoCtx {
                     rng: &mut self.proto_rng,
+                    tracer: &mut *self.tracer,
                 };
                 guard.handle(ev, &mut ctx, &mut out);
             }
@@ -489,24 +522,24 @@ impl NodeRt {
     fn on_nack(&mut self, from: PeerId, seq: u64) {
         // A nack is a *response*: the peer is alive, it just can't help.
         self.deliver(Event::PeerHeard { peer: from });
-        if self
-            .pending_forwards
-            .get(&seq)
-            .is_some_and(|p| p.current == from)
-        {
-            let p = self.pending_forwards.remove(&seq).expect("checked above");
-            self.drive_forward(seq, p);
-            self.pump();
-            return;
+        // Remove-then-reinsert instead of check-then-expect: a nack whose
+        // seq matches but whose sender is stale must leave the entry alone,
+        // and the I/O path must never be able to panic on a hostile frame.
+        if let Some(p) = self.pending_forwards.remove(&seq) {
+            if p.current == from {
+                self.drive_forward(seq, p);
+                self.pump();
+                return;
+            }
+            self.pending_forwards.insert(seq, p);
         }
-        if self
-            .pending_inserts
-            .get(&seq)
-            .is_some_and(|p| p.current == from)
-        {
-            let p = self.pending_inserts.remove(&seq).expect("checked above");
-            self.drive_insert(seq, p);
-            self.pump();
+        if let Some(p) = self.pending_inserts.remove(&seq) {
+            if p.current == from {
+                self.drive_insert(seq, p);
+                self.pump();
+                return;
+            }
+            self.pending_inserts.insert(seq, p);
         }
     }
 
@@ -605,11 +638,20 @@ impl NodeRt {
             if p.attempt < self.config.exchange_retry.max_attempts {
                 p.attempt += 1;
                 self.transport.record_retry();
+                self.trace(|| TraceEvent::Retransmit {
+                    peer: u64::from(p.target.0),
+                    op: OpTag::Offer,
+                    attempt: p.attempt,
+                });
                 let _ = self.transport.send(self.id, p.target, p.frame.clone());
                 p.deadline = now + self.config.exchange_retry.backoff(p.attempt, &mut self.io_rng);
                 self.pending_offers.insert(xid, p);
             } else {
                 self.transport.record_timeout();
+                self.trace(|| TraceEvent::TimeoutGiveUp {
+                    peer: u64::from(p.target.0),
+                    op: OpTag::Offer,
+                });
                 self.inbox.push_back(Event::OfferExpired { id: xid });
                 self.inbox.push_back(Event::PeerSuspected { peer: p.target });
             }
@@ -627,11 +669,20 @@ impl NodeRt {
             if p.attempt < self.config.ack_retry.max_attempts {
                 p.attempt += 1;
                 self.transport.record_retry();
+                self.trace(|| TraceEvent::Retransmit {
+                    peer: u64::from(p.current.0),
+                    op: OpTag::Forward,
+                    attempt: p.attempt,
+                });
                 let _ = self.transport.send(self.id, p.current, p.frame.clone());
                 p.deadline = now + self.config.ack_retry.backoff(p.attempt, &mut self.io_rng);
                 self.pending_forwards.insert(qid, p);
             } else {
                 self.transport.record_timeout();
+                self.trace(|| TraceEvent::TimeoutGiveUp {
+                    peer: u64::from(p.current.0),
+                    op: OpTag::Forward,
+                });
                 self.inbox
                     .push_back(Event::PeerSuspected { peer: p.current });
                 self.drive_forward(qid, p);
@@ -650,6 +701,11 @@ impl NodeRt {
             if p.attempt < self.config.ack_retry.max_attempts {
                 p.attempt += 1;
                 self.transport.record_retry();
+                self.trace(|| TraceEvent::Retransmit {
+                    peer: u64::from(p.to.0),
+                    op: OpTag::Answer,
+                    attempt: p.attempt,
+                });
                 let _ = self.transport.send(self.id, p.to, p.frame.clone());
                 p.deadline = now + self.config.ack_retry.backoff(p.attempt, &mut self.io_rng);
                 self.pending_answers.insert(qid, p);
@@ -657,6 +713,10 @@ impl NodeRt {
                 // The origin is a client, not a routing-table member; no
                 // demotion, the client's own query retry covers this.
                 self.transport.record_timeout();
+                self.trace(|| TraceEvent::TimeoutGiveUp {
+                    peer: u64::from(p.to.0),
+                    op: OpTag::Answer,
+                });
             }
         }
         self.expired = expired;
@@ -672,11 +732,20 @@ impl NodeRt {
             if p.attempt < self.config.ack_retry.max_attempts {
                 p.attempt += 1;
                 self.transport.record_retry();
+                self.trace(|| TraceEvent::Retransmit {
+                    peer: u64::from(p.current.0),
+                    op: OpTag::Insert,
+                    attempt: p.attempt,
+                });
                 let _ = self.transport.send(self.id, p.current, p.frame.clone());
                 p.deadline = now + self.config.ack_retry.backoff(p.attempt, &mut self.io_rng);
                 self.pending_inserts.insert(seq, p);
             } else {
                 self.transport.record_timeout();
+                self.trace(|| TraceEvent::TimeoutGiveUp {
+                    peer: u64::from(p.current.0),
+                    op: OpTag::Insert,
+                });
                 self.inbox
                     .push_back(Event::PeerSuspected { peer: p.current });
                 self.drive_insert(seq, p);

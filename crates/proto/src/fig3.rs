@@ -67,6 +67,24 @@ pub fn classify(first: &BitPath, second: &BitPath, maxl: usize) -> (usize, Excha
     (lc, case)
 }
 
+/// The flight recorder's case vocabulary mirrors [`ExchangeCase`] (the
+/// trace crate sits below proto and cannot name it); this is the one
+/// conversion point, so a renamed or added case fails to compile here
+/// rather than silently mis-tagging traces.
+impl From<&ExchangeCase> for pgrid_trace::CaseTag {
+    fn from(case: &ExchangeCase) -> Self {
+        use pgrid_trace::CaseTag;
+        match case {
+            ExchangeCase::Split => CaseTag::Split,
+            ExchangeCase::Replicas => CaseTag::Replicas,
+            ExchangeCase::FirstSpecializes { .. } => CaseTag::FirstSpecializes,
+            ExchangeCase::SecondSpecializes { .. } => CaseTag::SecondSpecializes,
+            ExchangeCase::Diverged => CaseTag::Diverged,
+            ExchangeCase::Saturated => CaseTag::Saturated,
+        }
+    }
+}
+
 /// How a Case-1 [`ExchangeCase::Split`] assigns the two fresh bits.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SplitBitPolicy {

@@ -15,6 +15,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use pgrid_keys::{BitPath, Key};
 use pgrid_net::{BoundedMap, BoundedSet, PeerId};
+use pgrid_trace::{TraceEvent, Tracer};
 use pgrid_wire::{Message, WireEntry};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -31,6 +32,22 @@ use crate::fig3::{classify, split_bits, ExchangeCase, SplitBitPolicy};
 pub struct ProtoCtx<'a> {
     /// Source of all protocol randomness.
     pub rng: &'a mut StdRng,
+    /// Observation-only flight-recorder sink (see `pgrid-trace`): never
+    /// consulted for decisions and never draws from `rng`, so attaching a
+    /// real tracer cannot change protocol behavior. Drivers that do not
+    /// record pass `&mut NullTracer`.
+    pub tracer: &'a mut dyn Tracer,
+}
+
+impl ProtoCtx<'_> {
+    /// Records an event, skipping construction entirely when the attached
+    /// tracer is disabled.
+    #[inline]
+    pub fn trace(&mut self, event: impl FnOnce() -> TraceEvent) {
+        if self.tracer.enabled() {
+            self.tracer.record(event());
+        }
+    }
 }
 
 /// What the responder tells the initiator, plus what the responder itself
@@ -209,7 +226,12 @@ impl ProtocolPeer {
                 adopt_refs,
                 recurse_with,
             } => self.on_answer(from, id, take_bit, adopt_refs, recurse_with, ctx, out),
-            Event::ConfirmReceived { from, path } => self.maybe_add_ref(from, &path, ctx.rng),
+            Event::ConfirmReceived { from, path } => {
+                ctx.trace(|| TraceEvent::ConfirmApplied {
+                    peer: u64::from(from.0),
+                });
+                self.maybe_add_ref(from, &path, ctx.rng)
+            }
             Event::InsertReceived {
                 from,
                 seq,
@@ -222,7 +244,16 @@ impl ProtocolPeer {
             Event::PeerHeard { peer } => self.note_peer_success(peer),
             Event::PeerSuspected { peer } => {
                 if self.note_peer_failure(peer) {
+                    ctx.trace(|| TraceEvent::PeerEvicted {
+                        peer: u64::from(peer.0),
+                    });
                     out.push(Effect::PeerEvicted { peer });
+                } else {
+                    let failures = self.failures.get(&peer).copied().unwrap_or(0);
+                    ctx.trace(|| TraceEvent::PeerDemoted {
+                        peer: u64::from(peer.0),
+                        failures,
+                    });
                 }
             }
             Event::PeerGone { peer } => self.forget_peer(peer),
@@ -395,6 +426,18 @@ impl ProtocolPeer {
             return;
         }
         let before = self.path;
+        // Re-classifying the *pre*-state is free of side effects and RNG
+        // draws (`classify` is pure), so the recorder can name the case
+        // this answer applies without threading it out of `handle_offer`.
+        ctx.trace(|| {
+            let (lc, case) = classify(path, &before, self.maxl);
+            TraceEvent::OfferAnswered {
+                peer: u64::from(from.0),
+                xid,
+                case: (&case).into(),
+                lc: lc as u32,
+            }
+        });
         let outcome = self.handle_offer(from, path, level_refs, ctx.rng);
         if self.path != before {
             // Case 1/3 specialized us: entries outside the new path must
@@ -449,9 +492,19 @@ impl ProtocolPeer {
             if self.path == pe.snapshot && self.path.len() < self.maxl {
                 self.path = self.path.child(bit);
             } else {
+                ctx.trace(|| TraceEvent::AnswerApplied {
+                    peer: u64::from(from.0),
+                    xid,
+                    stale: true,
+                });
                 return; // stale: skip adopt/confirm/recurse entirely
             }
         }
+        ctx.trace(|| TraceEvent::AnswerApplied {
+            peer: u64::from(from.0),
+            xid,
+            stale: false,
+        });
         for (level, refs) in adopt_refs {
             // Valid even after concurrent growth: levels ≤ the offer-time
             // path depend only on prefixes, which never change.
@@ -1109,7 +1162,8 @@ mod tests {
 
     fn drive(peer: &mut ProtocolPeer, rng: &mut StdRng, event: Event) -> Vec<Effect> {
         let mut out = Vec::new();
-        peer.handle(event, &mut ProtoCtx { rng }, &mut out);
+        let mut tracer = pgrid_trace::NullTracer;
+        peer.handle(event, &mut ProtoCtx { rng, tracer: &mut tracer }, &mut out);
         out
     }
 

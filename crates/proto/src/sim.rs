@@ -259,7 +259,8 @@ impl SimNet {
         {
             let peer = self.peers.get_mut(&at).expect("dispatch to known peer");
             let rng = self.rngs.get_mut(&at).expect("every peer has an rng");
-            peer.handle(event, &mut ProtoCtx { rng }, &mut out);
+            let mut tracer = pgrid_trace::NullTracer;
+            peer.handle(event, &mut ProtoCtx { rng, tracer: &mut tracer }, &mut out);
         }
         for effect in out.drain(..) {
             self.apply(at, effect);

@@ -113,9 +113,14 @@ fn effect_log(seed: u64) -> String {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut log = String::new();
     let mut out = Vec::new();
+    let mut tracer = pgrid_trace::NullTracer;
     for event in transcript() {
         out.clear();
-        peer.handle(event.clone(), &mut ProtoCtx { rng: &mut rng }, &mut out);
+        peer.handle(
+            event.clone(),
+            &mut ProtoCtx { rng: &mut rng, tracer: &mut tracer },
+            &mut out,
+        );
         log.push_str(&format!("{event:?} => {out:?}\n"));
     }
     log
@@ -148,8 +153,13 @@ fn transcript_leaves_the_peer_structurally_valid() {
     peer.seed_sequence(7);
     let mut rng = StdRng::seed_from_u64(7);
     let mut out = Vec::new();
+    let mut tracer = pgrid_trace::NullTracer;
     for event in transcript() {
-        peer.handle(event, &mut ProtoCtx { rng: &mut rng }, &mut out);
+        peer.handle(
+            event,
+            &mut ProtoCtx { rng: &mut rng, tracer: &mut tracer },
+            &mut out,
+        );
     }
     peer.check().unwrap();
     assert_eq!(peer.path.len(), 1, "the Case-1 split specialized the peer");

@@ -19,6 +19,7 @@
 
 use pgrid_core::{Ctx, OwnedCtx, PGrid};
 use pgrid_net::{NetStats, OnlineModel, PeerId};
+use pgrid_trace::{merge_shards, RingTracer, Stamped};
 use serde::Serialize;
 
 use crate::workload::UniformKeys;
@@ -49,18 +50,71 @@ where
     T: Send,
     F: Fn(u64, &mut Ctx<'_>) -> T + Sync,
 {
-    // Fork every task context up front, on the calling thread, in task
-    // order — forking models like `EpochOnline` may consult shared state.
-    let mut shards: Vec<OwnedCtx> = (0..tasks)
+    let mut shards = fork_shards(master_seed, online, tasks);
+    let results = execute_shards(&mut shards, threads, &f);
+    let mut stats = NetStats::new();
+    for shard in &shards {
+        stats.merge(&shard.stats);
+    }
+    ShardedRun { results, stats }
+}
+
+/// [`run_sharded`] with a flight recorder on every shard: each task records
+/// into a private ring of `shard_capacity` events, and the rings are drained
+/// and concatenated **in task order** — the trace-stream twin of the counter
+/// merge, so the merged trace is as thread-count-invariant as the stats.
+pub fn run_sharded_traced<T, F>(
+    master_seed: u64,
+    online: &dyn OnlineModel,
+    tasks: u64,
+    threads: usize,
+    shard_capacity: usize,
+    f: F,
+) -> (ShardedRun<T>, Vec<Stamped>)
+where
+    T: Send,
+    F: Fn(u64, &mut Ctx<'_>) -> T + Sync,
+{
+    let mut shards = fork_shards(master_seed, online, tasks);
+    for shard in &mut shards {
+        shard.set_tracer(Box::new(RingTracer::new(shard_capacity)));
+    }
+    let results = execute_shards(&mut shards, threads, &f);
+    let mut stats = NetStats::new();
+    for shard in &shards {
+        stats.merge(&shard.stats);
+    }
+    let events = merge_shards(
+        shards
+            .iter_mut()
+            .map(OwnedCtx::take_trace_events)
+            .collect(),
+    );
+    (ShardedRun { results, stats }, events)
+}
+
+/// Forks every task context up front, on the calling thread, in task order —
+/// forking models like `EpochOnline` may consult shared state.
+fn fork_shards(master_seed: u64, online: &dyn OnlineModel, tasks: u64) -> Vec<OwnedCtx> {
+    (0..tasks)
         .map(|t| Ctx::fork_for_task(master_seed, t, online.fork(t)))
-        .collect();
+        .collect()
+}
+
+/// Runs `f` once per shard, on `threads` scoped workers (or inline). The
+/// task decomposition fixes the result; `threads` is wall-clock only.
+fn execute_shards<T, F>(shards: &mut [OwnedCtx], threads: usize, f: &F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64, &mut Ctx<'_>) -> T + Sync,
+{
     let threads = if cfg!(feature = "parallel") {
         threads.max(1)
     } else {
         1
     };
 
-    let results: Vec<T> = if threads == 1 || shards.len() <= 1 {
+    if threads == 1 || shards.len() <= 1 {
         shards
             .iter_mut()
             .enumerate()
@@ -70,7 +124,6 @@ where
         let chunk_len = shards.len().div_ceil(threads);
         let mut per_chunk: Vec<Vec<T>> = Vec::new();
         std::thread::scope(|scope| {
-            let f = &f;
             let handles: Vec<_> = shards
                 .chunks_mut(chunk_len)
                 .enumerate()
@@ -92,13 +145,7 @@ where
                 .collect();
         });
         per_chunk.into_iter().flatten().collect()
-    };
-
-    let mut stats = NetStats::new();
-    for shard in &shards {
-        stats.merge(&shard.stats);
     }
-    ShardedRun { results, stats }
 }
 
 /// A deterministic query workload: `queries` uniform random keys of
@@ -167,26 +214,75 @@ pub fn run_query_plan(
     let keygen = UniformKeys { len: plan.key_len };
 
     let run = run_sharded(master_seed, online, shards, threads, |task, ctx| {
-        // Shards 0..rem take one extra query, so every query runs exactly once.
-        let count = per + usize::from((task as usize) < rem);
-        let mut records = Vec::with_capacity(count);
-        for _ in 0..count {
-            let key = keygen.sample(ctx.rng);
-            let start = grid.random_peer(ctx);
-            let out = grid.search(start, &key, ctx);
-            records.push(QueryRecord {
-                responsible: out.responsible,
-                messages: out.messages,
-                hops: out.hops,
-            });
-        }
-        records
+        query_shard(grid, &keygen, shard_count(per, rem, task), ctx)
     });
 
     QueryRunOutcome {
         records: run.results.into_iter().flatten().collect(),
         stats: run.stats,
     }
+}
+
+/// [`run_query_plan`] with every shard recording into the flight recorder:
+/// returns the identical outcome plus the merged trace. The search logic is
+/// shared with the untraced path verbatim — only the attached sink differs —
+/// which is what the traced-vs-untraced identity tests pin.
+pub fn run_query_plan_traced(
+    grid: &PGrid,
+    plan: &QueryPlan,
+    master_seed: u64,
+    online: &dyn OnlineModel,
+    threads: usize,
+    shard_capacity: usize,
+) -> (QueryRunOutcome, Vec<Stamped>) {
+    let shards = plan.shards.max(1);
+    let per = plan.queries / shards as usize;
+    let rem = plan.queries % shards as usize;
+    let keygen = UniformKeys { len: plan.key_len };
+
+    let (run, events) = run_sharded_traced(
+        master_seed,
+        online,
+        shards,
+        threads,
+        shard_capacity,
+        |task, ctx| query_shard(grid, &keygen, shard_count(per, rem, task), ctx),
+    );
+
+    (
+        QueryRunOutcome {
+            records: run.results.into_iter().flatten().collect(),
+            stats: run.stats,
+        },
+        events,
+    )
+}
+
+/// Shards 0..rem take one extra query, so every query runs exactly once.
+fn shard_count(per: usize, rem: usize, task: u64) -> usize {
+    per + usize::from((task as usize) < rem)
+}
+
+/// One shard's share of a query plan — the single body both the traced and
+/// untraced runs execute.
+fn query_shard(
+    grid: &PGrid,
+    keygen: &UniformKeys,
+    count: usize,
+    ctx: &mut Ctx<'_>,
+) -> Vec<QueryRecord> {
+    let mut records = Vec::with_capacity(count);
+    for _ in 0..count {
+        let key = keygen.sample(ctx.rng);
+        let start = grid.random_peer(ctx);
+        let out = grid.search(start, &key, ctx);
+        records.push(QueryRecord {
+            responsible: out.responsible,
+            messages: out.messages,
+            hops: out.hops,
+        });
+    }
+    records
 }
 
 #[cfg(test)]
@@ -273,6 +369,81 @@ mod tests {
         assert_eq!(b.records.len(), 100);
         assert_eq!(a.successes(), 100);
         assert_eq!(b.successes(), 100);
+    }
+
+    #[test]
+    fn traced_run_is_byte_identical_to_untraced() {
+        let g = grid();
+        let plan = QueryPlan {
+            queries: 200,
+            key_len: 4,
+            shards: 4,
+        };
+        let online = BernoulliOnline::new(0.8);
+        let base = run_query_plan(&g, &plan, 31, &online, 1);
+        let (traced, events) = run_query_plan_traced(&g, &plan, 31, &online, 2, 1 << 16);
+        // Observation must not perturb a single decision: records, counters,
+        // everything identical — and the recorder actually saw the run.
+        assert_eq!(base, traced);
+        assert!(!events.is_empty());
+    }
+
+    #[test]
+    fn merged_trace_is_thread_count_invariant() {
+        use pgrid_trace::encode_line;
+        let g = grid();
+        let plan = QueryPlan {
+            queries: 120,
+            key_len: 4,
+            shards: 6,
+        };
+        let online = BernoulliOnline::new(0.7);
+        let encode = |threads: usize| {
+            let (_, events) = run_query_plan_traced(&g, &plan, 13, &online, threads, 1 << 16);
+            events
+                .iter()
+                .map(encode_line)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let serial = encode(1);
+        assert!(!serial.is_empty());
+        for threads in [2, 4, 6] {
+            assert_eq!(serial, encode(threads), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn trace_reconciles_with_query_stats() {
+        use pgrid_net::MsgKind;
+        use pgrid_trace::{MsgTag, TraceEvent};
+        let g = grid();
+        let plan = QueryPlan {
+            queries: 150,
+            key_len: 4,
+            shards: 5,
+        };
+        let online = BernoulliOnline::new(0.9);
+        let (out, events) = run_query_plan_traced(&g, &plan, 41, &online, 3, 1 << 16);
+        let traced_queries = events
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s.event,
+                    TraceEvent::Message {
+                        kind: MsgTag::Query
+                    }
+                )
+            })
+            .count() as u64;
+        // Every counted query message has exactly one trace event: the two
+        // records are emitted by the same call site.
+        assert_eq!(traced_queries, out.stats.count(MsgKind::Query));
+        let ends = events
+            .iter()
+            .filter(|s| matches!(s.event, TraceEvent::QueryEnd { .. }))
+            .count();
+        assert_eq!(ends, plan.queries, "one QueryEnd per planned query");
     }
 
     #[test]

@@ -45,7 +45,10 @@ mod runner;
 pub mod stats;
 pub mod workload;
 
-pub use engine::{run_query_plan, run_sharded, QueryPlan, QueryRecord, QueryRunOutcome};
+pub use engine::{
+    run_query_plan, run_query_plan_traced, run_sharded, run_sharded_traced, QueryPlan,
+    QueryRecord, QueryRunOutcome,
+};
 pub use report::{fmt_f, Table};
 pub use runner::{built_grid, BuiltGrid};
 // The sans-I/O protocol core and its inline message-queue driver, re-exported

@@ -1,0 +1,746 @@
+//! Typed trace events and their stable JSONL encoding.
+
+use crate::json::{parse_flat, JsonVal};
+use crate::tracer::Stamped;
+
+/// Mirror of `pgrid_net::MsgKind`, defined here so the trace crate stays at
+/// the bottom of the dependency stack (net implements the conversion).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MsgTag {
+    /// Construction exchange (Fig. 3 handshake or simulator pair).
+    Exchange,
+    /// Fig. 2 query descent hop.
+    Query,
+    /// Insert/update propagation to replicas.
+    Update,
+    /// Flooding baseline traffic.
+    Flood,
+    /// Control-plane traffic (acks, probes).
+    Control,
+}
+
+impl MsgTag {
+    /// All tags, in the same order as `MsgKind::ALL`.
+    pub const ALL: [MsgTag; 5] = [
+        MsgTag::Exchange,
+        MsgTag::Query,
+        MsgTag::Update,
+        MsgTag::Flood,
+        MsgTag::Control,
+    ];
+
+    /// Stable index into per-kind count arrays.
+    pub fn idx(self) -> usize {
+        match self {
+            MsgTag::Exchange => 0,
+            MsgTag::Query => 1,
+            MsgTag::Update => 2,
+            MsgTag::Flood => 3,
+            MsgTag::Control => 4,
+        }
+    }
+
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MsgTag::Exchange => "exchange",
+            MsgTag::Query => "query",
+            MsgTag::Update => "update",
+            MsgTag::Flood => "flood",
+            MsgTag::Control => "control",
+        }
+    }
+
+    /// Inverse of [`MsgTag::name`].
+    pub fn from_name(name: &str) -> Option<MsgTag> {
+        MsgTag::ALL.into_iter().find(|t| t.name() == name)
+    }
+}
+
+/// Mirror of `pgrid_proto::ExchangeCase` (Fig. 3 classification).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CaseTag {
+    /// Both peers at the common prefix: split one bit each way.
+    Split,
+    /// Identical paths: become replicas, adopt buddies.
+    Replicas,
+    /// First peer's path extends the second's: second specializes.
+    FirstSpecializes,
+    /// Second peer's path extends the first's: first specializes.
+    SecondSpecializes,
+    /// Paths diverge below the common prefix: recurse via references.
+    Diverged,
+    /// At least one peer is at maximum depth: nothing to do.
+    Saturated,
+}
+
+impl CaseTag {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CaseTag::Split => "split",
+            CaseTag::Replicas => "replicas",
+            CaseTag::FirstSpecializes => "first_specializes",
+            CaseTag::SecondSpecializes => "second_specializes",
+            CaseTag::Diverged => "diverged",
+            CaseTag::Saturated => "saturated",
+        }
+    }
+
+    /// Inverse of [`CaseTag::name`].
+    pub fn from_name(name: &str) -> Option<CaseTag> {
+        [
+            CaseTag::Split,
+            CaseTag::Replicas,
+            CaseTag::FirstSpecializes,
+            CaseTag::SecondSpecializes,
+            CaseTag::Diverged,
+            CaseTag::Saturated,
+        ]
+        .into_iter()
+        .find(|c| c.name() == name)
+    }
+}
+
+/// Which pending live-node operation a retransmission/timeout refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpTag {
+    /// An exchange offer awaiting its answer.
+    Offer,
+    /// A forwarded query awaiting its ack.
+    Forward,
+    /// A query answer awaiting its ack.
+    Answer,
+    /// An insert awaiting its ack.
+    Insert,
+}
+
+impl OpTag {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpTag::Offer => "offer",
+            OpTag::Forward => "forward",
+            OpTag::Answer => "answer",
+            OpTag::Insert => "insert",
+        }
+    }
+
+    /// Inverse of [`OpTag::name`].
+    pub fn from_name(name: &str) -> Option<OpTag> {
+        [OpTag::Offer, OpTag::Forward, OpTag::Answer, OpTag::Insert]
+            .into_iter()
+            .find(|o| o.name() == name)
+    }
+}
+
+/// One recorded protocol decision. Fields are integers, bools, tags, and
+/// bit strings only — never floats or wall-clock times — so encoded traces
+/// are byte-identical across reruns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// One protocol message charged to `NetStats` (mirrors every
+    /// `stats.record(kind)` on a traced path, for exact reconciliation).
+    Message {
+        /// Message kind, mirroring `MsgKind`.
+        kind: MsgTag,
+    },
+    /// A Fig. 2 query descent begins.
+    QueryStart {
+        /// Peer the query was posed to.
+        start: u64,
+        /// Queried key as a bit string.
+        key: String,
+    },
+    /// One Fig. 2 `route_step` decision during a descent.
+    RouteStep {
+        /// Peer making the decision.
+        peer: u64,
+        /// Prefix bits already matched before this step.
+        matched: u32,
+        /// Bits of the key consumed by this peer's path.
+        consumed: u32,
+        /// Routing level the references were taken from.
+        level: u32,
+        /// Whether this peer is responsible for the key.
+        responsible: bool,
+        /// Candidate references at that level (before shuffling).
+        candidates: u32,
+        /// Index of this shuffle in the descent's RNG-draw order (the n-th
+        /// time the descent consumed randomness), for divergence hunting.
+        draw: u64,
+    },
+    /// One realized query hop (`from` successfully contacted `to`).
+    QueryHop {
+        /// Forwarding peer.
+        from: u64,
+        /// Contacted reference.
+        to: u64,
+        /// Recursion depth of the hop.
+        depth: u32,
+    },
+    /// A query descent ended.
+    QueryEnd {
+        /// Responsible peer, or `-1` when the search failed.
+        responsible: i64,
+        /// Query messages charged during the descent.
+        messages: u64,
+        /// Hop count of the successful path (0 when failed).
+        hops: u32,
+    },
+    /// A construction exchange classified into its Fig. 3 case.
+    Exchange {
+        /// First participant.
+        first: u64,
+        /// Second participant.
+        second: u64,
+        /// Classified case.
+        case: CaseTag,
+        /// Common prefix length at classification time.
+        lc: u32,
+        /// Bit taken by the first peer on a split, else `-1`.
+        bit_first: i8,
+        /// Bit taken by the second peer on a split, else `-1`.
+        bit_second: i8,
+    },
+    /// One replica contacted while fanning out an insert/update.
+    ReplicaFanout {
+        /// Replica peer contacted.
+        replica: u64,
+        /// `true` for an update to an existing item, `false` for an insert.
+        update: bool,
+    },
+    /// One construction round completed (emitted by `build_rounds`).
+    RoundSummary {
+        /// Round number, starting at 1.
+        round: u64,
+        /// Pairs matched this round.
+        pairs: u64,
+        /// Exchange messages charged so far (cumulative).
+        exchanges: u64,
+        /// Total path bits across all peers after the round.
+        path_bits: u64,
+    },
+    /// Live node: an exchange offer was classified and answered.
+    OfferAnswered {
+        /// Initiating peer.
+        peer: u64,
+        /// Exchange id of the handshake.
+        xid: u64,
+        /// Classified case (from the responder's perspective).
+        case: CaseTag,
+        /// Common prefix length at classification time.
+        lc: u32,
+    },
+    /// Live node: an exchange answer arrived for a pending offer.
+    AnswerApplied {
+        /// Responding peer.
+        peer: u64,
+        /// Exchange id of the handshake.
+        xid: u64,
+        /// `true` when the answer was dropped as stale (path moved on).
+        stale: bool,
+    },
+    /// Live node: an exchange confirm closed the handshake.
+    ConfirmApplied {
+        /// Confirming peer.
+        peer: u64,
+    },
+    /// Live node: a pending operation was retransmitted.
+    Retransmit {
+        /// Peer the frame was re-sent to.
+        peer: u64,
+        /// Which pending operation.
+        op: OpTag,
+        /// Attempt number after the retransmission.
+        attempt: u32,
+    },
+    /// Live node: a pending operation exhausted its retry budget.
+    TimeoutGiveUp {
+        /// Peer that never answered.
+        peer: u64,
+        /// Which pending operation.
+        op: OpTag,
+    },
+    /// A peer failure was noted (one step toward eviction).
+    PeerDemoted {
+        /// Suspected peer.
+        peer: u64,
+        /// Consecutive failures recorded so far.
+        failures: u32,
+    },
+    /// A reference was evicted after repeated failures.
+    PeerEvicted {
+        /// Evicted peer.
+        peer: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable wire name of the event variant.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::Message { .. } => "message",
+            TraceEvent::QueryStart { .. } => "query_start",
+            TraceEvent::RouteStep { .. } => "route_step",
+            TraceEvent::QueryHop { .. } => "query_hop",
+            TraceEvent::QueryEnd { .. } => "query_end",
+            TraceEvent::Exchange { .. } => "exchange",
+            TraceEvent::ReplicaFanout { .. } => "replica_fanout",
+            TraceEvent::RoundSummary { .. } => "round_summary",
+            TraceEvent::OfferAnswered { .. } => "offer_answered",
+            TraceEvent::AnswerApplied { .. } => "answer_applied",
+            TraceEvent::ConfirmApplied { .. } => "confirm_applied",
+            TraceEvent::Retransmit { .. } => "retransmit",
+            TraceEvent::TimeoutGiveUp { .. } => "timeout_give_up",
+            TraceEvent::PeerDemoted { .. } => "peer_demoted",
+            TraceEvent::PeerEvicted { .. } => "peer_evicted",
+        }
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":\"");
+    // Keys are bit strings and names are fixed identifiers, but escape the
+    // two JSON-significant characters anyway so the encoder is total.
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_int_field(out: &mut String, key: &str, value: i128) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&value.to_string());
+}
+
+fn push_bool_field(out: &mut String, key: &str, value: bool) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(if value { "true" } else { "false" });
+}
+
+/// Encodes one stamped event as a single JSONL line (no trailing newline).
+/// Field order is fixed, so equal events encode to equal bytes.
+pub fn encode_line(stamped: &Stamped) -> String {
+    let mut out = String::with_capacity(96);
+    out.push_str("{\"seq\":");
+    out.push_str(&stamped.seq.to_string());
+    push_str_field(&mut out, "ev", stamped.event.name());
+    match &stamped.event {
+        TraceEvent::Message { kind } => {
+            push_str_field(&mut out, "kind", kind.name());
+        }
+        TraceEvent::QueryStart { start, key } => {
+            push_int_field(&mut out, "start", i128::from(*start));
+            push_str_field(&mut out, "key", key);
+        }
+        TraceEvent::RouteStep {
+            peer,
+            matched,
+            consumed,
+            level,
+            responsible,
+            candidates,
+            draw,
+        } => {
+            push_int_field(&mut out, "peer", i128::from(*peer));
+            push_int_field(&mut out, "matched", i128::from(*matched));
+            push_int_field(&mut out, "consumed", i128::from(*consumed));
+            push_int_field(&mut out, "level", i128::from(*level));
+            push_bool_field(&mut out, "responsible", *responsible);
+            push_int_field(&mut out, "candidates", i128::from(*candidates));
+            push_int_field(&mut out, "draw", i128::from(*draw));
+        }
+        TraceEvent::QueryHop { from, to, depth } => {
+            push_int_field(&mut out, "from", i128::from(*from));
+            push_int_field(&mut out, "to", i128::from(*to));
+            push_int_field(&mut out, "depth", i128::from(*depth));
+        }
+        TraceEvent::QueryEnd {
+            responsible,
+            messages,
+            hops,
+        } => {
+            push_int_field(&mut out, "responsible", i128::from(*responsible));
+            push_int_field(&mut out, "messages", i128::from(*messages));
+            push_int_field(&mut out, "hops", i128::from(*hops));
+        }
+        TraceEvent::Exchange {
+            first,
+            second,
+            case,
+            lc,
+            bit_first,
+            bit_second,
+        } => {
+            push_int_field(&mut out, "first", i128::from(*first));
+            push_int_field(&mut out, "second", i128::from(*second));
+            push_str_field(&mut out, "case", case.name());
+            push_int_field(&mut out, "lc", i128::from(*lc));
+            push_int_field(&mut out, "bit_first", i128::from(*bit_first));
+            push_int_field(&mut out, "bit_second", i128::from(*bit_second));
+        }
+        TraceEvent::ReplicaFanout { replica, update } => {
+            push_int_field(&mut out, "replica", i128::from(*replica));
+            push_bool_field(&mut out, "update", *update);
+        }
+        TraceEvent::RoundSummary {
+            round,
+            pairs,
+            exchanges,
+            path_bits,
+        } => {
+            push_int_field(&mut out, "round", i128::from(*round));
+            push_int_field(&mut out, "pairs", i128::from(*pairs));
+            push_int_field(&mut out, "exchanges", i128::from(*exchanges));
+            push_int_field(&mut out, "path_bits", i128::from(*path_bits));
+        }
+        TraceEvent::OfferAnswered {
+            peer,
+            xid,
+            case,
+            lc,
+        } => {
+            push_int_field(&mut out, "peer", i128::from(*peer));
+            push_int_field(&mut out, "xid", i128::from(*xid));
+            push_str_field(&mut out, "case", case.name());
+            push_int_field(&mut out, "lc", i128::from(*lc));
+        }
+        TraceEvent::AnswerApplied { peer, xid, stale } => {
+            push_int_field(&mut out, "peer", i128::from(*peer));
+            push_int_field(&mut out, "xid", i128::from(*xid));
+            push_bool_field(&mut out, "stale", *stale);
+        }
+        TraceEvent::ConfirmApplied { peer } => {
+            push_int_field(&mut out, "peer", i128::from(*peer));
+        }
+        TraceEvent::Retransmit { peer, op, attempt } => {
+            push_int_field(&mut out, "peer", i128::from(*peer));
+            push_str_field(&mut out, "op", op.name());
+            push_int_field(&mut out, "attempt", i128::from(*attempt));
+        }
+        TraceEvent::TimeoutGiveUp { peer, op } => {
+            push_int_field(&mut out, "peer", i128::from(*peer));
+            push_str_field(&mut out, "op", op.name());
+        }
+        TraceEvent::PeerDemoted { peer, failures } => {
+            push_int_field(&mut out, "peer", i128::from(*peer));
+            push_int_field(&mut out, "failures", i128::from(*failures));
+        }
+        TraceEvent::PeerEvicted { peer } => {
+            push_int_field(&mut out, "peer", i128::from(*peer));
+        }
+    }
+    out.push('}');
+    out
+}
+
+struct Fields<'a> {
+    fields: &'a [(String, JsonVal)],
+    line_no: usize,
+}
+
+impl<'a> Fields<'a> {
+    fn get(&self, key: &str) -> Result<&'a JsonVal, String> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("line {}: missing field `{key}`", self.line_no))
+    }
+
+    fn int(&self, key: &str) -> Result<i128, String> {
+        match self.get(key)? {
+            JsonVal::Int(v) => Ok(*v),
+            other => Err(format!(
+                "line {}: field `{key}` is {other:?}, expected integer",
+                self.line_no
+            )),
+        }
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, String> {
+        u64::try_from(self.int(key)?)
+            .map_err(|_| format!("line {}: field `{key}` out of u64 range", self.line_no))
+    }
+
+    fn u32(&self, key: &str) -> Result<u32, String> {
+        u32::try_from(self.int(key)?)
+            .map_err(|_| format!("line {}: field `{key}` out of u32 range", self.line_no))
+    }
+
+    fn i64(&self, key: &str) -> Result<i64, String> {
+        i64::try_from(self.int(key)?)
+            .map_err(|_| format!("line {}: field `{key}` out of i64 range", self.line_no))
+    }
+
+    fn i8(&self, key: &str) -> Result<i8, String> {
+        i8::try_from(self.int(key)?)
+            .map_err(|_| format!("line {}: field `{key}` out of i8 range", self.line_no))
+    }
+
+    fn bool(&self, key: &str) -> Result<bool, String> {
+        match self.get(key)? {
+            JsonVal::Bool(v) => Ok(*v),
+            other => Err(format!(
+                "line {}: field `{key}` is {other:?}, expected bool",
+                self.line_no
+            )),
+        }
+    }
+
+    fn str(&self, key: &str) -> Result<&'a str, String> {
+        match self.get(key)? {
+            JsonVal::Str(v) => Ok(v.as_str()),
+            other => Err(format!(
+                "line {}: field `{key}` is {other:?}, expected string",
+                self.line_no
+            )),
+        }
+    }
+
+    fn case(&self, key: &str) -> Result<CaseTag, String> {
+        let name = self.str(key)?;
+        CaseTag::from_name(name)
+            .ok_or_else(|| format!("line {}: unknown exchange case `{name}`", self.line_no))
+    }
+
+    fn op(&self, key: &str) -> Result<OpTag, String> {
+        let name = self.str(key)?;
+        OpTag::from_name(name)
+            .ok_or_else(|| format!("line {}: unknown op tag `{name}`", self.line_no))
+    }
+}
+
+/// Decodes one JSONL line back into a [`Stamped`] event. `line_no` is used
+/// only for error messages (1-based).
+pub fn decode_line(line: &str, line_no: usize) -> Result<Stamped, String> {
+    let parsed = parse_flat(line).map_err(|e| format!("line {line_no}: {e}"))?;
+    let f = Fields {
+        fields: &parsed,
+        line_no,
+    };
+    let seq = f.u64("seq")?;
+    let ev = f.str("ev")?;
+    let event = match ev {
+        "message" => {
+            let kind = f.str("kind")?;
+            TraceEvent::Message {
+                kind: MsgTag::from_name(kind)
+                    .ok_or_else(|| format!("line {line_no}: unknown message kind `{kind}`"))?,
+            }
+        }
+        "query_start" => TraceEvent::QueryStart {
+            start: f.u64("start")?,
+            key: f.str("key")?.to_string(),
+        },
+        "route_step" => TraceEvent::RouteStep {
+            peer: f.u64("peer")?,
+            matched: f.u32("matched")?,
+            consumed: f.u32("consumed")?,
+            level: f.u32("level")?,
+            responsible: f.bool("responsible")?,
+            candidates: f.u32("candidates")?,
+            draw: f.u64("draw")?,
+        },
+        "query_hop" => TraceEvent::QueryHop {
+            from: f.u64("from")?,
+            to: f.u64("to")?,
+            depth: f.u32("depth")?,
+        },
+        "query_end" => TraceEvent::QueryEnd {
+            responsible: f.i64("responsible")?,
+            messages: f.u64("messages")?,
+            hops: f.u32("hops")?,
+        },
+        "exchange" => TraceEvent::Exchange {
+            first: f.u64("first")?,
+            second: f.u64("second")?,
+            case: f.case("case")?,
+            lc: f.u32("lc")?,
+            bit_first: f.i8("bit_first")?,
+            bit_second: f.i8("bit_second")?,
+        },
+        "replica_fanout" => TraceEvent::ReplicaFanout {
+            replica: f.u64("replica")?,
+            update: f.bool("update")?,
+        },
+        "round_summary" => TraceEvent::RoundSummary {
+            round: f.u64("round")?,
+            pairs: f.u64("pairs")?,
+            exchanges: f.u64("exchanges")?,
+            path_bits: f.u64("path_bits")?,
+        },
+        "offer_answered" => TraceEvent::OfferAnswered {
+            peer: f.u64("peer")?,
+            xid: f.u64("xid")?,
+            case: f.case("case")?,
+            lc: f.u32("lc")?,
+        },
+        "answer_applied" => TraceEvent::AnswerApplied {
+            peer: f.u64("peer")?,
+            xid: f.u64("xid")?,
+            stale: f.bool("stale")?,
+        },
+        "confirm_applied" => TraceEvent::ConfirmApplied {
+            peer: f.u64("peer")?,
+        },
+        "retransmit" => TraceEvent::Retransmit {
+            peer: f.u64("peer")?,
+            op: f.op("op")?,
+            attempt: f.u32("attempt")?,
+        },
+        "timeout_give_up" => TraceEvent::TimeoutGiveUp {
+            peer: f.u64("peer")?,
+            op: f.op("op")?,
+        },
+        "peer_demoted" => TraceEvent::PeerDemoted {
+            peer: f.u64("peer")?,
+            failures: f.u32("failures")?,
+        },
+        "peer_evicted" => TraceEvent::PeerEvicted {
+            peer: f.u64("peer")?,
+        },
+        other => return Err(format!("line {line_no}: unknown event `{other}`")),
+    };
+    Ok(Stamped { seq, event })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(event: TraceEvent) {
+        let stamped = Stamped { seq: 42, event };
+        let line = encode_line(&stamped);
+        let back = decode_line(&line, 1).expect("decode");
+        assert_eq!(back, stamped, "line was: {line}");
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        roundtrip(TraceEvent::Message {
+            kind: MsgTag::Query,
+        });
+        roundtrip(TraceEvent::QueryStart {
+            start: 7,
+            key: "0110".to_string(),
+        });
+        roundtrip(TraceEvent::RouteStep {
+            peer: 3,
+            matched: 2,
+            consumed: 1,
+            level: 2,
+            responsible: false,
+            candidates: 4,
+            draw: 9,
+        });
+        roundtrip(TraceEvent::QueryHop {
+            from: 3,
+            to: 5,
+            depth: 1,
+        });
+        roundtrip(TraceEvent::QueryEnd {
+            responsible: -1,
+            messages: 6,
+            hops: 0,
+        });
+        roundtrip(TraceEvent::Exchange {
+            first: 0,
+            second: 1,
+            case: CaseTag::Split,
+            lc: 0,
+            bit_first: 0,
+            bit_second: 1,
+        });
+        roundtrip(TraceEvent::ReplicaFanout {
+            replica: 12,
+            update: true,
+        });
+        roundtrip(TraceEvent::RoundSummary {
+            round: 3,
+            pairs: 64,
+            exchanges: 190,
+            path_bits: 381,
+        });
+        roundtrip(TraceEvent::OfferAnswered {
+            peer: 2,
+            xid: 1 << 63,
+            case: CaseTag::Diverged,
+            lc: 2,
+        });
+        roundtrip(TraceEvent::AnswerApplied {
+            peer: 2,
+            xid: 99,
+            stale: true,
+        });
+        roundtrip(TraceEvent::ConfirmApplied { peer: 2 });
+        roundtrip(TraceEvent::Retransmit {
+            peer: 8,
+            op: OpTag::Forward,
+            attempt: 2,
+        });
+        roundtrip(TraceEvent::TimeoutGiveUp {
+            peer: 8,
+            op: OpTag::Insert,
+        });
+        roundtrip(TraceEvent::PeerDemoted {
+            peer: 4,
+            failures: 2,
+        });
+        roundtrip(TraceEvent::PeerEvicted { peer: 4 });
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let s = Stamped {
+            seq: 0,
+            event: TraceEvent::Message {
+                kind: MsgTag::Exchange,
+            },
+        };
+        assert_eq!(encode_line(&s), encode_line(&s));
+        assert_eq!(
+            encode_line(&s),
+            "{\"seq\":0,\"ev\":\"message\",\"kind\":\"exchange\"}"
+        );
+    }
+
+    #[test]
+    fn unknown_event_is_an_error() {
+        assert!(decode_line("{\"seq\":0,\"ev\":\"nope\"}", 1).is_err());
+        assert!(decode_line("{\"ev\":\"message\",\"kind\":\"query\"}", 1).is_err());
+        assert!(decode_line("not json", 1).is_err());
+    }
+
+    #[test]
+    fn tag_names_are_bijective() {
+        for t in MsgTag::ALL {
+            assert_eq!(MsgTag::from_name(t.name()), Some(t));
+        }
+        for c in [
+            CaseTag::Split,
+            CaseTag::Replicas,
+            CaseTag::FirstSpecializes,
+            CaseTag::SecondSpecializes,
+            CaseTag::Diverged,
+            CaseTag::Saturated,
+        ] {
+            assert_eq!(CaseTag::from_name(c.name()), Some(c));
+        }
+        for o in [OpTag::Offer, OpTag::Forward, OpTag::Answer, OpTag::Insert] {
+            assert_eq!(OpTag::from_name(o.name()), Some(o));
+        }
+    }
+}

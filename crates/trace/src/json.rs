@@ -1,0 +1,231 @@
+//! A tiny parser for the *flat* JSON objects this crate emits: one object
+//! per line, string keys, and integer / string / bool values. No nesting,
+//! no arrays, no floats — by construction ([`crate::encode_line`] never
+//! produces them), which keeps the parser ~100 lines and dependency-free.
+
+/// A decoded flat-JSON value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JsonVal {
+    /// An integer (JSON number without fraction or exponent).
+    Int(i128),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at byte {}, found `{}`",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char).unwrap_or('∅')
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(format!(
+                                "unsupported escape `\\{}`",
+                                other.map(|c| c as char).unwrap_or('∅')
+                            ))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance one full UTF-8 character, not one byte.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "invalid utf-8")?;
+                    let c = s.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonVal, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => Ok(JsonVal::Str(self.string()?)),
+            Some(b't') => {
+                self.literal(b"true")?;
+                Ok(JsonVal::Bool(true))
+            }
+            Some(b'f') => {
+                self.literal(b"false")?;
+                Ok(JsonVal::Bool(false))
+            }
+            Some(b'-') | Some(b'0'..=b'9') => self.integer(),
+            other => Err(format!(
+                "unexpected value start `{}` at byte {}",
+                other.map(|c| c as char).unwrap_or('∅'),
+                self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, lit: &[u8]) -> Result<(), String> {
+        if self.bytes.get(self.pos..self.pos + lit.len()) == Some(lit) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn integer(&mut self) -> Result<JsonVal, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.') | Some(b'e') | Some(b'E')) {
+            return Err(format!("float at byte {start}: traces are integer-only"));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<i128>()
+            .map(JsonVal::Int)
+            .map_err(|_| format!("unparseable integer `{text}`"))
+    }
+}
+
+/// Parses one flat JSON object into its fields, in source order.
+pub fn parse_flat(line: &str) -> Result<Vec<(String, JsonVal)>, String> {
+    let mut cur = Cursor {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    cur.skip_ws();
+    cur.expect(b'{')?;
+    let mut fields = Vec::new();
+    cur.skip_ws();
+    if cur.peek() == Some(b'}') {
+        cur.pos += 1;
+    } else {
+        loop {
+            cur.skip_ws();
+            let key = cur.string()?;
+            cur.skip_ws();
+            cur.expect(b':')?;
+            let value = cur.value()?;
+            fields.push((key, value));
+            cur.skip_ws();
+            match cur.peek() {
+                Some(b',') => cur.pos += 1,
+                Some(b'}') => {
+                    cur.pos += 1;
+                    break;
+                }
+                other => {
+                    return Err(format!(
+                        "expected `,` or `}}`, found `{}`",
+                        other.map(|c| c as char).unwrap_or('∅')
+                    ))
+                }
+            }
+        }
+    }
+    cur.skip_ws();
+    if cur.pos != cur.bytes.len() {
+        return Err(format!("trailing bytes after object at byte {}", cur.pos));
+    }
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_ints_strings_bools() {
+        let fields =
+            parse_flat(r#"{"seq":12,"ev":"route_step","responsible":false,"neg":-3}"#).unwrap();
+        assert_eq!(
+            fields,
+            vec![
+                ("seq".to_string(), JsonVal::Int(12)),
+                ("ev".to_string(), JsonVal::Str("route_step".to_string())),
+                ("responsible".to_string(), JsonVal::Bool(false)),
+                ("neg".to_string(), JsonVal::Int(-3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_escapes_and_empty_object() {
+        let fields = parse_flat(r#"{"k":"a\"b\\c"}"#).unwrap();
+        assert_eq!(fields[0].1, JsonVal::Str("a\"b\\c".to_string()));
+        assert!(parse_flat("{}").unwrap().is_empty());
+        assert_eq!(
+            parse_flat(r#"{"u":"A"}"#).unwrap()[0].1,
+            JsonVal::Str("A".to_string())
+        );
+    }
+
+    #[test]
+    fn rejects_floats_nesting_and_trailing_garbage() {
+        assert!(parse_flat(r#"{"x":1.5}"#).is_err());
+        assert!(parse_flat(r#"{"x":{"y":1}}"#).is_err());
+        assert!(parse_flat(r#"{"x":1} extra"#).is_err());
+        assert!(parse_flat(r#"{"x":1"#).is_err());
+        assert!(parse_flat("").is_err());
+    }
+}

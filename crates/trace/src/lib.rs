@@ -1,0 +1,40 @@
+//! # pgrid-trace — deterministic flight recorder
+//!
+//! A dependency-free, zero-cost-when-disabled event trace layer for the
+//! whole P-Grid stack. Every interesting protocol decision — an exchange
+//! classified into its Fig. 3 case, a Fig. 2 `route_step` choice, a replica
+//! fan-out during an update, a retransmission on the live node — can be
+//! recorded as a typed [`TraceEvent`] through the [`Tracer`] trait.
+//!
+//! Three rules keep traces useful as *evidence* rather than logs:
+//!
+//! 1. **Logical time only.** Events are stamped with a per-tracer sequence
+//!    number ([`Stamped::seq`]), never a wall clock. Two runs with the same
+//!    seed produce byte-identical traces regardless of machine, load, or
+//!    thread count (per-shard tracers are merged in task order, exactly
+//!    like `NetStats` shards — see [`merge_shards`]).
+//! 2. **Observation only.** Recording an event must not draw from any RNG
+//!    or otherwise perturb the traced computation. Call sites construct
+//!    events inside a closure that runs only when the tracer is enabled,
+//!    so a [`NullTracer`] costs one branch per site.
+//! 3. **Reconciliation by construction.** Every message charged to
+//!    `NetStats` also emits a [`TraceEvent::Message`], so a replayed trace
+//!    tallies to exactly the same per-kind counts — the analyzer
+//!    ([`summarize`]) cross-checks this and the workspace tests pin it.
+//!
+//! The JSONL encoding ([`encode_line`] / [`decode_line`]) is a flat,
+//! hand-rolled, stable format: one object per line, integer/bool/string
+//! fields only, no floats (floats would make byte-identity fragile).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analyze;
+mod event;
+mod json;
+mod tracer;
+
+pub use analyze::{first_divergence, summarize, HopChain, TraceSummary};
+pub use event::{decode_line, encode_line, CaseTag, MsgTag, OpTag, TraceEvent};
+pub use json::{parse_flat, JsonVal};
+pub use tracer::{merge_shards, FileTracer, NullTracer, RingTracer, Stamped, Tracer};

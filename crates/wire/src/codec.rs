@@ -13,6 +13,11 @@ pub enum CodecError {
     Truncated,
     /// A varint exceeded 64 bits.
     VarintOverflow,
+    /// A varint used more bytes than its value needs (non-canonical
+    /// encoding). Rejected so every value has exactly one wire form —
+    /// otherwise dedup-by-bytes and trace byte-identity could be defeated
+    /// by re-encoding.
+    VarintOverlong,
     /// Unknown message tag.
     UnknownTag(u8),
     /// A bit-path length byte exceeded 128.
@@ -26,6 +31,7 @@ impl std::fmt::Display for CodecError {
         match self {
             CodecError::Truncated => write!(f, "frame truncated"),
             CodecError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            CodecError::VarintOverlong => write!(f, "varint encoding is non-canonical"),
             CodecError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
             CodecError::BadPathLength(l) => write!(f, "bit-path length {l} exceeds 128"),
             CodecError::BadCollectionLength(l) => write!(f, "collection length {l} implausible"),
@@ -38,6 +44,22 @@ impl std::error::Error for CodecError {}
 /// Hard cap on collection lengths: nothing in the protocol legitimately
 /// ships more than this many elements in one message.
 const MAX_COLLECTION: u64 = 1 << 20;
+
+/// Validates a declared collection length against the absolute cap **and**
+/// the bytes actually left in the payload: every element occupies at least
+/// `min_elem_bytes` on the wire, so a count the remainder cannot possibly
+/// hold is corruption. Checking here keeps a corrupt 20-byte frame from
+/// pre-allocating megabytes via `Vec::with_capacity`.
+fn checked_len(n: u64, buf: &Bytes, min_elem_bytes: usize) -> Result<usize, CodecError> {
+    if n > MAX_COLLECTION {
+        return Err(CodecError::BadCollectionLength(n));
+    }
+    let n = n as usize;
+    if n.saturating_mul(min_elem_bytes) > buf.remaining() {
+        return Err(CodecError::BadCollectionLength(n as u64));
+    }
+    Ok(n)
+}
 
 /// Encodes `message` as one length-prefixed frame.
 pub fn encode_frame(message: &Message) -> Bytes {
@@ -178,11 +200,9 @@ fn decode_payload(buf: &mut Bytes) -> Result<Message, CodecError> {
         3 => {
             let id = read_varint(buf)?;
             let responsible = get_peer(buf)?;
-            let n = read_varint(buf)?;
-            if n > MAX_COLLECTION {
-                return Err(CodecError::BadCollectionLength(n));
-            }
-            let mut entries = Vec::with_capacity(n as usize);
+            // An entry is at least two 1-byte varints plus a 4-byte peer.
+            let n = checked_len(read_varint(buf)?, buf, 6)?;
+            let mut entries = Vec::with_capacity(n);
             for _ in 0..n {
                 entries.push(get_entry(buf)?);
             }
@@ -221,11 +241,8 @@ fn decode_payload(buf: &mut Bytes) -> Result<Message, CodecError> {
                 b => Some(b & 1),
             };
             let adopt_refs = get_level_refs(buf)?;
-            let n = read_varint(buf)?;
-            if n > MAX_COLLECTION {
-                return Err(CodecError::BadCollectionLength(n));
-            }
-            let mut recurse_with = Vec::with_capacity(n as usize);
+            let n = checked_len(read_varint(buf)?, buf, 4)?;
+            let mut recurse_with = Vec::with_capacity(n);
             for _ in 0..n {
                 recurse_with.push(get_peer(buf)?);
             }
@@ -335,18 +352,13 @@ fn put_level_refs(buf: &mut BytesMut, level_refs: &[(u16, Vec<PeerId>)]) {
 }
 
 fn get_level_refs(buf: &mut Bytes) -> Result<Vec<(u16, Vec<PeerId>)>, CodecError> {
-    let n = read_varint(buf)?;
-    if n > MAX_COLLECTION {
-        return Err(CodecError::BadCollectionLength(n));
-    }
-    let mut out = Vec::with_capacity(n as usize);
+    // A level entry is at least a 2-byte level plus a 1-byte count varint.
+    let n = checked_len(read_varint(buf)?, buf, 3)?;
+    let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         let level = get_u16(buf)?;
-        let m = read_varint(buf)?;
-        if m > MAX_COLLECTION {
-            return Err(CodecError::BadCollectionLength(m));
-        }
-        let mut refs = Vec::with_capacity(m as usize);
+        let m = checked_len(read_varint(buf)?, buf, 4)?;
+        let mut refs = Vec::with_capacity(m);
         for _ in 0..m {
             refs.push(get_peer(buf)?);
         }
@@ -522,6 +534,25 @@ mod tests {
         buf.put_u8(0);
         buf.put_u8(0);
         assert_eq!(decode_frame(&mut buf), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn implausible_collection_length_is_rejected_cheaply() {
+        // A QueryOk frame claiming a million entries with none attached:
+        // the declared count exceeds what the remaining bytes could hold,
+        // so it must be refused before any Vec::with_capacity.
+        let mut payload = BytesMut::new();
+        payload.put_u8(3); // tag
+        write_varint(&mut payload, 1); // id
+        payload.put_u32_le(0); // responsible
+        write_varint(&mut payload, 1_000_000); // entry count, no entries
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(payload.len() as u32);
+        buf.extend_from_slice(&payload);
+        assert_eq!(
+            decode_frame(&mut buf),
+            Err(CodecError::BadCollectionLength(1_000_000))
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@ pub fn write_varint(buf: &mut impl BufMut, mut value: u64) {
     }
 }
 
-/// Reads an unsigned LEB128 varint.
+/// Reads an unsigned LEB128 varint, accepting only the **canonical**
+/// encoding: at most 10 bytes, no bits beyond the 64th, and no trailing
+/// zero continuation (every value has exactly one wire form, so `[0x80,
+/// 0x00]` is rejected rather than silently read as `0`).
 pub fn read_varint(buf: &mut impl Buf) -> Result<u64, CodecError> {
     let mut value = 0u64;
     let mut shift = 0u32;
@@ -27,7 +30,14 @@ pub fn read_varint(buf: &mut impl Buf) -> Result<u64, CodecError> {
         }
         let byte = buf.get_u8();
         if shift == 63 && byte > 1 {
+            // 10th byte: only bit 64 may still be set; a continuation bit
+            // here would run past 10 bytes, a payload above 1 past 64 bits.
             return Err(CodecError::VarintOverflow);
+        }
+        if byte == 0 && shift > 0 {
+            // A terminal zero after at least one byte adds nothing: the
+            // same value has a shorter encoding (overlong, e.g. [0x80,0x00]).
+            return Err(CodecError::VarintOverlong);
         }
         value |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
@@ -84,5 +94,73 @@ mod tests {
         let bytes = [0xffu8; 10];
         let mut buf = &bytes[..];
         assert_eq!(read_varint(&mut buf), Err(CodecError::VarintOverflow));
+    }
+
+    #[test]
+    fn sign_bit_boundaries() {
+        // 2^63 − 1 is the largest 9-byte value; 2^63 and 2^63 + 1 need the
+        // 10th byte, whose payload may only be 0 or 1.
+        assert_eq!(round_trip((1u64 << 63) - 1), 9);
+        assert_eq!(round_trip(1u64 << 63), 10);
+        assert_eq!(round_trip((1u64 << 63) + 1), 10);
+    }
+
+    #[test]
+    fn tenth_byte_payload_above_one_overflows() {
+        // Canonical u64::MAX ends in 0x01; raising that terminal byte
+        // claims bits 64+ and must be rejected, not silently wrapped.
+        let mut buf = BytesMut::new();
+        write_varint(&mut buf, u64::MAX);
+        let mut bytes = buf.to_vec();
+        assert_eq!(*bytes.last().unwrap(), 0x01);
+        for bad in [0x02u8, 0x03, 0x7f] {
+            *bytes.last_mut().unwrap() = bad;
+            let mut cursor = &bytes[..];
+            assert_eq!(read_varint(&mut cursor), Err(CodecError::VarintOverflow));
+        }
+    }
+
+    #[test]
+    fn overlong_zero_is_rejected() {
+        // Zero has exactly one canonical form: the single byte 0x00.
+        let mut single = &[0x00u8][..];
+        assert_eq!(read_varint(&mut single), Ok(0));
+        for overlong in [
+            &[0x80u8, 0x00][..],
+            &[0x80, 0x80, 0x00][..],
+            &[0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x00][..],
+        ] {
+            let mut cursor = overlong;
+            assert_eq!(read_varint(&mut cursor), Err(CodecError::VarintOverlong));
+        }
+    }
+
+    #[test]
+    fn overlong_nonzero_is_rejected() {
+        // 127 padded to two bytes: [0xff, 0x00] decodes to the same value
+        // as [0x7f] and must be refused.
+        let mut cursor = &[0xffu8, 0x00][..];
+        assert_eq!(read_varint(&mut cursor), Err(CodecError::VarintOverlong));
+    }
+
+    #[test]
+    fn every_truncation_of_a_max_length_varint_errors() {
+        let mut buf = BytesMut::new();
+        write_varint(&mut buf, u64::MAX);
+        let bytes = buf.freeze();
+        for len in 0..bytes.len() {
+            let mut short = bytes.slice(0..len);
+            assert_eq!(read_varint(&mut short), Err(CodecError::Truncated));
+        }
+    }
+
+    #[test]
+    fn canonical_encodings_round_trip_near_every_boundary() {
+        for shift in 0..64u32 {
+            let v = 1u64 << shift;
+            round_trip(v);
+            round_trip(v - 1);
+            round_trip(v | 1);
+        }
     }
 }

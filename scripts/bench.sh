@@ -60,4 +60,16 @@ else
     echo "No committed allocs_per_query baseline; regression guard skipped."
 fi
 
+python3 - <<'EOF'
+import json
+with open("BENCH_engine.json") as f:
+    r = json.load(f)
+pct = r.get("trace_overhead_pct")
+if pct is not None:
+    print(f"flight-recorder overhead when recording: {pct:+.1f}% "
+          f"(untraced {r.get('untraced_qps'):.0f} qps vs recording "
+          f"{r.get('recording_qps'):.0f} qps; disabled tracing costs one "
+          f"branch per site)")
+EOF
+
 echo "Benchmark written to BENCH_engine.json."

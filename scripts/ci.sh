@@ -24,6 +24,22 @@ cargo test -q
 echo "==> sim/live differential determinism (two fixed seeds)"
 cargo test --release --test differential_sim_node
 
+echo "==> golden trace (record twice, byte-compare; diff across seeds)"
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "${trace_dir}"' EXIT
+cargo run --release -p pgrid-cli --bin pgrid -- trace record --n 128 --maxl 4 \
+    --queries 200 --shards 4 --seed 11 --out "${trace_dir}/a.jsonl"
+cargo run --release -p pgrid-cli --bin pgrid -- trace record --n 128 --maxl 4 \
+    --queries 200 --shards 4 --threads 4 --seed 11 --out "${trace_dir}/b.jsonl"
+cmp "${trace_dir}/a.jsonl" "${trace_dir}/b.jsonl" \
+    || { echo "FATAL: same-seed traces differ across thread counts"; exit 1; }
+cargo run --release -p pgrid-cli --bin pgrid -- trace record --n 128 --maxl 4 \
+    --queries 200 --shards 4 --seed 12 --out "${trace_dir}/c.jsonl"
+cargo run --release -p pgrid-cli --bin pgrid -- trace diff \
+    --a "${trace_dir}/a.jsonl" --b "${trace_dir}/c.jsonl" \
+    | grep -q "first divergence" \
+    || { echo "FATAL: trace diff failed to separate two seeds"; exit 1; }
+
 if [[ "${1:-}" != "quick" ]]; then
     echo "==> chaos suite (fault injection, three fixed seeds)"
     cargo test --release --test live_chaos -- --nocapture

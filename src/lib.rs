@@ -17,7 +17,9 @@
 //! * [`core`] — the P-Grid itself: construction, search, updates, analysis;
 //! * [`baselines`] — Gnutella flooding and central-server comparators;
 //! * [`node`] — the live actor deployment;
-//! * [`sim`] — the paper's experiment suite.
+//! * [`sim`] — the paper's experiment suite;
+//! * [`trace`] — the deterministic flight recorder (typed events, logical
+//!   time, JSONL replay and trace diffing).
 //!
 //! ```
 //! use pgrid::core::{BuildOptions, Ctx, PGrid, PGridConfig};
@@ -43,4 +45,5 @@ pub use pgrid_node as node;
 pub use pgrid_proto as proto;
 pub use pgrid_sim as sim;
 pub use pgrid_store as store;
+pub use pgrid_trace as trace;
 pub use pgrid_wire as wire;
