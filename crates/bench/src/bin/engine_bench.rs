@@ -10,6 +10,11 @@
 //! must stay at 0.0 — `scripts/bench.sh` guards regressions). Without the
 //! feature those fields are `null`.
 //!
+//! The report also includes a `stabilization` block: the corruption
+//! injection + self-stabilization experiment (DESIGN.md §12) timed
+//! end-to-end, with rounds-to-clean-audit and query-success recovery. The
+//! binary exits non-zero if stabilization fails to converge.
+//!
 //! ```text
 //! engine_bench [--quick] [--out PATH]
 //! ```
@@ -22,6 +27,7 @@ use pgrid_core::Ctx;
 use pgrid_keys::BitPath;
 use pgrid_net::AlwaysOnline;
 use pgrid_sim::experiments::engine::{run, Config};
+use pgrid_sim::experiments::selfstab;
 use pgrid_sim::{run_query_plan, run_query_plan_traced, QueryPlan};
 
 #[cfg(feature = "count-allocs")]
@@ -110,6 +116,49 @@ fn measure_trace_overhead(cfg: &Config) -> (f64, f64, bool) {
     (untraced_qps, recording_qps, identical)
 }
 
+/// Self-stabilization cost: corrupt a converged grid with every corruption
+/// class and time the convergence back to a clean invariant audit
+/// (DESIGN.md §12). Returns the JSON fragment for the report plus whether
+/// the run actually converged with query success restored.
+fn measure_stabilization(quick: bool) -> (serde_json::Value, bool) {
+    let cfg = if quick {
+        selfstab::Config::small()
+    } else {
+        selfstab::Config::default()
+    };
+    let t = Instant::now();
+    let (rows, _) = selfstab::run(&cfg);
+    let secs = t.elapsed().as_secs_f64();
+    let first = rows.first().expect("at least the damage row");
+    let last = rows.last().expect("at least the damage row");
+    let detected: u64 = rows.iter().map(|r| r.detected).sum();
+    let corrections: u64 = rows.iter().map(|r| r.corrections).sum();
+    let converged = last.violations_remaining == 0
+        && last.success_rate >= last.success_baseline - 0.02;
+    println!(
+        "stabilization: {} violations -> 0 in {} rounds ({detected} detected, \
+         {corrections} corrections, success {:.3} -> {:.3} vs baseline {:.3}) in {secs:.2}s",
+        first.violations_remaining,
+        last.round,
+        first.success_rate,
+        last.success_rate,
+        last.success_baseline
+    );
+    let fragment = serde_json::json!({
+        "n": cfg.n,
+        "fraction_per_class": cfg.fraction,
+        "initial_violations": first.violations_remaining,
+        "rounds_to_clean": last.round,
+        "violations_detected": detected,
+        "corrections_applied": corrections,
+        "success_baseline": last.success_baseline,
+        "success_after_damage": first.success_rate,
+        "success_after_repair": last.success_rate,
+        "secs": secs,
+    });
+    (fragment, converged)
+}
+
 fn main() {
     let mut quick = false;
     let mut out = PathBuf::from("BENCH_engine.json");
@@ -140,6 +189,7 @@ fn main() {
     };
 
     let (untraced_qps, recording_qps, traced_identical) = measure_trace_overhead(&cfg);
+    let (stabilization, stabilization_converged) = measure_stabilization(quick);
 
     let all_identical = rows.iter().all(|r| r.identical);
     let serial_qps = rows.first().map_or(0.0, |r| r.qps);
@@ -168,6 +218,7 @@ fn main() {
         "alloc_counter_enabled": alloc_count::ENABLED,
         "allocs_per_query": alloc_metrics.map(|(q, _)| q),
         "allocs_per_exchange": alloc_metrics.map(|(_, x)| x),
+        "stabilization": stabilization,
         "rows": rows,
     });
     std::fs::write(&out, format!("{:#}\n", report)).expect("write benchmark JSON");
@@ -179,6 +230,10 @@ fn main() {
     }
     if !traced_identical {
         eprintln!("FATAL: a traced run diverged from the untraced reference");
+        std::process::exit(1);
+    }
+    if !stabilization_converged {
+        eprintln!("FATAL: self-stabilization failed to converge with query success restored");
         std::process::exit(1);
     }
 }

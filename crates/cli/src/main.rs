@@ -14,7 +14,7 @@ use std::process::ExitCode;
 
 use pgrid_core::GridSizing;
 use pgrid_sim::experiments::{
-    ablation, caching, f4, f5, flooding, latency, mixed, repair, s52_search, s6_scaling, sizing,
+    ablation, caching, f4, f5, flooding, latency, mixed, repair, s52_search, s6_scaling, selfstab, sizing,
     skew, t1, t2, t3, t4t5, t6, timeline, variance,
 };
 use pgrid_sim::Table;
@@ -71,6 +71,7 @@ experiments:
   sizing    the section-4 Gnutella sizing example
   skew      index imbalance under skewed keys
   repair    failure injection + self-repair of reference tables
+  selfstab  corruption injection + self-stabilization to a clean audit
   timeline  event-driven construction under session churn
   caching   client result caching under zipf query traffic
   latency   end-to-end search latency under delay models
@@ -598,6 +599,17 @@ fn run_experiment(id: &str, opts: &Options) -> Result<(), String> {
             }
             emit(&repair::run(&cfg).1, opts.format);
         }
+        "selfstab" => {
+            let mut cfg = if small {
+                selfstab::Config::small()
+            } else {
+                selfstab::Config::default()
+            };
+            if let Some(s) = opts.seed {
+                cfg.seed = s;
+            }
+            emit(&selfstab::run(&cfg).1, opts.format);
+        }
         "timeline" => {
             let mut cfg = if small {
                 timeline::Config::small()
@@ -663,7 +675,8 @@ fn run_experiment(id: &str, opts: &Options) -> Result<(), String> {
         "all" => {
             for id in [
                 "t1", "t2", "t3", "t4", "f4", "search", "f5", "t6", "scaling", "flooding",
-                "sizing", "skew", "repair", "timeline", "caching", "latency", "variance", "mixed", "ablation",
+                "sizing", "skew", "repair", "selfstab", "timeline", "caching", "latency", "variance", "mixed",
+                "ablation",
             ] {
                 run_experiment(id, opts)?;
             }

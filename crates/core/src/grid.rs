@@ -91,6 +91,26 @@ impl PGrid {
         self.path_len_sum += n;
     }
 
+    /// **Fault injection**: replaces a peer's path wholesale, keeping the
+    /// running length sum honest. Normal operation only ever *grows* paths;
+    /// this exists so corruption experiments (and the stabilizer's own path
+    /// re-derivation) can model arbitrary state damage.
+    pub fn overwrite_peer_path(&mut self, id: PeerId, path: BitPath) {
+        let old = self.peers[id.index()].path().len() as u64;
+        self.peers[id.index()].set_path(path);
+        self.path_len_sum = self.path_len_sum - old + path.len() as u64;
+    }
+
+    /// **Fault injection**: replaces one level's reference set wholesale
+    /// (duplicates are dropped, no bound is applied). Corruption
+    /// experiments use this to plant wrong references; nothing in the
+    /// protocols calls it.
+    pub fn overwrite_peer_refs(&mut self, id: PeerId, level: usize, refs: &[PeerId]) {
+        self.peers[id.index()]
+            .routing_mut()
+            .set_level(level, crate::routing::RefSet::from_ids(refs.iter().copied()));
+    }
+
     /// Total path bits across the community — the numerator of
     /// [`PGrid::avg_path_len`], reported per round by the flight recorder.
     pub(crate) fn path_len_sum(&self) -> u64 {

@@ -43,6 +43,7 @@ mod config;
 mod ctx;
 mod exchange;
 mod grid;
+mod invariants;
 mod metrics;
 mod peer;
 mod range;
@@ -62,10 +63,11 @@ pub use builder::{BuildOptions, BuildReport};
 pub use config::PGridConfig;
 pub use ctx::{Ctx, OwnedCtx};
 pub use grid::PGrid;
+pub use invariants::Violation;
 pub use metrics::GridMetrics;
 pub use peer::{IndexEntry, Peer};
 pub use range::RangeOutcome;
-pub use repair::RepairReport;
+pub use repair::{RepairReport, StabilizeReport};
 pub use routing::{RefSet, RoutingTable};
 pub use scratch::Scratch;
 pub use search::SearchOutcome;

@@ -81,6 +81,14 @@ impl Peer {
         self.path = self.path.child(bit);
     }
 
+    /// Replaces the path wholesale. Reserved for fault injection and the
+    /// stabilizer's path re-derivation — normal protocol operation only
+    /// extends paths. Callers go through [`crate::PGrid::overwrite_peer_path`]
+    /// so the grid's running length sum stays honest.
+    pub(crate) fn set_path(&mut self, path: BitPath) {
+        self.path = path;
+    }
+
     /// `true` when this peer must be able to answer queries for `key`.
     pub fn responsible_for(&self, key: &Key) -> bool {
         self.path.responsible_for(key)
@@ -140,6 +148,12 @@ impl Peer {
         if buddy != self.id {
             self.buddies.insert(buddy);
         }
+    }
+
+    /// Forgets a recorded buddy. Returns whether it was present. Used by
+    /// the stabilizer when a buddy's path is found to disagree.
+    pub(crate) fn remove_buddy(&mut self, buddy: PeerId) -> bool {
+        self.buddies.remove(&buddy)
     }
 
     /// Known buddies.

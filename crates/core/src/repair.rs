@@ -13,11 +13,21 @@
 //! Both steps use only the peer's own information plus the ordinary search
 //! primitive — no central membership service, in keeping with the paper's
 //! locality principle.
+//!
+//! [`PGrid::stabilize_peer`] extends maintenance into **self-stabilization**:
+//! starting from an *arbitrarily corrupted* state (wrong references, orphaned
+//! paths, inconsistent replica sets, junk hosted items), each peer audits
+//! itself ([`PGrid::audit_peer`]), applies local corrective actions for every
+//! violation class, and then runs the ordinary repair round to regrow what
+//! the corrections removed. Repeated rounds drive the audit to zero — the
+//! corruption-convergence experiments pin the bound.
 
 use pgrid_keys::BitPath;
 use pgrid_net::{MsgKind, PeerId};
+use pgrid_trace::{TraceEvent, ViolationTag};
 use serde::{Deserialize, Serialize};
 
+use crate::invariants::Violation;
 use crate::{Ctx, PGrid};
 
 /// Outcome of one or more maintenance rounds.
@@ -43,6 +53,58 @@ impl RepairReport {
     }
 }
 
+/// Outcome of one or more self-stabilization rounds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StabilizeReport {
+    /// Invariant violations the audit detected.
+    pub violations: u64,
+    /// Invalid references evicted (self, shallow, wrong-prefix, same-side,
+    /// beyond-path, or overfull-level trims).
+    pub refs_evicted: u64,
+    /// Paths truncated to `maxl` or re-derived from hosted data.
+    pub paths_corrected: u64,
+    /// Foreign index entries handed to a responsible peer (or flagged for
+    /// anti-entropy when none was reachable).
+    pub entries_rehomed: u64,
+    /// Buddies dropped for disagreeing on the path.
+    pub buddies_dropped: u64,
+    /// The ordinary maintenance pass run after the corrections, including
+    /// any bootstrap re-join probes.
+    pub repair: RepairReport,
+}
+
+impl StabilizeReport {
+    /// Accumulates another report.
+    pub fn merge(&mut self, other: StabilizeReport) {
+        self.violations += other.violations;
+        self.refs_evicted += other.refs_evicted;
+        self.paths_corrected += other.paths_corrected;
+        self.entries_rehomed += other.entries_rehomed;
+        self.buddies_dropped += other.buddies_dropped;
+        self.repair.merge(other.repair);
+    }
+
+    /// Total corrective actions applied (not counting the repair refill).
+    pub fn corrections(&self) -> u64 {
+        self.refs_evicted + self.paths_corrected + self.entries_rehomed + self.buddies_dropped
+    }
+}
+
+/// The trace tag mirroring a [`Violation`] class.
+fn tag_of(v: &Violation) -> ViolationTag {
+    match v {
+        Violation::PathTooLong { .. } => ViolationTag::PathTooLong,
+        Violation::ReferenceBeyondPath { .. } => ViolationTag::BeyondPath,
+        Violation::OverfullLevel { .. } => ViolationTag::Overfull,
+        Violation::SelfReference { .. } => ViolationTag::SelfRef,
+        Violation::ShallowReference { .. } => ViolationTag::ShallowRef,
+        Violation::PrefixMismatch { .. } => ViolationTag::PrefixMismatch,
+        Violation::SameSideReference { .. } => ViolationTag::SameSide,
+        Violation::ReplicaPathMismatch { .. } => ViolationTag::ReplicaMismatch,
+        Violation::ForeignEntry { .. } => ViolationTag::ForeignEntry,
+    }
+}
+
 impl PGrid {
     /// One maintenance round for a single peer: probe every reference, drop
     /// the dead, refill levels holding fewer than `target_fill` live
@@ -55,6 +117,15 @@ impl PGrid {
         let refmax = self.config().refmax;
         let target = target_fill.min(refmax);
         let path = self.peer(id).path();
+
+        // An unspecialized peer has no levels to maintain; a peer whose
+        // table is entirely empty has nothing to probe and no reference to
+        // route a refill search past its own horizon. Both get a zeroed
+        // report instead of burning probes (the stabilizer bootstraps the
+        // latter back into the community first).
+        if path.is_empty() || self.peer(id).routing().total_refs() == 0 {
+            return report;
+        }
 
         // Phase 1: probe and prune.
         for level in 1..=path.len() {
@@ -142,6 +213,258 @@ impl PGrid {
                 report.merge(self.repair_peer(id, target_fill, ctx));
             }
         }
+        report
+    }
+
+    /// One self-stabilization round for a single peer: audit, correct,
+    /// re-join if stranded, then run the ordinary maintenance pass.
+    ///
+    /// Corrections are **purely local** — they consult only the peer's own
+    /// state plus paths it already knows — and deterministic: a valid peer
+    /// is left byte-identical (and costs no randomness beyond what
+    /// [`PGrid::repair_peer`] itself draws). Every corrective step is
+    /// recorded by the flight recorder, so a trace of a chaos run names
+    /// each violation found and each action taken.
+    pub fn stabilize_peer(
+        &mut self,
+        id: PeerId,
+        target_fill: usize,
+        ctx: &mut Ctx<'_>,
+    ) -> StabilizeReport {
+        let mut report = StabilizeReport::default();
+        let maxl = self.config().maxl;
+        let refmax = self.config().refmax;
+
+        let mut violations = Vec::new();
+        self.audit_peer(id, &mut violations);
+        report.violations = violations.len() as u64;
+        for v in &violations {
+            ctx.trace(|| TraceEvent::ViolationFound {
+                peer: id.0 as u64,
+                kind: tag_of(v),
+                level: v.level() as u32,
+            });
+        }
+
+        if !violations.is_empty() {
+            // Path corrections first: every later sweep validates against
+            // the *corrected* path.
+            let path = self.peer(id).path();
+            if path.len() > maxl {
+                let truncated = path.prefix(maxl);
+                self.overwrite_peer_path(id, truncated);
+                report.paths_corrected += 1;
+                ctx.trace(|| TraceEvent::PathRederived {
+                    peer: id.0 as u64,
+                    from_len: path.len() as u32,
+                    to_len: truncated.len() as u32,
+                });
+            }
+            // An orphaned path — every hosted entry foreign, no custody
+            // flag — means the path itself is the corrupted datum. The
+            // hosted keys are the best local evidence of the true path:
+            // re-derive it as their longest common prefix.
+            let path = self.peer(id).path();
+            if !self.peer(id).has_misplaced() && !self.peer(id).index().is_empty() {
+                let mut derived: Option<BitPath> = None;
+                let mut all_foreign = true;
+                self.peer(id).index().for_each_under(&BitPath::EMPTY, |key, _| {
+                    if path.responsible_for(&key) {
+                        all_foreign = false;
+                    }
+                    derived = Some(match derived {
+                        None => key,
+                        Some(d) => d.common_prefix(&key),
+                    });
+                });
+                if all_foreign {
+                    if let Some(d) = derived {
+                        let new_path = d.prefix(d.len().min(maxl));
+                        self.overwrite_peer_path(id, new_path);
+                        report.paths_corrected += 1;
+                        ctx.trace(|| TraceEvent::PathRederived {
+                            peer: id.0 as u64,
+                            from_len: path.len() as u32,
+                            to_len: new_path.len() as u32,
+                        });
+                    }
+                }
+            }
+
+            // Reference sweeps against the corrected path. Validity uses
+            // only locally known paths; eviction is deterministic, so a
+            // clean table is untouched.
+            let path = self.peer(id).path();
+            let depth = self.peer(id).routing().depth();
+            for level in 1..=depth {
+                let refs: Vec<PeerId> =
+                    self.peer(id).routing().level(level).as_slice().to_vec();
+                let mut evict: Vec<PeerId> = Vec::new();
+                if level > path.len() {
+                    evict = refs;
+                } else {
+                    for &r in &refs {
+                        let valid = r != id && {
+                            let other = self.peer(r).path();
+                            other.len() >= level
+                                && other.prefix(level - 1) == path.prefix(level - 1)
+                                && other.bit(level - 1) != path.bit(level - 1)
+                        };
+                        if !valid {
+                            evict.push(r);
+                        }
+                    }
+                }
+                for r in evict {
+                    self.peer_mut(id).routing_mut().level_mut(level).remove(r);
+                    report.refs_evicted += 1;
+                    ctx.trace(|| TraceEvent::RefEvicted {
+                        peer: id.0 as u64,
+                        level: level as u32,
+                        target: r.0 as u64,
+                    });
+                }
+                // Trim an overfull level deterministically from the back
+                // (the front holds the older, battle-tested references).
+                while self.peer(id).routing().level(level).len() > refmax {
+                    let r = *self
+                        .peer(id)
+                        .routing()
+                        .level(level)
+                        .as_slice()
+                        .last()
+                        .expect("level is overfull, so non-empty");
+                    self.peer_mut(id).routing_mut().level_mut(level).remove(r);
+                    report.refs_evicted += 1;
+                    ctx.trace(|| TraceEvent::RefEvicted {
+                        peer: id.0 as u64,
+                        level: level as u32,
+                        target: r.0 as u64,
+                    });
+                }
+            }
+
+            // Replica-set sweep: a buddy claiming a different path is not a
+            // replica; drop the record (the buddy drops us symmetrically in
+            // its own round).
+            let path = self.peer(id).path();
+            let bad_buddies: Vec<PeerId> = self
+                .peer(id)
+                .buddies()
+                .filter(|&b| self.peer(b).path() != path)
+                .collect();
+            for b in bad_buddies {
+                self.peer_mut(id).remove_buddy(b);
+                report.buddies_dropped += 1;
+                ctx.trace(|| TraceEvent::BuddyDropped {
+                    peer: id.0 as u64,
+                    buddy: b.0 as u64,
+                });
+            }
+
+            // Data sweep: hand each remaining foreign entry to a peer that
+            // is actually responsible, found with the ordinary search. When
+            // nobody answers, keep custody and raise the misplaced flag so
+            // the exchange protocol's anti-entropy finishes the job.
+            if !self.peer(id).has_misplaced() {
+                let path = self.peer(id).path();
+                let mut foreign: Vec<pgrid_keys::Key> = Vec::new();
+                self.peer(id).index().for_each_under(&BitPath::EMPTY, |key, _| {
+                    if !path.responsible_for(&key) {
+                        foreign.push(key);
+                    }
+                });
+                for key in foreign {
+                    let found = self.search(id, &key, ctx);
+                    report.repair.search_messages += found.messages;
+                    match found.responsible {
+                        Some(t) if t != id => {
+                            let entries = self
+                                .peer_mut(id)
+                                .index_mut()
+                                .remove(&key)
+                                .unwrap_or_default();
+                            ctx.message(MsgKind::Update);
+                            for e in entries {
+                                self.peer_mut(t).index_insert(key, e);
+                            }
+                            report.entries_rehomed += 1;
+                            ctx.trace(|| TraceEvent::EntryRehomed {
+                                peer: id.0 as u64,
+                                to: t.0 as i64,
+                                key: key.to_bit_string(),
+                            });
+                        }
+                        _ => {
+                            self.peer_mut(id).set_misplaced(true);
+                            report.entries_rehomed += 1;
+                            ctx.trace(|| TraceEvent::EntryRehomed {
+                                peer: id.0 as u64,
+                                to: -1,
+                                key: key.to_bit_string(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Bootstrap re-join: a specialized peer whose table was entirely
+        // evicted (or corrupted away) cannot refill through its own
+        // references. Probe a few random community members; the first live
+        // one whose path diverges from ours yields a valid reference at the
+        // divergence level, and the ordinary refill takes it from there.
+        let mut boot = RepairReport::default();
+        let path = self.peer(id).path();
+        if !path.is_empty() && self.peer(id).routing().total_refs() == 0 {
+            for _ in 0..4 {
+                let b = self.random_peer(ctx);
+                if b == id {
+                    continue;
+                }
+                boot.probes += 1;
+                if !ctx.contact(b) {
+                    continue;
+                }
+                ctx.message(MsgKind::Control);
+                let bpath = self.peer(b).path();
+                let lc = path.common_prefix_len(&bpath);
+                if bpath.len() > lc && path.len() > lc {
+                    self.peer_mut(id)
+                        .routing_mut()
+                        .level_mut(lc + 1)
+                        .insert_bounded(b, refmax, ctx.rng);
+                    boot.added += 1;
+                    break;
+                }
+            }
+        }
+
+        let mut repair = self.repair_peer(id, target_fill, ctx);
+        repair.merge(boot);
+        report.repair = repair;
+
+        ctx.stats.violations_detected += report.violations;
+        ctx.stats.repairs_applied += report.corrections();
+        report
+    }
+
+    /// Runs [`PGrid::stabilize_peer`] for every *reachable* peer, in peer
+    /// order, and records one [`TraceEvent::StabilizeRound`] summarizing the
+    /// round. Repeated rounds converge: once the audit is clean everywhere,
+    /// further rounds apply zero corrections.
+    pub fn stabilize_round(&mut self, target_fill: usize, ctx: &mut Ctx<'_>) -> StabilizeReport {
+        let mut report = StabilizeReport::default();
+        for i in 0..self.len() {
+            let id = PeerId::from_index(i);
+            if ctx.online.is_online(id, ctx.rng) {
+                report.merge(self.stabilize_peer(id, target_fill, ctx));
+            }
+        }
+        ctx.trace(|| TraceEvent::StabilizeRound {
+            violations: report.violations,
+            corrections: report.corrections(),
+        });
         report
     }
 }
@@ -280,6 +603,170 @@ mod tests {
         };
         assert!(report.added > 0, "refill should find replacements");
         grid.check_invariants().unwrap();
+    }
+
+    /// Builds a small converged grid under `AlwaysOnline`.
+    fn healthy_grid(n: usize, maxl: usize, refmax: usize, seed: u64) -> (PGrid, StdRng, NetStats) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stats = NetStats::new();
+        let mut grid = PGrid::new(
+            n,
+            PGridConfig {
+                maxl,
+                refmax,
+                ..PGridConfig::default()
+            },
+        );
+        {
+            let mut online = AlwaysOnline;
+            let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+            assert!(grid.build(&BuildOptions::default(), &mut ctx).reached_threshold);
+        }
+        (grid, rng, stats)
+    }
+
+    #[test]
+    fn repair_skips_peer_with_empty_path() {
+        // A fresh grid: every peer still sits at the root with no table.
+        let mut grid = PGrid::new(8, PGridConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut online = AlwaysOnline;
+        let mut stats = NetStats::new();
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        let report = grid.repair_peer(PeerId(0), 2, &mut ctx);
+        assert_eq!(report, RepairReport::default());
+        assert_eq!(stats.total(), 0, "no probes for an unspecialized peer");
+        assert_eq!(stats.contact_attempts, 0);
+    }
+
+    #[test]
+    fn repair_skips_peer_with_emptied_table() {
+        let (mut grid, mut rng, mut stats) = healthy_grid(64, 4, 2, 9);
+        let victim = PeerId(0);
+        assert!(!grid.peer(victim).path().is_empty());
+        let depth = grid.peer(victim).routing().depth();
+        for level in 1..=depth {
+            grid.overwrite_peer_refs(victim, level, &[]);
+        }
+        let before_msgs = stats.total();
+        let before_contacts = stats.contact_attempts;
+        let mut online = AlwaysOnline;
+        let report = {
+            let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+            grid.repair_peer(victim, 2, &mut ctx)
+        };
+        assert_eq!(report, RepairReport::default());
+        assert_eq!(stats.total(), before_msgs, "no messages without a single reference");
+        assert_eq!(stats.contact_attempts, before_contacts);
+    }
+
+    #[test]
+    fn stabilize_bootstraps_fully_evicted_peer() {
+        let (mut grid, mut rng, mut stats) = healthy_grid(64, 4, 2, 10);
+        let victim = PeerId(0);
+        let depth = grid.peer(victim).routing().depth();
+        for level in 1..=depth {
+            grid.overwrite_peer_refs(victim, level, &[]);
+        }
+        let mut online = AlwaysOnline;
+        for _ in 0..3 {
+            let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+            grid.stabilize_peer(victim, 2, &mut ctx);
+        }
+        assert!(
+            grid.peer(victim).routing().total_refs() > 0,
+            "a stranded peer must be re-joined, not abandoned"
+        );
+        let mut v = Vec::new();
+        grid.audit_peer(victim, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn stabilize_converges_from_each_corruption_class() {
+        let (mut grid, mut rng, mut stats) = healthy_grid(128, 4, 2, 11);
+        // Seed some data so path re-derivation has evidence to work with.
+        {
+            let mut online = AlwaysOnline;
+            let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+            for i in 0..64u64 {
+                let key = BitPath::from_value(i * 97 % 256, 8);
+                let entry = crate::IndexEntry {
+                    item: pgrid_store::ItemId(i),
+                    holder: grid.random_peer(&mut ctx),
+                    version: pgrid_store::Version(0),
+                };
+                grid.seed_index(key, entry);
+            }
+        }
+        assert!(grid.audit().is_empty(), "seeded grid starts clean");
+
+        // One victim per corruption class.
+        let a = PeerId(0); // wrong (same-side) reference
+        let b = PeerId(1); // junk hosted item
+        let c = PeerId(2); // inconsistent replica set
+        let d = PeerId(3); // orphaned (flipped) path
+        let e = PeerId(4); // self-reference
+        let same_side = grid
+            .peers()
+            .find(|p| {
+                p.id() != a && !p.path().is_empty() && p.path().bit(0) == grid.peer(a).path().bit(0)
+            })
+            .map(|p| p.id())
+            .unwrap();
+        grid.overwrite_peer_refs(a, 1, &[same_side]);
+        let junk = grid.peer(b).path().with_flipped(0);
+        grid.peer_mut(b).index_insert(
+            junk,
+            crate::IndexEntry {
+                item: pgrid_store::ItemId(999),
+                holder: b,
+                version: pgrid_store::Version(0),
+            },
+        );
+        let not_replica = grid
+            .peers()
+            .find(|p| p.id() != c && p.path() != grid.peer(c).path())
+            .map(|p| p.id())
+            .unwrap();
+        grid.peer_mut(c).add_buddy(not_replica);
+        let flipped = grid.peer(d).path().with_flipped(0);
+        grid.overwrite_peer_path(d, flipped);
+        grid.overwrite_peer_refs(e, 1, &[e]);
+
+        assert!(!grid.audit().is_empty(), "corruption registers");
+
+        let mut online = AlwaysOnline;
+        let mut rounds = 0;
+        loop {
+            let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+            grid.stabilize_round(2, &mut ctx);
+            rounds += 1;
+            if grid.audit().is_empty() {
+                break;
+            }
+            assert!(rounds < 6, "must converge within 5 rounds: {:?}", grid.audit());
+        }
+        grid.check_invariants().unwrap();
+        assert!(stats.violations_detected > 0);
+        assert!(stats.repairs_applied > 0);
+    }
+
+    #[test]
+    fn stabilize_on_healthy_grid_detects_nothing() {
+        let (mut grid, mut rng, mut stats) = healthy_grid(128, 4, 2, 12);
+        let snapshot: Vec<BitPath> = grid.peers().map(|p| p.path()).collect();
+        let mut online = AlwaysOnline;
+        let report = {
+            let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+            grid.stabilize_round(1, &mut ctx)
+        };
+        assert_eq!(report.violations, 0);
+        assert_eq!(report.corrections(), 0);
+        assert_eq!(stats.violations_detected, 0);
+        assert_eq!(stats.repairs_applied, 0);
+        let after: Vec<BitPath> = grid.peers().map(|p| p.path()).collect();
+        assert_eq!(snapshot, after, "stabilization must not move a valid grid");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! survive *arbitrary* meeting schedules, search never lies, and the
 //! exchange accounting is exact.
 
-use pgrid_core::{Ctx, IndexEntry, PGrid, PGridConfig};
+use pgrid_core::{BuildOptions, Ctx, IndexEntry, PGrid, PGridConfig};
 use pgrid_keys::BitPath;
 use pgrid_net::{AlwaysOnline, BernoulliOnline, MsgKind, NetStats, PeerId};
 use pgrid_store::{ItemId, Version};
@@ -227,6 +227,16 @@ proptest! {
     }
 
     #[test]
+    fn any_meeting_schedule_audits_clean(s in scenario()) {
+        // The local invariant audit is a refinement of check_invariants:
+        // whatever meetings produced, no peer may see a violation in its
+        // own state (no data is seeded here, so no custody flags either).
+        let (grid, _, _) = run_meetings(&s, true);
+        let violations = grid.audit();
+        prop_assert!(violations.is_empty(), "audit found {violations:?}");
+    }
+
+    #[test]
     fn paths_only_grow_and_prefixes_are_stable(s in scenario()) {
         // Run the schedule twice, checkpointing halfway: every peer's path
         // at the end must extend its path at the checkpoint.
@@ -243,6 +253,135 @@ proptest! {
                 a.id(),
                 a.path(),
                 b.path()
+            );
+        }
+    }
+}
+
+/// A fully built, audit-clean grid for the corruption-class properties.
+fn built_clean_grid(seed: u64) -> PGrid {
+    let mut grid = PGrid::new(
+        64,
+        PGridConfig {
+            maxl: 4,
+            refmax: 2,
+            ..PGridConfig::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut online = AlwaysOnline;
+    let mut stats = NetStats::new();
+    let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+    grid.build(&BuildOptions::default(), &mut ctx);
+    grid
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn built_grids_audit_clean_across_seeds(seed in any::<u64>()) {
+        let grid = built_clean_grid(seed);
+        prop_assert!(grid.check_invariants().is_ok());
+        let violations = grid.audit();
+        prop_assert!(violations.is_empty(), "audit found {violations:?}");
+    }
+
+    #[test]
+    fn each_corruption_class_yields_its_violation_variant(seed in any::<u64>()) {
+        let base = built_clean_grid(seed);
+        prop_assert!(base.audit().is_empty());
+
+        // Wrong references: a planted self-reference is exactly one
+        // SelfReference violation (the audit skips further checks on it).
+        {
+            let mut g = base.clone();
+            let id = g
+                .peers()
+                .find(|p| !p.path().is_empty())
+                .map(|p| p.id())
+                .expect("a built grid has specialized peers");
+            g.overwrite_peer_refs(id, 1, &[id]);
+            let v = g.audit();
+            prop_assert!(
+                v.len() == 1 && v[0].kind_name() == "self_ref",
+                "planted self-ref, audit found {v:?}"
+            );
+        }
+
+        // Orphaned path: flipping bit 0 makes the victim's level-1 refs
+        // same-side and its deeper refs prefix-mismatched (and likewise for
+        // peers referencing the victim) — no other kind may appear.
+        {
+            let mut g = base.clone();
+            let victim = g
+                .peers()
+                .find(|p| {
+                    !p.path().is_empty()
+                        && p.routing().level(1).len() > 0
+                        && p.buddies().next().is_none()
+                })
+                .map(|p| p.id());
+            if let Some(id) = victim {
+                let path = g.peer(id).path();
+                g.overwrite_peer_path(id, path.with_flipped(0));
+                let v = g.audit();
+                prop_assert!(!v.is_empty(), "a flipped path must be audit-visible");
+                prop_assert!(
+                    v.iter().all(|x| matches!(
+                        x.kind_name(),
+                        "same_side" | "prefix_mismatch"
+                    )),
+                    "flipped path, audit found {v:?}"
+                );
+            }
+        }
+
+        // Inconsistent replicas: a buddy with a different path is exactly
+        // one ReplicaPathMismatch at the peer that lists it.
+        {
+            let mut g = base.clone();
+            let a = g.peers().find(|p| !p.path().is_empty()).map(|p| p.id());
+            if let Some(a) = a {
+                let pa = g.peer(a).path();
+                let b = g.peers().find(|p| p.path() != pa).map(|p| p.id());
+                if let Some(b) = b {
+                    g.peer_mut(a).add_buddy(b);
+                    let v = g.audit();
+                    prop_assert!(
+                        v.len() == 1 && v[0].kind_name() == "replica_mismatch",
+                        "planted bad buddy, audit found {v:?}"
+                    );
+                }
+            }
+        }
+
+        // Junk items: one entry outside the subtree is exactly one
+        // ForeignEntry at the host.
+        {
+            let mut g = base.clone();
+            let id = g
+                .peers()
+                .find(|p| !p.path().is_empty() && !p.has_misplaced())
+                .map(|p| p.id())
+                .expect("a built grid has specialized peers");
+            let path = g.peer(id).path();
+            let key = path
+                .prefix(1)
+                .with_flipped(0)
+                .append(&BitPath::from_value(u128::from(seed) & 0x7, 3));
+            g.peer_mut(id).index_insert(
+                key,
+                IndexEntry {
+                    item: ItemId(99),
+                    holder: id,
+                    version: Version(0),
+                },
+            );
+            let v = g.audit();
+            prop_assert!(
+                v.len() == 1 && v[0].kind_name() == "foreign_entry",
+                "planted junk item, audit found {v:?}"
             );
         }
     }

@@ -113,6 +113,13 @@ pub struct NetStats {
     /// Routing-table references evicted after repeated timeouts.
     #[serde(default)]
     pub evictions: u64,
+    /// Local invariant violations detected by the stabilizer's audit.
+    #[serde(default)]
+    pub violations_detected: u64,
+    /// Corrective actions applied by the stabilizer (evictions,
+    /// path corrections, re-homed entries, dropped buddies).
+    #[serde(default)]
+    pub repairs_applied: u64,
 }
 
 impl NetStats {
@@ -164,6 +171,8 @@ impl NetStats {
         out.rejected = self.rejected - earlier.rejected;
         out.malformed = self.malformed - earlier.malformed;
         out.evictions = self.evictions - earlier.evictions;
+        out.violations_detected = self.violations_detected - earlier.violations_detected;
+        out.repairs_applied = self.repairs_applied - earlier.repairs_applied;
         out
     }
 
@@ -183,6 +192,8 @@ impl NetStats {
         self.rejected += other.rejected;
         self.malformed += other.malformed;
         self.evictions += other.evictions;
+        self.violations_detected += other.violations_detected;
+        self.repairs_applied += other.repairs_applied;
     }
 
     /// True when no fault, retry, or rejection counter is set — the
@@ -197,6 +208,8 @@ impl NetStats {
             && self.rejected == 0
             && self.malformed == 0
             && self.evictions == 0
+            && self.violations_detected == 0
+            && self.repairs_applied == 0
     }
 }
 
@@ -252,7 +265,7 @@ impl fmt::Display for NetStats {
         if !self.is_fault_free() {
             write!(
                 f,
-                " [dropped={} dup={} reorder={} delayed={} retries={} timeouts={} rejected={} malformed={} evictions={}]",
+                " [dropped={} dup={} reorder={} delayed={} retries={} timeouts={} rejected={} malformed={} evictions={} violations={} repairs={}]",
                 self.dropped,
                 self.duplicated,
                 self.reordered,
@@ -262,6 +275,8 @@ impl fmt::Display for NetStats {
                 self.rejected,
                 self.malformed,
                 self.evictions,
+                self.violations_detected,
+                self.repairs_applied,
             )?;
         }
         Ok(())
@@ -424,6 +439,8 @@ mod tests {
                     &mut s.rejected,
                     &mut s.malformed,
                     &mut s.evictions,
+                    &mut s.violations_detected,
+                    &mut s.repairs_applied,
                 ];
                 *slot[i] += 1;
             }
@@ -433,14 +450,14 @@ mod tests {
     /// `merge` must equal interleaved serial recording: replaying one event
     /// stream into a single accumulator gives the same counters as splitting
     /// it across two shards (round-robin) and merging them — covering the
-    /// message, contact, and all nine fault counters.
+    /// message, contact, and all eleven fault counters.
     #[test]
     fn merge_equals_interleaved_serial_recording() {
         let events: Vec<Event> = (0..200)
             .map(|i| match i % 4 {
                 0 => Event::Msg(MsgKind::ALL[i % 5]),
                 1 => Event::Contact(i % 3 == 0),
-                _ => Event::Fault(i % 9),
+                _ => Event::Fault(i % 11),
             })
             .collect();
 
@@ -506,6 +523,8 @@ mod tests {
         b.rejected = 2;
         b.malformed = 6;
         b.evictions = 5;
+        b.violations_detected = 4;
+        b.repairs_applied = 3;
         a.merge(&b);
         let json = serde_json::to_string(&a).unwrap();
         let back: NetStats = serde_json::from_str(&json).unwrap();

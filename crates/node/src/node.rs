@@ -42,7 +42,7 @@ use crossbeam::channel::{Receiver, RecvTimeoutError};
 use parking_lot::Mutex;
 use pgrid_keys::BitPath;
 use pgrid_net::PeerId;
-use pgrid_proto::{Effect, Event, ProtoCtx};
+use pgrid_proto::{Effect, Event, ProtoCtx, TimerToken};
 use pgrid_trace::{NullTracer, OpTag, TraceEvent, Tracer};
 use pgrid_wire::{decode_frame, encode_frame, Message, WireEntry};
 use rand::rngs::StdRng;
@@ -114,6 +114,10 @@ impl Default for NodeConfig {
 
 /// Event-loop wakeup period for timer processing.
 const TICK: Duration = Duration::from_millis(5);
+/// Ticks between periodic self-stabilization passes (~every 320 ms with
+/// the 5 ms tick). The pass is a strict no-op — zero effects, zero RNG
+/// draws — on a valid peer, so the cadence is free to be arbitrary.
+const STABILIZE_EVERY: u64 = 64;
 /// Stream separator between the protocol RNG and the I/O (jitter) RNG
 /// derived from one node seed.
 const IO_STREAM_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
@@ -213,6 +217,8 @@ struct NodeRt {
     effects: Vec<Effect>,
     /// Reused scratch for expired-deadline collection in the tick path.
     expired: Vec<u64>,
+    /// Ticks seen so far, for the periodic stabilization cadence.
+    ticks: u64,
     pending_offers: HashMap<u64, IoOffer>,
     pending_forwards: HashMap<u64, IoForward>,
     pending_answers: HashMap<u64, IoAnswer>,
@@ -245,6 +251,7 @@ impl NodeRt {
             inbox: VecDeque::new(),
             effects: Vec::new(),
             expired: Vec::new(),
+            ticks: 0,
             pending_offers: HashMap::new(),
             pending_forwards: HashMap::new(),
             pending_answers: HashMap::new(),
@@ -608,6 +615,19 @@ impl NodeRt {
         self.tick_forwards(now);
         self.tick_answers(now);
         self.tick_inserts(now);
+        self.ticks += 1;
+        if self.ticks % STABILIZE_EVERY == 0 {
+            // Periodic self-audit. Skipped while the peer holds flagged
+            // custody: re-homing those entries belongs to the anti-entropy
+            // pass that every handled event already runs, and letting the
+            // timer trigger it too would make the protocol's RNG draw
+            // order depend on wall-clock tick alignment.
+            if !self.state.lock().misplaced {
+                self.inbox.push_back(Event::TimerFired {
+                    timer: TimerToken::Stabilize,
+                });
+            }
+        }
         self.pump();
     }
 

@@ -20,6 +20,12 @@ pub enum TimerToken {
     /// may ignore this: anti-entropy also runs at the head of every
     /// [`crate::ProtocolPeer::handle`] call.
     AntiEntropy,
+    /// Run one local self-stabilization pass
+    /// ([`crate::ProtocolPeer::stabilize`]): audit own state, correct what
+    /// is locally correctable. A strict no-op — zero effects, zero RNG
+    /// draws — when the state is already valid, so drivers may fire it on
+    /// any cadence without perturbing a deterministic run.
+    Stabilize,
 }
 
 /// One observed input to the protocol state machine.

@@ -15,7 +15,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use pgrid_keys::{BitPath, Key};
 use pgrid_net::{BoundedMap, BoundedSet, PeerId};
-use pgrid_trace::{TraceEvent, Tracer};
+use pgrid_trace::{TraceEvent, Tracer, ViolationTag};
 use pgrid_wire::{Message, WireEntry};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -238,9 +238,10 @@ impl ProtocolPeer {
                 key,
                 entry,
             } => self.on_insert(from, seq, key, entry, ctx, out),
-            Event::TimerFired {
-                timer: TimerToken::AntiEntropy,
-            } => {} // already ran at the head of this call
+            Event::TimerFired { timer } => match timer {
+                TimerToken::AntiEntropy => {} // already ran at the head of this call
+                TimerToken::Stabilize => self.stabilize(ctx, out),
+            },
             Event::PeerHeard { peer } => self.note_peer_success(peer),
             Event::PeerSuspected { peer } => {
                 if self.note_peer_failure(peer) {
@@ -634,6 +635,115 @@ impl ProtocolPeer {
         self.misplaced = false;
         let strays = self.extract_misplaced();
         self.rehome(strays, ctx, out);
+    }
+
+    /// One local self-stabilization pass: audit own state against every
+    /// validity condition checkable *without remote knowledge*, correcting
+    /// in place. Corrects an overlong path (truncate to `maxl`), a path
+    /// orphaned from the hosted data (re-derive it as the keys' longest
+    /// common prefix), references beyond the path, self-references,
+    /// overfull levels (trimmed deterministically from the back), and
+    /// foreign index entries (re-homed through the routing table, or kept
+    /// flagged when no route exists). Conditions needing remote paths —
+    /// wrong-side references, disagreeing replicas — are covered by the
+    /// failure/eviction machinery and the exchange handshake instead.
+    ///
+    /// On a valid state this is a **strict no-op**: no effects, no RNG
+    /// draws, no trace events — which is what lets drivers fire
+    /// [`TimerToken::Stabilize`] on any cadence without perturbing a
+    /// deterministic run.
+    pub fn stabilize(&mut self, ctx: &mut ProtoCtx<'_>, out: &mut Vec<Effect>) {
+        let me = u64::from(self.id.0);
+        // Path too long: the prefix is the only locally defensible truth.
+        if self.path.len() > self.maxl {
+            let from_len = self.path.len() as u32;
+            ctx.trace(|| TraceEvent::ViolationFound {
+                peer: me,
+                kind: ViolationTag::PathTooLong,
+                level: 0,
+            });
+            self.path = self.path.prefix(self.maxl);
+            let to_len = self.path.len() as u32;
+            ctx.trace(|| TraceEvent::PathRederived {
+                peer: me,
+                from_len,
+                to_len,
+            });
+        }
+        // Orphaned path: every hosted entry foreign with no custody flag
+        // means the path itself is the corrupted datum; the hosted keys
+        // are the best local evidence of the true one.
+        if !self.misplaced && !self.index.is_empty() {
+            let path = self.path;
+            if self.index.keys().all(|k| !path.responsible_for(k)) {
+                let mut keys = self.index.keys();
+                let first = *keys.next().expect("index is non-empty");
+                let derived = keys.fold(first, |acc, k| acc.common_prefix(k));
+                let from_len = self.path.len() as u32;
+                ctx.trace(|| TraceEvent::ViolationFound {
+                    peer: me,
+                    kind: ViolationTag::ForeignEntry,
+                    level: 0,
+                });
+                self.path = derived.prefix(derived.len().min(self.maxl));
+                let to_len = self.path.len() as u32;
+                ctx.trace(|| TraceEvent::PathRederived {
+                    peer: me,
+                    from_len,
+                    to_len,
+                });
+            }
+        }
+        // Reference sweeps: clear levels beyond the path, drop
+        // self-references, trim overfull levels from the back (the front
+        // holds the older, battle-tested references). All deterministic.
+        let plen = self.path.len();
+        let id = self.id;
+        let refmax = self.refmax;
+        for i in 0..self.refs.len() {
+            let level = (i + 1) as u32;
+            let mut removed: Vec<PeerId> = Vec::new();
+            if i + 1 > plen {
+                removed.append(&mut self.refs[i]);
+            } else {
+                let slot = &mut self.refs[i];
+                let mut j = 0;
+                while j < slot.len() {
+                    if slot[j] == id {
+                        removed.push(slot.remove(j));
+                    } else {
+                        j += 1;
+                    }
+                }
+                while slot.len() > refmax {
+                    removed.push(slot.pop().expect("len > refmax >= 1"));
+                }
+            }
+            for r in removed {
+                ctx.trace(|| TraceEvent::RefEvicted {
+                    peer: me,
+                    level,
+                    target: u64::from(r.0),
+                });
+            }
+        }
+        // Remaining foreign entries (the path, corrected or not, covers
+        // the rest of the index): re-home them through the table like any
+        // other stray; with no route they stay flagged for anti-entropy.
+        if !self.misplaced {
+            let path = self.path;
+            if self.index.keys().any(|k| !path.responsible_for(k)) {
+                let strays = self.extract_misplaced();
+                for _ in &strays {
+                    ctx.trace(|| TraceEvent::ViolationFound {
+                        peer: me,
+                        kind: ViolationTag::ForeignEntry,
+                        level: 0,
+                    });
+                }
+                self.rehome(strays, ctx, out);
+            }
+        }
     }
 
     // ---- the state methods the events are built from -----------------
@@ -1427,6 +1537,94 @@ mod tests {
         // Definitive departure prunes immediately, silently.
         assert!(drive(&mut p, &mut r, Event::PeerGone { peer: PeerId(2) }).is_empty());
         assert!(p.refs[0].is_empty());
+    }
+
+    #[test]
+    fn stabilize_is_a_strict_noop_on_valid_state() {
+        use rand::RngCore;
+        let mut p = ProtocolPeer::new(PeerId(0), 4, 2, 2);
+        p.path = path("01");
+        p.refs = vec![vec![PeerId(1)], vec![PeerId(2)]];
+        p.index_insert(path("0110"), WireEntry { item: 1, holder: PeerId(9), version: 0 });
+        let before = p.clone();
+        let mut r = rng();
+        let mut witness = rng();
+        let out = drive(&mut p, &mut r, Event::TimerFired { timer: TimerToken::Stabilize });
+        assert!(out.is_empty(), "no effects on a valid peer: {out:?}");
+        assert_eq!(p.path, before.path);
+        assert_eq!(p.refs, before.refs);
+        assert_eq!(p.index, before.index);
+        // Zero RNG draws: the stream is exactly where an untouched clone's is.
+        assert_eq!(r.next_u64(), witness.next_u64(), "stabilize must not draw randomness");
+    }
+
+    #[test]
+    fn stabilize_corrects_local_corruption() {
+        let mut p = ProtocolPeer::new(PeerId(0), 3, 2, 2);
+        // Path beyond maxl, self-reference, overfull level, refs beyond
+        // the (truncated) path.
+        p.path = path("01101");
+        p.refs = vec![
+            vec![PeerId(1), PeerId(0), PeerId(2), PeerId(3)],
+            vec![PeerId(4)],
+            vec![PeerId(5)],
+            vec![PeerId(6)], // beyond the truncated path
+        ];
+        let mut r = rng();
+        let out = drive(&mut p, &mut r, Event::TimerFired { timer: TimerToken::Stabilize });
+        assert!(out.is_empty(), "corrections are local state changes: {out:?}");
+        assert_eq!(p.path, path("011"), "truncated to maxl");
+        assert_eq!(p.refs[0], vec![PeerId(1), PeerId(2)], "self dropped, then back-trimmed");
+        assert_eq!(p.refs[1], vec![PeerId(4)]);
+        assert_eq!(p.refs[2], vec![PeerId(5)]);
+        assert!(p.refs[3].is_empty(), "level 4 is beyond the path");
+        p.check().unwrap();
+    }
+
+    #[test]
+    fn stabilize_rederives_an_orphaned_path_from_hosted_data() {
+        let mut p = ProtocolPeer::new(PeerId(0), 4, 2, 2);
+        p.path = path("10"); // corrupted: the data below says "01..."
+        p.refs = vec![vec![PeerId(1)], vec![PeerId(2)]];
+        let e = WireEntry { item: 1, holder: PeerId(9), version: 0 };
+        p.index_insert(path("0110"), e);
+        p.index_insert(path("0101"), e);
+        let mut r = rng();
+        let out = drive(&mut p, &mut r, Event::TimerFired { timer: TimerToken::Stabilize });
+        assert!(out.is_empty());
+        assert_eq!(p.path, path("01"), "longest common prefix of the hosted keys");
+        assert_eq!(p.index.len(), 2, "data stays: it is the evidence, not the error");
+    }
+
+    #[test]
+    fn stabilize_rehomes_a_foreign_entry() {
+        let mut p = ProtocolPeer::new(PeerId(0), 4, 2, 2);
+        p.path = path("0");
+        p.refs = vec![vec![PeerId(1)]];
+        let e = WireEntry { item: 7, holder: PeerId(9), version: 0 };
+        let local = WireEntry { item: 8, holder: PeerId(9), version: 0 };
+        p.index_insert(path("00"), local); // keeps the index non-orphaned
+        p.index.insert(path("11"), vec![e]); // injected foreign entry
+        let mut r = rng();
+        let out = drive(&mut p, &mut r, Event::TimerFired { timer: TimerToken::Stabilize });
+        match &out[0] {
+            Effect::ForwardInsert { key, candidates, .. } => {
+                assert_eq!(*key, path("11"));
+                assert_eq!(candidates, &vec![PeerId(1)]);
+            }
+            other => panic!("expected ForwardInsert, got {other:?}"),
+        }
+        assert!(p.index_lookup(&path("11")).is_empty(), "foreign entry left");
+        assert_eq!(p.index_lookup(&path("00")), &[local], "local entry stays");
+        // With no route at all, custody is kept and flagged instead.
+        let mut q = ProtocolPeer::new(PeerId(0), 4, 2, 2);
+        q.path = path("0");
+        q.index_insert(path("00"), local);
+        q.index.insert(path("11"), vec![e]);
+        let out = drive(&mut q, &mut r, Event::TimerFired { timer: TimerToken::Stabilize });
+        assert!(out.iter().any(|ef| matches!(ef, Effect::StoreWrite { .. })));
+        assert!(q.misplaced, "no route: keep custody, flag for anti-entropy");
+        assert_eq!(q.index_lookup(&path("11")), &[e]);
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod mixed;
 pub mod repair;
 pub mod s52_search;
 pub mod s6_scaling;
+pub mod selfstab;
 pub mod sizing;
 pub mod skew;
 pub mod t1;

@@ -22,6 +22,7 @@
 //! | extra | P-Grid vs Gnutella flooding | [`experiments::flooding`] |
 //! | extra | skewed key distributions (future-work §6) | [`experiments::skew`] |
 //! | extra | failure injection + self-repair | [`experiments::repair`] |
+//! | extra | corruption injection + self-stabilization | [`experiments::selfstab`] |
 //! | extra | event-driven construction under churn | [`experiments::timeline`] |
 //! | extra | client result caching under Zipf traffic | [`experiments::caching`] |
 //! | extra | end-to-end search latency under delay models | [`experiments::latency`] |

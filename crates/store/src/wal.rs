@@ -70,10 +70,25 @@ pub struct WriteAheadLog {
     records_since_compaction: usize,
 }
 
+/// The scratch file a compaction writes before the atomic rename.
+fn compaction_tmp_path(path: &Path) -> PathBuf {
+    path.with_extension("wal.tmp")
+}
+
 impl WriteAheadLog {
     /// Opens (or creates) the log at `path` for appending.
+    ///
+    /// A leftover compaction scratch file (crash after writing the snapshot
+    /// but before the rename) is deleted here: the main log is still the
+    /// authoritative pre-compaction state, and the half-written snapshot
+    /// must never be mistaken for it.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, WalError> {
         let path = path.as_ref().to_path_buf();
+        match std::fs::remove_file(compaction_tmp_path(&path)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         Ok(WriteAheadLog {
             path,
@@ -142,19 +157,35 @@ impl WriteAheadLog {
 
     /// Rewrites the log as a minimal snapshot of `store` (one insert per
     /// live item), atomically replacing the old file.
+    ///
+    /// Crash safety: the snapshot is written to a scratch file, fsynced,
+    /// and only then renamed over the log (with the directory synced so
+    /// the rename itself is durable). A crash at any point leaves either
+    /// the complete old log (scratch file discarded on the next
+    /// [`WriteAheadLog::open`]) or the complete new snapshot — never a
+    /// mix, never a partial file under the log's name.
     pub fn compact(&mut self, store: &LocalStore) -> Result<(), WalError> {
-        let tmp = self.path.with_extension("wal.tmp");
-        {
-            let mut w = BufWriter::new(File::create(&tmp)?);
-            for item in store.iter() {
-                let line = serde_json::to_string(&WalRecord::Insert(item.clone()))
-                    .expect("record serialization cannot fail");
-                w.write_all(line.as_bytes())?;
-                w.write_all(b"\n")?;
-            }
-            w.flush()?;
+        let tmp = compaction_tmp_path(&self.path);
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        for item in store.iter() {
+            let line = serde_json::to_string(&WalRecord::Insert(item.clone()))
+                .expect("record serialization cannot fail");
+            w.write_all(line.as_bytes())?;
+            w.write_all(b"\n")?;
         }
+        w.flush()?;
+        let file = w.into_inner().map_err(|e| WalError::Io(e.into_error()))?;
+        file.sync_all()?;
+        drop(file);
         std::fs::rename(&tmp, &self.path)?;
+        if let Some(dir) = self.path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            // Make the rename durable: fsync the directory entry. Some
+            // filesystems reject fsync on directories; the rename is still
+            // atomic there, so that is not a compaction failure.
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
         let file = OpenOptions::new().append(true).open(&self.path)?;
         self.writer = BufWriter::new(file);
         self.records_since_compaction = 0;
@@ -324,6 +355,75 @@ mod tests {
             recovered.store().get(ItemId(1)).unwrap().version,
             Version(10)
         );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn crash_before_rename_keeps_the_old_log_and_discards_the_scratch() {
+        let path = temp_path("crash-pre-rename");
+        {
+            let mut durable = DurableStore::open(&path).unwrap();
+            durable.insert(item(1, "01")).unwrap();
+            durable.insert(item(2, "10")).unwrap();
+        }
+        // Crash point: the compaction wrote (part of) its snapshot to the
+        // scratch file but died before the rename. The scratch content is
+        // even torn mid-record — it must never be read as a log.
+        let tmp = compaction_tmp_path(&path);
+        std::fs::write(&tmp, "{\"Insert\":{\"id\":99,\"na").unwrap();
+        let recovered = DurableStore::open(&path).unwrap();
+        assert_eq!(
+            recovered.store().len(),
+            2,
+            "the untouched pre-compaction log is authoritative"
+        );
+        assert!(recovered.store().get(ItemId(99)).is_none());
+        assert!(
+            !tmp.exists(),
+            "open must clear the stale compaction scratch file"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn crash_after_rename_recovers_the_snapshot_exactly() {
+        let path = temp_path("crash-post-rename");
+        {
+            let mut durable = DurableStore::open(&path).unwrap();
+            for round in 0..6u64 {
+                durable.insert(item(round, "01")).unwrap();
+            }
+            durable.remove(ItemId(0)).unwrap();
+            // Explicit compaction, then "crash" (drop without further
+            // appends): the renamed snapshot is all that survives.
+            durable.wal.compact(&durable.store).unwrap();
+        }
+        assert!(!compaction_tmp_path(&path).exists(), "rename consumed the scratch");
+        let recovered = DurableStore::open(&path).unwrap();
+        assert_eq!(recovered.store().len(), 5);
+        assert!(recovered.store().get(ItemId(0)).is_none());
+        // The compacted file is a pure snapshot: one insert line per item.
+        let lines = std::fs::read_to_string(&path).unwrap().lines().count();
+        assert_eq!(lines, 5);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn appends_after_a_recovered_crash_land_in_the_real_log() {
+        // A stale scratch file must not swallow post-recovery appends: open
+        // deletes it, and subsequent writes go to the log proper.
+        let path = temp_path("crash-then-append");
+        {
+            let mut durable = DurableStore::open(&path).unwrap();
+            durable.insert(item(1, "01")).unwrap();
+        }
+        std::fs::write(compaction_tmp_path(&path), "junk").unwrap();
+        {
+            let mut durable = DurableStore::open(&path).unwrap();
+            durable.insert(item(2, "10")).unwrap();
+        }
+        let recovered = DurableStore::open(&path).unwrap();
+        assert_eq!(recovered.store().len(), 2);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -134,6 +134,66 @@ impl OpTag {
     }
 }
 
+/// Mirror of `pgrid_core::Violation`'s classes (`kind_name` strings),
+/// defined here so the stabilizer's corrective steps trace as typed tags.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ViolationTag {
+    /// Path longer than `maxl`.
+    PathTooLong,
+    /// Non-empty reference level beyond the path.
+    BeyondPath,
+    /// More than `refmax` references at one level.
+    Overfull,
+    /// A peer referencing itself.
+    SelfRef,
+    /// A reference whose target's path does not reach the level.
+    ShallowRef,
+    /// A reference disagreeing on the shared prefix.
+    PrefixMismatch,
+    /// A reference on the same side of the level's bit.
+    SameSide,
+    /// A buddy with a different path.
+    ReplicaMismatch,
+    /// A hosted index entry outside the peer's path.
+    ForeignEntry,
+}
+
+impl ViolationTag {
+    /// All tags, in audit order.
+    pub const ALL: [ViolationTag; 9] = [
+        ViolationTag::PathTooLong,
+        ViolationTag::BeyondPath,
+        ViolationTag::Overfull,
+        ViolationTag::SelfRef,
+        ViolationTag::ShallowRef,
+        ViolationTag::PrefixMismatch,
+        ViolationTag::SameSide,
+        ViolationTag::ReplicaMismatch,
+        ViolationTag::ForeignEntry,
+    ];
+
+    /// Stable wire name — identical to `Violation::kind_name`, so traces
+    /// and audit reports reconcile textually.
+    pub fn name(self) -> &'static str {
+        match self {
+            ViolationTag::PathTooLong => "path_too_long",
+            ViolationTag::BeyondPath => "beyond_path",
+            ViolationTag::Overfull => "overfull",
+            ViolationTag::SelfRef => "self_ref",
+            ViolationTag::ShallowRef => "shallow_ref",
+            ViolationTag::PrefixMismatch => "prefix_mismatch",
+            ViolationTag::SameSide => "same_side",
+            ViolationTag::ReplicaMismatch => "replica_mismatch",
+            ViolationTag::ForeignEntry => "foreign_entry",
+        }
+    }
+
+    /// Inverse of [`ViolationTag::name`].
+    pub fn from_name(name: &str) -> Option<ViolationTag> {
+        ViolationTag::ALL.into_iter().find(|v| v.name() == name)
+    }
+}
+
 /// One recorded protocol decision. Fields are integers, bools, tags, and
 /// bit strings only — never floats or wall-clock times — so encoded traces
 /// are byte-identical across reruns.
@@ -274,6 +334,58 @@ pub enum TraceEvent {
         /// Evicted peer.
         peer: u64,
     },
+    /// The local audit found a violated validity condition.
+    ViolationFound {
+        /// The audited peer.
+        peer: u64,
+        /// Violation class.
+        kind: ViolationTag,
+        /// Routing level involved (0 when not level-scoped).
+        level: u32,
+    },
+    /// The stabilizer evicted an inconsistent reference.
+    RefEvicted {
+        /// The repairing peer.
+        peer: u64,
+        /// The level the reference was evicted from.
+        level: u32,
+        /// The evicted reference.
+        target: u64,
+    },
+    /// The stabilizer replaced a corrupt path (truncation or re-derivation
+    /// from hosted data).
+    PathRederived {
+        /// The repairing peer.
+        peer: u64,
+        /// Path length before the correction.
+        from_len: u32,
+        /// Path length after the correction.
+        to_len: u32,
+    },
+    /// The stabilizer moved (or kept custody of) an orphaned index entry.
+    EntryRehomed {
+        /// The peer that held the orphan.
+        peer: u64,
+        /// Destination peer, or `-1` when custody was kept (flagged
+        /// misplaced, pending anti-entropy).
+        to: i64,
+        /// The entry's key as a bit string.
+        key: String,
+    },
+    /// The stabilizer dropped a buddy whose path disagrees.
+    BuddyDropped {
+        /// The repairing peer.
+        peer: u64,
+        /// The dropped buddy.
+        buddy: u64,
+    },
+    /// One stabilization round over the community completed.
+    StabilizeRound {
+        /// Violations detected this round.
+        violations: u64,
+        /// Corrective actions applied this round.
+        corrections: u64,
+    },
 }
 
 impl TraceEvent {
@@ -295,6 +407,12 @@ impl TraceEvent {
             TraceEvent::TimeoutGiveUp { .. } => "timeout_give_up",
             TraceEvent::PeerDemoted { .. } => "peer_demoted",
             TraceEvent::PeerEvicted { .. } => "peer_evicted",
+            TraceEvent::ViolationFound { .. } => "violation_found",
+            TraceEvent::RefEvicted { .. } => "ref_evicted",
+            TraceEvent::PathRederived { .. } => "path_rederived",
+            TraceEvent::EntryRehomed { .. } => "entry_rehomed",
+            TraceEvent::BuddyDropped { .. } => "buddy_dropped",
+            TraceEvent::StabilizeRound { .. } => "stabilize_round",
         }
     }
 }
@@ -441,6 +559,45 @@ pub fn encode_line(stamped: &Stamped) -> String {
         TraceEvent::PeerEvicted { peer } => {
             push_int_field(&mut out, "peer", i128::from(*peer));
         }
+        TraceEvent::ViolationFound { peer, kind, level } => {
+            push_int_field(&mut out, "peer", i128::from(*peer));
+            push_str_field(&mut out, "kind", kind.name());
+            push_int_field(&mut out, "level", i128::from(*level));
+        }
+        TraceEvent::RefEvicted {
+            peer,
+            level,
+            target,
+        } => {
+            push_int_field(&mut out, "peer", i128::from(*peer));
+            push_int_field(&mut out, "level", i128::from(*level));
+            push_int_field(&mut out, "target", i128::from(*target));
+        }
+        TraceEvent::PathRederived {
+            peer,
+            from_len,
+            to_len,
+        } => {
+            push_int_field(&mut out, "peer", i128::from(*peer));
+            push_int_field(&mut out, "from_len", i128::from(*from_len));
+            push_int_field(&mut out, "to_len", i128::from(*to_len));
+        }
+        TraceEvent::EntryRehomed { peer, to, key } => {
+            push_int_field(&mut out, "peer", i128::from(*peer));
+            push_int_field(&mut out, "to", i128::from(*to));
+            push_str_field(&mut out, "key", key);
+        }
+        TraceEvent::BuddyDropped { peer, buddy } => {
+            push_int_field(&mut out, "peer", i128::from(*peer));
+            push_int_field(&mut out, "buddy", i128::from(*buddy));
+        }
+        TraceEvent::StabilizeRound {
+            violations,
+            corrections,
+        } => {
+            push_int_field(&mut out, "violations", i128::from(*violations));
+            push_int_field(&mut out, "corrections", i128::from(*corrections));
+        }
     }
     out.push('}');
     out
@@ -520,6 +677,12 @@ impl<'a> Fields<'a> {
         let name = self.str(key)?;
         OpTag::from_name(name)
             .ok_or_else(|| format!("line {}: unknown op tag `{name}`", self.line_no))
+    }
+
+    fn viol(&self, key: &str) -> Result<ViolationTag, String> {
+        let name = self.str(key)?;
+        ViolationTag::from_name(name)
+            .ok_or_else(|| format!("line {}: unknown violation tag `{name}`", self.line_no))
     }
 }
 
@@ -612,6 +775,34 @@ pub fn decode_line(line: &str, line_no: usize) -> Result<Stamped, String> {
         "peer_evicted" => TraceEvent::PeerEvicted {
             peer: f.u64("peer")?,
         },
+        "violation_found" => TraceEvent::ViolationFound {
+            peer: f.u64("peer")?,
+            kind: f.viol("kind")?,
+            level: f.u32("level")?,
+        },
+        "ref_evicted" => TraceEvent::RefEvicted {
+            peer: f.u64("peer")?,
+            level: f.u32("level")?,
+            target: f.u64("target")?,
+        },
+        "path_rederived" => TraceEvent::PathRederived {
+            peer: f.u64("peer")?,
+            from_len: f.u32("from_len")?,
+            to_len: f.u32("to_len")?,
+        },
+        "entry_rehomed" => TraceEvent::EntryRehomed {
+            peer: f.u64("peer")?,
+            to: f.i64("to")?,
+            key: f.str("key")?.to_string(),
+        },
+        "buddy_dropped" => TraceEvent::BuddyDropped {
+            peer: f.u64("peer")?,
+            buddy: f.u64("buddy")?,
+        },
+        "stabilize_round" => TraceEvent::StabilizeRound {
+            violations: f.u64("violations")?,
+            corrections: f.u64("corrections")?,
+        },
         other => return Err(format!("line {line_no}: unknown event `{other}`")),
     };
     Ok(Stamped { seq, event })
@@ -700,6 +891,31 @@ mod tests {
             failures: 2,
         });
         roundtrip(TraceEvent::PeerEvicted { peer: 4 });
+        roundtrip(TraceEvent::ViolationFound {
+            peer: 5,
+            kind: ViolationTag::SameSide,
+            level: 2,
+        });
+        roundtrip(TraceEvent::RefEvicted {
+            peer: 5,
+            level: 2,
+            target: 9,
+        });
+        roundtrip(TraceEvent::PathRederived {
+            peer: 5,
+            from_len: 9,
+            to_len: 4,
+        });
+        roundtrip(TraceEvent::EntryRehomed {
+            peer: 5,
+            to: -1,
+            key: "0110".to_string(),
+        });
+        roundtrip(TraceEvent::BuddyDropped { peer: 5, buddy: 6 });
+        roundtrip(TraceEvent::StabilizeRound {
+            violations: 17,
+            corrections: 12,
+        });
     }
 
     #[test]
@@ -741,6 +957,9 @@ mod tests {
         }
         for o in [OpTag::Offer, OpTag::Forward, OpTag::Answer, OpTag::Insert] {
             assert_eq!(OpTag::from_name(o.name()), Some(o));
+        }
+        for v in ViolationTag::ALL {
+            assert_eq!(ViolationTag::from_name(v.name()), Some(v));
         }
     }
 }

@@ -35,6 +35,6 @@ mod json;
 mod tracer;
 
 pub use analyze::{first_divergence, summarize, HopChain, TraceSummary};
-pub use event::{decode_line, encode_line, CaseTag, MsgTag, OpTag, TraceEvent};
+pub use event::{decode_line, encode_line, CaseTag, MsgTag, OpTag, TraceEvent, ViolationTag};
 pub use json::{parse_flat, JsonVal};
 pub use tracer::{merge_shards, FileTracer, NullTracer, RingTracer, Stamped, Tracer};

@@ -70,6 +70,12 @@ if pct is not None:
           f"(untraced {r.get('untraced_qps'):.0f} qps vs recording "
           f"{r.get('recording_qps'):.0f} qps; disabled tracing costs one "
           f"branch per site)")
+s = r.get("stabilization")
+if isinstance(s, dict) and s.get("rounds_to_clean") is not None:
+    print(f"self-stabilization: {s['initial_violations']} violations -> 0 in "
+          f"{s['rounds_to_clean']} round(s), query success "
+          f"{s['success_after_damage']:.3f} -> {s['success_after_repair']:.3f} "
+          f"(baseline {s['success_baseline']:.3f}) in {s['secs']:.2f}s")
 EOF
 
 echo "Benchmark written to BENCH_engine.json."

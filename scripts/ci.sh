@@ -43,6 +43,9 @@ cargo run --release -p pgrid-cli --bin pgrid -- trace diff \
 if [[ "${1:-}" != "quick" ]]; then
     echo "==> chaos suite (fault injection, three fixed seeds)"
     cargo test --release --test live_chaos -- --nocapture
+
+    echo "==> corruption-convergence suite (four corruption classes, three fixed seeds)"
+    cargo test --release --test self_stabilization -- --nocapture
 fi
 
 echo "CI green."

@@ -53,6 +53,7 @@ fn tradeoff_and_scaling_smoke() {
 fn extension_experiments_smoke() {
     check_table(&skew::run(&skew::Config::small()).1, 3);
     check_table(&repair::run(&repair::Config::small()).1, 3);
+    check_table(&selfstab::run(&selfstab::Config::small()).1, 2);
     check_table(&timeline::run(&timeline::Config::small()).1, 3);
     check_table(&caching::run(&caching::Config::small()).1, 3);
     check_table(&latency::run(&latency::Config::small()).1, 3);
