@@ -1,14 +1,17 @@
 //! Throughput benchmark of the parallel experiment engine.
 //!
 //! Runs the same query workload serially and at 1/2/4/8 worker threads,
-//! verifies every run is byte-identical to the serial reference, and writes
-//! the measurements as JSON (default `BENCH_engine.json`).
+//! then through the batched lockstep driver (succinct routing snapshot +
+//! per-query RNG streams, DESIGN.md §13) at every configured batch width,
+//! verifies every run is byte-identical to its family's serial reference,
+//! and writes the measurements as JSON (default `BENCH_engine.json`).
 //!
 //! With the `count-allocs` cargo feature the binary also registers the
 //! counting global allocator and reports **steady-state allocations per
-//! query and per exchange** on a warm scratch arena (`allocs_per_query`
-//! must stay at 0.0 — `scripts/bench.sh` guards regressions). Without the
-//! feature those fields are `null`.
+//! query and per exchange** on a warm scratch arena — for both the serial
+//! descent and the batched driver (`allocs_per_query` and
+//! `batched_allocs_per_query` must stay at 0.0 — `scripts/bench.sh` guards
+//! regressions). Without the feature those fields are `null`.
 //!
 //! The report also includes a `stabilization` block: the corruption
 //! injection + self-stabilization experiment (DESIGN.md §12) timed
@@ -23,12 +26,13 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use pgrid_bench::{alloc_count, Fixture};
-use pgrid_core::Ctx;
+use pgrid_core::{BatchQuery, CompactRoutingTable, Ctx};
 use pgrid_keys::BitPath;
 use pgrid_net::AlwaysOnline;
 use pgrid_sim::experiments::engine::{run, Config};
 use pgrid_sim::experiments::selfstab;
 use pgrid_sim::{run_query_plan, run_query_plan_traced, QueryPlan};
+use rand::Rng;
 
 #[cfg(feature = "count-allocs")]
 #[global_allocator]
@@ -78,6 +82,50 @@ fn measure_allocs(seed: u64) -> (f64, f64) {
          ({MEASURE} measured after {WARM} warmup ops; sink {sink})"
     );
     (per_query, per_exchange)
+}
+
+/// Steady-state allocations of the batched lockstep driver: `WARM`
+/// unmeasured batches grow the slot arenas (and the outcome/spec buffers,
+/// which belong to the caller and are likewise reused), then `MEASURE`
+/// batches of `BATCH` descents each run under the counter — through the
+/// frozen snapshot, like the engine's hot path. Must report 0.0.
+fn measure_batched_allocs(seed: u64) -> f64 {
+    const WARM: usize = 50;
+    const MEASURE: usize = 250;
+    const BATCH: usize = 64;
+
+    let grid = Fixture::converged(256, 4, 4, seed).grid;
+    let table = CompactRoutingTable::build(&grid);
+    let mut owned = Ctx::fork_for_task(seed, 1, Box::new(AlwaysOnline));
+    let mut batch = Vec::with_capacity(BATCH);
+    let mut outcomes = Vec::with_capacity(BATCH);
+    let mut sink = 0u64;
+
+    let mut before = 0u64;
+    for i in 0..WARM + MEASURE {
+        if i == WARM {
+            before = alloc_count::allocation_count();
+        }
+        let mut ctx = owned.ctx();
+        batch.clear();
+        outcomes.clear();
+        for _ in 0..BATCH {
+            batch.push(BatchQuery {
+                key: BitPath::random(ctx.rng, 4),
+                start: grid.random_peer(&mut ctx),
+                seed: ctx.rng.gen(),
+            });
+        }
+        grid.search_batch(Some(&table), &batch, &mut ctx, &mut outcomes);
+        sink += outcomes.iter().map(|o| o.messages).sum::<u64>();
+    }
+    let per_query =
+        (alloc_count::allocation_count() - before) as f64 / (MEASURE * BATCH) as f64;
+    println!(
+        "batched allocs/query: {per_query:.4}   ({MEASURE} batches of {BATCH} \
+         measured after {WARM} warmup batches; sink {sink})"
+    );
+    per_query
 }
 
 /// Flight-recorder cost, measured two ways on the same serial workload:
@@ -178,11 +226,11 @@ fn main() {
     let mut cfg = if quick { Config::small() } else { Config::default() };
     cfg.threads = vec![1, 2, 4, 8];
 
-    let (rows, table) = run(&cfg);
+    let (report, table) = run(&cfg);
     println!("{}", table.render());
 
     let alloc_metrics = if alloc_count::ENABLED {
-        Some(measure_allocs(cfg.seed))
+        Some((measure_allocs(cfg.seed), measure_batched_allocs(cfg.seed)))
     } else {
         println!("alloc accounting disabled (build with --features count-allocs)");
         None
@@ -191,15 +239,20 @@ fn main() {
     let (untraced_qps, recording_qps, traced_identical) = measure_trace_overhead(&cfg);
     let (stabilization, stabilization_converged) = measure_stabilization(quick);
 
+    let rows = &report.rows;
+    let batch_rows = &report.batch_rows;
     let all_identical = rows.iter().all(|r| r.identical);
+    let batched_identical = batch_rows.iter().all(|r| r.identical);
     let serial_qps = rows.first().map_or(0.0, |r| r.qps);
     let best = rows
         .iter()
         .max_by(|a, b| a.qps.total_cmp(&b.qps))
         .expect("at least one row");
+    let unbatched_qps = batch_rows.first().map_or(0.0, |r| r.qps);
+    let best_batched = report.best_batched().expect("at least one batch row");
 
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let report = serde_json::json!({
+    let bench_report = serde_json::json!({
         "bench": "engine",
         "profile": if quick { "quick" } else { "full" },
         "measured": true,
@@ -211,21 +264,44 @@ fn main() {
         "best_qps": best.qps,
         "best_threads": best.threads,
         "all_identical": all_identical,
+        "unbatched_qps": unbatched_qps,
+        "best_batched_qps": best_batched.qps,
+        "best_batch": best_batched.batch,
+        "batch_speedup": best_batched.qps / unbatched_qps.max(1e-9),
+        "batched_vs_serial": best_batched.qps / serial_qps.max(1e-9),
+        "batched_identical": batched_identical,
         "untraced_qps": untraced_qps,
         "recording_qps": recording_qps,
         "trace_overhead_pct": (untraced_qps / recording_qps - 1.0) * 100.0,
         "traced_identical": traced_identical,
         "alloc_counter_enabled": alloc_count::ENABLED,
-        "allocs_per_query": alloc_metrics.map(|(q, _)| q),
-        "allocs_per_exchange": alloc_metrics.map(|(_, x)| x),
+        "allocs_per_query": alloc_metrics.map(|((q, _), _)| q),
+        "allocs_per_exchange": alloc_metrics.map(|((_, x), _)| x),
+        "batched_allocs_per_query": alloc_metrics.map(|(_, b)| b),
         "stabilization": stabilization,
         "rows": rows,
+        "batch_rows": batch_rows,
     });
-    std::fs::write(&out, format!("{:#}\n", report)).expect("write benchmark JSON");
+    std::fs::write(&out, format!("{:#}\n", bench_report)).expect("write benchmark JSON");
     println!("wrote {}", out.display());
+    println!(
+        "serial {serial_qps:.0} qps | best threaded {:.0} qps ({} threads) | \
+         batched x1 {unbatched_qps:.0} qps | best batched {:.0} qps (batch {}) \
+         = {:.2}x unbatched, {:.2}x serial",
+        best.qps,
+        best.threads,
+        best_batched.qps,
+        best_batched.batch,
+        best_batched.qps / unbatched_qps.max(1e-9),
+        best_batched.qps / serial_qps.max(1e-9),
+    );
 
     if !all_identical {
         eprintln!("FATAL: a parallel run diverged from the serial reference");
+        std::process::exit(1);
+    }
+    if !batched_identical {
+        eprintln!("FATAL: a batched run diverged from the width-1 lockstep reference");
         std::process::exit(1);
     }
     if !traced_identical {

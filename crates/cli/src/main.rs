@@ -14,8 +14,8 @@ use std::process::ExitCode;
 
 use pgrid_core::GridSizing;
 use pgrid_sim::experiments::{
-    ablation, caching, f4, f5, flooding, latency, mixed, repair, s52_search, s6_scaling, selfstab, sizing,
-    skew, t1, t2, t3, t4t5, t6, timeline, variance,
+    ablation, caching, engine, f4, f5, flooding, latency, mixed, repair, s52_search, s6_scaling,
+    selfstab, sizing, skew, t1, t2, t3, t4t5, t6, timeline, variance,
 };
 use pgrid_sim::Table;
 
@@ -78,6 +78,7 @@ experiments:
   variance  T3 replicated over several seeds (mean +/- std)
   mixed     end-to-end mixed read/write workload (break-even, empirical)
   ablation  design-knob ablations
+  engine    engine throughput: serial vs threaded vs batched lockstep
   all       every experiment in sequence (small presets unless --full)";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -671,6 +672,29 @@ fn run_experiment(id: &str, opts: &Options) -> Result<(), String> {
                 cfg.seed = s;
             }
             emit(&ablation::run(&cfg).1, opts.format);
+        }
+        "engine" => {
+            let mut cfg = if small {
+                engine::Config::small()
+            } else {
+                engine::Config::default()
+            };
+            if let Some(s) = opts.seed {
+                cfg.seed = s;
+            }
+            let (report, table) = engine::run(&cfg);
+            emit(&table, opts.format);
+            if opts.format == Format::Text {
+                if let Some(best) = report.best_batched() {
+                    let unbatched = report.batch_rows.first().map_or(0.0, |r| r.qps);
+                    out(&format!(
+                        "best batched: batch {} at {:.0} qps ({:.2}x unbatched lockstep)",
+                        best.batch,
+                        best.qps,
+                        best.qps / unbatched.max(1e-9),
+                    ));
+                }
+            }
         }
         "all" => {
             for id in [

@@ -21,6 +21,15 @@ pub struct PGrid {
     /// Running sum of all path lengths, so the construction loop can check
     /// the paper's convergence threshold in O(1).
     path_len_sum: u64,
+    /// Monotone mutation counter: bumped on every hand-out of `&mut Peer`
+    /// (conservatively — a borrow counts as a write). Frozen
+    /// [`crate::CompactRoutingTable`] snapshots compare against it to
+    /// detect staleness without hashing any state.
+    epoch: u64,
+    /// Per-peer copy of the epoch at which that peer was last mutably
+    /// borrowed; `peer_epochs[i] > table.built_epoch` marks peer `i` dirty
+    /// for an incremental snapshot refresh.
+    peer_epochs: Vec<u64>,
 }
 
 impl PGrid {
@@ -35,7 +44,27 @@ impl PGrid {
             config,
             peers: PeerId::all(n).map(Peer::new).collect(),
             path_len_sum: 0,
+            epoch: 0,
+            peer_epochs: vec![0; n],
         }
+    }
+
+    /// The grid-wide mutation epoch. Strictly increases whenever any peer
+    /// is (potentially) mutated; equal epochs guarantee identical routing
+    /// state, so a snapshot built at `epoch()` stays valid until it moves.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The epoch at which peer `id` was last (potentially) mutated.
+    pub fn peer_epoch(&self, id: PeerId) -> u64 {
+        self.peer_epochs[id.index()]
+    }
+
+    /// Records a (potential) mutation of one peer.
+    fn mark_peer(&mut self, idx: usize) {
+        self.epoch += 1;
+        self.peer_epochs[idx] = self.epoch;
     }
 
     /// The configuration.
@@ -58,8 +87,11 @@ impl PGrid {
         &self.peers[id.index()]
     }
 
-    /// Mutable access to a peer.
+    /// Mutable access to a peer. Conservatively bumps the mutation
+    /// [`PGrid::epoch`] — the borrow may or may not write, but snapshots
+    /// only ever over-invalidate.
     pub fn peer_mut(&mut self, id: PeerId) -> &mut Peer {
+        self.mark_peer(id.index());
         &mut self.peers[id.index()]
     }
 
@@ -70,6 +102,8 @@ impl PGrid {
     pub(crate) fn pair_mut(&mut self, a: PeerId, b: PeerId) -> (&mut Peer, &mut Peer) {
         let (i, j) = (a.index(), b.index());
         assert_ne!(i, j, "pair_mut requires distinct peers");
+        self.mark_peer(i);
+        self.mark_peer(j);
         if i < j {
             let (lo, hi) = self.peers.split_at_mut(j);
             (&mut lo[i], &mut hi[0])
@@ -81,6 +115,7 @@ impl PGrid {
 
     /// Extends a peer's path, maintaining the running length sum.
     pub(crate) fn extend_peer_path(&mut self, id: PeerId, bit: u8) {
+        self.mark_peer(id.index());
         self.peers[id.index()].extend_path(bit);
         self.path_len_sum += 1;
     }
@@ -96,6 +131,7 @@ impl PGrid {
     /// this exists so corruption experiments (and the stabilizer's own path
     /// re-derivation) can model arbitrary state damage.
     pub fn overwrite_peer_path(&mut self, id: PeerId, path: BitPath) {
+        self.mark_peer(id.index());
         let old = self.peers[id.index()].path().len() as u64;
         self.peers[id.index()].set_path(path);
         self.path_len_sum = self.path_len_sum - old + path.len() as u64;
@@ -106,6 +142,7 @@ impl PGrid {
     /// experiments use this to plant wrong references; nothing in the
     /// protocols calls it.
     pub fn overwrite_peer_refs(&mut self, id: PeerId, level: usize, refs: &[PeerId]) {
+        self.mark_peer(id.index());
         self.peers[id.index()]
             .routing_mut()
             .set_level(level, crate::routing::RefSet::from_ids(refs.iter().copied()));
@@ -148,6 +185,8 @@ impl PGrid {
             assert!(slot_of[b.index()].is_none(), "{b} appears in two pairs");
             slot_of[a.index()] = Some((k, false));
             slot_of[b.index()] = Some((k, true));
+            self.mark_peer(a.index());
+            self.mark_peer(b.index());
         }
         let mut slots: Vec<(Option<&mut Peer>, Option<&mut Peer>)> =
             pairs.iter().map(|_| (None, None)).collect();
@@ -219,9 +258,10 @@ impl PGrid {
     /// responsible peer. Experiments use this to set up a fully consistent
     /// index without paying (or measuring) insertion traffic.
     pub fn seed_index(&mut self, key: Key, entry: IndexEntry) {
-        for p in &mut self.peers {
-            if p.responsible_for(&key) {
-                p.index_insert(key, entry);
+        for i in 0..self.peers.len() {
+            if self.peers[i].responsible_for(&key) {
+                self.mark_peer(i);
+                self.peers[i].index_insert(key, entry);
             }
         }
     }
@@ -448,6 +488,29 @@ mod tests {
             .set_level(1, RefSet::singleton(PeerId(2)));
         let err = g.check_invariants().unwrap_err();
         assert!(err.contains("same side"), "{err}");
+    }
+
+    #[test]
+    fn epochs_track_mutable_borrows_only() {
+        let mut g = small_grid();
+        assert_eq!(g.epoch(), 0);
+        let _ = g.peer(PeerId(3));
+        let _ = g.peers().count();
+        let _ = g.replica_groups();
+        assert_eq!(g.epoch(), 0, "read access must not invalidate snapshots");
+
+        g.extend_peer_path(PeerId(3), 1);
+        assert_eq!(g.epoch(), 1);
+        assert_eq!(g.peer_epoch(PeerId(3)), 1);
+        assert_eq!(g.peer_epoch(PeerId(0)), 0);
+
+        let _ = g.peer_mut(PeerId(0));
+        assert_eq!(g.epoch(), 2);
+        assert_eq!(g.peer_epoch(PeerId(0)), 2);
+
+        let _ = g.pair_mut(PeerId(1), PeerId(2));
+        assert!(g.peer_epoch(PeerId(1)) > 2 && g.peer_epoch(PeerId(2)) > 2);
+        assert_eq!(g.peer_epoch(PeerId(3)), 1, "untouched peers keep their mark");
     }
 
     #[test]

@@ -38,7 +38,9 @@
 #![warn(missing_docs)]
 
 mod analysis;
+mod batch;
 mod builder;
+mod compact;
 mod config;
 mod ctx;
 mod exchange;
@@ -59,7 +61,9 @@ pub mod update;
 pub use analysis::{
     min_key_length, min_peers, search_success_probability, GridSizing, SizingReport,
 };
+pub use batch::BatchQuery;
 pub use builder::{BuildOptions, BuildReport};
+pub use compact::CompactRoutingTable;
 pub use config::PGridConfig;
 pub use ctx::{Ctx, OwnedCtx};
 pub use grid::PGrid;

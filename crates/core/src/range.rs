@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
-use pgrid_keys::{range_cover, Key};
+use pgrid_keys::{range_cover_into, Key};
 use pgrid_net::PeerId;
 
 use crate::{Ctx, IndexEntry, PGrid};
@@ -41,9 +41,16 @@ impl PGrid {
         ctx: &mut Ctx<'_>,
     ) -> RangeOutcome {
         let mut out = RangeOutcome::default();
-        for prefix in range_cover(lo, hi) {
+        // Decompose into the scratch arena's cover buffer (the `_into`
+        // discipline): a warm context pays no allocation for the cover.
+        // The buffer is moved out for the duration of the recursion — the
+        // searches below need the scratch arena's query buffers.
+        let mut cover = std::mem::take(&mut ctx.scratch_mut().range_cover);
+        range_cover_into(lo, hi, &mut cover);
+        for &prefix in &cover {
             self.cover_subtree(start, prefix, &mut out, ctx);
         }
+        ctx.scratch_mut().range_cover = cover;
         out
     }
 

@@ -15,8 +15,10 @@
 //! append past `end` and truncate back to their own base on exit, so a
 //! parent's indices stay valid across recursive calls.
 
-use pgrid_keys::Key;
+use pgrid_keys::{BitPath, Key};
 use pgrid_net::PeerId;
+
+use crate::batch::BatchArena;
 
 /// One suspended level of the iterative search descent: the arguments a
 /// child visit needs plus a cursor over this level's shuffled references
@@ -61,6 +63,10 @@ pub struct Scratch {
     /// Shared arena for exchange Case-4 recursion partners and BFS update
     /// fan-out (the two never nest within each other).
     pub(crate) ref_arena: Vec<PeerId>,
+    /// Prefix cover buffer of the range search (`range_cover_into`).
+    pub(crate) range_cover: Vec<BitPath>,
+    /// Parked cursor state of the lockstep batch driver (`search_batch`).
+    pub(crate) batch: BatchArena,
 }
 
 impl Scratch {
@@ -79,6 +85,8 @@ impl Scratch {
             + self.mix_b.capacity()
             + self.seen.capacity()
             + self.ref_arena.capacity()
+            + self.range_cover.capacity()
+            + self.batch.retained_capacity()
     }
 
     /// The three disjoint buffers the exchange mixing step needs.

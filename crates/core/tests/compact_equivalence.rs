@@ -1,0 +1,246 @@
+//! Property tests of the succinct routing snapshot (ISSUE 7): across
+//! *arbitrary* mutation sequences — exchanges, repair and stabilization
+//! rounds, and raw corruption writes — a [`CompactRoutingTable`] kept
+//! fresh with `refresh` answers every path lookup, every level slice, and
+//! therefore every `route_step` decision identically to the live `RefSet`
+//! walk; and a snapshot left *stale* never changes batched search results,
+//! because readers fall back to the live structures.
+
+use pgrid_core::{BatchQuery, CompactRoutingTable, Ctx, PGrid, PGridConfig, SearchOutcome};
+use pgrid_keys::BitPath;
+use pgrid_net::{AlwaysOnline, NetStats, PeerId};
+use pgrid_proto::route_step;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One grid mutation, drawn from every class that can dirty routing state.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// The constructive path: a bilateral exchange between two peers.
+    Exchange(u8, u8),
+    /// A full self-repair sweep (prunes dead refs, refills levels).
+    Repair,
+    /// A full self-stabilization sweep (audit + correction).
+    Stabilize,
+    /// Corruption: overwrite one peer's trie path.
+    CorruptPath(u8, u8, u8),
+    /// Corruption: overwrite one level's reference slice.
+    CorruptRefs(u8, u8, u8),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Exchange(a, b)),
+        1 => Just(Op::Repair),
+        1 => Just(Op::Stabilize),
+        1 => (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(p, b, l)| Op::CorruptPath(p, b, l)),
+        1 => (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(p, l, r)| Op::CorruptRefs(p, l, r)),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    n: usize,
+    maxl: usize,
+    refmax: usize,
+    ops: Vec<Op>,
+    seed: u64,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        4usize..20,
+        1usize..5,
+        1usize..4,
+        proptest::collection::vec(op(), 1..40),
+        any::<u64>(),
+    )
+        .prop_map(|(n, maxl, refmax, ops, seed)| Scenario {
+            n,
+            maxl,
+            refmax,
+            ops,
+            seed,
+        })
+}
+
+fn new_grid(s: &Scenario) -> PGrid {
+    PGrid::new(
+        s.n,
+        PGridConfig {
+            maxl: s.maxl,
+            refmax: s.refmax,
+            ..PGridConfig::default()
+        },
+    )
+}
+
+fn apply(grid: &mut PGrid, op: Op, n: usize, maxl: usize, ctx: &mut Ctx<'_>) {
+    match op {
+        Op::Exchange(a, b) => {
+            let i = PeerId((a as usize % n) as u32);
+            let j = PeerId((b as usize % n) as u32);
+            if i != j {
+                grid.exchange(i, j, ctx);
+            }
+        }
+        Op::Repair => {
+            grid.repair_round(grid.config().refmax, ctx);
+        }
+        Op::Stabilize => {
+            grid.stabilize_round(grid.config().refmax, ctx);
+        }
+        Op::CorruptPath(p, bits, len) => {
+            let id = PeerId((p as usize % n) as u32);
+            // Corruption may exceed maxl by one: the snapshot must survive
+            // paths deeper than anything it froze.
+            let len = (len as usize) % (maxl + 2);
+            grid.overwrite_peer_path(id, BitPath::from_raw((bits as u128) << 120, len as u8));
+        }
+        Op::CorruptRefs(p, level, r) => {
+            let id = PeerId((p as usize % n) as u32);
+            let level = 1 + (level as usize) % (maxl + 1);
+            let target = PeerId((r as usize % n) as u32);
+            grid.overwrite_peer_refs(id, level, &[target]);
+        }
+    }
+}
+
+/// The frozen table must agree with the live walk on every lookup the
+/// descent can make: the path, every level slice (in order), and the
+/// resulting `route_step` verdict.
+fn assert_equivalent(table: &CompactRoutingTable, grid: &PGrid, probe_seed: u64) {
+    assert!(table.is_fresh(grid));
+    let mut rng = StdRng::seed_from_u64(probe_seed);
+    for peer in grid.peers() {
+        let id = peer.id();
+        assert_eq!(table.path(id), peer.path(), "{id} path");
+        assert!(table.level_refs(id, 0).is_empty(), "{id} level 0");
+        for level in 1..=grid.config().maxl + 2 {
+            assert_eq!(
+                table.level_refs(id, level),
+                peer.routing().level(level).as_slice(),
+                "{id} level {level}"
+            );
+        }
+        // route_step over the frozen path must reach the same verdict (and
+        // hence pick the same slice) as over the live path.
+        for _ in 0..4 {
+            let key = BitPath::random(&mut rng, grid.config().maxl as u8);
+            let matched = rng.gen_range(0..=peer.path().len());
+            assert_eq!(
+                route_step(&table.path(id), matched, &key),
+                route_step(&peer.path(), matched, &key),
+                "{id} route_step"
+            );
+        }
+    }
+}
+
+fn run_batched(
+    grid: &PGrid,
+    table: Option<&CompactRoutingTable>,
+    queries: &[BatchQuery],
+) -> (Vec<SearchOutcome>, NetStats) {
+    let mut owned = Ctx::fork_for_task(5, 0, Box::new(AlwaysOnline));
+    let mut out = Vec::new();
+    for chunk in queries.chunks(8) {
+        let mut ctx = owned.ctx();
+        grid.search_batch(table, chunk, &mut ctx, &mut out);
+    }
+    (out, owned.stats)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Rebuilding from scratch after any mutation sequence reproduces the
+    /// live structures exactly.
+    #[test]
+    fn rebuilt_snapshot_mirrors_any_mutated_grid(s in scenario()) {
+        let mut grid = new_grid(&s);
+        let mut rng = StdRng::seed_from_u64(s.seed);
+        let mut online = AlwaysOnline;
+        let mut stats = NetStats::new();
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        for &op in &s.ops {
+            apply(&mut grid, op, s.n, s.maxl, &mut ctx);
+        }
+        let table = CompactRoutingTable::build(&grid);
+        assert_equivalent(&table, &grid, s.seed ^ 1);
+    }
+
+    /// Refreshing incrementally after *every* mutation — patch overlay,
+    /// budgeted rebuilds, stride overflow and all — is indistinguishable
+    /// from rebuilding.
+    #[test]
+    fn refreshed_snapshot_tracks_every_mutation(s in scenario()) {
+        let mut grid = new_grid(&s);
+        let mut table = CompactRoutingTable::build(&grid);
+        let mut rng = StdRng::seed_from_u64(s.seed);
+        let mut online = AlwaysOnline;
+        let mut stats = NetStats::new();
+        let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+        for (i, &op) in s.ops.iter().enumerate() {
+            apply(&mut grid, op, s.n, s.maxl, &mut ctx);
+            table.refresh(&grid);
+            assert_equivalent(&table, &grid, s.seed ^ i as u64);
+        }
+    }
+
+    /// A snapshot that lags the grid must be *ignored*, not trusted:
+    /// batched search through a stale table equals batched search with no
+    /// table at all, results and counters alike.
+    #[test]
+    fn stale_snapshot_never_changes_batched_results(s in scenario()) {
+        let mut grid = new_grid(&s);
+        let mut rng = StdRng::seed_from_u64(s.seed);
+        // Some construction first, so the descent has somewhere to route.
+        {
+            let mut online = AlwaysOnline;
+            let mut stats = NetStats::new();
+            let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+            for round in 0..3 {
+                for i in 0..s.n {
+                    let j = (i + 1 + round) % s.n;
+                    if i != j {
+                        grid.exchange(
+                            PeerId(i as u32),
+                            PeerId(j as u32),
+                            &mut ctx,
+                        );
+                    }
+                }
+            }
+        }
+        let stale = CompactRoutingTable::build(&grid);
+        // Now mutate without refreshing: the snapshot lags the grid.
+        {
+            let mut online = AlwaysOnline;
+            let mut stats = NetStats::new();
+            let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
+            for &op in &s.ops {
+                apply(&mut grid, op, s.n, s.maxl, &mut ctx);
+            }
+        }
+        let mutated = s.ops.iter().any(|op| !matches!(
+            op,
+            Op::Exchange(a, b) if a % s.n as u8 == b % s.n as u8
+        ));
+        prop_assume!(mutated);
+        prop_assert!(!stale.is_fresh(&grid), "ops must have bumped the epoch");
+
+        let queries: Vec<BatchQuery> = (0..32)
+            .map(|_| BatchQuery {
+                key: BitPath::random(&mut rng, s.maxl as u8),
+                start: PeerId(rng.gen_range(0..s.n) as u32),
+                seed: rng.gen(),
+            })
+            .collect();
+        prop_assert_eq!(
+            run_batched(&grid, Some(&stale), &queries),
+            run_batched(&grid, None, &queries),
+        );
+    }
+}

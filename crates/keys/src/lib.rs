@@ -29,12 +29,14 @@ mod interval;
 pub mod mapper;
 pub mod radix;
 mod range;
+pub mod succinct;
 
 pub use bitpath::{flip, Bit, BitPath, BitPathError, Bits, MAX_PATH_LEN};
 pub use interval::Interval;
 pub use mapper::{HashKeyMapper, KeyMapper, NumericMapper, OrderPreservingMapper};
 pub use radix::RadixPath;
-pub use range::range_cover;
+pub use range::{range_cover, range_cover_into};
+pub use succinct::{PathArena, RankBits};
 
 /// A data-item key. Keys live in the same binary key space as peer paths;
 /// a peer with path `p` is responsible for every key that has `p` as prefix.

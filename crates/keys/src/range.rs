@@ -25,6 +25,20 @@ use crate::BitPath;
 /// # Panics
 /// If `lo` and `hi` differ in length, are empty, or `lo > hi`.
 pub fn range_cover(lo: &BitPath, hi: &BitPath) -> Vec<BitPath> {
+    let mut out = Vec::new();
+    range_cover_into(lo, hi, &mut out);
+    out
+}
+
+/// Allocation-free form of [`range_cover`]: clears `out` and fills it with
+/// the cover, reusing whatever capacity the caller's buffer already holds
+/// (the `_into` discipline of the scratch arena — see `pgrid-core`'s
+/// `Scratch`).
+///
+/// # Panics
+/// Same conditions as [`range_cover`].
+pub fn range_cover_into(lo: &BitPath, hi: &BitPath, out: &mut Vec<BitPath>) {
+    out.clear();
     assert_eq!(lo.len(), hi.len(), "range endpoints must have equal length");
     assert!(!lo.is_empty(), "empty keys cannot form a range");
     assert!(lo <= hi, "range endpoints out of order");
@@ -34,7 +48,6 @@ pub fn range_cover(lo: &BitPath, hi: &BitPath) -> Vec<BitPath> {
     let to_val = |p: &BitPath| p.raw_bits() >> (128 - bits);
     let mut cur = to_val(lo);
     let end = to_val(hi);
-    let mut out = Vec::new();
 
     loop {
         // Largest aligned block starting at `cur` that fits within the
@@ -58,7 +71,6 @@ pub fn range_cover(lo: &BitPath, hi: &BitPath) -> Vec<BitPath> {
         }
         cur += block;
     }
-    out
 }
 
 #[cfg(test)]
@@ -146,6 +158,17 @@ mod tests {
     #[should_panic(expected = "out of order")]
     fn inverted_range_panics() {
         range_cover(&p("10"), &p("01"));
+    }
+
+    #[test]
+    fn into_variant_clears_and_reuses_the_buffer() {
+        let mut buf = vec![p("1111"); 9];
+        range_cover_into(&p("0011"), &p("1001"), &mut buf);
+        assert_eq!(buf, vec![p("0011"), p("01"), p("100")]);
+        let cap = buf.capacity();
+        range_cover_into(&p("0110"), &p("0110"), &mut buf);
+        assert_eq!(buf, vec![p("0110")]);
+        assert_eq!(buf.capacity(), cap, "refill must not reallocate");
     }
 
     #[test]

@@ -36,6 +36,12 @@ pub enum RouteStep {
 /// `key` the remaining (unmatched) query. `matched` is clamped to the path
 /// length, so a peer whose path shrank below a stale `matched` count still
 /// answers rather than panicking on malformed input.
+///
+/// `#[inline]` matters here: the serial descent, the live node, and the
+/// lockstep batch driver (`pgrid-core::search_batch`) all call this kernel
+/// from other crates, and in the batched sweep it sits between two
+/// prefetch-sensitive loads — a call boundary would stall the overlap.
+#[inline]
 pub fn route_step(path: &BitPath, matched: usize, key: &BitPath) -> RouteStep {
     let matched = matched.min(path.len());
     let rempath = path.suffix(matched);

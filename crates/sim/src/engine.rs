@@ -17,9 +17,10 @@
 //! "Hot-path memory discipline"). Scratch reuse is capacity-only — it never
 //! affects RNG draws or results.
 
-use pgrid_core::{Ctx, OwnedCtx, PGrid};
+use pgrid_core::{BatchQuery, CompactRoutingTable, Ctx, OwnedCtx, PGrid};
 use pgrid_net::{NetStats, OnlineModel, PeerId};
 use pgrid_trace::{merge_shards, RingTracer, Stamped};
+use rand::Rng;
 use serde::Serialize;
 
 use crate::workload::UniformKeys;
@@ -263,6 +264,128 @@ fn shard_count(per: usize, rem: usize, task: u64) -> usize {
     per + usize::from((task as usize) < rem)
 }
 
+/// Executes `plan` through the **lockstep batch driver**: a succinct
+/// [`CompactRoutingTable`] snapshot is frozen once and shared (read-only)
+/// by all workers, and each shard runs its queries `batch` descents at a
+/// time via [`PGrid::search_batch`].
+///
+/// Determinism: each shard pre-draws its queries — key, start peer, and a
+/// per-query RNG seed — from the shard stream *in query order* before any
+/// descent runs, so every query's draws are fixed regardless of how
+/// descents interleave. Records, counters, and traces are therefore
+/// byte-identical across **all** batch sizes and thread counts; `batch ==
+/// 1` is the batched family's serial reference. (The batched family's
+/// per-query streams intentionally differ from [`run_query_plan`]'s shared
+/// shard stream — the two engines are each self-consistent, not
+/// cross-identical; see DESIGN.md §13.)
+pub fn run_query_plan_batched(
+    grid: &PGrid,
+    plan: &QueryPlan,
+    master_seed: u64,
+    online: &dyn OnlineModel,
+    threads: usize,
+    batch: usize,
+) -> QueryRunOutcome {
+    let table = CompactRoutingTable::build(grid);
+    let shards = plan.shards.max(1);
+    let per = plan.queries / shards as usize;
+    let rem = plan.queries % shards as usize;
+    let keygen = UniformKeys { len: plan.key_len };
+
+    let run = run_sharded(master_seed, online, shards, threads, |task, ctx| {
+        batched_query_shard(
+            grid,
+            &table,
+            &keygen,
+            shard_count(per, rem, task),
+            batch,
+            ctx,
+        )
+    });
+
+    QueryRunOutcome {
+        records: run.results.into_iter().flatten().collect(),
+        stats: run.stats,
+    }
+}
+
+/// [`run_query_plan_batched`] with every shard recording into the flight
+/// recorder. The batch driver buffers each descent's events and flushes
+/// them in query order, so the merged trace is byte-identical for every
+/// batch size and thread count — pinned by the `batch_determinism` suite.
+pub fn run_query_plan_batched_traced(
+    grid: &PGrid,
+    plan: &QueryPlan,
+    master_seed: u64,
+    online: &dyn OnlineModel,
+    threads: usize,
+    batch: usize,
+    shard_capacity: usize,
+) -> (QueryRunOutcome, Vec<Stamped>) {
+    let table = CompactRoutingTable::build(grid);
+    let shards = plan.shards.max(1);
+    let per = plan.queries / shards as usize;
+    let rem = plan.queries % shards as usize;
+    let keygen = UniformKeys { len: plan.key_len };
+
+    let (run, events) = run_sharded_traced(
+        master_seed,
+        online,
+        shards,
+        threads,
+        shard_capacity,
+        |task, ctx| {
+            batched_query_shard(
+                grid,
+                &table,
+                &keygen,
+                shard_count(per, rem, task),
+                batch,
+                ctx,
+            )
+        },
+    );
+
+    (
+        QueryRunOutcome {
+            records: run.results.into_iter().flatten().collect(),
+            stats: run.stats,
+        },
+        events,
+    )
+}
+
+/// One shard's share of a batched plan: pre-draw every query spec in query
+/// order, then run them through the lockstep driver `batch` at a time.
+fn batched_query_shard(
+    grid: &PGrid,
+    table: &CompactRoutingTable,
+    keygen: &UniformKeys,
+    count: usize,
+    batch: usize,
+    ctx: &mut Ctx<'_>,
+) -> Vec<QueryRecord> {
+    let mut specs = Vec::with_capacity(count);
+    for _ in 0..count {
+        let key = keygen.sample(ctx.rng);
+        let start = grid.random_peer(ctx);
+        let seed = ctx.rng.gen::<u64>();
+        specs.push(BatchQuery { key, start, seed });
+    }
+    let mut outcomes = Vec::with_capacity(count);
+    for chunk in specs.chunks(batch.max(1)) {
+        grid.search_batch(Some(table), chunk, ctx, &mut outcomes);
+    }
+    outcomes
+        .iter()
+        .map(|o| QueryRecord {
+            responsible: o.responsible,
+            messages: o.messages,
+            hops: o.hops,
+        })
+        .collect()
+}
+
 /// One shard's share of a query plan — the single body both the traced and
 /// untraced runs execute.
 fn query_shard(
@@ -444,6 +567,60 @@ mod tests {
             .filter(|s| matches!(s.event, TraceEvent::QueryEnd { .. }))
             .count();
         assert_eq!(ends, plan.queries, "one QueryEnd per planned query");
+    }
+
+    #[test]
+    fn batched_plan_is_batch_size_and_thread_invariant() {
+        let g = grid();
+        let plan = QueryPlan {
+            queries: 300,
+            key_len: 4,
+            shards: 8,
+        };
+        let online = BernoulliOnline::new(0.7);
+        let reference = run_query_plan_batched(&g, &plan, 17, &online, 1, 1);
+        assert_eq!(reference.records.len(), 300);
+        assert!(reference.successes() > 0);
+        for batch in [1usize, 8, 64] {
+            for threads in [1usize, 2, 4] {
+                let other = run_query_plan_batched(&g, &plan, 17, &online, threads, batch);
+                assert_eq!(reference, other, "batch = {batch}, threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_trace_is_batch_size_and_thread_invariant() {
+        use pgrid_trace::encode_line;
+        let g = grid();
+        let plan = QueryPlan {
+            queries: 120,
+            key_len: 4,
+            shards: 6,
+        };
+        let online = BernoulliOnline::new(0.8);
+        let encode = |threads: usize, batch: usize| {
+            let (out, events) =
+                run_query_plan_batched_traced(&g, &plan, 13, &online, threads, batch, 1 << 16);
+            let text = events
+                .iter()
+                .map(encode_line)
+                .collect::<Vec<_>>()
+                .join("\n");
+            (out, text)
+        };
+        let (base_out, base_text) = encode(1, 1);
+        assert!(!base_text.is_empty());
+        // The traced run must reproduce the untraced one bit for bit...
+        assert_eq!(base_out, run_query_plan_batched(&g, &plan, 13, &online, 1, 1));
+        // ...and the merged trace must not move with batch width or threads.
+        for batch in [1usize, 8, 64] {
+            for threads in [1usize, 4] {
+                let (out, text) = encode(threads, batch);
+                assert_eq!(base_out, out, "batch = {batch}, threads = {threads}");
+                assert_eq!(base_text, text, "batch = {batch}, threads = {threads}");
+            }
+        }
     }
 
     #[test]

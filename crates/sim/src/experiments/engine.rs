@@ -1,10 +1,14 @@
 //! **extra — parallel engine throughput**: the same query workload executed
-//! serially and across worker threads.
+//! serially, across worker threads, and through the batched lockstep
+//! driver over the succinct routing snapshot.
 //!
-//! The engine's contract is *determinism first*: every row below answers the
-//! identical queries with the identical RNG streams, so the thread count
-//! only moves wall-clock time. `run` verifies that bit-for-bit (the
-//! `identical` column) while measuring queries/second.
+//! The engine's contract is *determinism first*: every threaded row below
+//! answers the identical queries with the identical RNG streams, so the
+//! thread count only moves wall-clock time. The batched rows form their
+//! own deterministic family (per-query RNG streams, DESIGN.md §13): batch
+//! width 1 is that family's serial reference, and every batch size and
+//! thread count must reproduce it bit for bit. `run` verifies both
+//! (the `identical` columns) while measuring queries/second.
 
 use std::time::Instant;
 
@@ -12,7 +16,7 @@ use pgrid_core::PGridConfig;
 use pgrid_net::AlwaysOnline;
 use serde::Serialize;
 
-use crate::engine::{run_query_plan, QueryPlan};
+use crate::engine::{run_query_plan, run_query_plan_batched, QueryPlan};
 use crate::{built_grid, fmt_f, Table};
 
 /// Parameters of the throughput measurement.
@@ -32,6 +36,9 @@ pub struct Config {
     pub shards: u64,
     /// Thread counts to measure; the first row is the serial reference.
     pub threads: Vec<usize>,
+    /// Batch widths of the lockstep driver to measure; width 1 is the
+    /// batched family's serial reference.
+    pub batch_sizes: Vec<usize>,
     /// Master seed.
     pub seed: u64,
 }
@@ -46,6 +53,7 @@ impl Default for Config {
             key_len: 9,
             shards: 64,
             threads: vec![1, 2, 4, 8],
+            batch_sizes: vec![1, 8, 64],
             seed: 42,
         }
     }
@@ -62,6 +70,7 @@ impl Config {
             key_len: 4,
             shards: 16,
             threads: vec![1, 2],
+            batch_sizes: vec![1, 8, 64],
             seed: 42,
         }
     }
@@ -83,9 +92,47 @@ pub struct Row {
     pub identical: bool,
 }
 
+/// One measured batch width of the lockstep driver (single worker thread,
+/// so the column isolates what batching itself buys).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct BatchRow {
+    /// Descents advanced in lockstep per shard.
+    pub batch: usize,
+    /// Wall-clock milliseconds for the whole workload at one thread.
+    pub elapsed_ms: f64,
+    /// Queries per second at one thread.
+    pub qps: f64,
+    /// Speedup over the unbatched (width 1) lockstep row.
+    pub speedup: f64,
+    /// Whether this width — at one thread *and* at the widest configured
+    /// thread count — reproduced the width-1 reference byte for byte
+    /// (must always be `true`).
+    pub identical: bool,
+}
+
+/// Everything `run` measured: the legacy threaded rows plus the batched
+/// lockstep rows.
+#[derive(Clone, Debug, Serialize)]
+pub struct Report {
+    /// Thread-scaling rows of the shared-stream engine.
+    pub rows: Vec<Row>,
+    /// Batch-width rows of the lockstep driver.
+    pub batch_rows: Vec<BatchRow>,
+}
+
+impl Report {
+    /// The best batched qps observed, with its batch width.
+    pub fn best_batched(&self) -> Option<&BatchRow> {
+        self.batch_rows
+            .iter()
+            .max_by(|a, b| a.qps.total_cmp(&b.qps))
+    }
+}
+
 /// Builds the grid once, then runs the workload at every configured thread
-/// count, checking each run against the serial reference.
-pub fn run(cfg: &Config) -> (Vec<Row>, Table) {
+/// count and batch width, checking each run against its family's serial
+/// reference.
+pub fn run(cfg: &Config) -> (Report, Table) {
     let grid_cfg = PGridConfig {
         maxl: cfg.maxl,
         refmax: cfg.refmax,
@@ -118,23 +165,55 @@ pub fn run(cfg: &Config) -> (Vec<Row>, Table) {
         });
     }
 
+    // Batched lockstep family: width 1 at one thread is its reference.
+    let max_threads = cfg.threads.iter().copied().max().unwrap_or(1);
+    let batch_reference = run_query_plan_batched(&built.grid, &plan, cfg.seed, &online, 1, 1);
+    let mut batch_rows = Vec::with_capacity(cfg.batch_sizes.len());
+    let mut unbatched_qps = None;
+    for &batch in &cfg.batch_sizes {
+        let start = Instant::now();
+        let out = run_query_plan_batched(&built.grid, &plan, cfg.seed, &online, 1, batch);
+        let elapsed = start.elapsed().as_secs_f64();
+        let qps = cfg.queries as f64 / elapsed.max(1e-9);
+        let unbatched = *unbatched_qps.get_or_insert(qps);
+        // Thread-invariance of this width, checked at the widest count.
+        let threaded =
+            run_query_plan_batched(&built.grid, &plan, cfg.seed, &online, max_threads, batch);
+        batch_rows.push(BatchRow {
+            batch,
+            elapsed_ms: elapsed * 1e3,
+            qps,
+            speedup: qps / unbatched,
+            identical: out == batch_reference && threaded == batch_reference,
+        });
+    }
+
     let mut table = Table::new(
         format!(
             "engine: {} queries (len {}, {} shards) on N={}, maxl={}",
             cfg.queries, cfg.key_len, cfg.shards, cfg.n, cfg.maxl
         ),
-        &["threads", "elapsed ms", "qps", "speedup", "identical"],
+        &["mode", "elapsed ms", "qps", "speedup", "identical"],
     );
     for r in &rows {
         table.push_row(vec![
-            r.threads.to_string(),
+            format!("{} thread(s)", r.threads),
             fmt_f(r.elapsed_ms, 1),
             fmt_f(r.qps, 0),
             fmt_f(r.speedup, 2),
             r.identical.to_string(),
         ]);
     }
-    (rows, table)
+    for r in &batch_rows {
+        table.push_row(vec![
+            format!("batch {}", r.batch),
+            fmt_f(r.elapsed_ms, 1),
+            fmt_f(r.qps, 0),
+            fmt_f(r.speedup, 2),
+            r.identical.to_string(),
+        ]);
+    }
+    (Report { rows, batch_rows }, table)
 }
 
 #[cfg(test)]
@@ -142,11 +221,20 @@ mod tests {
     use super::*;
 
     #[test]
-    fn every_thread_count_matches_the_serial_reference() {
-        let (rows, table) = run(&Config::small());
-        assert_eq!(rows.len(), 2);
-        assert!(rows.iter().all(|r| r.identical), "rows: {rows:?}");
-        assert!(rows.iter().all(|r| r.qps > 0.0));
-        assert_eq!(table.rows.len(), 2);
+    fn every_thread_count_and_batch_width_matches_its_reference() {
+        let mut cfg = Config::small();
+        cfg.queries = 600; // keep the unit test fast; the bench runs full
+        let (report, table) = run(&cfg);
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.rows.iter().all(|r| r.identical), "{:?}", report.rows);
+        assert!(report.rows.iter().all(|r| r.qps > 0.0));
+        assert_eq!(report.batch_rows.len(), 3);
+        assert!(
+            report.batch_rows.iter().all(|r| r.identical),
+            "{:?}",
+            report.batch_rows
+        );
+        assert!(report.best_batched().is_some());
+        assert_eq!(table.rows.len(), 5);
     }
 }

@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
-# Engine throughput smoke: serial vs parallel queries/second, plus
-# steady-state allocation accounting on the warm scratch arena.
+# Engine throughput smoke: serial vs parallel vs batched-lockstep
+# queries/second, plus steady-state allocation accounting on the warm
+# scratch arena (both the serial descent and the batched driver).
 #
 #   scripts/bench.sh          # quick profile, writes/updates BENCH_engine.json
 #   scripts/bench.sh full     # paper-scale workload (minutes, not seconds)
 #
-# The run aborts (non-zero exit) if any parallel execution diverges from the
-# serial reference — determinism is part of the benchmark's contract — or if
-# allocs_per_query regresses more than 10% against the committed
-# BENCH_engine.json baseline. (The CI workflow runs this step with
-# continue-on-error, so a regression is loud but non-blocking there.)
+# The run aborts (non-zero exit) if any parallel or batched execution
+# diverges from its family's serial reference — determinism is part of the
+# benchmark's contract — or if allocs_per_query /
+# batched_allocs_per_query regresses more than 10% against the committed
+# BENCH_engine.json baseline. (The CI workflow runs this step as a blocking
+# gate.)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,52 +20,72 @@ if [[ "${1:-}" == "full" ]]; then
     profile_flag=""
 fi
 
-# Capture the committed allocation baseline BEFORE the run overwrites it.
-baseline_allocs="$(python3 - <<'EOF'
+# Capture the committed allocation baselines BEFORE the run overwrites them.
+baselines="$(python3 - <<'EOF'
 import json
 try:
     with open("BENCH_engine.json") as f:
-        v = json.load(f).get("allocs_per_query")
-    print("" if v is None else v)
+        r = json.load(f)
+    q = r.get("allocs_per_query")
+    b = r.get("batched_allocs_per_query")
+    print("" if q is None else q, "" if b is None else b, sep="\t")
 except Exception:
-    print("")
+    print("", "", sep="\t")
 EOF
 )"
+baseline_allocs="${baselines%%$'\t'*}"
+baseline_batched_allocs="${baselines#*$'\t'}"
 
 echo "==> engine throughput (${profile_flag:-full}) + alloc accounting"
 # shellcheck disable=SC2086  # an empty flag must expand to nothing
 cargo run --release -p pgrid-bench --features count-allocs --bin engine_bench -- ${profile_flag} --out BENCH_engine.json
 
-new_allocs="$(python3 - <<'EOF'
-import json
-with open("BENCH_engine.json") as f:
-    v = json.load(f).get("allocs_per_query")
-print("" if v is None else v)
-EOF
-)"
-
-if [[ -n "${baseline_allocs}" && -n "${new_allocs}" ]]; then
-    python3 - "${baseline_allocs}" "${new_allocs}" <<'EOF'
+guard_allocs() {
+    # guard_allocs NAME BASELINE NEW — 10% relative with a small absolute
+    # floor, so a 0.0 baseline still tolerates counter noise but catches a
+    # real per-query allocation.
+    local name="$1" base="$2" new="$3"
+    if [[ -z "${base}" || -z "${new}" ]]; then
+        echo "No committed ${name} baseline; regression guard skipped."
+        return 0
+    fi
+    python3 - "${name}" "${base}" "${new}" <<'EOF'
 import sys
-base, new = float(sys.argv[1]), float(sys.argv[2])
-# 10% relative, with a small absolute floor so a 0.0 baseline still
-# tolerates counter noise but catches a real per-query allocation.
+name, base, new = sys.argv[1], float(sys.argv[2]), float(sys.argv[3])
 limit = max(base * 1.10, base + 0.05)
 if new > limit:
     sys.exit(
-        f"FATAL: allocs_per_query regressed: {new} > {limit:.3f} "
+        f"FATAL: {name} regressed: {new} > {limit:.3f} "
         f"(committed baseline {base}). The query hot path allocated."
     )
-print(f"allocs_per_query {new} within budget (baseline {base}).")
+print(f"{name} {new} within budget (baseline {base}).")
 EOF
-else
-    echo "No committed allocs_per_query baseline; regression guard skipped."
-fi
+}
+
+new_allocs_pair="$(python3 - <<'EOF'
+import json
+with open("BENCH_engine.json") as f:
+    r = json.load(f)
+q = r.get("allocs_per_query")
+b = r.get("batched_allocs_per_query")
+print("" if q is None else q, "" if b is None else b, sep="\t")
+EOF
+)"
+new_allocs="${new_allocs_pair%%$'\t'*}"
+new_batched_allocs="${new_allocs_pair#*$'\t'}"
+
+guard_allocs "allocs_per_query" "${baseline_allocs}" "${new_allocs}"
+guard_allocs "batched_allocs_per_query" "${baseline_batched_allocs}" "${new_batched_allocs}"
 
 python3 - <<'EOF'
 import json
 with open("BENCH_engine.json") as f:
     r = json.load(f)
+print(f"throughput: serial {r['serial_qps']:.0f} qps -> best threaded "
+      f"{r['best_qps']:.0f} qps ({r['best_threads']} threads) | batched x1 "
+      f"{r['unbatched_qps']:.0f} qps -> best batched {r['best_batched_qps']:.0f} qps "
+      f"(batch {r['best_batch']}) = {r['batch_speedup']:.2f}x unbatched, "
+      f"{r['batched_vs_serial']:.2f}x serial")
 pct = r.get("trace_overhead_pct")
 if pct is not None:
     print(f"flight-recorder overhead when recording: {pct:+.1f}% "

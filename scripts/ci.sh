@@ -24,6 +24,9 @@ cargo test -q
 echo "==> sim/live differential determinism (two fixed seeds)"
 cargo test --release --test differential_sim_node
 
+echo "==> batch determinism (batched vs width-1 reference; batch 1/8/64 x threads 1/4)"
+cargo test --release --test batch_determinism
+
 echo "==> golden trace (record twice, byte-compare; diff across seeds)"
 trace_dir="$(mktemp -d)"
 trap 'rm -rf "${trace_dir}"' EXIT
