@@ -19,6 +19,7 @@ fn live_cluster(c: &mut Criterion) {
         recfanout: 2,
         ttl: 64,
         seed: 2024,
+        ..ClusterConfig::default()
     });
     for _ in 0..40 {
         cluster.build(300);

@@ -1,0 +1,158 @@
+//! Loopback soak benchmark of the live socket transport.
+//!
+//! Spawns a P-Grid community over real TCP loopback sockets (event-loop
+//! transport, DESIGN.md §14), drives a mixed insert/query workload for a
+//! fixed wall-clock window, and reports peers, messages/sec, and the peak
+//! OS thread count. A thread-per-peer A/B row over the in-process actor
+//! transport runs at a smaller peer count so the `O(peers)` thread scaling
+//! of the baseline is visible next to the event loop's `workers + constant`.
+//!
+//! Writes the measurements as JSON (default `BENCH_live.json`). Exits
+//! non-zero if the event-loop rows scale their thread count with peers.
+//!
+//! ```text
+//! live_bench [--smoke] [--peers N] [--workers W] [--secs S] [--out PATH]
+//! ```
+//!
+//! `--smoke` is the bounded CI profile: 128 peers for a few seconds, A/B
+//! row shrunk to 64 peers, same assertions.
+
+use std::path::PathBuf;
+
+use pgrid_node::{os_thread_count, run_soak, SoakConfig, SoakMode, SoakReport};
+
+/// Slack on the thread budget: the test harness, the listener's accept
+/// machinery and transient connect helpers may briefly add a few threads
+/// on top of `baseline + workers`.
+const THREAD_SLACK: u64 = 8;
+
+fn row(report: &SoakReport, baseline_threads: u64) -> serde_json::Value {
+    serde_json::json!({
+        "mode": report.mode,
+        "peers": report.peers,
+        "workers": report.workers,
+        "secs_elapsed": report.secs_elapsed,
+        "messages": report.messages,
+        "msgs_per_sec": report.msgs_per_sec,
+        "queries": report.queries,
+        "query_hits": report.query_hits,
+        "inserts": report.inserts,
+        "peak_threads": report.peak_threads,
+        "baseline_threads": baseline_threads,
+        "conn_established": report.conn_established,
+        "conn_lost": report.conn_lost,
+    })
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut peers: usize = 1000;
+    let mut workers: usize = 2;
+    let mut secs: u64 = 10;
+    let mut seed: u64 = 7;
+    let mut out = PathBuf::from("BENCH_live.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut num = |what: &str| -> u64 {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{what} needs a number"))
+        };
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--peers" => peers = num("--peers") as usize,
+            "--workers" => workers = num("--workers") as usize,
+            "--secs" => secs = num("--secs"),
+            "--seed" => seed = num("--seed"),
+            "--out" => out = PathBuf::from(args.next().expect("--out needs a path")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: live_bench [--smoke] [--peers N] [--workers W] \
+                     [--secs S] [--seed SEED] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if smoke {
+        peers = peers.min(128);
+        secs = secs.min(10);
+    }
+
+    let baseline_threads = os_thread_count();
+
+    // Headline row: event-loop transport at full peer count.
+    let event_loop = run_soak(SoakConfig {
+        peers,
+        workers,
+        secs,
+        seed,
+        mode: SoakMode::EventLoop,
+        ..SoakConfig::default()
+    });
+    println!(
+        "event_loop: {} peers on {} workers — {:.0} msgs/sec, {} queries \
+         ({} ground-truth hits), peak {} threads (baseline {})",
+        event_loop.peers,
+        event_loop.workers,
+        event_loop.msgs_per_sec,
+        event_loop.queries,
+        event_loop.query_hits,
+        event_loop.peak_threads,
+        baseline_threads,
+    );
+
+    // A/B row: thread-per-peer actor baseline. Runs at a reduced peer
+    // count — the point of the comparison is thread scaling, and a
+    // thousand actor threads is exactly the cost the event loop avoids.
+    let ab_peers = if smoke { peers.min(64) } else { peers.min(256) };
+    let ab_baseline = os_thread_count();
+    let thread_per_peer = run_soak(SoakConfig {
+        peers: ab_peers,
+        workers: 1,
+        secs: secs.min(5),
+        seed,
+        mode: SoakMode::ThreadPerPeer,
+        ..SoakConfig::default()
+    });
+    println!(
+        "thread_per_peer: {} peers — {:.0} msgs/sec, peak {} threads \
+         (baseline {})",
+        thread_per_peer.peers,
+        thread_per_peer.msgs_per_sec,
+        thread_per_peer.peak_threads,
+        ab_baseline,
+    );
+
+    let thread_budget = baseline_threads + workers as u64 + THREAD_SLACK;
+    let thread_gate_ok = baseline_threads == 0 || event_loop.peak_threads <= thread_budget;
+
+    let report = serde_json::json!({
+        "bench": "live",
+        "profile": if smoke { "smoke" } else { "full" },
+        "measured": true,
+        "seed": seed,
+        "host_threads": std::thread::available_parallelism().map_or(1, |n| n.get()),
+        "thread_budget": thread_budget,
+        "thread_gate_ok": thread_gate_ok,
+        "rows": [
+            row(&event_loop, baseline_threads),
+            row(&thread_per_peer, ab_baseline),
+        ],
+    });
+    std::fs::write(&out, format!("{:#}\n", report)).expect("write benchmark JSON");
+    println!("wrote {}", out.display());
+
+    if !thread_gate_ok {
+        eprintln!(
+            "FATAL: event loop thread count scaled with peers: peak {} > budget {}",
+            event_loop.peak_threads, thread_budget
+        );
+        std::process::exit(1);
+    }
+    if event_loop.messages == 0 {
+        eprintln!("FATAL: soak moved no frames");
+        std::process::exit(1);
+    }
+}

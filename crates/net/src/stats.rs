@@ -120,6 +120,27 @@ pub struct NetStats {
     /// path corrections, re-homed entries, dropped buddies).
     #[serde(default)]
     pub repairs_applied: u64,
+    /// Socket connections established (outbound connects plus accepted
+    /// inbound preambles). Normal activity, not a fault.
+    #[serde(default)]
+    pub conn_established: u64,
+    /// Socket connections lost to I/O errors, mid-frame EOF, or exhausted
+    /// reconnect attempts.
+    #[serde(default)]
+    pub conn_lost: u64,
+    /// Frames accepted into a connection's bounded write queue. Normal
+    /// activity, not a fault.
+    #[serde(default)]
+    pub writes_queued: u64,
+    /// Frames shed drop-newest because a write queue was full
+    /// (backpressure on the socket path).
+    #[serde(default)]
+    pub writes_shed: u64,
+    /// Readiness events that left a torn frame buffered in a read
+    /// accumulator. The *common* case under nonblocking reads — counted
+    /// for observability, not a fault.
+    #[serde(default)]
+    pub partial_frames: u64,
 }
 
 impl NetStats {
@@ -173,6 +194,11 @@ impl NetStats {
         out.evictions = self.evictions - earlier.evictions;
         out.violations_detected = self.violations_detected - earlier.violations_detected;
         out.repairs_applied = self.repairs_applied - earlier.repairs_applied;
+        out.conn_established = self.conn_established - earlier.conn_established;
+        out.conn_lost = self.conn_lost - earlier.conn_lost;
+        out.writes_queued = self.writes_queued - earlier.writes_queued;
+        out.writes_shed = self.writes_shed - earlier.writes_shed;
+        out.partial_frames = self.partial_frames - earlier.partial_frames;
         out
     }
 
@@ -194,10 +220,20 @@ impl NetStats {
         self.evictions += other.evictions;
         self.violations_detected += other.violations_detected;
         self.repairs_applied += other.repairs_applied;
+        self.conn_established += other.conn_established;
+        self.conn_lost += other.conn_lost;
+        self.writes_queued += other.writes_queued;
+        self.writes_shed += other.writes_shed;
+        self.partial_frames += other.partial_frames;
     }
 
     /// True when no fault, retry, or rejection counter is set — the
     /// signature of a clean (fault-free) run with no phantom retries.
+    ///
+    /// `conn_established`, `writes_queued`, and `partial_frames` are
+    /// deliberately excluded: a clean run over real sockets legitimately
+    /// opens connections, queues writes, and sees torn nonblocking reads.
+    /// Shed writes and lost connections, by contrast, lose frames.
     pub fn is_fault_free(&self) -> bool {
         self.dropped == 0
             && self.duplicated == 0
@@ -210,6 +246,8 @@ impl NetStats {
             && self.evictions == 0
             && self.violations_detected == 0
             && self.repairs_applied == 0
+            && self.conn_lost == 0
+            && self.writes_shed == 0
     }
 }
 
@@ -265,7 +303,7 @@ impl fmt::Display for NetStats {
         if !self.is_fault_free() {
             write!(
                 f,
-                " [dropped={} dup={} reorder={} delayed={} retries={} timeouts={} rejected={} malformed={} evictions={} violations={} repairs={}]",
+                " [dropped={} dup={} reorder={} delayed={} retries={} timeouts={} rejected={} malformed={} evictions={} violations={} repairs={} conn_lost={} shed={}]",
                 self.dropped,
                 self.duplicated,
                 self.reordered,
@@ -277,6 +315,15 @@ impl fmt::Display for NetStats {
                 self.evictions,
                 self.violations_detected,
                 self.repairs_applied,
+                self.conn_lost,
+                self.writes_shed,
+            )?;
+        }
+        if self.conn_established != 0 || self.writes_queued != 0 || self.partial_frames != 0 {
+            write!(
+                f,
+                " (conns={} writes={} partial={})",
+                self.conn_established, self.writes_queued, self.partial_frames,
             )?;
         }
         Ok(())
@@ -441,6 +488,11 @@ mod tests {
                     &mut s.evictions,
                     &mut s.violations_detected,
                     &mut s.repairs_applied,
+                    &mut s.conn_established,
+                    &mut s.conn_lost,
+                    &mut s.writes_queued,
+                    &mut s.writes_shed,
+                    &mut s.partial_frames,
                 ];
                 *slot[i] += 1;
             }
@@ -450,14 +502,14 @@ mod tests {
     /// `merge` must equal interleaved serial recording: replaying one event
     /// stream into a single accumulator gives the same counters as splitting
     /// it across two shards (round-robin) and merging them — covering the
-    /// message, contact, and all eleven fault counters.
+    /// message, contact, and all sixteen fault/socket counters.
     #[test]
     fn merge_equals_interleaved_serial_recording() {
         let events: Vec<Event> = (0..200)
             .map(|i| match i % 4 {
                 0 => Event::Msg(MsgKind::ALL[i % 5]),
                 1 => Event::Contact(i % 3 == 0),
-                _ => Event::Fault(i % 11),
+                _ => Event::Fault(i % 16),
             })
             .collect();
 
@@ -525,6 +577,11 @@ mod tests {
         b.evictions = 5;
         b.violations_detected = 4;
         b.repairs_applied = 3;
+        b.conn_established = 7;
+        b.conn_lost = 2;
+        b.writes_queued = 40;
+        b.writes_shed = 3;
+        b.partial_frames = 11;
         a.merge(&b);
         let json = serde_json::to_string(&a).unwrap();
         let back: NetStats = serde_json::from_str(&json).unwrap();
@@ -540,6 +597,20 @@ mod tests {
         assert!(s.is_fault_free(), "message/contact counters are not faults");
         s.malformed += 1;
         assert!(!s.is_fault_free());
+    }
+
+    #[test]
+    fn clean_socket_activity_is_not_a_fault() {
+        let mut s = NetStats::new();
+        s.conn_established = 12;
+        s.writes_queued = 300;
+        s.partial_frames = 40;
+        assert!(s.is_fault_free(), "clean TCP runs open conns and tear reads");
+        s.writes_shed += 1;
+        assert!(!s.is_fault_free(), "shed writes lose frames");
+        s.writes_shed = 0;
+        s.conn_lost += 1;
+        assert!(!s.is_fault_free(), "lost conns lose queued frames");
     }
 
     #[test]

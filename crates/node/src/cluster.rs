@@ -256,38 +256,7 @@ impl Cluster {
     /// Checks every node's structural invariants plus the cross-node
     /// reference property (references point to the other side of the level).
     pub fn check_invariants(&self) -> Result<(), String> {
-        let snapshot: Vec<NodeState> = self.states.iter().map(|s| s.lock().clone()).collect();
-        for node in &snapshot {
-            if node.maxl == 0 {
-                continue; // killed
-            }
-            node.check()?;
-            for (i, slot) in node.refs.iter().enumerate() {
-                let level = i + 1;
-                for r in slot {
-                    let other = &snapshot[r.index()];
-                    if other.maxl == 0 {
-                        continue; // stale reference to a departed peer
-                    }
-                    if other.path.len() < level {
-                        return Err(format!(
-                            "{}: ref {} at level {level} has short path",
-                            node.id, r
-                        ));
-                    }
-                    if level <= node.path.len()
-                        && (other.path.prefix(level - 1) != node.path.prefix(level - 1)
-                            || other.path.bit(level - 1) == node.path.bit(level - 1))
-                        {
-                            return Err(format!(
-                                "{}: ref {} at level {level} violates the side property",
-                                node.id, r
-                            ));
-                        }
-                }
-            }
-        }
-        Ok(())
+        check_states_invariants(&self.states)
     }
 
     /// Issues a query, failing over across up to `query_attempts`
@@ -510,49 +479,7 @@ impl Cluster {
     /// If any node has been killed — snapshots require a dense, live
     /// community (restore numbers peers densely).
     pub fn to_snapshot(&self) -> pgrid_core::GridSnapshot {
-        use pgrid_core::{GridSnapshot, IndexEntry, PeerSnapshot};
-        use pgrid_store::{ItemId, Version};
-        let peers = self
-            .states
-            .iter()
-            .map(|s| {
-                let g = s.lock();
-                assert!(g.maxl != 0, "cannot snapshot a cluster with killed nodes");
-                PeerSnapshot {
-                    id: g.id,
-                    path: g.path,
-                    refs: g.refs.clone(),
-                    index: g
-                        .index
-                        .iter()
-                        .map(|(k, entries)| {
-                            (
-                                *k,
-                                entries
-                                    .iter()
-                                    .map(|e| IndexEntry {
-                                        item: ItemId(e.item),
-                                        holder: e.holder,
-                                        version: Version(e.version),
-                                    })
-                                    .collect(),
-                            )
-                        })
-                        .collect(),
-                    buddies: g.buddies.clone(),
-                }
-            })
-            .collect();
-        GridSnapshot {
-            config: pgrid_core::PGridConfig {
-                maxl: self.config.maxl,
-                refmax: self.config.refmax,
-                recmax: u32::from(self.config.recmax),
-                recfanout: Some(self.config.recfanout),
-                ..pgrid_core::PGridConfig::default()
-            },
-            peers,
-        }
+        states_snapshot(&self.states, &self.config)
     }
 
     /// Debug helper: every `(owner, referenced peer)` edge in the cluster —
@@ -601,11 +528,102 @@ impl Cluster {
     }
 }
 
-fn node_config(config: &ClusterConfig) -> NodeConfig {
+pub(crate) fn node_config(config: &ClusterConfig) -> NodeConfig {
     NodeConfig {
         recmax: config.recmax,
         ttl: config.ttl,
         ..NodeConfig::default()
+    }
+}
+
+/// Shared invariant check over a community's shared state handles —
+/// per-node structural validity plus the cross-node side property. Used by
+/// both [`Cluster`] and [`crate::TcpCluster`] so the two harnesses can
+/// never drift in what "valid" means.
+pub(crate) fn check_states_invariants(states: &[Arc<Mutex<NodeState>>]) -> Result<(), String> {
+    let snapshot: Vec<NodeState> = states.iter().map(|s| s.lock().clone()).collect();
+    for node in &snapshot {
+        if node.maxl == 0 {
+            continue; // killed
+        }
+        node.check()?;
+        for (i, slot) in node.refs.iter().enumerate() {
+            let level = i + 1;
+            for r in slot {
+                let other = &snapshot[r.index()];
+                if other.maxl == 0 {
+                    continue; // stale reference to a departed peer
+                }
+                if other.path.len() < level {
+                    return Err(format!(
+                        "{}: ref {} at level {level} has short path",
+                        node.id, r
+                    ));
+                }
+                if level <= node.path.len()
+                    && (other.path.prefix(level - 1) != node.path.prefix(level - 1)
+                        || other.path.bit(level - 1) == node.path.bit(level - 1))
+                {
+                    return Err(format!(
+                        "{}: ref {} at level {level} violates the side property",
+                        node.id, r
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Shared snapshot capture (see [`Cluster::to_snapshot`] for semantics).
+///
+/// # Panics
+/// If any node has been killed — snapshots require a dense, live community.
+pub(crate) fn states_snapshot(
+    states: &[Arc<Mutex<NodeState>>],
+    config: &ClusterConfig,
+) -> pgrid_core::GridSnapshot {
+    use pgrid_core::{GridSnapshot, IndexEntry, PeerSnapshot};
+    use pgrid_store::{ItemId, Version};
+    let peers = states
+        .iter()
+        .map(|s| {
+            let g = s.lock();
+            assert!(g.maxl != 0, "cannot snapshot a cluster with killed nodes");
+            PeerSnapshot {
+                id: g.id,
+                path: g.path,
+                refs: g.refs.clone(),
+                index: g
+                    .index
+                    .iter()
+                    .map(|(k, entries)| {
+                        (
+                            *k,
+                            entries
+                                .iter()
+                                .map(|e| IndexEntry {
+                                    item: ItemId(e.item),
+                                    holder: e.holder,
+                                    version: Version(e.version),
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+                buddies: g.buddies.clone(),
+            }
+        })
+        .collect();
+    GridSnapshot {
+        config: pgrid_core::PGridConfig {
+            maxl: config.maxl,
+            refmax: config.refmax,
+            recmax: u32::from(config.recmax),
+            recfanout: Some(config.recfanout),
+            ..pgrid_core::PGridConfig::default()
+        },
+        peers,
     }
 }
 

@@ -128,7 +128,7 @@ fn mix(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-fn link_seed(seed: u64, from: PeerId, to: PeerId) -> u64 {
+pub(crate) fn link_seed(seed: u64, from: PeerId, to: PeerId) -> u64 {
     mix(seed ^ mix(u64::from(from.0)) ^ mix(u64::from(to.0)).rotate_left(32))
 }
 

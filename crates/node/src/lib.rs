@@ -5,8 +5,10 @@
 //! This is the "it actually runs as a distributed system" counterpart to the
 //! sequential simulator in [`pgrid_core`]:
 //!
-//! * [`LocalTransport`] — mailbox routing of encoded frames between threads
-//!   (swap in a socket transport and nothing above it changes);
+//! * [`Transport`] — the I/O seam. [`LocalTransport`] routes encoded frames
+//!   between threads through in-process mailboxes; [`TcpTransport`] ships
+//!   the same frames over real sockets, multiplexing many peers per OS
+//!   thread with an event-loop driver — nothing above the seam changes;
 //! * [`NodeState`] — the protocol state machine, an alias of
 //!   [`pgrid_proto::ProtocolPeer`]: all decision logic (Fig. 2 routing,
 //!   Fig. 3 exchange cases, dedup, anti-entropy) lives in the sans-I/O
@@ -39,13 +41,19 @@
 mod cluster;
 mod fault;
 mod node;
+mod soak;
 mod state;
+mod tcp;
+mod tcp_cluster;
 mod transport;
 
 pub use cluster::{Cluster, ClusterConfig};
 pub use fault::FaultPlan;
 pub use node::{spawn_node, NodeConfig, RetryPolicy};
+pub use soak::{os_thread_count, run_soak, SoakConfig, SoakMode, SoakReport};
 pub use state::{NodeState, OfferOutcome, RouteDecision, DEFAULT_SUSPECT_AFTER};
+pub use tcp::{TcpTransport, TcpTransportConfig};
+pub use tcp_cluster::TcpCluster;
 pub use transport::{
-    Frame, LocalTransport, RegisterError, SendStatus, DEFAULT_MAILBOX_DEPTH,
+    Frame, LocalTransport, RegisterError, SendStatus, Transport, DEFAULT_MAILBOX_DEPTH,
 };

@@ -48,7 +48,7 @@ use pgrid_wire::{decode_frame, encode_frame, Message, WireEntry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{Frame, LocalTransport, NodeState, SendStatus};
+use crate::{Frame, LocalTransport, NodeState, SendStatus, Transport};
 
 /// How unacknowledged frames are retransmitted: `attempt` transmissions in
 /// total, the wait after the n-th doubling each time, plus uniform jitter
@@ -199,11 +199,17 @@ pub fn spawn_node_traced(
     })
 }
 
-struct NodeRt {
+/// The I/O shell around one [`ProtocolPeer`](pgrid_proto::ProtocolPeer):
+/// decode, retransmission timers, failover. Generic over the transport seam
+/// so the same shell runs thread-per-peer over [`LocalTransport`] mailboxes
+/// *and* multiplexed inside the [`crate::TcpTransport`] event loop — the
+/// two deployments differ only in who calls [`NodeRt::handle_message`] /
+/// [`NodeRt::tick`], never in what they do.
+pub(crate) struct NodeRt<T: Transport> {
     id: PeerId,
     state: Arc<Mutex<NodeState>>,
     config: NodeConfig,
-    transport: LocalTransport,
+    transport: T,
     /// All protocol randomness: seeded with the node seed, drawn from only
     /// inside [`NodeState::handle`].
     proto_rng: StdRng,
@@ -228,11 +234,11 @@ struct NodeRt {
     tracer: Box<dyn Tracer>,
 }
 
-impl NodeRt {
-    fn new(
+impl<T: Transport> NodeRt<T> {
+    pub(crate) fn new(
         state: Arc<Mutex<NodeState>>,
         config: NodeConfig,
-        transport: LocalTransport,
+        transport: T,
         seed: u64,
     ) -> Self {
         let id = {
@@ -258,6 +264,12 @@ impl NodeRt {
             pending_inserts: HashMap::new(),
             tracer: Box::new(NullTracer),
         }
+    }
+
+    /// Attaches a flight recorder (observation only; never changes a
+    /// decision or an RNG draw).
+    pub(crate) fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.tracer = tracer;
     }
 
     /// Records a shell-side event; the closure runs only when a real
@@ -405,8 +417,13 @@ impl NodeRt {
         }
     }
 
+    /// The peer this shell drives.
+    pub(crate) fn peer_id(&self) -> PeerId {
+        self.id
+    }
+
     /// Returns `false` when the node must shut down.
-    fn handle_frame(&mut self, frame: Frame) -> bool {
+    pub(crate) fn handle_frame(&mut self, frame: Frame) -> bool {
         let mut buf = BytesMut::from(&frame.bytes[..]);
         let message = match decode_frame(&mut buf) {
             Ok(Some(m)) => m,
@@ -425,7 +442,14 @@ impl NodeRt {
                 return true;
             }
         };
-        let from = frame.from;
+        self.handle_message(frame.from, message)
+    }
+
+    /// Feeds one already-decoded message into the shell. The TCP event loop
+    /// decodes straight out of each connection's read accumulator and calls
+    /// this, skipping the re-buffering `handle_frame` does; the protocol
+    /// behavior is identical by construction. Returns `false` on shutdown.
+    pub(crate) fn handle_message(&mut self, from: PeerId, message: Message) -> bool {
         match message {
             Message::Shutdown => return false,
             Message::Meet { with } => self.deliver(Event::Meet { with, depth: 0 }),
@@ -610,7 +634,7 @@ impl NodeRt {
 
     // ---- timers ------------------------------------------------------
 
-    fn tick(&mut self, now: Instant) {
+    pub(crate) fn tick(&mut self, now: Instant) {
         self.tick_offers(now);
         self.tick_forwards(now);
         self.tick_answers(now);

@@ -1,0 +1,344 @@
+//! Loopback soak driver: many live peers, mixed insert/query workload.
+//!
+//! The headline measurement for the socket transport — how many live peers
+//! one machine multiplexes, at what message throughput, on how many OS
+//! threads. [`run_soak`] drives either harness over the same workload:
+//!
+//! * [`SoakMode::EventLoop`] — a [`TcpCluster`]: every peer is a shell on
+//!   a fixed worker pool, frames cross real loopback sockets. Thread count
+//!   is `workers + constant`, independent of `peers`.
+//! * [`SoakMode::ThreadPerPeer`] — the in-process [`Cluster`]: one actor
+//!   thread per peer. The A/B baseline whose thread count is `O(peers)`.
+//!
+//! Thread counts are sampled from `/proc/self/status` (`Threads:`) during
+//! the run, so the report captures the peak including any transient
+//! helpers. `pgrid-bench`'s `live_bench` binary serialises reports into
+//! `BENCH_live.json`; `scripts/ci.sh` runs a bounded smoke via the CLI.
+
+use std::time::{Duration, Instant};
+
+use pgrid_keys::BitPath;
+use pgrid_net::PeerId;
+use pgrid_wire::WireEntry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Cluster, ClusterConfig, TcpCluster};
+
+/// Which harness carries the soak workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SoakMode {
+    /// Socket transport, fixed event-loop worker pool ([`TcpCluster`]).
+    EventLoop,
+    /// In-process transport, one actor thread per peer ([`Cluster`]).
+    ThreadPerPeer,
+}
+
+impl SoakMode {
+    /// Stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SoakMode::EventLoop => "event_loop",
+            SoakMode::ThreadPerPeer => "thread_per_peer",
+        }
+    }
+}
+
+/// Shape of one soak run.
+#[derive(Clone, Copy, Debug)]
+pub struct SoakConfig {
+    /// Live peers to spawn.
+    pub peers: usize,
+    /// Event-loop workers (ignored by [`SoakMode::ThreadPerPeer`]).
+    pub workers: usize,
+    /// Workload duration, seconds (after construction).
+    pub secs: u64,
+    /// RNG seed for construction meetings and the workload mix.
+    pub seed: u64,
+    /// Which harness to drive.
+    pub mode: SoakMode,
+    /// Construction meetings before the workload starts (`0` picks a
+    /// default proportional to `peers`).
+    pub meetings: usize,
+    /// Maximal path length for the community.
+    pub maxl: usize,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        SoakConfig {
+            peers: 1000,
+            workers: 2,
+            secs: 10,
+            seed: 7,
+            mode: SoakMode::EventLoop,
+            meetings: 0,
+            maxl: 4,
+        }
+    }
+}
+
+/// What one soak run measured.
+#[derive(Clone, Debug)]
+pub struct SoakReport {
+    /// Mode the run used (see [`SoakMode::name`]).
+    pub mode: &'static str,
+    /// Live peers driven.
+    pub peers: usize,
+    /// Event-loop workers configured (1 per peer in thread-per-peer mode).
+    pub workers: usize,
+    /// Wall-clock seconds the workload phase actually ran.
+    pub secs_elapsed: f64,
+    /// Frames delivered during the workload phase.
+    pub messages: u64,
+    /// `messages / secs_elapsed`.
+    pub msgs_per_sec: f64,
+    /// Client queries issued during the workload phase.
+    pub queries: u64,
+    /// Queries answered with the seeded entry.
+    pub query_hits: u64,
+    /// Protocol inserts issued during the workload phase.
+    pub inserts: u64,
+    /// Peak OS thread count of the process observed during the run
+    /// (`0` when `/proc/self/status` is unavailable).
+    pub peak_threads: u64,
+    /// Socket connections established (0 in thread-per-peer mode).
+    pub conn_established: u64,
+    /// Socket connections lost (0 in thread-per-peer mode).
+    pub conn_lost: u64,
+}
+
+/// Current OS thread count of this process, from `/proc/self/status`.
+/// Returns 0 where that interface does not exist (non-Linux).
+pub fn os_thread_count() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Runs one soak: spawn, construct, then `secs` of mixed insert/query
+/// workload, sampling the process thread count throughout.
+pub fn run_soak(config: SoakConfig) -> SoakReport {
+    let cluster_config = ClusterConfig {
+        n: config.peers,
+        maxl: config.maxl,
+        refmax: 2,
+        seed: config.seed,
+        query_attempts: 2,
+        query_timeout_ms: 500,
+        ..ClusterConfig::default()
+    };
+    let meetings = if config.meetings == 0 {
+        config.peers * 4
+    } else {
+        config.meetings
+    };
+    let mut peak_threads: u64 = 0;
+    let mut sample = |peak: &mut u64| {
+        *peak = (*peak).max(os_thread_count());
+    };
+    match config.mode {
+        SoakMode::EventLoop => {
+            let mut cluster = TcpCluster::spawn(cluster_config, config.workers.max(1));
+            sample(&mut peak_threads);
+            cluster.build(meetings);
+            sample(&mut peak_threads);
+            let report = drive_workload(
+                &config,
+                &mut peak_threads,
+                &mut |c, k, e| c.insert(k, e),
+                &mut |c, k| c.query(k),
+                &mut |c| c.seed_index(seed_key(config.maxl), seed_entry()),
+                &mut |c| c.transport().delivered(),
+                &mut cluster,
+            );
+            let stats = cluster.net_stats();
+            let out = SoakReport {
+                mode: config.mode.name(),
+                workers: config.workers.max(1),
+                conn_established: stats.conn_established,
+                conn_lost: stats.conn_lost,
+                ..report
+            };
+            cluster.shutdown();
+            out
+        }
+        SoakMode::ThreadPerPeer => {
+            let mut cluster = Cluster::spawn(cluster_config);
+            sample(&mut peak_threads);
+            cluster.build(meetings);
+            sample(&mut peak_threads);
+            let report = drive_workload(
+                &config,
+                &mut peak_threads,
+                &mut |c, k, e| c.insert(k, e),
+                &mut |c, k| c.query(k),
+                &mut |c| c.seed_index(seed_key(config.maxl), seed_entry()),
+                &mut |c| c.transport().delivered(),
+                &mut cluster,
+            );
+            let out = SoakReport {
+                mode: config.mode.name(),
+                workers: config.peers, // one thread per peer
+                conn_established: 0,
+                conn_lost: 0,
+                ..report
+            };
+            cluster.shutdown();
+            out
+        }
+    }
+}
+
+/// The seeded ground-truth entry every soak queries for.
+fn seed_entry() -> WireEntry {
+    WireEntry {
+        item: 424242,
+        holder: PeerId(0),
+        version: 1,
+    }
+}
+
+/// The seeded entry's key: all-zero path of the community's depth.
+fn seed_key(maxl: usize) -> BitPath {
+    BitPath::from_raw(0, maxl.min(128) as u8)
+}
+
+/// A random key of the community's depth, drawn from the workload RNG.
+fn random_key(rng: &mut StdRng, maxl: usize) -> BitPath {
+    let len = maxl.min(128) as u8;
+    let bits = (u128::from(rng.gen::<u64>()) << 64) | u128::from(rng.gen::<u64>());
+    // Keep only the top `len` bits: BitPath raw bits are left-aligned.
+    let masked = if len == 0 {
+        0
+    } else {
+        bits & (u128::MAX << (128 - u32::from(len)))
+    };
+    BitPath::from_raw(masked, len)
+}
+
+/// Shared workload loop, monomorphised per harness via closures so the two
+/// modes run byte-identical mixes.
+#[allow(clippy::too_many_arguments)]
+fn drive_workload<C>(
+    config: &SoakConfig,
+    peak_threads: &mut u64,
+    insert: &mut dyn FnMut(&mut C, BitPath, WireEntry),
+    query: &mut dyn FnMut(&mut C, &BitPath) -> Option<(PeerId, Vec<WireEntry>)>,
+    seed: &mut dyn FnMut(&mut C),
+    delivered: &mut dyn FnMut(&mut C) -> u64,
+    cluster: &mut C,
+) -> SoakReport {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x50AC);
+    seed(cluster);
+    let target = seed_key(config.maxl);
+    let expect = seed_entry();
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs(config.secs);
+    let base_delivered = delivered(cluster);
+    let (mut queries, mut hits, mut inserts) = (0u64, 0u64, 0u64);
+    let mut item = 1_000_000u64;
+    while Instant::now() < deadline {
+        // Mixed workload: 1 insert per 3 queries, plus a ground-truth
+        // query so hit-rate is measurable.
+        for _ in 0..3 {
+            let key = random_key(&mut rng, config.maxl);
+            let _ = query(cluster, &key);
+            queries += 1;
+        }
+        if let Some((_, entries)) = query(cluster, &target) {
+            if entries.contains(&expect) {
+                hits += 1;
+            }
+        }
+        queries += 1;
+        item += 1;
+        insert(
+            cluster,
+            random_key(&mut rng, config.maxl),
+            WireEntry {
+                item,
+                holder: PeerId((item % 1000) as u32),
+                version: 1,
+            },
+        );
+        inserts += 1;
+        *peak_threads = (*peak_threads).max(os_thread_count());
+    }
+    let secs_elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    let messages = delivered(cluster) - base_delivered;
+    SoakReport {
+        mode: config.mode.name(),
+        peers: config.peers,
+        workers: config.workers,
+        secs_elapsed,
+        messages,
+        msgs_per_sec: messages as f64 / secs_elapsed,
+        queries,
+        query_hits: hits,
+        inserts,
+        peak_threads: *peak_threads,
+        conn_established: 0,
+        conn_lost: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_count_parser_reads_proc() {
+        // On Linux this must see at least the current thread.
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(os_thread_count() >= 1);
+        }
+    }
+
+    #[test]
+    fn micro_soak_event_loop_stays_on_worker_pool() {
+        let before = os_thread_count();
+        let report = run_soak(SoakConfig {
+            peers: 24,
+            workers: 2,
+            secs: 1,
+            seed: 5,
+            maxl: 3,
+            ..SoakConfig::default()
+        });
+        assert_eq!(report.mode, "event_loop");
+        assert_eq!(report.peers, 24);
+        assert!(report.messages > 0, "workload must move frames");
+        assert!(report.queries > 0);
+        if before > 0 {
+            // Peak threads: whatever ran before us, plus 2 workers, plus a
+            // small constant (test harness helpers) — NOT +24 peers.
+            assert!(
+                report.peak_threads <= before + 2 + 6,
+                "event loop must not scale threads with peers: before={before} peak={}",
+                report.peak_threads
+            );
+        }
+    }
+
+    #[test]
+    fn micro_soak_thread_per_peer_baseline_runs() {
+        let report = run_soak(SoakConfig {
+            peers: 8,
+            workers: 1,
+            secs: 1,
+            seed: 5,
+            maxl: 3,
+            mode: SoakMode::ThreadPerPeer,
+            ..SoakConfig::default()
+        });
+        assert_eq!(report.mode, "thread_per_peer");
+        assert!(report.messages > 0);
+        assert_eq!(report.workers, 8, "baseline is one thread per peer");
+    }
+}

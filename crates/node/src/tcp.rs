@@ -1,0 +1,1515 @@
+//! Real-socket TCP transport with an event-loop driver.
+//!
+//! [`TcpTransport`] implements the same [`Transport`] seam as
+//! [`LocalTransport`](crate::LocalTransport), but every frame crosses a real
+//! TCP connection (loopback in tests, any address via
+//! [`TcpTransport::register_remote`]). Instead of one actor thread per peer,
+//! a small fixed pool of **event-loop workers** multiplexes thousands of
+//! [`ProtocolPeer`](pgrid_proto::ProtocolPeer) shells: each worker owns a
+//! set of shells, their inbound connections, and the outbound connections
+//! their sends create, and advances all of them in a readiness sweep
+//! (`set_nonblocking` + `park_timeout` wakeups — std-only, no epoll crate).
+//! OS thread count is `workers`, independent of peer count.
+//!
+//! # Connection model
+//!
+//! Connections are **directed**: a `(from, to)` pair owns one outbound
+//! connection, created lazily on first send and closed by idle eviction, by
+//! repeated failure, or by either endpoint departing. A connection opens
+//! with a 12-byte preamble (`b"PGRD"` magic + `from` + `to`, little-endian)
+//! so the acceptor can route it; after that the stream is a pure sequence of
+//! [`pgrid_wire`] frames. The read side accumulates bytes into a `BytesMut`
+//! and decodes at frame granularity with the already-incremental
+//! [`decode_frame`] — torn reads (half a frame per readiness event) are the
+//! *normal* case, counted in `partial_frames`.
+//!
+//! # Backpressure
+//!
+//! Each outbound connection carries a bounded write queue. When the peer
+//! reads slower than we send, the queue fills and further frames are shed
+//! **drop-newest** (counted in `writes_shed`, surfaced as
+//! [`SendStatus::Rejected`] so shells apply their usual suspicion/failover
+//! logic). Control frames bypass the bound, exactly like
+//! `LocalTransport::send_control`.
+//!
+//! # Fault injection and the two-RNG rule
+//!
+//! The deterministic [`FaultPlan`] engine sits *in front of* the socket:
+//! drop/duplicate/reorder/delay decisions are taken per directed link from
+//! the plan's seeded streams before bytes are queued, so the chaos suite
+//! exercises the real socket path with the same reproducible fault schedule
+//! as the in-process transport. Reconnect backoff jitter draws from
+//! per-link I/O RNG streams derived from the transport seed — never from
+//! any protocol stream — so socket timing cannot perturb protocol draws
+//! (the same two-RNG rule the node shell follows).
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{JoinHandle, Thread};
+use std::time::{Duration, Instant};
+
+use bytes::{Bytes, BytesMut};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+use pgrid_net::{NetStats, PeerId};
+use pgrid_trace::{NullTracer, TraceEvent, Tracer};
+use pgrid_wire::{decode_frame, Message};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fault::{link_seed, FaultDecision, FaultEngine, FaultPlan};
+use crate::node::NodeRt;
+use crate::transport::{SendStatus, Transport, DEFAULT_MAILBOX_DEPTH};
+use crate::{NodeConfig, NodeState};
+
+/// Connection preamble magic.
+const MAGIC: &[u8; 4] = b"PGRD";
+/// Preamble length: magic + from + to.
+const PREAMBLE_LEN: usize = 12;
+/// Cap on bytes read from one connection per sweep, so one firehose peer
+/// cannot starve the rest of a worker's set.
+const MAX_READ_BURST: usize = 64 * 1024;
+/// An inbound connection that stayed silent for a sweep is scanned at a
+/// decaying cadence, up to skipping this many sweeps — bounding syscall
+/// load when thousands of connections are idle. A write toward a co-hosted
+/// peer re-heats its connection immediately (see `WorkerMsg::Hot`).
+const MAX_IDLE_SKIP: u32 = 16;
+/// Blocking-connect bound. Loopback connects complete immediately unless
+/// the accept backlog is overflowing; this caps the worker stall if it is.
+const CONNECT_TIMEOUT: Duration = Duration::from_millis(50);
+/// Sweeps a half-finished preamble may linger before the socket is dropped.
+const PREAMBLE_PATIENCE: u32 = 2000;
+/// Separates the transport's I/O jitter streams from the fault plan's.
+const JITTER_SALT: u64 = 0x7c15_9e37_79b9_7f4a;
+
+/// Shape of a [`TcpTransport`].
+#[derive(Clone, Copy, Debug)]
+pub struct TcpTransportConfig {
+    /// Event-loop worker threads (total OS threads of the transport).
+    pub workers: usize,
+    /// Bounded per-connection write queue, in frames (`0` = unbounded).
+    pub write_queue_depth: usize,
+    /// Seed for the per-link reconnect-jitter RNG streams (I/O only; the
+    /// two-RNG rule keeps these draws out of every protocol stream).
+    pub seed: u64,
+    /// Shell timer cadence, milliseconds (mirrors the actor loop's tick).
+    pub tick_ms: u64,
+    /// Connect attempts before a connection is declared dead.
+    pub connect_attempts: u32,
+    /// Reconnect backoff base, milliseconds (doubled per attempt).
+    pub connect_base_ms: u64,
+    /// Upper bound of the uniform jitter added to each backoff.
+    pub connect_jitter_ms: u64,
+    /// Cooloff before a dead connection may be revived by fresh traffic.
+    pub reconnect_cooloff_ms: u64,
+    /// Outbound-connection budget; exceeding it evicts the least recently
+    /// used idle connection (FD discipline for thousand-peer soaks).
+    pub max_conns: usize,
+}
+
+impl Default for TcpTransportConfig {
+    fn default() -> Self {
+        TcpTransportConfig {
+            workers: 2,
+            write_queue_depth: DEFAULT_MAILBOX_DEPTH,
+            seed: 0,
+            tick_ms: 5,
+            connect_attempts: 5,
+            connect_base_ms: 10,
+            connect_jitter_ms: 5,
+            reconnect_cooloff_ms: 200,
+            max_conns: 8192,
+        }
+    }
+}
+
+/// Where a locally hosted peer id terminates.
+enum LocalEndpoint {
+    /// A protocol shell multiplexed on worker `worker`.
+    Shell { worker: usize },
+    /// A harness client: decoded messages are handed straight to this
+    /// queue (the client has no protocol state machine).
+    Client {
+        worker: usize,
+        tx: Sender<(PeerId, Message)>,
+    },
+}
+
+impl LocalEndpoint {
+    fn worker(&self) -> usize {
+        match self {
+            LocalEndpoint::Shell { worker } | LocalEndpoint::Client { worker, .. } => *worker,
+        }
+    }
+}
+
+/// Outbound connection lifecycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    /// No socket; connect lazily when the queue is non-empty.
+    Idle,
+    /// Socket up (preamble possibly still flushing).
+    Open,
+    /// Declared dead after exhausted attempts; revivable after cooloff.
+    Dead,
+}
+
+struct ConnState {
+    phase: Phase,
+    sock: Option<TcpStream>,
+    /// Preamble bytes already written (< [`PREAMBLE_LEN`] while greeting).
+    greeted: usize,
+    preamble: [u8; PREAMBLE_LEN],
+    wq: VecDeque<Bytes>,
+    /// Bytes of the queue head already written (frames survive reconnects:
+    /// a torn head is resent from offset zero on the fresh socket, because
+    /// the stale accumulator died with the old connection).
+    head_off: usize,
+    attempt: u32,
+    next_try: Instant,
+    /// Per-link reconnect jitter stream (I/O only — two-RNG rule).
+    rng: StdRng,
+    last_used: Instant,
+    /// Evicted from the connection table; the owning worker drops it.
+    evicted: bool,
+}
+
+/// One directed outbound connection `(from, to)`.
+struct Conn {
+    from: PeerId,
+    to: PeerId,
+    worker: usize,
+    state: Mutex<ConnState>,
+}
+
+/// A frame held back by injected delay/reorder (worker 0 releases these).
+struct TcpHeld {
+    due: Instant,
+    seq: u64,
+    from: PeerId,
+    to: PeerId,
+    bytes: Bytes,
+}
+
+impl PartialEq for TcpHeld {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for TcpHeld {}
+impl PartialOrd for TcpHeld {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TcpHeld {
+    // Reversed: the max-heap pops the earliest due frame first.
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Counter block mirroring `LocalTransport`'s, plus the socket-path five.
+#[derive(Default)]
+struct TcpCounters {
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    reordered: AtomicU64,
+    delayed: AtomicU64,
+    retries: AtomicU64,
+    timeouts: AtomicU64,
+    rejected: AtomicU64,
+    malformed: AtomicU64,
+    evictions: AtomicU64,
+    conn_established: AtomicU64,
+    conn_lost: AtomicU64,
+    writes_queued: AtomicU64,
+    writes_shed: AtomicU64,
+    partial_frames: AtomicU64,
+}
+
+enum WorkerMsg {
+    AddShell(Box<NodeRt<TcpTransport>>),
+    RemoveShell(PeerId),
+    /// An accepted inbound connection routed to the worker owning its
+    /// target endpoint.
+    AdoptIn(InConn),
+    /// A freshly created outbound connection for this worker to drive.
+    AdoptOut(Arc<Conn>),
+    /// A co-hosted sender just wrote toward `(remote, local)` — re-heat
+    /// that inbound connection so the frames are decoded on the next sweep.
+    Hot(PeerId, PeerId),
+}
+
+struct WorkerHandle {
+    tx: Sender<WorkerMsg>,
+    /// Filled right after spawn; `None` only during construction.
+    thread: Mutex<Option<Thread>>,
+}
+
+impl WorkerHandle {
+    fn wake(&self) {
+        if let Some(t) = self.thread.lock().as_ref() {
+            t.unpark();
+        }
+    }
+}
+
+/// An accepted, preamble-complete inbound connection.
+struct InConn {
+    sock: TcpStream,
+    /// The remote sender (from the preamble).
+    remote: PeerId,
+    /// The locally hosted target.
+    local: PeerId,
+    acc: BytesMut,
+    idle_sweeps: u32,
+    skip: u32,
+}
+
+struct TcpInner {
+    listener: TcpListener,
+    addr: SocketAddr,
+    config: TcpTransportConfig,
+    /// Peers hosted by this transport (shells and clients).
+    locals: RwLock<HashMap<PeerId, LocalEndpoint>>,
+    /// Peer id → socket address (all locals map to `addr`; remote peers
+    /// registered via [`TcpTransport::register_remote`]).
+    registry: RwLock<HashMap<PeerId, SocketAddr>>,
+    conns: Mutex<HashMap<(PeerId, PeerId), Arc<Conn>>>,
+    holdback: Mutex<BinaryHeap<TcpHeld>>,
+    held_seq: AtomicU64,
+    faults: Mutex<Option<FaultEngine>>,
+    counters: TcpCounters,
+    /// Frames decoded and handed to a shell or client queue.
+    delivered: AtomicU64,
+    /// Frames queued but not yet fully written to a socket (quiescence).
+    pending_writes: AtomicU64,
+    workers: Vec<WorkerHandle>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    stop: AtomicBool,
+    next_worker: AtomicUsize,
+    trace_on: AtomicBool,
+    tracer: Mutex<Box<dyn Tracer>>,
+}
+
+impl TcpInner {
+    #[inline]
+    fn trace(&self, event: impl FnOnce() -> TraceEvent) {
+        if self.trace_on.load(Ordering::Relaxed) {
+            let mut guard = self.tracer.lock();
+            if guard.enabled() {
+                guard.record(event());
+            }
+        }
+    }
+
+    fn wake(&self, worker: usize) {
+        if let Some(h) = self.workers.get(worker) {
+            h.wake();
+        }
+    }
+
+    fn wake_all(&self) {
+        for h in &self.workers {
+            h.wake();
+        }
+    }
+
+    /// Drops a connection's queued frames, accounting them as in-flight
+    /// losses (the live-network truth: bytes queued behind a dead socket
+    /// never arrive).
+    fn fail_queue(&self, st: &mut ConnState) {
+        let n = st.wq.len() as u64;
+        if n > 0 {
+            self.counters.dropped.fetch_add(n, Ordering::Relaxed);
+            self.pending_writes.fetch_sub(n, Ordering::Relaxed);
+        }
+        st.wq.clear();
+        st.head_off = 0;
+    }
+
+    /// Declares an outbound connection dead: queue failed, socket closed,
+    /// revivable only after the cooloff. Counted once in `conn_lost`.
+    fn kill_conn(&self, conn: &Conn, st: &mut ConnState, now: Instant) {
+        let queued = st.wq.len() as u64;
+        self.fail_queue(st);
+        st.sock = None;
+        st.phase = Phase::Dead;
+        st.attempt = 0;
+        st.next_try = now + Duration::from_millis(self.config.reconnect_cooloff_ms);
+        self.counters.conn_lost.fetch_add(1, Ordering::Relaxed);
+        self.trace(|| TraceEvent::ConnLost {
+            local: u64::from(conn.from.0),
+            remote: u64::from(conn.to.0),
+            queued,
+        });
+    }
+
+    /// Queues `bytes` on the `(from, to)` connection (creating it if
+    /// needed), honoring the write-queue bound unless `control`.
+    fn enqueue(&self, from: PeerId, to: PeerId, bytes: Bytes, control: bool) -> SendStatus {
+        if self.stop.load(Ordering::Relaxed) {
+            return SendStatus::NoRoute;
+        }
+        {
+            let locals = self.locals.read();
+            if !locals.contains_key(&from) {
+                return SendStatus::NoRoute; // sender departed (crash)
+            }
+        }
+        if !self.registry.read().contains_key(&to) {
+            return SendStatus::NoRoute;
+        }
+        let now = Instant::now();
+        let (conn, fresh) = {
+            let mut conns = self.conns.lock();
+            match conns.get(&(from, to)) {
+                Some(c) => (Arc::clone(c), false),
+                None => {
+                    let worker = self
+                        .locals
+                        .read()
+                        .get(&from)
+                        .map_or(0, LocalEndpoint::worker);
+                    let mut preamble = [0u8; PREAMBLE_LEN];
+                    preamble[..4].copy_from_slice(MAGIC);
+                    preamble[4..8].copy_from_slice(&from.0.to_le_bytes());
+                    preamble[8..12].copy_from_slice(&to.0.to_le_bytes());
+                    let c = Arc::new(Conn {
+                        from,
+                        to,
+                        worker,
+                        state: Mutex::new(ConnState {
+                            phase: Phase::Idle,
+                            sock: None,
+                            greeted: 0,
+                            preamble,
+                            wq: VecDeque::new(),
+                            head_off: 0,
+                            attempt: 0,
+                            next_try: now,
+                            rng: StdRng::seed_from_u64(link_seed(
+                                self.config.seed ^ JITTER_SALT,
+                                from,
+                                to,
+                            )),
+                            last_used: now,
+                            evicted: false,
+                        }),
+                    });
+                    conns.insert((from, to), Arc::clone(&c));
+                    if conns.len() > self.config.max_conns.max(1) {
+                        self.evict_idle_conn(&mut conns, now);
+                    }
+                    (c, true)
+                }
+            }
+        };
+        let status = {
+            let mut st = conn.state.lock();
+            if st.phase == Phase::Dead {
+                if now >= st.next_try {
+                    // Fresh traffic after the cooloff revives the link.
+                    st.phase = Phase::Idle;
+                    st.attempt = 0;
+                    st.next_try = now;
+                } else {
+                    return SendStatus::NoRoute;
+                }
+            }
+            let depth = self.config.write_queue_depth;
+            if !control && depth != 0 && st.wq.len() >= depth {
+                self.counters.writes_shed.fetch_add(1, Ordering::Relaxed);
+                self.trace(|| TraceEvent::WriteShed {
+                    from: u64::from(from.0),
+                    to: u64::from(to.0),
+                });
+                SendStatus::Rejected
+            } else {
+                st.wq.push_back(bytes);
+                st.last_used = now;
+                self.counters.writes_queued.fetch_add(1, Ordering::Relaxed);
+                self.pending_writes.fetch_add(1, Ordering::Relaxed);
+                SendStatus::Delivered
+            }
+        };
+        if fresh {
+            let _ = self.workers[conn.worker].tx.send(WorkerMsg::AdoptOut(conn.clone()));
+        }
+        if status == SendStatus::Delivered {
+            self.wake(conn.worker);
+        }
+        status
+    }
+
+    /// Evicts the least recently used idle open connection (budget
+    /// discipline). Called with the table lock held.
+    fn evict_idle_conn(&self, conns: &mut HashMap<(PeerId, PeerId), Arc<Conn>>, now: Instant) {
+        let mut victim: Option<((PeerId, PeerId), Instant)> = None;
+        for (key, conn) in conns.iter() {
+            let st = conn.state.lock();
+            let idle = st.wq.is_empty() && st.phase != Phase::Idle;
+            if idle && victim.is_none_or(|(_, t)| st.last_used < t) {
+                victim = Some((*key, st.last_used));
+            }
+        }
+        if let Some((key, _)) = victim {
+            if let Some(conn) = conns.remove(&key) {
+                let mut st = conn.state.lock();
+                self.fail_queue(&mut st);
+                st.sock = None;
+                st.phase = Phase::Dead;
+                st.next_try = now; // revivable immediately: policy close, not failure
+                st.evicted = true;
+            }
+        }
+    }
+
+    /// Routes one decoded message to a worker-owned shell or a client
+    /// queue. Returns the shell's verdict (`false` = shut down).
+    fn deliver_client(&self, from: PeerId, to: PeerId, msg: Message) -> bool {
+        let locals = self.locals.read();
+        if let Some(LocalEndpoint::Client { tx, .. }) = locals.get(&to) {
+            self.delivered.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send((from, msg));
+            return true;
+        }
+        false
+    }
+
+    fn net_stats_snapshot(&self) -> NetStats {
+        let c = &self.counters;
+        let mut s = NetStats::new();
+        s.dropped = c.dropped.load(Ordering::Relaxed);
+        s.duplicated = c.duplicated.load(Ordering::Relaxed);
+        s.reordered = c.reordered.load(Ordering::Relaxed);
+        s.delayed = c.delayed.load(Ordering::Relaxed);
+        s.retries = c.retries.load(Ordering::Relaxed);
+        s.timeouts = c.timeouts.load(Ordering::Relaxed);
+        s.rejected = c.rejected.load(Ordering::Relaxed);
+        s.malformed = c.malformed.load(Ordering::Relaxed);
+        s.evictions = c.evictions.load(Ordering::Relaxed);
+        s.conn_established = c.conn_established.load(Ordering::Relaxed);
+        s.conn_lost = c.conn_lost.load(Ordering::Relaxed);
+        s.writes_queued = c.writes_queued.load(Ordering::Relaxed);
+        s.writes_shed = c.writes_shed.load(Ordering::Relaxed);
+        s.partial_frames = c.partial_frames.load(Ordering::Relaxed);
+        s
+    }
+}
+
+/// A socket transport driven by a fixed pool of event-loop workers. See
+/// the [module docs](self) for the connection/backpressure/fault model.
+///
+/// Cloning shares the transport. **Call [`TcpTransport::shutdown`] when
+/// done** — the worker threads hold the transport alive until told to stop.
+#[derive(Clone)]
+pub struct TcpTransport {
+    inner: Arc<TcpInner>,
+}
+
+impl TcpTransport {
+    /// Binds a listener on `127.0.0.1:0` and spawns the worker pool.
+    pub fn bind(config: TcpTransportConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let mut worker_handles = Vec::with_capacity(workers);
+        let mut rxs = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = unbounded();
+            worker_handles.push(WorkerHandle {
+                tx,
+                thread: Mutex::new(None),
+            });
+            rxs.push(rx);
+        }
+        let inner = Arc::new(TcpInner {
+            listener,
+            addr,
+            config,
+            locals: RwLock::new(HashMap::new()),
+            registry: RwLock::new(HashMap::new()),
+            conns: Mutex::new(HashMap::new()),
+            holdback: Mutex::new(BinaryHeap::new()),
+            held_seq: AtomicU64::new(0),
+            faults: Mutex::new(None),
+            counters: TcpCounters::default(),
+            delivered: AtomicU64::new(0),
+            pending_writes: AtomicU64::new(0),
+            workers: worker_handles,
+            handles: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+            next_worker: AtomicUsize::new(0),
+            trace_on: AtomicBool::new(false),
+            tracer: Mutex::new(Box::new(NullTracer)),
+        });
+        let mut joins = Vec::with_capacity(workers);
+        for (idx, rx) in rxs.into_iter().enumerate() {
+            let inner_cl = Arc::clone(&inner);
+            let handle = std::thread::Builder::new()
+                .name(format!("pgrid-tcp-{idx}"))
+                .spawn(move || Worker::new(inner_cl, idx, rx).run())?;
+            *inner.workers[idx].thread.lock() = Some(handle.thread().clone());
+            joins.push(handle);
+        }
+        *inner.handles.lock() = joins;
+        Ok(TcpTransport { inner })
+    }
+
+    /// The listener's local address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Worker (OS thread) count of this transport.
+    pub fn worker_count(&self) -> usize {
+        self.inner.workers.len()
+    }
+
+    /// Hosts a protocol shell on this transport: registers the peer,
+    /// assigns it round-robin to a worker, and hands the shell over. The
+    /// shared `state` handle stays with the caller for snapshots.
+    pub fn add_node(
+        &self,
+        state: Arc<Mutex<NodeState>>,
+        config: NodeConfig,
+        seed: u64,
+    ) {
+        let rt = NodeRt::new(state, config, self.clone(), seed);
+        let id = rt.peer_id();
+        let worker = self.inner.next_worker.fetch_add(1, Ordering::Relaxed)
+            % self.inner.workers.len();
+        self.inner
+            .locals
+            .write()
+            .insert(id, LocalEndpoint::Shell { worker });
+        self.inner.registry.write().insert(id, self.inner.addr);
+        self.revive_conns_toward(id);
+        let _ = self.inner.workers[worker]
+            .tx
+            .send(WorkerMsg::AddShell(Box::new(rt)));
+        self.inner.wake(worker);
+    }
+
+    /// Registers a harness client endpoint: decoded messages addressed to
+    /// `id` arrive on the returned channel as `(sender, message)`.
+    pub fn add_client(&self, id: PeerId) -> Receiver<(PeerId, Message)> {
+        let (tx, rx) = unbounded();
+        let worker = self.inner.next_worker.fetch_add(1, Ordering::Relaxed)
+            % self.inner.workers.len();
+        self.inner
+            .locals
+            .write()
+            .insert(id, LocalEndpoint::Client { worker, tx });
+        self.inner.registry.write().insert(id, self.inner.addr);
+        self.revive_conns_toward(id);
+        rx
+    }
+
+    /// Maps a peer id to a *remote* transport's address (multi-process
+    /// deployments; every local peer is registered automatically).
+    pub fn register_remote(&self, id: PeerId, addr: SocketAddr) {
+        self.inner.registry.write().insert(id, addr);
+        self.revive_conns_toward(id);
+    }
+
+    /// Clears dead-connection latches toward a (re)registered peer so
+    /// senders reconnect immediately instead of waiting out the cooloff —
+    /// the socket counterpart of a restarted mailbox being reachable at
+    /// once.
+    fn revive_conns_toward(&self, id: PeerId) {
+        let conns = self.inner.conns.lock();
+        for ((_, to), conn) in conns.iter() {
+            if *to == id {
+                let mut st = conn.state.lock();
+                if st.phase == Phase::Dead && !st.evicted {
+                    st.phase = Phase::Idle;
+                    st.attempt = 0;
+                    st.next_try = Instant::now();
+                }
+            }
+        }
+    }
+
+    /// Removes a peer (departure or crash): its endpoint and address
+    /// vanish, its outbound connections are torn down, and connections
+    /// toward it fail fast (senders see [`SendStatus::NoRoute`], the
+    /// socket counterpart of a vanished mailbox). Durable state stays with
+    /// the caller; re-add with [`TcpTransport::add_node`] to restart.
+    pub fn remove_peer(&self, id: PeerId) {
+        self.inner.locals.write().remove(&id);
+        self.inner.registry.write().remove(&id);
+        let now = Instant::now();
+        let mut conns = self.inner.conns.lock();
+        conns.retain(|(from, to), conn| {
+            if *from == id {
+                let mut st = conn.state.lock();
+                self.inner.fail_queue(&mut st);
+                st.sock = None;
+                st.phase = Phase::Dead;
+                st.evicted = true; // owning worker drops it
+                false
+            } else if *to == id {
+                // Keep as a fast-fail latch until the cooloff (or until a
+                // restart revives it).
+                let mut st = conn.state.lock();
+                self.inner.fail_queue(&mut st);
+                st.sock = None;
+                st.phase = Phase::Dead;
+                st.attempt = 0;
+                st.next_try =
+                    now + Duration::from_millis(self.inner.config.reconnect_cooloff_ms);
+                true
+            } else {
+                true
+            }
+        });
+        drop(conns);
+        // Tell every worker: the shell (if any) and inbound connections
+        // targeting the departed peer must go.
+        for h in &self.inner.workers {
+            let _ = h.tx.send(WorkerMsg::RemoveShell(id));
+        }
+        self.inner.wake_all();
+    }
+
+    /// Sends `bytes` from `from` to `to` over the socket path; `false` on
+    /// no-route/backpressure (injected loss still reports `true`).
+    pub fn send(&self, from: PeerId, to: PeerId, bytes: Bytes) -> bool {
+        matches!(
+            self.dispatch(from, to, bytes),
+            SendStatus::Delivered | SendStatus::Dropped
+        )
+    }
+
+    /// Sends with the precise outcome, applying the fault plan first —
+    /// exactly [`LocalTransport::dispatch`](crate::LocalTransport::dispatch)
+    /// semantics over real sockets.
+    pub fn dispatch(&self, from: PeerId, to: PeerId, bytes: Bytes) -> SendStatus {
+        let decision = {
+            let mut guard = self.inner.faults.lock();
+            match guard.as_mut() {
+                Some(engine) => engine.decide(from, to),
+                None => FaultDecision::DELIVER,
+            }
+        };
+        let counters = &self.inner.counters;
+        if decision.drop {
+            counters.dropped.fetch_add(1, Ordering::Relaxed);
+            return SendStatus::Dropped;
+        }
+        if decision.duplicate {
+            counters.duplicated.fetch_add(1, Ordering::Relaxed);
+            let _ = self.inner.enqueue(from, to, bytes.clone(), false);
+        }
+        match decision.hold_ms {
+            Some(ms) => {
+                if decision.reordered {
+                    counters.reordered.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    counters.delayed.fetch_add(1, Ordering::Relaxed);
+                }
+                let held = TcpHeld {
+                    due: Instant::now() + Duration::from_millis(ms),
+                    seq: self.inner.held_seq.fetch_add(1, Ordering::Relaxed),
+                    from,
+                    to,
+                    bytes,
+                };
+                self.inner.holdback.lock().push(held);
+                self.inner.wake(0); // worker 0 owns holdback release
+                SendStatus::Delivered
+            }
+            None => self.inner.enqueue(from, to, bytes, false),
+        }
+    }
+
+    /// Sends a harness control frame, bypassing fault injection and the
+    /// write-queue bound. Returns `false` when `to` is unreachable.
+    pub fn send_control(&self, from: PeerId, to: PeerId, bytes: Bytes) -> bool {
+        self.inner.enqueue(from, to, bytes, true) == SendStatus::Delivered
+    }
+
+    /// Installs a fault plan on the socket path.
+    pub fn inject_faults(&self, plan: FaultPlan) {
+        *self.inner.faults.lock() = Some(FaultEngine::new(plan));
+    }
+
+    /// Removes the fault plan and releases every held-back frame at once.
+    pub fn clear_faults(&self) {
+        *self.inner.faults.lock() = None;
+        let drained: Vec<TcpHeld> = {
+            let mut heap = self.inner.holdback.lock();
+            std::mem::take(&mut *heap).into_sorted_vec()
+        };
+        // Sorted vec of a reversed Ord is latest-due first; iterate in
+        // release order anyway — immediate release makes order moot.
+        for held in drained.into_iter().rev() {
+            if self.inner.enqueue(held.from, held.to, held.bytes, false)
+                != SendStatus::Delivered
+            {
+                self.inner.counters.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.inner.faults.lock().as_ref().map(|e| *e.plan())
+    }
+
+    /// Frames not yet handed to their destination: held back by injected
+    /// delay, or queued behind a socket (quiescence detection waits for
+    /// both).
+    pub fn in_flight(&self) -> usize {
+        self.inner.holdback.lock().len()
+            + self.inner.pending_writes.load(Ordering::Relaxed) as usize
+    }
+
+    /// Frames decoded and handed to a shell or client so far.
+    pub fn delivered(&self) -> u64 {
+        self.inner.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Attaches a flight recorder to the transport's connection-lifecycle
+    /// events (`ConnEstablished`/`ConnLost`/`WriteShed`/`PartialFrame`).
+    pub fn set_tracer(&self, tracer: Box<dyn Tracer>) {
+        let on = tracer.enabled();
+        *self.inner.tracer.lock() = tracer;
+        self.inner.trace_on.store(on, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the transport's counters (socket counters included).
+    pub fn net_stats(&self) -> NetStats {
+        self.inner.net_stats_snapshot()
+    }
+
+    /// Stops the worker pool and joins it. Shells are dropped (their
+    /// shared state handles survive with the caller); sockets close.
+    pub fn shutdown(&self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        self.inner.wake_all();
+        let joins: Vec<JoinHandle<()>> = std::mem::take(&mut *self.inner.handles.lock());
+        for h in joins {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn dispatch(&self, from: PeerId, to: PeerId, bytes: Bytes) -> SendStatus {
+        TcpTransport::dispatch(self, from, to, bytes)
+    }
+
+    fn record_retry(&self) {
+        self.inner.counters.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_timeout(&self) {
+        self.inner.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_malformed(&self) {
+        self.inner.counters.malformed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_eviction(&self) {
+        self.inner.counters.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn net_stats(&self) -> NetStats {
+        self.inner.net_stats_snapshot()
+    }
+}
+
+/// A half-accepted socket still reading its preamble.
+struct PendingPreamble {
+    sock: TcpStream,
+    buf: [u8; PREAMBLE_LEN],
+    got: usize,
+    age: u32,
+}
+
+/// One event-loop worker: owns shells, inbound connections, and the
+/// outbound connections created by its shells' sends.
+struct Worker {
+    inner: Arc<TcpInner>,
+    idx: usize,
+    rx: Receiver<WorkerMsg>,
+    shells: HashMap<PeerId, Box<NodeRt<TcpTransport>>>,
+    in_conns: HashMap<(PeerId, PeerId), InConn>,
+    out_conns: Vec<Arc<Conn>>,
+    pending: Vec<PendingPreamble>,
+    next_tick: Instant,
+    /// Reused read buffer.
+    buf: Box<[u8; 16 * 1024]>,
+    /// Scratch: inbound connections to drop after a sweep.
+    dead_in: Vec<(PeerId, PeerId)>,
+}
+
+impl Worker {
+    fn new(inner: Arc<TcpInner>, idx: usize, rx: Receiver<WorkerMsg>) -> Self {
+        let next_tick = Instant::now() + Duration::from_millis(inner.config.tick_ms);
+        Worker {
+            inner,
+            idx,
+            rx,
+            shells: HashMap::new(),
+            in_conns: HashMap::new(),
+            out_conns: Vec::new(),
+            pending: Vec::new(),
+            next_tick,
+            buf: Box::new([0u8; 16 * 1024]),
+            dead_in: Vec::new(),
+        }
+    }
+
+    fn run(mut self) {
+        loop {
+            if self.inner.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            let mut progress = self.drain_injection();
+            let now = Instant::now();
+            if self.idx == 0 {
+                progress |= self.accept_sweep();
+                progress |= self.flush_holdback(now);
+            }
+            progress |= self.preamble_sweep();
+            let (out_progress, out_hint) = self.write_sweep(now);
+            progress |= out_progress;
+            progress |= self.read_sweep();
+            let now = Instant::now();
+            if now >= self.next_tick {
+                for shell in self.shells.values_mut() {
+                    shell.tick(now);
+                }
+                self.next_tick = now + Duration::from_millis(self.inner.config.tick_ms);
+            }
+            if !progress {
+                let mut deadline = self.next_tick;
+                if let Some(hint) = out_hint {
+                    deadline = deadline.min(hint);
+                }
+                if self.idx == 0 {
+                    if let Some(h) = self.inner.holdback.lock().peek() {
+                        deadline = deadline.min(h.due);
+                    }
+                }
+                let wait = deadline.saturating_duration_since(Instant::now());
+                if !wait.is_zero() {
+                    std::thread::park_timeout(wait);
+                }
+            }
+        }
+    }
+
+    fn drain_injection(&mut self) -> bool {
+        let mut progress = false;
+        while let Ok(msg) = self.rx.try_recv() {
+            progress = true;
+            match msg {
+                WorkerMsg::AddShell(rt) => {
+                    self.shells.insert(rt.peer_id(), rt);
+                }
+                WorkerMsg::RemoveShell(id) => {
+                    self.shells.remove(&id);
+                    self.in_conns.retain(|(_, local), _| *local != id);
+                }
+                WorkerMsg::AdoptIn(conn) => {
+                    // Replace-on-reconnect: the stale connection (and its
+                    // torn accumulator) dies with the old socket.
+                    self.in_conns.insert((conn.remote, conn.local), conn);
+                }
+                WorkerMsg::AdoptOut(conn) => self.out_conns.push(conn),
+                WorkerMsg::Hot(remote, local) => {
+                    if let Some(c) = self.in_conns.get_mut(&(remote, local)) {
+                        c.idle_sweeps = 0;
+                        c.skip = 0;
+                    }
+                }
+            }
+        }
+        progress
+    }
+
+    /// Worker 0 only: accept new sockets into the preamble queue.
+    fn accept_sweep(&mut self) -> bool {
+        let mut progress = false;
+        loop {
+            match self.inner.listener.accept() {
+                Ok((sock, _)) => {
+                    let _ = sock.set_nonblocking(true);
+                    let _ = sock.set_nodelay(true);
+                    self.pending.push(PendingPreamble {
+                        sock,
+                        buf: [0u8; PREAMBLE_LEN],
+                        got: 0,
+                        age: 0,
+                    });
+                    progress = true;
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        progress
+    }
+
+    /// Advance half-read preambles; route completed ones to the worker
+    /// owning the target endpoint.
+    fn preamble_sweep(&mut self) -> bool {
+        let mut progress = false;
+        let mut i = 0;
+        while i < self.pending.len() {
+            let done = {
+                let p = &mut self.pending[i];
+                p.age += 1;
+                loop {
+                    if p.got == PREAMBLE_LEN {
+                        break Some(true);
+                    }
+                    match p.sock.read(&mut p.buf[p.got..]) {
+                        Ok(0) => break Some(false),
+                        Ok(n) => {
+                            p.got += n;
+                            progress = true;
+                        }
+                        Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            break (p.age > PREAMBLE_PATIENCE).then_some(false)
+                        }
+                        Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(_) => break Some(false),
+                    }
+                }
+            };
+            match done {
+                None => i += 1,
+                Some(false) => {
+                    self.pending.swap_remove(i);
+                }
+                Some(true) => {
+                    let p = self.pending.swap_remove(i);
+                    self.route_preamble(p);
+                    progress = true;
+                }
+            }
+        }
+        progress
+    }
+
+    fn route_preamble(&mut self, p: PendingPreamble) {
+        if &p.buf[..4] != MAGIC {
+            self.inner.counters.malformed.fetch_add(1, Ordering::Relaxed);
+            return; // socket dropped
+        }
+        let remote = PeerId(u32::from_le_bytes([p.buf[4], p.buf[5], p.buf[6], p.buf[7]]));
+        let local = PeerId(u32::from_le_bytes([p.buf[8], p.buf[9], p.buf[10], p.buf[11]]));
+        let Some(worker) = self.inner.locals.read().get(&local).map(LocalEndpoint::worker)
+        else {
+            return; // target departed or never existed: refuse by closing
+        };
+        self.inner
+            .counters
+            .conn_established
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner.trace(|| TraceEvent::ConnEstablished {
+            local: u64::from(local.0),
+            remote: u64::from(remote.0),
+            inbound: true,
+        });
+        let conn = InConn {
+            sock: p.sock,
+            remote,
+            local,
+            acc: BytesMut::new(),
+            idle_sweeps: 0,
+            skip: 0,
+        };
+        if worker == self.idx {
+            self.in_conns.insert((remote, local), conn);
+        } else {
+            let _ = self.inner.workers[worker].tx.send(WorkerMsg::AdoptIn(conn));
+            self.inner.wake(worker);
+        }
+    }
+
+    /// Worker 0 only: release held-back frames that have come due.
+    fn flush_holdback(&mut self, now: Instant) -> bool {
+        let mut progress = false;
+        loop {
+            let held = {
+                let mut heap = self.inner.holdback.lock();
+                match heap.peek() {
+                    Some(h) if h.due <= now => heap.pop().unwrap(),
+                    _ => break,
+                }
+            };
+            if self.inner.enqueue(held.from, held.to, held.bytes, false)
+                != SendStatus::Delivered
+            {
+                self.inner.counters.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            progress = true;
+        }
+        progress
+    }
+
+    /// Drive every owned outbound connection: connect, greet, flush.
+    /// Returns progress plus the earliest reconnect deadline (for the
+    /// park computation).
+    fn write_sweep(&mut self, now: Instant) -> (bool, Option<Instant>) {
+        let mut progress = false;
+        let mut hint: Option<Instant> = None;
+        let inner = Arc::clone(&self.inner);
+        self.out_conns.retain(|conn| {
+            let mut st = conn.state.lock();
+            if st.evicted {
+                return false;
+            }
+            match st.phase {
+                Phase::Dead => {
+                    if !st.wq.is_empty() && now >= st.next_try {
+                        st.phase = Phase::Idle;
+                        st.attempt = 0;
+                    } else {
+                        if !st.wq.is_empty() {
+                            hint = Some(hint.map_or(st.next_try, |h| h.min(st.next_try)));
+                        }
+                        return true;
+                    }
+                }
+                Phase::Idle | Phase::Open => {}
+            }
+            if st.phase == Phase::Idle {
+                if st.wq.is_empty() {
+                    return true; // lazy: nothing to send, no socket needed
+                }
+                if now < st.next_try {
+                    hint = Some(hint.map_or(st.next_try, |h| h.min(st.next_try)));
+                    return true;
+                }
+                let addr = inner.registry.read().get(&conn.to).copied();
+                let Some(addr) = addr else {
+                    inner.kill_conn(conn, &mut st, now);
+                    return true;
+                };
+                match TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT) {
+                    Ok(sock) => {
+                        let _ = sock.set_nonblocking(true);
+                        let _ = sock.set_nodelay(true);
+                        st.sock = Some(sock);
+                        st.greeted = 0;
+                        st.head_off = 0;
+                        st.phase = Phase::Open;
+                        inner
+                            .counters
+                            .conn_established
+                            .fetch_add(1, Ordering::Relaxed);
+                        inner.trace(|| TraceEvent::ConnEstablished {
+                            local: u64::from(conn.from.0),
+                            remote: u64::from(conn.to.0),
+                            inbound: false,
+                        });
+                        progress = true;
+                    }
+                    Err(_) => {
+                        st.attempt += 1;
+                        if st.attempt >= inner.config.connect_attempts.max(1) {
+                            inner.kill_conn(conn, &mut st, now);
+                        } else {
+                            let backoff = reconnect_backoff(&inner.config, st.attempt, &mut st.rng);
+                            st.next_try = now + backoff;
+                            hint = Some(hint.map_or(st.next_try, |h| h.min(st.next_try)));
+                        }
+                        return true;
+                    }
+                }
+            }
+            // Phase::Open: flush preamble, then frames.
+            let (wrote, failed) = flush_conn(&inner, conn, &mut st);
+            progress |= wrote;
+            if failed {
+                // Socket-level failure: reconnect with backoff, keeping the
+                // queue (the torn head is resent whole on the new socket).
+                st.sock = None;
+                st.phase = Phase::Idle;
+                st.greeted = 0;
+                st.head_off = 0;
+                st.attempt += 1;
+                if st.attempt >= inner.config.connect_attempts.max(1) {
+                    inner.kill_conn(conn, &mut st, now);
+                } else {
+                    let backoff = reconnect_backoff(&inner.config, st.attempt, &mut st.rng);
+                    st.next_try = now + backoff;
+                    hint = Some(hint.map_or(st.next_try, |h| h.min(st.next_try)));
+                }
+            } else if wrote {
+                st.attempt = 0;
+                st.last_used = now;
+                // Co-hosted destination: re-heat its inbound connection and
+                // wake its worker so delivery latency is one sweep, not an
+                // idle-backoff window.
+                if let Some(w) = inner.locals.read().get(&conn.to).map(LocalEndpoint::worker) {
+                    let _ = inner.workers[w]
+                        .tx
+                        .send(WorkerMsg::Hot(conn.from, conn.to));
+                    inner.wake(w);
+                }
+            }
+            true
+        });
+        (progress, hint)
+    }
+
+    /// Read every owned inbound connection, decode complete frames, and
+    /// feed shells/clients.
+    fn read_sweep(&mut self) -> bool {
+        let mut progress = false;
+        self.dead_in.clear();
+        let inner = Arc::clone(&self.inner);
+        for (key, conn) in self.in_conns.iter_mut() {
+            if conn.skip > 0 {
+                conn.skip -= 1;
+                continue;
+            }
+            let mut read_any = false;
+            let mut dead = false;
+            let mut burst = 0usize;
+            loop {
+                match conn.sock.read(&mut self.buf[..]) {
+                    Ok(0) => {
+                        // Clean EOF. A non-empty accumulator means the peer
+                        // died mid-frame.
+                        if !conn.acc.is_empty() {
+                            inner.counters.conn_lost.fetch_add(1, Ordering::Relaxed);
+                        }
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.acc.extend_from_slice(&self.buf[..n]);
+                        burst += n;
+                        read_any = true;
+                        if burst >= MAX_READ_BURST {
+                            break;
+                        }
+                    }
+                    Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        inner.counters.conn_lost.fetch_add(1, Ordering::Relaxed);
+                        inner.trace(|| TraceEvent::ConnLost {
+                            local: u64::from(conn.local.0),
+                            remote: u64::from(conn.remote.0),
+                            queued: 0,
+                        });
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if read_any {
+                progress = true;
+                loop {
+                    match decode_frame(&mut conn.acc) {
+                        Ok(Some(msg)) => {
+                            if let Some(shell) = self.shells.get_mut(&conn.local) {
+                                inner.delivered.fetch_add(1, Ordering::Relaxed);
+                                if !shell.handle_message(conn.remote, msg) {
+                                    // Shutdown verdict: retire the peer.
+                                    let id = conn.local;
+                                    self.shells.remove(&id);
+                                    inner.locals.write().remove(&id);
+                                    inner.registry.write().remove(&id);
+                                    dead = true;
+                                    break;
+                                }
+                            } else if !inner.deliver_client(conn.remote, conn.local, msg) {
+                                // Endpoint departed between read and decode:
+                                // the frame evaporates, like any in-flight
+                                // frame at crash time.
+                            }
+                        }
+                        Ok(None) => {
+                            if !conn.acc.is_empty() {
+                                // Torn frame: the rest arrives on a later
+                                // readiness event. This is the normal case
+                                // for nonblocking reads.
+                                inner
+                                    .counters
+                                    .partial_frames
+                                    .fetch_add(1, Ordering::Relaxed);
+                                inner.trace(|| TraceEvent::PartialFrame {
+                                    local: u64::from(conn.local.0),
+                                    remote: u64::from(conn.remote.0),
+                                    buffered: conn.acc.len() as u64,
+                                });
+                            }
+                            break;
+                        }
+                        Err(_) => {
+                            // Framing lost: the stream is unrecoverable.
+                            inner.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                            dead = true;
+                            break;
+                        }
+                    }
+                }
+                conn.idle_sweeps = 0;
+                conn.skip = 0;
+            } else if !dead {
+                conn.idle_sweeps = conn.idle_sweeps.saturating_add(1);
+                conn.skip = conn.idle_sweeps.min(MAX_IDLE_SKIP);
+            }
+            if dead {
+                self.dead_in.push(*key);
+            }
+        }
+        for key in self.dead_in.drain(..) {
+            self.in_conns.remove(&key);
+        }
+        progress
+    }
+}
+
+/// Jittered exponential reconnect backoff (I/O stream only).
+fn reconnect_backoff(config: &TcpTransportConfig, attempt: u32, rng: &mut StdRng) -> Duration {
+    let shift = attempt.saturating_sub(1).min(6);
+    let jitter = if config.connect_jitter_ms > 0 {
+        rng.gen_range(0..=config.connect_jitter_ms)
+    } else {
+        0
+    };
+    Duration::from_millis(config.connect_base_ms.saturating_mul(1 << shift) + jitter)
+}
+
+/// Flushes the preamble then as many queued frames as the socket accepts.
+/// Returns `(wrote_any_frame_or_bytes, socket_failed)`.
+fn flush_conn(inner: &TcpInner, conn: &Conn, st: &mut ConnState) -> (bool, bool) {
+    let Some(sock) = st.sock.as_mut() else {
+        return (false, false);
+    };
+    let mut wrote = false;
+    while st.greeted < PREAMBLE_LEN {
+        match sock.write(&st.preamble[st.greeted..]) {
+            Ok(0) => return (wrote, true),
+            Ok(n) => {
+                st.greeted += n;
+                wrote = true;
+            }
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => return (wrote, false),
+            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return (wrote, true),
+        }
+    }
+    while let Some(head) = st.wq.front() {
+        match sock.write(&head[st.head_off..]) {
+            Ok(0) => return (wrote, true),
+            Ok(n) => {
+                st.head_off += n;
+                if st.head_off == head.len() {
+                    st.wq.pop_front();
+                    st.head_off = 0;
+                    inner.pending_writes.fetch_sub(1, Ordering::Relaxed);
+                }
+                wrote = true;
+            }
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => return (wrote, false),
+            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return (wrote, true),
+        }
+    }
+    (wrote, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgrid_wire::encode_frame;
+
+    fn transport() -> TcpTransport {
+        TcpTransport::bind(TcpTransportConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn client_to_client_over_real_socket() {
+        let t = transport();
+        let _rx_a = t.add_client(PeerId(1));
+        let rx_b = t.add_client(PeerId(2));
+        assert!(t.send(PeerId(1), PeerId(2), encode_frame(&Message::Ping { nonce: 7 })));
+        let (from, msg) = rx_b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(from, PeerId(1));
+        assert!(matches!(msg, Message::Ping { nonce: 7 }));
+        let stats = t.net_stats();
+        assert!(stats.conn_established >= 1, "{stats:?}");
+        assert!(stats.writes_queued >= 1, "{stats:?}");
+        t.shutdown();
+    }
+
+    #[test]
+    fn many_frames_survive_tcp_segmentation() {
+        let t = transport();
+        let _rx_a = t.add_client(PeerId(1));
+        let rx_b = t.add_client(PeerId(2));
+        for nonce in 0..500u64 {
+            assert!(t.send(PeerId(1), PeerId(2), encode_frame(&Message::Ping { nonce })));
+        }
+        for nonce in 0..500u64 {
+            let (_, msg) = rx_b.recv_timeout(Duration::from_secs(5)).unwrap();
+            match msg {
+                Message::Ping { nonce: got } => assert_eq!(got, nonce, "in-order delivery"),
+                other => panic!("unexpected message {other:?}"),
+            }
+        }
+        t.shutdown();
+    }
+
+    #[test]
+    fn dispatch_to_unknown_peer_is_no_route() {
+        let t = transport();
+        let _rx_a = t.add_client(PeerId(1));
+        assert_eq!(
+            t.dispatch(PeerId(1), PeerId(99), encode_frame(&Message::Ping { nonce: 0 })),
+            SendStatus::NoRoute
+        );
+        assert_eq!(
+            t.dispatch(PeerId(42), PeerId(1), encode_frame(&Message::Ping { nonce: 0 })),
+            SendStatus::NoRoute,
+            "a non-local sender has no socket identity here"
+        );
+        t.shutdown();
+    }
+
+    #[test]
+    fn injected_drops_are_silent_and_counted() {
+        let t = transport();
+        let _rx_a = t.add_client(PeerId(1));
+        let rx_b = t.add_client(PeerId(2));
+        t.inject_faults(FaultPlan::new(3).with_drop(1.0));
+        assert!(t.send(PeerId(1), PeerId(2), encode_frame(&Message::Ping { nonce: 1 })));
+        assert!(rx_b.recv_timeout(Duration::from_millis(100)).is_err());
+        assert_eq!(t.net_stats().dropped, 1);
+        t.clear_faults();
+        assert!(t.send(PeerId(1), PeerId(2), encode_frame(&Message::Ping { nonce: 2 })));
+        assert!(rx_b.recv_timeout(Duration::from_secs(5)).is_ok());
+        t.shutdown();
+    }
+
+    #[test]
+    fn injected_delay_holds_then_delivers_over_socket() {
+        let t = transport();
+        let _rx_a = t.add_client(PeerId(1));
+        let rx_b = t.add_client(PeerId(2));
+        t.inject_faults(FaultPlan::new(3).with_delay(1.0, 30));
+        assert!(t.send(PeerId(1), PeerId(2), encode_frame(&Message::Ping { nonce: 9 })));
+        let (_, msg) = rx_b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(msg, Message::Ping { nonce: 9 }));
+        assert_eq!(t.net_stats().delayed, 1);
+        t.shutdown();
+    }
+
+    #[test]
+    fn control_frames_bypass_faults() {
+        let t = transport();
+        let _rx_a = t.add_client(PeerId(1));
+        let rx_b = t.add_client(PeerId(2));
+        t.inject_faults(FaultPlan::new(3).with_drop(1.0));
+        assert!(t.send_control(PeerId(1), PeerId(2), encode_frame(&Message::Ping { nonce: 5 })));
+        let (_, msg) = rx_b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(msg, Message::Ping { nonce: 5 }));
+        t.shutdown();
+    }
+
+    #[test]
+    fn removed_peer_fails_fast_then_revives_on_readd() {
+        let t = transport();
+        let _rx_a = t.add_client(PeerId(1));
+        let rx_b = t.add_client(PeerId(2));
+        assert!(t.send(PeerId(1), PeerId(2), encode_frame(&Message::Ping { nonce: 1 })));
+        assert!(rx_b.recv_timeout(Duration::from_secs(5)).is_ok());
+        t.remove_peer(PeerId(2));
+        assert_eq!(
+            t.dispatch(PeerId(1), PeerId(2), encode_frame(&Message::Ping { nonce: 2 })),
+            SendStatus::NoRoute
+        );
+        // Restart: re-adding clears the dead latch immediately.
+        let rx_b2 = t.add_client(PeerId(2));
+        assert!(t.send(PeerId(1), PeerId(2), encode_frame(&Message::Ping { nonce: 3 })));
+        let (_, msg) = rx_b2.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(msg, Message::Ping { nonce: 3 }));
+        t.shutdown();
+    }
+
+    #[test]
+    fn write_queue_sheds_newest_when_full() {
+        let t = TcpTransport::bind(TcpTransportConfig {
+            write_queue_depth: 2,
+            ..TcpTransportConfig::default()
+        })
+        .unwrap();
+        let _rx_a = t.add_client(PeerId(1));
+        // Target registered at an address that never completes a preamble
+        // handshake from our side: a bound listener we never accept on.
+        let sink = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        t.register_remote(PeerId(2), sink.local_addr().unwrap());
+        // Large frames so the kernel buffers cannot absorb the queue.
+        let big = encode_frame(&Message::Query {
+            id: 1,
+            origin: PeerId(1),
+            key: Default::default(),
+            matched: 0,
+            ttl: u16::MAX,
+        });
+        let mut shed = 0;
+        for _ in 0..64 {
+            if t.dispatch(PeerId(1), PeerId(2), big.clone()) == SendStatus::Rejected {
+                shed += 1;
+            }
+        }
+        assert!(shed > 0, "queue depth 2 must shed under a stalled reader");
+        assert_eq!(t.net_stats().writes_shed, shed);
+        t.shutdown();
+    }
+
+    #[test]
+    fn node_shell_answers_ping_over_socket() {
+        let t = transport();
+        let state = Arc::new(Mutex::new(NodeState::new(PeerId(0), 4, 2, 2)));
+        t.add_node(Arc::clone(&state), NodeConfig::default(), 77);
+        let rx = t.add_client(PeerId(9));
+        assert!(t.send(PeerId(9), PeerId(0), encode_frame(&Message::Ping { nonce: 31 })));
+        let (from, msg) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(from, PeerId(0));
+        assert!(matches!(msg, Message::Pong { nonce: 31 }));
+        t.shutdown();
+    }
+
+    #[test]
+    fn os_threads_stay_constant_as_peers_grow() {
+        let t = TcpTransport::bind(TcpTransportConfig {
+            workers: 2,
+            ..TcpTransportConfig::default()
+        })
+        .unwrap();
+        assert_eq!(t.worker_count(), 2);
+        for i in 0..64 {
+            let state = Arc::new(Mutex::new(NodeState::new(PeerId(i), 4, 2, 2)));
+            t.add_node(state, NodeConfig::default(), u64::from(i));
+        }
+        // The transport spawned exactly `workers` threads at bind time and
+        // none since — adding shells only grows per-worker maps.
+        assert_eq!(t.inner.handles.lock().len(), 2);
+        t.shutdown();
+    }
+}

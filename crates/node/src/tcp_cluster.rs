@@ -1,0 +1,566 @@
+//! Driving a community of live nodes over real TCP sockets.
+//!
+//! [`TcpCluster`] mirrors [`Cluster`](crate::Cluster)'s harness API — build
+//! via meetings, insert, query with failover, crash/restart, invariant
+//! checks, snapshots — but every peer is a [`ProtocolPeer`]
+//! (`pgrid_proto`) shell multiplexed on a [`TcpTransport`] event-loop
+//! worker instead of owning an actor thread. The community's OS footprint
+//! is the worker pool, not `n` threads, which is what makes thousand-peer
+//! loopback soaks possible (see `pgrid-bench`'s `live_bench`).
+//!
+//! The invariant checker and snapshot capture are shared verbatim with the
+//! in-process cluster (`cluster.rs`), so the differential tests compare the
+//! two harnesses on identical definitions of validity and equality.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::Receiver;
+use parking_lot::Mutex;
+use pgrid_keys::Key;
+use pgrid_net::{NetStats, PeerId};
+use pgrid_wire::{encode_frame, Message, WireEntry};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::cluster::{check_states_invariants, node_config, states_snapshot};
+use crate::{ClusterConfig, FaultPlan, NodeState, TcpTransport, TcpTransportConfig};
+
+/// A running community of socket-multiplexed nodes plus a client endpoint
+/// for issuing queries. Reuses [`ClusterConfig`]; `mailbox_depth` bounds
+/// the per-connection write queue here.
+pub struct TcpCluster {
+    transport: TcpTransport,
+    states: Vec<Arc<Mutex<NodeState>>>,
+    /// Crash markers (parallel to `states`): a crashed node keeps its
+    /// durable state but has no shell or endpoint until restarted.
+    crashed: Vec<bool>,
+    client_id: PeerId,
+    client_rx: Receiver<(PeerId, Message)>,
+    next_query_id: u64,
+    rng: StdRng,
+    config: ClusterConfig,
+}
+
+impl TcpCluster {
+    /// Spawns the community on a fresh loopback transport with `workers`
+    /// event-loop threads.
+    ///
+    /// # Panics
+    /// If the loopback listener cannot bind.
+    pub fn spawn(config: ClusterConfig, workers: usize) -> Self {
+        assert!(config.n >= 2, "a cluster needs at least two nodes");
+        let transport = TcpTransport::bind(TcpTransportConfig {
+            workers,
+            write_queue_depth: config.mailbox_depth,
+            seed: config.seed,
+            ..TcpTransportConfig::default()
+        })
+        .expect("bind loopback listener");
+        if let Some(plan) = config.faults {
+            transport.inject_faults(plan);
+        }
+        let mut states = Vec::with_capacity(config.n);
+        for i in 0..config.n {
+            let id = PeerId::from_index(i);
+            let state = Arc::new(Mutex::new(NodeState::new(
+                id,
+                config.maxl,
+                config.refmax,
+                config.recfanout,
+            )));
+            transport.add_node(
+                Arc::clone(&state),
+                node_config(&config),
+                config.seed ^ ((i as u64) << 20),
+            );
+            states.push(state);
+        }
+        // Same client id as the in-process cluster: far above any node id.
+        let client_id = PeerId(u32::MAX - 1);
+        let client_rx = transport.add_client(client_id);
+        TcpCluster {
+            transport,
+            states,
+            crashed: vec![false; config.n],
+            client_id,
+            client_rx,
+            next_query_id: 1,
+            rng: StdRng::seed_from_u64(config.seed ^ 0xc11e),
+            config,
+        }
+    }
+
+    /// Number of nodes (live, crashed, or killed).
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` when the cluster has no nodes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The shared transport (fault injection, counters, worker count).
+    pub fn transport(&self) -> &TcpTransport {
+        &self.transport
+    }
+
+    /// Snapshot of the transport's fault/robustness/socket counters.
+    pub fn net_stats(&self) -> NetStats {
+        self.transport.net_stats()
+    }
+
+    /// Installs a fault plan on the running cluster's socket path.
+    pub fn inject_faults(&self, plan: FaultPlan) {
+        self.transport.inject_faults(plan);
+    }
+
+    /// Removes the fault plan (held-back frames are released at once).
+    pub fn clear_faults(&self) {
+        self.transport.clear_faults();
+    }
+
+    /// Injects `meetings` random pairwise meetings (among live nodes) and
+    /// waits for the network to go quiescent. Mirrors
+    /// [`Cluster::build`](crate::Cluster::build): same RNG stream, same
+    /// control-frame steering.
+    pub fn build(&mut self, meetings: usize) {
+        let live = self.live_nodes();
+        let n = live.len();
+        if n < 2 {
+            return;
+        }
+        for _ in 0..meetings {
+            let i = self.rng.gen_range(0..n);
+            let mut j = self.rng.gen_range(0..n - 1);
+            if j >= i {
+                j += 1;
+            }
+            let frame = encode_frame(&Message::Meet { with: live[j] });
+            self.transport.send_control(self.client_id, live[i], frame);
+        }
+        self.settle();
+    }
+
+    /// Introduces `node` to `with` with one deterministic meeting
+    /// instruction; call [`TcpCluster::settle`] to wait the exchange out.
+    pub fn meet(&self, node: PeerId, with: PeerId) {
+        let frame = encode_frame(&Message::Meet { with });
+        self.transport.send_control(self.client_id, node, frame);
+    }
+
+    /// Routes an index insertion into the grid entering at a chosen node.
+    pub fn insert_at(&mut self, key: Key, entry: WireEntry, entry_node: PeerId) {
+        let seq = self.next_query_id;
+        self.next_query_id += 1;
+        let frame = encode_frame(&Message::IndexInsert { seq, key, entry });
+        self.transport.send(self.client_id, entry_node, frame);
+    }
+
+    /// Routes an index insertion entering at a random live node.
+    pub fn insert(&mut self, key: Key, entry: WireEntry) {
+        let live = self.live_nodes();
+        if live.is_empty() {
+            return;
+        }
+        let entry_node = live[self.rng.gen_range(0..live.len())];
+        self.insert_at(key, entry, entry_node);
+    }
+
+    /// Waits until no frames have been delivered — and none are held back
+    /// or queued behind a socket — for a few polling rounds. Socket rounds
+    /// are a touch longer than mailbox rounds: a frame is "in flight"
+    /// until the kernel-to-kernel hop *and* the receiving worker's decode
+    /// sweep complete.
+    pub fn settle(&self) {
+        let mut last = self.transport.delivered();
+        let mut stable_rounds = 0;
+        while stable_rounds < 5 {
+            std::thread::sleep(Duration::from_millis(4));
+            self.drain_client();
+            let now = self.transport.delivered();
+            if now == last && self.transport.in_flight() == 0 {
+                stable_rounds += 1;
+            } else {
+                stable_rounds = 0;
+                last = now;
+            }
+        }
+    }
+
+    /// Acks (and discards) everything sitting in the client queue.
+    fn drain_client(&self) {
+        while let Ok((from, msg)) = self.client_rx.try_recv() {
+            if let Message::QueryOk { id, .. } | Message::QueryFail { id } = msg {
+                let ack = encode_frame(&Message::Ack { seq: id });
+                let _ = self.transport.send_control(self.client_id, from, ack);
+            }
+        }
+    }
+
+    /// Mean path length over the live community.
+    pub fn avg_path_len(&self) -> f64 {
+        let live: Vec<usize> = self
+            .states
+            .iter()
+            .filter(|s| s.lock().maxl != 0)
+            .map(|s| s.lock().path.len())
+            .collect();
+        live.iter().sum::<usize>() as f64 / live.len().max(1) as f64
+    }
+
+    /// `(id, path)` of every node (crashed and killed included).
+    pub fn paths(&self) -> Vec<(PeerId, String)> {
+        self.states
+            .iter()
+            .map(|s| {
+                let g = s.lock();
+                (g.id, g.path.to_string())
+            })
+            .collect()
+    }
+
+    /// Checks every node's structural invariants plus the cross-node side
+    /// property — the same checker the in-process cluster runs.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        check_states_invariants(&self.states)
+    }
+
+    /// Issues a query with failover across up to `query_attempts`
+    /// different random entry nodes (mirrors [`crate::Cluster::query`]).
+    pub fn query(&mut self, key: &Key) -> Option<(PeerId, Vec<WireEntry>)> {
+        let mut entries = self.live_nodes();
+        if entries.is_empty() {
+            return None;
+        }
+        entries.shuffle(&mut self.rng);
+        for attempt in 0..self.config.query_attempts.max(1) {
+            let entry_node = entries[attempt % entries.len()];
+            if let Some(hit) = self.query_once_at(key, entry_node) {
+                return Some(hit);
+            }
+        }
+        None
+    }
+
+    /// One single query attempt entering at `entry_node`.
+    pub fn query_once_at(
+        &mut self,
+        key: &Key,
+        entry_node: PeerId,
+    ) -> Option<(PeerId, Vec<WireEntry>)> {
+        let qid = self.next_query_id;
+        self.next_query_id += 1;
+        let frame = encode_frame(&Message::Query {
+            id: qid,
+            origin: self.client_id,
+            key: *key,
+            matched: 0,
+            ttl: self.config.ttl,
+        });
+        if !self.transport.send(self.client_id, entry_node, frame) {
+            return None;
+        }
+        let deadline = Instant::now() + Duration::from_millis(self.config.query_timeout_ms);
+        while let Ok((from, msg)) = self
+            .client_rx
+            .recv_timeout(deadline.saturating_duration_since(Instant::now()))
+        {
+            match msg {
+                Message::QueryOk {
+                    id,
+                    responsible,
+                    entries,
+                } if id == qid => {
+                    self.ack_answer(from, id);
+                    return Some((responsible, entries));
+                }
+                Message::QueryFail { id } if id == qid => {
+                    self.ack_answer(from, id);
+                    return None;
+                }
+                Message::QueryOk { id, .. } | Message::QueryFail { id } => {
+                    // Stale answer from an earlier timed-out attempt.
+                    self.ack_answer(from, id);
+                }
+                _ => {} // acks to the client, strays — ignore
+            }
+        }
+        None
+    }
+
+    /// Acks a query answer so the answering node stops retransmitting.
+    fn ack_answer(&self, to: PeerId, qid: u64) {
+        let ack = encode_frame(&Message::Ack { seq: qid });
+        let _ = self.transport.send(self.client_id, to, ack);
+    }
+
+    /// Installs an entry directly at every responsible node (oracle seed).
+    pub fn seed_index(&self, key: Key, entry: WireEntry) {
+        for s in &self.states {
+            let mut guard = s.lock();
+            if guard.maxl != 0 && guard.responsible_for(&key) {
+                guard.index_insert(key, entry);
+            }
+        }
+    }
+
+    /// Crashes a node: its endpoint, shell, and connections die (all
+    /// volatile protocol state is lost; senders see a departed peer), but
+    /// the durable state survives for [`TcpCluster::restart_node`].
+    ///
+    /// # Panics
+    /// If the node is already crashed or was killed.
+    pub fn crash_node(&mut self, id: PeerId) {
+        assert!(!self.crashed[id.index()], "node {id} already crashed");
+        assert!(self.states[id.index()].lock().maxl != 0, "node {id} is dead");
+        self.transport.remove_peer(id);
+        self.crashed[id.index()] = true;
+    }
+
+    /// Restarts a crashed node on its surviving durable state with a fresh
+    /// shell and RNG stream (same reincarnation salt as the in-process
+    /// cluster).
+    ///
+    /// # Panics
+    /// If the node is not currently crashed.
+    pub fn restart_node(&mut self, id: PeerId) {
+        assert!(self.crashed[id.index()], "node {id} is not crashed");
+        self.transport.add_node(
+            Arc::clone(&self.states[id.index()]),
+            node_config(&self.config),
+            self.config.seed ^ (u64::from(id.0) << 20) ^ 0xDEAD_BEEF,
+        );
+        self.crashed[id.index()] = false;
+    }
+
+    /// Kills one node abruptly and permanently (no goodbye protocol).
+    ///
+    /// # Panics
+    /// If the node was already killed or is currently crashed.
+    pub fn kill_node(&mut self, id: PeerId) {
+        assert!(!self.crashed[id.index()], "node {id} is crashed, not killable");
+        assert!(
+            self.states[id.index()].lock().maxl != 0,
+            "node {id} already killed"
+        );
+        self.transport.remove_peer(id);
+        // Mark the state dead for invariant checks.
+        self.states[id.index()].lock().maxl = 0;
+    }
+
+    /// Spawns one additional node and returns its id.
+    pub fn add_node(&mut self) -> PeerId {
+        let id = PeerId::from_index(self.states.len());
+        debug_assert_ne!(id, self.client_id);
+        let state = Arc::new(Mutex::new(NodeState::new(
+            id,
+            self.config.maxl,
+            self.config.refmax,
+            self.config.recfanout,
+        )));
+        self.transport.add_node(
+            Arc::clone(&state),
+            node_config(&self.config),
+            self.config.seed ^ (u64::from(id.0) << 20),
+        );
+        self.states.push(state);
+        self.crashed.push(false);
+        id
+    }
+
+    /// Ids of currently live (not killed, not crashed) nodes.
+    pub fn live_nodes(&self) -> Vec<PeerId> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| !self.crashed[*i] && s.lock().maxl != 0)
+            .map(|(_, s)| s.lock().id)
+            .collect()
+    }
+
+    /// Captures the live community into a [`pgrid_core::GridSnapshot`] —
+    /// byte-comparable with [`crate::Cluster::to_snapshot`] output.
+    ///
+    /// # Panics
+    /// If any node has been killed.
+    pub fn to_snapshot(&self) -> pgrid_core::GridSnapshot {
+        states_snapshot(&self.states, &self.config)
+    }
+
+    /// Stops the worker pool and joins it. Node state handles survive.
+    pub fn shutdown(self) {
+        self.transport.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgrid_keys::BitPath;
+
+    #[test]
+    fn tcp_cluster_converges_and_answers_queries() {
+        let mut cluster = TcpCluster::spawn(
+            ClusterConfig {
+                n: 16,
+                maxl: 3,
+                refmax: 3,
+                seed: 11,
+                ..ClusterConfig::default()
+            },
+            2,
+        );
+        for _ in 0..20 {
+            cluster.build(80);
+            if cluster.avg_path_len() >= 2.8 {
+                break;
+            }
+        }
+        assert!(
+            cluster.avg_path_len() >= 2.0,
+            "socket construction should converge: avg = {}",
+            cluster.avg_path_len()
+        );
+        cluster.check_invariants().unwrap();
+
+        let key = BitPath::from_str_lossy("011");
+        let entry = WireEntry {
+            item: 5,
+            holder: PeerId(1),
+            version: 7,
+        };
+        cluster.seed_index(key, entry);
+        let mut hits = 0;
+        for _ in 0..10 {
+            if let Some((responsible, entries)) = cluster.query(&key) {
+                let state = cluster.states[responsible.index()].lock();
+                assert!(state.responsible_for(&key), "answer must be sound");
+                drop(state);
+                if entries.contains(&entry) {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(hits >= 7, "most queries should succeed: {hits}/10");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn tcp_insert_reaches_a_responsible_node() {
+        let mut cluster = TcpCluster::spawn(
+            ClusterConfig {
+                n: 12,
+                maxl: 3,
+                refmax: 3,
+                seed: 23,
+                ..ClusterConfig::default()
+            },
+            2,
+        );
+        for _ in 0..20 {
+            cluster.build(60);
+            if cluster.avg_path_len() >= 2.5 {
+                break;
+            }
+        }
+        let key = BitPath::from_str_lossy("101");
+        let entry = WireEntry {
+            item: 1,
+            holder: PeerId(0),
+            version: 0,
+        };
+        cluster.insert(key, entry);
+        cluster.settle();
+        let stored = cluster
+            .states
+            .iter()
+            .filter(|s| s.lock().index_lookup(&key).contains(&entry))
+            .count();
+        assert!(stored >= 1, "the insert must land at a responsible node");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn tcp_crash_and_restart_cycle() {
+        let mut cluster = TcpCluster::spawn(
+            ClusterConfig {
+                n: 10,
+                maxl: 3,
+                refmax: 3,
+                seed: 41,
+                ..ClusterConfig::default()
+            },
+            2,
+        );
+        for _ in 0..10 {
+            cluster.build(50);
+            if cluster.avg_path_len() >= 2.5 {
+                break;
+            }
+        }
+        let victim = PeerId(3);
+        let path_before = cluster.states[victim.index()].lock().path;
+        cluster.crash_node(victim);
+        assert!(!cluster.live_nodes().contains(&victim));
+        let key = BitPath::from_str_lossy("100");
+        let entry = WireEntry {
+            item: 9,
+            holder: PeerId(5),
+            version: 1,
+        };
+        cluster.seed_index(key, entry);
+        let _ = cluster.query(&key);
+        cluster.restart_node(victim);
+        assert!(cluster.live_nodes().contains(&victim));
+        assert_eq!(
+            cluster.states[victim.index()].lock().path,
+            path_before,
+            "crash must not lose durable state"
+        );
+        cluster.build(30);
+        cluster.check_invariants().unwrap();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn tcp_clean_run_reports_no_fault_counters() {
+        let mut cluster = TcpCluster::spawn(
+            ClusterConfig {
+                n: 8,
+                maxl: 3,
+                seed: 31,
+                ..ClusterConfig::default()
+            },
+            2,
+        );
+        for _ in 0..8 {
+            cluster.build(40);
+            if cluster.avg_path_len() >= 2.5 {
+                break;
+            }
+        }
+        let key = BitPath::from_str_lossy("010");
+        let entry = WireEntry {
+            item: 2,
+            holder: PeerId(3),
+            version: 1,
+        };
+        cluster.seed_index(key, entry);
+        for _ in 0..5 {
+            let _ = cluster.query(&key);
+        }
+        cluster.settle();
+        // Read stats BEFORE shutdown: tearing the pool down can surface
+        // benign EPIPEs that are not part of the run under test.
+        let stats = cluster.net_stats();
+        assert!(
+            stats.is_fault_free(),
+            "no lost frames on a clean socket run: {stats}"
+        );
+        assert!(stats.conn_established > 0, "real connections were made");
+        cluster.shutdown();
+    }
+}

@@ -9,7 +9,7 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
 use pgrid_net::{NetStats, PeerId};
 
 use crate::fault::{FaultDecision, FaultEngine, FaultPlan};
@@ -36,6 +36,47 @@ pub enum SendStatus {
     Rejected,
     /// The target has no mailbox (departed or never existed).
     NoRoute,
+}
+
+/// The transport seam shared by every I/O shell.
+///
+/// [`LocalTransport`] (in-process mailboxes) and [`crate::TcpTransport`]
+/// (real sockets behind an event-loop driver) both implement it; the node
+/// runtime is generic over this trait, so the sans-I/O
+/// [`ProtocolPeer`](pgrid_proto::ProtocolPeer) runs byte-identically over
+/// either. Fault injection ([`FaultPlan`]) lives *behind* this seam: a
+/// transport applies drop/dup/reorder/delay before the bytes reach the wire
+/// (or mailbox), so the chaos suite exercises both paths unchanged.
+pub trait Transport: Clone + Send + Sync + 'static {
+    /// Sends `bytes` from `from` to `to`, reporting the precise outcome
+    /// (including injected loss, which [`Transport::send`] hides).
+    fn dispatch(&self, from: PeerId, to: PeerId, bytes: Bytes) -> SendStatus;
+
+    /// Sends `bytes` from `from` to `to`. Returns `false` when the target is
+    /// unreachable (departed) or saturated. A frame discarded by *injected
+    /// loss* still returns `true`: the sender of a lossy link cannot observe
+    /// the loss.
+    fn send(&self, from: PeerId, to: PeerId, bytes: Bytes) -> bool {
+        matches!(
+            self.dispatch(from, to, bytes),
+            SendStatus::Delivered | SendStatus::Dropped
+        )
+    }
+
+    /// Records a protocol-level retransmission (reported by node loops).
+    fn record_retry(&self);
+
+    /// Records an exhausted retransmit budget (reported by node loops).
+    fn record_timeout(&self);
+
+    /// Records a frame that failed to decode (reported by node loops).
+    fn record_malformed(&self);
+
+    /// Records a routing-table eviction after repeated failures.
+    fn record_eviction(&self);
+
+    /// Snapshot of the transport's fault/robustness counters.
+    fn net_stats(&self) -> NetStats;
 }
 
 /// Why a registration was refused.
@@ -106,6 +147,26 @@ struct Counters {
     evictions: AtomicU64,
 }
 
+/// State shared between the transport and its holdback pump thread. Lives in
+/// its own `Arc` so the pump can block on the condvar *without* holding the
+/// transport alive: the pump keeps only a `Weak<Inner>`, and `Inner::drop`
+/// flips `closed` and notifies, so the pump exits promptly when the last
+/// transport handle goes away.
+struct PumpShared {
+    state: Mutex<PumpState>,
+    cv: Condvar,
+    /// Times the pump thread woke from its wait. A deadline-driven pump holds
+    /// this constant while the transport is idle — pinned by the
+    /// `idle_pump_makes_no_spurious_wakeups` regression test (the old pump
+    /// polled every millisecond, idle or not).
+    wakeups: AtomicU64,
+}
+
+struct PumpState {
+    heap: BinaryHeap<Held>,
+    closed: bool,
+}
+
 struct Inner {
     mailboxes: RwLock<HashMap<PeerId, Sender<Frame>>>,
     /// Bounded mailbox depth; `0` means unbounded.
@@ -113,9 +174,16 @@ struct Inner {
     delivered: AtomicU64,
     counters: Counters,
     faults: Mutex<Option<FaultEngine>>,
-    holdback: Mutex<BinaryHeap<Held>>,
+    pump: Arc<PumpShared>,
     held_seq: AtomicU64,
     pump_alive: AtomicBool,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        self.pump.state.lock().closed = true;
+        self.pump.cv.notify_all();
+    }
 }
 
 impl Inner {
@@ -142,9 +210,9 @@ impl Inner {
     fn flush_due(&self, now: Instant, flush_all: bool) {
         loop {
             let held = {
-                let mut heap = self.holdback.lock();
-                match heap.peek() {
-                    Some(h) if flush_all || h.due <= now => heap.pop().unwrap(),
+                let mut st = self.pump.state.lock();
+                match st.heap.peek() {
+                    Some(h) if flush_all || h.due <= now => st.heap.pop().unwrap(),
                     _ => return,
                 }
             };
@@ -189,7 +257,14 @@ impl LocalTransport {
                 delivered: AtomicU64::new(0),
                 counters: Counters::default(),
                 faults: Mutex::new(None),
-                holdback: Mutex::new(BinaryHeap::new()),
+                pump: Arc::new(PumpShared {
+                    state: Mutex::new(PumpState {
+                        heap: BinaryHeap::new(),
+                        closed: false,
+                    }),
+                    cv: Condvar::new(),
+                    wakeups: AtomicU64::new(0),
+                }),
                 held_seq: AtomicU64::new(0),
                 pump_alive: AtomicBool::new(false),
             }),
@@ -304,22 +379,59 @@ impl LocalTransport {
             to,
             frame,
         };
-        self.inner.holdback.lock().push(held);
+        self.inner.pump.state.lock().heap.push(held);
+        // Wake the pump so it re-derives its deadline from the new heap top.
+        self.inner.pump.cv.notify_one();
         self.ensure_pump();
     }
 
     /// Spawns the holdback pump (at most one per transport): a thread that
-    /// flushes due frames every millisecond until the transport is dropped.
+    /// sleeps until the *next scheduled release* (not a fixed poll interval)
+    /// and flushes everything due. An idle transport therefore burns no CPU:
+    /// with an empty heap the pump parks on the condvar until [`Self::hold`]
+    /// notifies it, and `Inner::drop` notifies `closed` so it exits with the
+    /// transport.
     fn ensure_pump(&self) {
         if self.inner.pump_alive.swap(true, Ordering::SeqCst) {
             return;
         }
         let weak: Weak<Inner> = Arc::downgrade(&self.inner);
+        let shared = Arc::clone(&self.inner.pump);
         std::thread::spawn(move || loop {
-            std::thread::sleep(Duration::from_millis(1));
-            let Some(inner) = weak.upgrade() else { return };
-            inner.flush_due(Instant::now(), false);
+            {
+                // Flush under a short-lived strong handle; holding it across
+                // the wait below would keep a dropped transport alive.
+                let Some(inner) = weak.upgrade() else { return };
+                inner.flush_due(Instant::now(), false);
+            }
+            let mut st = shared.state.lock();
+            if st.closed {
+                return;
+            }
+            match st.heap.peek().map(|h| h.due) {
+                // Deadline-driven: wait exactly until the earliest release.
+                Some(due) if due > Instant::now() => {
+                    shared.cv.wait_until(&mut st, due);
+                }
+                // Something is already due — loop around and flush it.
+                Some(_) => {}
+                // Nothing held: park until a hold() or shutdown notifies.
+                None => shared.cv.wait(&mut st),
+            }
+            let closed = st.closed;
+            drop(st);
+            if closed {
+                return;
+            }
+            shared.wakeups.fetch_add(1, Ordering::Relaxed);
         });
+    }
+
+    /// Times the holdback pump woke from its deadline/condvar wait.
+    /// Diagnostic: an idle transport must hold this constant (no busy
+    /// polling); tests pin that.
+    pub fn pump_wakeups(&self) -> u64 {
+        self.inner.pump.wakeups.load(Ordering::Relaxed)
     }
 
     /// Installs a fault plan: subsequent frames are subjected to its drop /
@@ -342,7 +454,7 @@ impl LocalTransport {
     /// Frames currently held back by injected delay/reorder (quiescence
     /// detection must wait for these).
     pub fn in_flight(&self) -> usize {
-        self.inner.holdback.lock().len()
+        self.inner.pump.state.lock().heap.len()
     }
 
     /// Total frames delivered so far (used to detect quiescence).
@@ -394,6 +506,32 @@ impl LocalTransport {
         s.malformed = c.malformed.load(Ordering::Relaxed);
         s.evictions = c.evictions.load(Ordering::Relaxed);
         s
+    }
+}
+
+impl Transport for LocalTransport {
+    fn dispatch(&self, from: PeerId, to: PeerId, bytes: Bytes) -> SendStatus {
+        LocalTransport::dispatch(self, from, to, bytes)
+    }
+
+    fn record_retry(&self) {
+        LocalTransport::record_retry(self);
+    }
+
+    fn record_timeout(&self) {
+        LocalTransport::record_timeout(self);
+    }
+
+    fn record_malformed(&self) {
+        LocalTransport::record_malformed(self);
+    }
+
+    fn record_eviction(&self) {
+        LocalTransport::record_eviction(self);
+    }
+
+    fn net_stats(&self) -> NetStats {
+        LocalTransport::net_stats(self)
     }
 }
 
@@ -537,6 +675,36 @@ mod tests {
                 .collect::<Vec<bool>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn idle_pump_makes_no_spurious_wakeups() {
+        let t = LocalTransport::new();
+        let rx = t.register(PeerId(1));
+        t.inject_faults(FaultPlan::new(9).with_delay(1.0, 10));
+        assert!(t.send(PeerId(0), PeerId(1), Bytes::from_static(b"late")));
+        // The held frame is released at its deadline...
+        assert!(rx.recv_timeout(Duration::from_millis(500)).is_ok());
+        std::thread::sleep(Duration::from_millis(50)); // let the pump settle
+        let settled = t.pump_wakeups();
+        // ...after which an idle transport parks on the condvar. The old
+        // pump polled every 1ms (~250 wakeups over this window); the
+        // deadline-driven one must not wake at all.
+        std::thread::sleep(Duration::from_millis(250));
+        assert_eq!(t.pump_wakeups(), settled, "holdback pump woke while idle");
+    }
+
+    #[test]
+    fn pump_survives_idle_then_delivers_again() {
+        let t = LocalTransport::new();
+        let rx = t.register(PeerId(1));
+        t.inject_faults(FaultPlan::new(9).with_delay(1.0, 5));
+        assert!(t.send(PeerId(0), PeerId(1), Bytes::from_static(b"a")));
+        assert!(rx.recv_timeout(Duration::from_millis(500)).is_ok());
+        std::thread::sleep(Duration::from_millis(60)); // pump fully idle
+        assert!(t.send(PeerId(0), PeerId(1), Bytes::from_static(b"b")));
+        // A fresh hold() must re-arm the parked pump via the condvar.
+        assert!(rx.recv_timeout(Duration::from_millis(500)).is_ok());
     }
 
     #[test]

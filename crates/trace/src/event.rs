@@ -386,6 +386,43 @@ pub enum TraceEvent {
         /// Corrective actions applied this round.
         corrections: u64,
     },
+    /// Socket transport: a connection completed its handshake.
+    ConnEstablished {
+        /// Local endpoint of the connection.
+        local: u64,
+        /// Remote endpoint of the connection.
+        remote: u64,
+        /// `true` when accepted (preamble received), `false` when dialed.
+        inbound: bool,
+    },
+    /// Socket transport: a connection failed (I/O error, mid-frame EOF, or
+    /// exhausted reconnect attempts).
+    ConnLost {
+        /// Local endpoint of the connection.
+        local: u64,
+        /// Remote endpoint of the connection.
+        remote: u64,
+        /// Frames still queued behind the socket when it died (lost).
+        queued: u64,
+    },
+    /// Socket transport: a frame was shed drop-newest because the
+    /// connection's bounded write queue was full.
+    WriteShed {
+        /// Sending peer.
+        from: u64,
+        /// Destination peer.
+        to: u64,
+    },
+    /// Socket transport: a readiness event left a torn frame buffered in
+    /// the read accumulator (the normal nonblocking-read case).
+    PartialFrame {
+        /// Receiving endpoint.
+        local: u64,
+        /// Sending endpoint.
+        remote: u64,
+        /// Bytes buffered awaiting the rest of the frame.
+        buffered: u64,
+    },
 }
 
 impl TraceEvent {
@@ -413,6 +450,10 @@ impl TraceEvent {
             TraceEvent::EntryRehomed { .. } => "entry_rehomed",
             TraceEvent::BuddyDropped { .. } => "buddy_dropped",
             TraceEvent::StabilizeRound { .. } => "stabilize_round",
+            TraceEvent::ConnEstablished { .. } => "conn_established",
+            TraceEvent::ConnLost { .. } => "conn_lost",
+            TraceEvent::WriteShed { .. } => "write_shed",
+            TraceEvent::PartialFrame { .. } => "partial_frame",
         }
     }
 }
@@ -597,6 +638,37 @@ pub fn encode_line(stamped: &Stamped) -> String {
         } => {
             push_int_field(&mut out, "violations", i128::from(*violations));
             push_int_field(&mut out, "corrections", i128::from(*corrections));
+        }
+        TraceEvent::ConnEstablished {
+            local,
+            remote,
+            inbound,
+        } => {
+            push_int_field(&mut out, "local", i128::from(*local));
+            push_int_field(&mut out, "remote", i128::from(*remote));
+            push_bool_field(&mut out, "inbound", *inbound);
+        }
+        TraceEvent::ConnLost {
+            local,
+            remote,
+            queued,
+        } => {
+            push_int_field(&mut out, "local", i128::from(*local));
+            push_int_field(&mut out, "remote", i128::from(*remote));
+            push_int_field(&mut out, "queued", i128::from(*queued));
+        }
+        TraceEvent::WriteShed { from, to } => {
+            push_int_field(&mut out, "from", i128::from(*from));
+            push_int_field(&mut out, "to", i128::from(*to));
+        }
+        TraceEvent::PartialFrame {
+            local,
+            remote,
+            buffered,
+        } => {
+            push_int_field(&mut out, "local", i128::from(*local));
+            push_int_field(&mut out, "remote", i128::from(*remote));
+            push_int_field(&mut out, "buffered", i128::from(*buffered));
         }
     }
     out.push('}');
@@ -803,6 +875,25 @@ pub fn decode_line(line: &str, line_no: usize) -> Result<Stamped, String> {
             violations: f.u64("violations")?,
             corrections: f.u64("corrections")?,
         },
+        "conn_established" => TraceEvent::ConnEstablished {
+            local: f.u64("local")?,
+            remote: f.u64("remote")?,
+            inbound: f.bool("inbound")?,
+        },
+        "conn_lost" => TraceEvent::ConnLost {
+            local: f.u64("local")?,
+            remote: f.u64("remote")?,
+            queued: f.u64("queued")?,
+        },
+        "write_shed" => TraceEvent::WriteShed {
+            from: f.u64("from")?,
+            to: f.u64("to")?,
+        },
+        "partial_frame" => TraceEvent::PartialFrame {
+            local: f.u64("local")?,
+            remote: f.u64("remote")?,
+            buffered: f.u64("buffered")?,
+        },
         other => return Err(format!("line {line_no}: unknown event `{other}`")),
     };
     Ok(Stamped { seq, event })
@@ -915,6 +1006,22 @@ mod tests {
         roundtrip(TraceEvent::StabilizeRound {
             violations: 17,
             corrections: 12,
+        });
+        roundtrip(TraceEvent::ConnEstablished {
+            local: 3,
+            remote: 9,
+            inbound: true,
+        });
+        roundtrip(TraceEvent::ConnLost {
+            local: 3,
+            remote: 9,
+            queued: 4,
+        });
+        roundtrip(TraceEvent::WriteShed { from: 3, to: 9 });
+        roundtrip(TraceEvent::PartialFrame {
+            local: 9,
+            remote: 3,
+            buffered: 17,
         });
     }
 

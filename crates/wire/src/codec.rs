@@ -24,6 +24,11 @@ pub enum CodecError {
     BadPathLength(u8),
     /// A declared collection length is implausibly large for the frame.
     BadCollectionLength(u64),
+    /// A frame header declared a payload larger than [`MAX_FRAME_LEN`].
+    /// Rejected from the 4-byte header alone, before any buffering — a
+    /// hostile or corrupt length prefix must not make a streaming receiver
+    /// accumulate gigabytes waiting for a frame that never completes.
+    FrameTooLarge(u32),
 }
 
 impl std::fmt::Display for CodecError {
@@ -35,6 +40,10 @@ impl std::fmt::Display for CodecError {
             CodecError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
             CodecError::BadPathLength(l) => write!(f, "bit-path length {l} exceeds 128"),
             CodecError::BadCollectionLength(l) => write!(f, "collection length {l} implausible"),
+            CodecError::FrameTooLarge(l) => write!(
+                f,
+                "frame payload length {l} exceeds the {MAX_FRAME_LEN}-byte cap"
+            ),
         }
     }
 }
@@ -44,6 +53,13 @@ impl std::error::Error for CodecError {}
 /// Hard cap on collection lengths: nothing in the protocol legitimately
 /// ships more than this many elements in one message.
 const MAX_COLLECTION: u64 = 1 << 20;
+
+/// Hard cap on a frame's declared payload length (64 MiB). The largest
+/// legitimate message — a [`MAX_COLLECTION`]-entry `QueryOk` with maximal
+/// varints — stays well under this, while a corrupt or hostile length
+/// prefix can otherwise declare up to 4 GiB and pin a streaming receiver's
+/// accumulator. [`decode_frame`] enforces it from the header alone.
+pub const MAX_FRAME_LEN: usize = 1 << 26;
 
 /// Validates a declared collection length against the absolute cap **and**
 /// the bytes actually left in the payload: every element occupies at least
@@ -152,11 +168,18 @@ pub fn encode_frame(message: &Message) -> Bytes {
 
 /// Decodes one frame from the front of `buf`. Returns `Ok(None)` when the
 /// buffer does not yet hold a complete frame (streaming reassembly).
+///
+/// A header declaring a payload over [`MAX_FRAME_LEN`] is rejected
+/// immediately — the receiver must not buffer toward an impossible length.
 pub fn decode_frame(buf: &mut BytesMut) -> Result<Option<Message>, CodecError> {
     if buf.len() < 4 {
         return Ok(None);
     }
-    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    let declared = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    let len = declared as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(CodecError::FrameTooLarge(declared));
+    }
     if buf.len() < 4 + len {
         return Ok(None);
     }
@@ -552,6 +575,28 @@ mod tests {
         assert_eq!(
             decode_frame(&mut buf),
             Err(CodecError::BadCollectionLength(1_000_000))
+        );
+    }
+
+    #[test]
+    fn oversized_frame_header_rejected_before_buffering() {
+        // Only the 4-byte header has arrived; the declared length alone
+        // must trigger rejection — waiting for 4 GiB is the attack.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(u32::MAX);
+        assert_eq!(
+            decode_frame(&mut buf),
+            Err(CodecError::FrameTooLarge(u32::MAX))
+        );
+        // The boundary itself is accepted as "incomplete", one past is not.
+        let mut ok = BytesMut::new();
+        ok.put_u32_le(MAX_FRAME_LEN as u32);
+        assert_eq!(decode_frame(&mut ok), Ok(None));
+        let mut over = BytesMut::new();
+        over.put_u32_le(MAX_FRAME_LEN as u32 + 1);
+        assert_eq!(
+            decode_frame(&mut over),
+            Err(CodecError::FrameTooLarge(MAX_FRAME_LEN as u32 + 1))
         );
     }
 

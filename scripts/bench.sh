@@ -5,6 +5,10 @@
 #
 #   scripts/bench.sh          # quick profile, writes/updates BENCH_engine.json
 #   scripts/bench.sh full     # paper-scale workload (minutes, not seconds)
+#   scripts/bench.sh live [--smoke]
+#                             # loopback soak over real sockets, writes
+#                             # BENCH_live.json (1000-peer event loop +
+#                             # thread-per-peer A/B row; --smoke = 128 peers)
 #
 # The run aborts (non-zero exit) if any parallel or batched execution
 # diverges from its family's serial reference — determinism is part of the
@@ -14,6 +18,27 @@
 # gate.)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# The `live` profile is a separate benchmark binary over real sockets: it
+# regenerates BENCH_live.json and exits non-zero if the event-loop rows
+# scale their OS thread count with peers.
+if [[ "${1:-}" == "live" ]]; then
+    shift
+    echo "==> loopback soak (event loop vs thread-per-peer) $*"
+    cargo run --release -p pgrid-bench --bin live_bench -- "$@" --out BENCH_live.json
+    python3 - <<'EOF'
+import json
+with open("BENCH_live.json") as f:
+    r = json.load(f)
+for row in r["rows"]:
+    print(f"{row['mode']}: {row['peers']} peers / {row['workers']} workers — "
+          f"{row['msgs_per_sec']:.0f} msgs/sec, peak {row['peak_threads']} threads "
+          f"(baseline {row['baseline_threads']})")
+print(f"thread gate: peak <= {r['thread_budget']} -> {r['thread_gate_ok']}")
+EOF
+    echo "Benchmark written to BENCH_live.json."
+    exit 0
+fi
 
 profile_flag="--quick"
 if [[ "${1:-}" == "full" ]]; then

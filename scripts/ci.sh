@@ -24,6 +24,9 @@ cargo test -q
 echo "==> sim/live differential determinism (two fixed seeds)"
 cargo test --release --test differential_sim_node
 
+echo "==> sim/socket differential determinism (real TCP loopback, two fixed seeds)"
+cargo test --release --test differential_sim_tcp
+
 echo "==> batch determinism (batched vs width-1 reference; batch 1/8/64 x threads 1/4)"
 cargo test --release --test batch_determinism
 
@@ -47,8 +50,15 @@ if [[ "${1:-}" != "quick" ]]; then
     echo "==> chaos suite (fault injection, three fixed seeds)"
     cargo test --release --test live_chaos -- --nocapture
 
+    echo "==> socket chaos suite (same fault plans over real TCP, three fixed seeds)"
+    cargo test --release --test tcp_chaos -- --nocapture
+
     echo "==> corruption-convergence suite (four corruption classes, three fixed seeds)"
     cargo test --release --test self_stabilization -- --nocapture
+
+    echo "==> loopback soak smoke (128 peers on 2 event-loop workers, 10s)"
+    cargo run --release -p pgrid-cli --bin pgrid -- soak --peers 128 --workers 2 \
+        --secs 10 --seed 7 --max-extra-threads 8
 fi
 
 echo "CI green."

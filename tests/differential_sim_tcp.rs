@@ -1,0 +1,214 @@
+//! Differential test of the inline simulator against the **socket**
+//! deployment.
+//!
+//! The same scripted run as `differential_sim_node.rs` — a fixed meeting
+//! schedule, then inserts, then queries — executes twice per seed:
+//!
+//! * through [`pgrid::proto::SimNet`], the inline FIFO driver, and
+//! * through [`pgrid::node::TcpCluster`], the event-loop deployment where
+//!   every frame crosses a real loopback TCP socket and many peer shells
+//!   share a fixed worker pool,
+//!
+//! with identical per-node seeds and `recmax = 0` so every causal chain is
+//! strictly sequential. Why byte-equality survives real sockets: all
+//! protocol decisions live in [`pgrid::proto::ProtocolPeer`]; TCP preserves
+//! per-link FIFO order exactly like the in-process mailboxes; strict
+//! settle-after-every-operation sequencing removes cross-link races; and on
+//! a clean loopback the one-way latency sits far below the 60 ms ack-retry
+//! base, so no spurious retransmissions perturb the dedup state. The two
+//! runs must therefore converge to **equal** partitions (paths, references,
+//! indexes, buddies per node) and return **identical** query answers —
+//! checked for two seeds.
+
+use pgrid::core::{IndexEntry, PeerSnapshot};
+use pgrid::keys::BitPath;
+use pgrid::net::PeerId;
+use pgrid::node::{ClusterConfig, TcpCluster};
+use pgrid::proto::{ProtocolPeer, SimNet};
+use pgrid::store::{ItemId, Version};
+use pgrid::wire::WireEntry;
+
+const N: usize = 6;
+const MAXL: usize = 3;
+const REFMAX: usize = 2;
+const RECFANOUT: usize = 2;
+const TTL: u16 = 32;
+const WORKERS: usize = 2;
+
+/// The scripted run: deterministic meetings (two sweeps over a fixed
+/// pairing), then inserts entering at fixed nodes, then queries entering at
+/// fixed nodes. Identical to `differential_sim_node.rs`.
+fn meetings() -> Vec<(u32, u32)> {
+    let sweep = [
+        (0, 1),
+        (2, 3),
+        (4, 5),
+        (0, 2),
+        (1, 3),
+        (2, 4),
+        (3, 5),
+        (0, 4),
+        (1, 5),
+        (0, 3),
+        (1, 4),
+        (2, 5),
+        (0, 5),
+        (1, 2),
+        (3, 4),
+    ];
+    let mut out = Vec::new();
+    out.extend_from_slice(&sweep);
+    out.extend_from_slice(&sweep);
+    out
+}
+
+fn inserts() -> Vec<(&'static str, u64, u32)> {
+    // (key, item, entry node)
+    vec![("000", 1, 0), ("011", 2, 1), ("101", 3, 2), ("110", 4, 3)]
+}
+
+fn queries() -> Vec<(&'static str, u32)> {
+    // (key, entry node)
+    vec![
+        ("000", 4),
+        ("000", 5),
+        ("011", 0),
+        ("011", 5),
+        ("101", 1),
+        ("101", 4),
+        ("110", 0),
+        ("110", 2),
+    ]
+}
+
+fn entry(item: u64) -> WireEntry {
+    WireEntry {
+        item,
+        holder: PeerId(42),
+        version: 1,
+    }
+}
+
+fn snapshot_of(peer: &ProtocolPeer) -> PeerSnapshot {
+    PeerSnapshot {
+        id: peer.id,
+        path: peer.path,
+        refs: peer.refs.clone(),
+        index: peer
+            .index
+            .iter()
+            .map(|(k, entries)| {
+                (
+                    *k,
+                    entries
+                        .iter()
+                        .map(|e| IndexEntry {
+                            item: ItemId(e.item),
+                            holder: e.holder,
+                            version: Version(e.version),
+                        })
+                        .collect(),
+                )
+            })
+            .collect(),
+        buddies: peer.buddies.clone(),
+    }
+}
+
+type Answers = Vec<Option<(PeerId, Vec<WireEntry>)>>;
+
+/// The scripted run through the inline driver.
+fn run_sim(seed: u64) -> (Vec<PeerSnapshot>, Answers) {
+    let client = PeerId(u32::MAX - 1);
+    let mut net = SimNet::new(client);
+    for i in 0..N {
+        let mut peer = ProtocolPeer::new(PeerId(i as u32), MAXL, REFMAX, RECFANOUT);
+        peer.recmax = 0;
+        net.add_peer(peer, seed ^ ((i as u64) << 20));
+    }
+    for (a, b) in meetings() {
+        net.meet(PeerId(a), PeerId(b));
+    }
+    // The socket cluster stamps inserts and queries from one client-side
+    // sequence counter starting at 1 — mirror it exactly.
+    let mut seq = 1u64;
+    for (key, item, node) in inserts() {
+        net.insert(PeerId(node), seq, BitPath::from_str_lossy(key), entry(item));
+        seq += 1;
+    }
+    let mut answers = Vec::new();
+    for (key, node) in queries() {
+        answers.push(net.query(PeerId(node), seq, BitPath::from_str_lossy(key), TTL));
+        seq += 1;
+    }
+    let snaps = net.peer_ids().iter().map(|id| snapshot_of(net.peer(*id))).collect();
+    (snaps, answers)
+}
+
+/// The same scripted run over real loopback sockets, strictly sequenced:
+/// every operation settles before the next starts, so the frame orderings
+/// the event-loop workers produce coincide with the FIFO driver's.
+fn run_tcp_cluster(seed: u64) -> (Vec<PeerSnapshot>, Answers) {
+    let mut cluster = TcpCluster::spawn(
+        ClusterConfig {
+            n: N,
+            maxl: MAXL,
+            refmax: REFMAX,
+            recmax: 0,
+            recfanout: RECFANOUT,
+            ttl: TTL,
+            seed,
+            ..ClusterConfig::default()
+        },
+        WORKERS,
+    );
+    for (a, b) in meetings() {
+        cluster.meet(PeerId(a), PeerId(b));
+        cluster.settle();
+    }
+    for (key, item, node) in inserts() {
+        cluster.insert_at(BitPath::from_str_lossy(key), entry(item), PeerId(node));
+        cluster.settle();
+    }
+    let mut answers = Vec::new();
+    for (key, node) in queries() {
+        answers.push(cluster.query_once_at(&BitPath::from_str_lossy(key), PeerId(node)));
+        cluster.settle();
+    }
+    let snaps = cluster.to_snapshot().peers;
+    cluster.shutdown();
+    (snaps, answers)
+}
+
+#[test]
+fn sim_and_tcp_cluster_runs_converge_identically() {
+    for seed in [7u64, 1717] {
+        let (sim_snaps, sim_answers) = run_sim(seed);
+        let (tcp_snaps, tcp_answers) = run_tcp_cluster(seed);
+
+        // The run must be non-trivial: the community partitioned and at
+        // least one query came back with the inserted entry.
+        let total_path: usize = sim_snaps.iter().map(|p| p.path.len()).sum();
+        assert!(total_path > 0, "seed {seed}: nobody specialized");
+        assert!(
+            sim_answers.iter().flatten().any(|(_, e)| !e.is_empty()),
+            "seed {seed}: no query returned data"
+        );
+
+        assert_eq!(
+            sim_answers, tcp_answers,
+            "seed {seed}: query answers diverged between sim and sockets"
+        );
+        assert_eq!(sim_snaps.len(), tcp_snaps.len());
+        for (s, c) in sim_snaps.iter().zip(&tcp_snaps) {
+            assert_eq!(s.path, c.path, "seed {seed}, node {}: paths diverged", s.id);
+            assert_eq!(s.refs, c.refs, "seed {seed}, node {}: refs diverged", s.id);
+            assert_eq!(s.index, c.index, "seed {seed}, node {}: index diverged", s.id);
+            assert_eq!(
+                s.buddies, c.buddies,
+                "seed {seed}, node {}: buddies diverged",
+                s.id
+            );
+        }
+    }
+}
