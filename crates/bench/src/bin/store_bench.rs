@@ -1,0 +1,306 @@
+//! Throughput + memory benchmark of the storage backends (DESIGN.md §15).
+//!
+//! Two phases:
+//!
+//! 1. **Microbench** — for each backend (memory, hashfile, log): timed put /
+//!    get / ordered-prefix-scan loops over the same deterministic item set,
+//!    plus a timed reopen (index rebuild / segment replay) for the disk
+//!    backends. Every backend must hand back byte-identical items.
+//! 2. **Host-scale gate** — the log-structured backend hosts `host_items`
+//!    items (>1M in the full profile) while the process's `VmRSS` growth is
+//!    measured; the run fails if resident growth per item exceeds
+//!    `RSS_BYTES_PER_ITEM_MAX` (payloads must stay on disk — only the
+//!    offset/key index may be resident) or if `resident_items()` is nonzero
+//!    for a disk backend.
+//!
+//! The measurements are merged into `BENCH_engine.json` (or `--out PATH`)
+//! under a `"store_bench"` key, leaving the engine section untouched.
+//!
+//! ```text
+//! store_bench [--quick] [--out PATH] [--dir PATH]
+//! ```
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use pgrid_keys::BitPath;
+use pgrid_store::{BackendKind, DataItem, ItemId, StorageBackend, StorageSpec};
+
+/// Upper bound on resident-memory growth per hosted item for the
+/// log-structured backend. Its index keeps roughly (id -> segment offset)
+/// plus an ordered (key, id) entry per item — on the order of 100–150
+/// bytes; the gate leaves allocator headroom while staying far below what
+/// resident payloads (256 B each here, plus names and struct overhead)
+/// would cost.
+const RSS_BYTES_PER_ITEM_MAX: f64 = 384.0;
+
+/// `splitmix64` — deterministic key/payload material without an RNG crate.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn item(i: u64, payload_bytes: usize) -> DataItem {
+    let h = mix(i);
+    DataItem::with_payload(
+        ItemId(i),
+        format!("item-{i}"),
+        BitPath::from_value(u128::from(h & 0xffff), 16),
+        vec![(h >> 16) as u8; payload_bytes],
+    )
+}
+
+/// Resident set size in bytes from `/proc/self/status`, `None` off Linux.
+fn vm_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+struct MicroRow {
+    backend: &'static str,
+    puts_per_s: f64,
+    gets_per_s: f64,
+    scan_items_per_s: f64,
+    reopen_s: Option<f64>,
+    resident_items: usize,
+}
+
+/// Timed put/get/scan (+ reopen for disk backends) over `items` items.
+/// Returns the row plus a content fingerprint every backend must share.
+fn micro(kind: BackendKind, root: &std::path::Path, items: u64) -> (MicroRow, u64) {
+    let dir = root.join(format!("micro-{}", kind.name()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = StorageSpec::of_kind(kind, &dir);
+    let mut b = spec.open_for(0).expect("open backend");
+
+    let t = Instant::now();
+    for i in 0..items {
+        b.put(item(i, 64));
+    }
+    b.flush().expect("flush");
+    let puts_per_s = items as f64 / t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let mut fingerprint = 0u64;
+    for i in 0..items {
+        let id = ItemId(mix(i) % items);
+        let got = b.get(id).expect("every written item must read back");
+        fingerprint = fingerprint
+            .wrapping_mul(31)
+            .wrapping_add(mix(got.id.0 ^ u64::from(got.payload[0])));
+    }
+    let gets_per_s = items as f64 / t.elapsed().as_secs_f64();
+
+    // The ordered subtree scan the trie index performs: all eight 3-bit
+    // prefixes cover the key space exactly once.
+    let t = Instant::now();
+    let mut scanned = 0u64;
+    for p in 0..8u128 {
+        let prefix = BitPath::from_value(p, 3);
+        b.for_each_under(&prefix, &mut |it| {
+            scanned += 1;
+            fingerprint = fingerprint.wrapping_mul(31).wrapping_add(mix(it.id.0));
+        });
+    }
+    let scan_items_per_s = scanned as f64 / t.elapsed().as_secs_f64();
+    assert_eq!(scanned, items, "{kind}: prefix scans must cover every item");
+
+    let reopen_s = if kind == BackendKind::Memory {
+        None
+    } else {
+        drop(b);
+        let t = Instant::now();
+        let reopened = spec.open_for(0).expect("reopen backend");
+        let secs = t.elapsed().as_secs_f64();
+        assert_eq!(
+            reopened.len(),
+            items as usize,
+            "{kind}: reopen must recover every item"
+        );
+        b = reopened;
+        Some(secs)
+    };
+
+    let row = MicroRow {
+        backend: kind.name(),
+        puts_per_s,
+        gets_per_s,
+        scan_items_per_s,
+        reopen_s,
+        resident_items: b.resident_items(),
+    };
+    drop(b);
+    let _ = std::fs::remove_dir_all(&dir);
+    (row, fingerprint)
+}
+
+/// The host-scale run: `items` puts into one log-structured backend while
+/// watching `VmRSS`. Returns the JSON fragment and whether the gate held.
+fn host_gate(root: &std::path::Path, items: u64) -> (serde_json::Value, bool) {
+    let dir = root.join("host-log");
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = StorageSpec::of_kind(BackendKind::Log, &dir);
+    let mut b = spec.open_for(0).expect("open log backend");
+
+    let rss_before = vm_rss_bytes();
+    let t = Instant::now();
+    for i in 0..items {
+        b.put(item(i, 256));
+    }
+    b.flush().expect("flush");
+    let put_secs = t.elapsed().as_secs_f64();
+    let rss_after = vm_rss_bytes();
+
+    let resident_items = b.resident_items();
+    let len_ok = b.len() == items as usize;
+
+    // Spot-check durability at scale: reopen and read a deterministic
+    // sample back.
+    drop(b);
+    let t = Instant::now();
+    let reopened = spec.open_for(0).expect("reopen log backend");
+    let reopen_secs = t.elapsed().as_secs_f64();
+    let recovered = reopened.len() == items as usize
+        && (0..64).all(|i| {
+            let id = ItemId(mix(i) % items);
+            reopened.get(id).is_some_and(|got| got == item(id.0, 256))
+        });
+    drop(reopened);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let rss_growth = rss_before
+        .zip(rss_after)
+        .map(|(b0, b1)| b1.saturating_sub(b0));
+    let bytes_per_item = rss_growth.map(|g| g as f64 / items as f64);
+    let rss_ok = match bytes_per_item {
+        Some(bpi) => bpi <= RSS_BYTES_PER_ITEM_MAX,
+        None => {
+            println!("rss gate skipped: /proc/self/status unavailable");
+            true
+        }
+    };
+    let ok = rss_ok && resident_items == 0 && len_ok && recovered;
+
+    println!(
+        "host gate: {} items in {:.1}s ({:.0} puts/s), reopen {:.2}s, resident_items {}, \
+         rss growth {} ({} B/item, gate {} B/item)",
+        items,
+        put_secs,
+        items as f64 / put_secs,
+        reopen_secs,
+        resident_items,
+        rss_growth.map_or("n/a".into(), |g| format!(
+            "{:.1} MiB",
+            g as f64 / (1 << 20) as f64
+        )),
+        bytes_per_item.map_or("n/a".into(), |b| format!("{b:.1}")),
+        RSS_BYTES_PER_ITEM_MAX,
+    );
+    let fragment = serde_json::json!({
+        "backend": "log",
+        "items": items,
+        "payload_bytes": 256,
+        "put_secs": put_secs,
+        "puts_per_s": items as f64 / put_secs,
+        "reopen_secs": reopen_secs,
+        "resident_items": resident_items,
+        "rss_growth_bytes": rss_growth,
+        "rss_bytes_per_item": bytes_per_item,
+        "rss_bytes_per_item_max": RSS_BYTES_PER_ITEM_MAX,
+        "recovered": recovered,
+        "ok": ok,
+    });
+    (fragment, ok)
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = PathBuf::from("BENCH_engine.json");
+    let mut root = std::env::temp_dir().join(format!("pgrid-store-bench-{}", std::process::id()));
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = PathBuf::from(args.next().expect("--out needs a path")),
+            "--dir" => root = PathBuf::from(args.next().expect("--dir needs a path")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: store_bench [--quick] [--out PATH] [--dir PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let micro_items: u64 = if quick { 20_000 } else { 200_000 };
+    let host_items: u64 = if quick { 120_000 } else { 1_200_000 };
+    std::fs::create_dir_all(&root).expect("create work dir");
+
+    let mut rows = Vec::new();
+    let mut fingerprints = Vec::new();
+    for kind in BackendKind::ALL {
+        let (row, fp) = micro(kind, &root, micro_items);
+        println!(
+            "{:<9} {:>9.0} puts/s  {:>9.0} gets/s  {:>10.0} scan items/s  reopen {}  resident {}",
+            row.backend,
+            row.puts_per_s,
+            row.gets_per_s,
+            row.scan_items_per_s,
+            row.reopen_s.map_or("-".into(), |s| format!("{s:.2}s")),
+            row.resident_items,
+        );
+        rows.push(row);
+        fingerprints.push(fp);
+    }
+    let identical = fingerprints.iter().all(|fp| *fp == fingerprints[0]);
+    let disk_nonresident = rows
+        .iter()
+        .filter(|r| r.backend != "memory")
+        .all(|r| r.resident_items == 0);
+
+    let (host, host_ok) = host_gate(&root, host_items);
+    let _ = std::fs::remove_dir_all(&root);
+
+    let section = serde_json::json!({
+        "profile": if quick { "quick" } else { "full" },
+        "measured": true,
+        "micro": {
+            "items": micro_items,
+            "payload_bytes": 64,
+            "identical": identical,
+            "rows": rows.iter().map(|r| serde_json::json!({
+                "backend": r.backend,
+                "puts_per_s": r.puts_per_s,
+                "gets_per_s": r.gets_per_s,
+                "scan_items_per_s": r.scan_items_per_s,
+                "reopen_secs": r.reopen_s,
+                "resident_items": r.resident_items,
+            })).collect::<Vec<_>>(),
+        },
+        "host": host,
+    });
+
+    // Merge into the engine report rather than clobbering it.
+    let mut report: serde_json::Value = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+        .unwrap_or_else(|| serde_json::json!({}));
+    report["store_bench"] = section;
+    std::fs::write(&out, format!("{report:#}\n")).expect("write benchmark JSON");
+    println!("wrote store_bench section to {}", out.display());
+
+    if !identical {
+        eprintln!("FATAL: backends returned different contents for the same writes");
+        std::process::exit(1);
+    }
+    if !disk_nonresident {
+        eprintln!("FATAL: a disk backend kept full items resident in RAM");
+        std::process::exit(1);
+    }
+    if !host_ok {
+        eprintln!("FATAL: host-scale memory gate failed (see rss/recovery fields above)");
+        std::process::exit(1);
+    }
+}

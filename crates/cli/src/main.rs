@@ -15,9 +15,10 @@ use std::process::ExitCode;
 use pgrid_core::GridSizing;
 use pgrid_sim::experiments::{
     ablation, caching, engine, f4, f5, flooding, latency, mixed, repair, s52_search, s6_scaling,
-    selfstab, sizing, skew, t1, t2, t3, t4t5, t6, timeline, variance,
+    selfstab, sizing, skew, store, t1, t2, t3, t4t5, t6, timeline, variance,
 };
 use pgrid_sim::Table;
+use pgrid_store::BackendKind;
 
 #[derive(Clone, Copy, PartialEq)]
 enum Format {
@@ -31,6 +32,9 @@ struct Options {
     small: bool,
     seed: Option<u64>,
     format: Format,
+    /// Restrict the `store` experiment to one backend (it measures all
+    /// three by default). Ignored by the other experiments.
+    backend: Option<BackendKind>,
 }
 
 fn main() -> ExitCode {
@@ -47,7 +51,8 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "\
 usage:
-  pgrid exp <id> [--small] [--seed S] [--csv | --json | --md]
+  pgrid exp <id> [--small] [--seed S] [--backend memory|hashfile|log]
+                 [--csv | --json | --md]
   pgrid grid build [--n N] [--maxl L] [--refmax R] [--seed S] --out FILE
   pgrid grid info --grid FILE
   pgrid grid query --grid FILE --key BITS [--p-online P] [--seed S]
@@ -81,6 +86,7 @@ experiments:
   mixed     end-to-end mixed read/write workload (break-even, empirical)
   ablation  design-knob ablations
   engine    engine throughput: serial vs threaded vs batched lockstep
+  store     storage backend equivalence + throughput (--backend picks one)
   all       every experiment in sequence (small presets unless --full)";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -99,6 +105,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 small: false,
                 seed: None,
                 format: Format::Text,
+                backend: None,
             };
             while let Some(flag) = it.next() {
                 match flag.as_str() {
@@ -109,6 +116,12 @@ fn run(args: &[String]) -> Result<(), String> {
                     "--seed" => {
                         let s = it.next().ok_or("--seed needs a value")?;
                         opts.seed = Some(s.parse().map_err(|_| format!("bad seed {s:?}"))?);
+                    }
+                    "--backend" => {
+                        let b = it.next().ok_or("--backend needs a value")?;
+                        opts.backend = Some(b.parse().map_err(|_| {
+                            format!("bad backend {b:?} (expected memory, hashfile, or log)")
+                        })?);
                     }
                     other => return Err(format!("unknown flag {other:?}")),
                 }
@@ -764,6 +777,16 @@ fn run_experiment(id: &str, opts: &Options) -> Result<(), String> {
                 }
             }
         }
+        "store" => {
+            let mut cfg = if small { store::Config::small() } else { store::Config::default() };
+            if let Some(s) = opts.seed {
+                cfg.seed = s;
+            }
+            if let Some(kind) = opts.backend {
+                cfg.backends = vec![kind];
+            }
+            emit(&store::run(&cfg).1, opts.format);
+        }
         "all" => {
             for id in [
                 "t1", "t2", "t3", "t4", "f4", "search", "f5", "t6", "scaling", "flooding",
@@ -794,6 +817,8 @@ mod tests {
         assert!(run(&args(&["exp", "nope"])).is_err());
         assert!(run(&args(&["exp", "sizing", "--wat"])).is_err());
         assert!(run(&args(&["exp", "sizing", "--seed", "abc"])).is_err());
+        assert!(run(&args(&["exp", "store", "--backend"])).is_err());
+        assert!(run(&args(&["exp", "store", "--backend", "flash"])).is_err());
     }
 
     #[test]
@@ -808,6 +833,13 @@ mod tests {
     #[test]
     fn small_experiment_with_explicit_seed() {
         assert!(run(&args(&["exp", "t3", "--small", "--seed", "5"])).is_ok());
+    }
+
+    #[test]
+    fn store_experiment_accepts_backend_filter() {
+        for backend in ["memory", "hashfile", "log"] {
+            assert!(run(&args(&["exp", "store", "--small", "--backend", backend])).is_ok());
+        }
     }
 
     #[test]

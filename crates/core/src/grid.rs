@@ -49,6 +49,37 @@ impl PGrid {
         }
     }
 
+    /// Creates a community of `n` fresh peers whose hosted items live in
+    /// the backend `storage` opens for each peer slot (the grid analogue of
+    /// [`Peer::with_storage`]). Backend choice draws no randomness, so a
+    /// grid built here behaves byte-identically to [`PGrid::new`] under the
+    /// same seed.
+    ///
+    /// # Errors
+    /// Propagates backend open/recovery failures.
+    ///
+    /// # Panics
+    /// If the configuration is invalid or `n == 0`.
+    pub fn with_storage(
+        n: usize,
+        config: PGridConfig,
+        storage: &pgrid_store::StorageSpec,
+    ) -> Result<Self, pgrid_store::StoreError> {
+        config.validate().expect("invalid P-Grid configuration");
+        assert!(n > 0, "a P-Grid needs at least one peer");
+        let peers = PeerId::all(n)
+            .enumerate()
+            .map(|(slot, id)| Ok(Peer::with_storage(id, storage.open_for(slot)?)))
+            .collect::<Result<Vec<_>, pgrid_store::StoreError>>()?;
+        Ok(PGrid {
+            config,
+            peers,
+            path_len_sum: 0,
+            epoch: 0,
+            peer_epochs: vec![0; n],
+        })
+    }
+
     /// The grid-wide mutation epoch. Strictly increases whenever any peer
     /// is (potentially) mutated; equal epochs guarantee identical routing
     /// state, so a snapshot built at `epoch()` stays valid until it moves.

@@ -4,7 +4,7 @@ use std::collections::BTreeSet;
 
 use pgrid_keys::{BitPath, Key};
 use pgrid_net::PeerId;
-use pgrid_store::{ItemId, LocalStore, TrieIndex, Version};
+use pgrid_store::{AnyBackend, ItemId, LocalStore, TrieIndex, Version};
 use serde::{Deserialize, Serialize};
 
 use crate::routing::RoutingTable;
@@ -34,7 +34,9 @@ pub struct Peer {
     /// Peers known to share exactly this peer's path (update strategy 2).
     buddies: BTreeSet<PeerId>,
     /// Items this peer physically hosts (independent of responsibility).
-    store: LocalStore,
+    /// The backend decides where they physically live — RAM by default, or
+    /// one of the disk formats when constructed via [`Peer::with_storage`].
+    store: LocalStore<AnyBackend>,
     /// Set when the index may contain entries this peer is no longer
     /// responsible for (a construction-time hand-off found no responsible
     /// partner). Cleared by the anti-entropy step of later exchanges.
@@ -42,15 +44,24 @@ pub struct Peer {
 }
 
 impl Peer {
-    /// A fresh peer at the root: responsible for the whole key space.
+    /// A fresh peer at the root: responsible for the whole key space,
+    /// hosting items in RAM.
     pub fn new(id: PeerId) -> Self {
+        Peer::with_storage(id, AnyBackend::default())
+    }
+
+    /// A fresh peer whose hosted items live in `backend`. A backend
+    /// recovered from disk may already hold items; they become this peer's
+    /// hosted set (see [`Peer::index_hosted_under`] for re-deriving index
+    /// entries from them).
+    pub fn with_storage(id: PeerId, backend: AnyBackend) -> Self {
         Peer {
             id,
             path: BitPath::EMPTY,
             routing: RoutingTable::new(),
             index: TrieIndex::new(),
             buddies: BTreeSet::new(),
-            store: LocalStore::new(),
+            store: LocalStore::with_backend(backend),
             misplaced: false,
         }
     }
@@ -167,13 +178,38 @@ impl Peer {
     }
 
     /// The locally hosted items.
-    pub fn store(&self) -> &LocalStore {
+    pub fn store(&self) -> &LocalStore<AnyBackend> {
         &self.store
     }
 
     /// Mutable access to the hosted items.
-    pub fn store_mut(&mut self) -> &mut LocalStore {
+    pub fn store_mut(&mut self) -> &mut LocalStore<AnyBackend> {
         &mut self.store
+    }
+
+    /// Re-derives leaf-level index entries for the hosted items that fall
+    /// under this peer's own path: the backend's ordered key scan feeds the
+    /// trie index directly, so a peer reopening a disk backend re-announces
+    /// itself as holder of everything it still physically stores.
+    /// Returns how many entries were inserted (or version-upgraded).
+    pub fn index_hosted_under(&mut self) -> usize {
+        let mut hosted: Vec<(Key, IndexEntry)> = Vec::new();
+        let holder = self.id;
+        self.store.for_each_under(&self.path, &mut |item| {
+            hosted.push((
+                item.key,
+                IndexEntry {
+                    item: item.id,
+                    holder,
+                    version: item.version,
+                },
+            ));
+        });
+        let count = hosted.len();
+        for (key, entry) in hosted {
+            self.index_insert(key, entry);
+        }
+        count
     }
 
     /// Storage cost in index entries — the §6 metric: references for routing

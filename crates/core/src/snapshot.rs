@@ -27,6 +27,10 @@ pub struct PeerSnapshot {
     pub index: Vec<(Key, Vec<IndexEntry>)>,
     /// Buddy list.
     pub buddies: Vec<PeerId>,
+    /// Items this peer physically hosts, in id order. Defaults to empty so
+    /// snapshots taken before hosted-item capture existed still parse.
+    #[serde(default)]
+    pub hosted: Vec<pgrid_store::DataItem>,
 }
 
 /// The complete logical state of a community.
@@ -58,6 +62,11 @@ impl GridSnapshot {
                     .map(|(k, v)| (k, v.clone()))
                     .collect(),
                 buddies: p.buddies().collect(),
+                hosted: {
+                    let mut items = Vec::with_capacity(p.store().len());
+                    p.store().for_each(&mut |item| items.push(item));
+                    items
+                },
             })
             .collect();
         GridSnapshot {
@@ -99,6 +108,9 @@ impl GridSnapshot {
             }
             for &b in &snap.buddies {
                 peer.add_buddy(b);
+            }
+            for item in &snap.hosted {
+                peer.store_mut().insert(item.clone());
             }
         }
         grid.check_invariants()?;

@@ -103,6 +103,30 @@ impl InformationSystem<HashKeyMapper> {
         }
     }
 
+    /// Like [`InformationSystem::bootstrap`], but hosted items live in the
+    /// storage backend `storage` opens per peer. Backend choice draws no
+    /// randomness: under the same seed the resulting system is
+    /// byte-identical to [`InformationSystem::bootstrap`].
+    ///
+    /// # Panics
+    /// If a backend fails to open or recover.
+    pub fn bootstrap_with_storage(
+        n: usize,
+        config: SystemConfig,
+        storage: &pgrid_store::StorageSpec,
+        ctx: &mut Ctx<'_>,
+    ) -> Self {
+        let mut grid = PGrid::with_storage(n, config.grid, storage)
+            .unwrap_or_else(|e| panic!("storage backend failed to open: {e}"));
+        grid.build(&BuildOptions::default(), ctx);
+        InformationSystem {
+            grid,
+            mapper: HashKeyMapper::default(),
+            config,
+            next_item: 0,
+        }
+    }
+
     /// Like [`InformationSystem::bootstrap`], but constructs the access
     /// structure with round-based disjoint matchings
     /// ([`PGrid::build_rounds`]), optionally across `threads` worker
@@ -236,7 +260,7 @@ impl<M: KeyMapper> InformationSystem<M> {
             if ctx.contact(holder) {
                 ctx.message(pgrid_net::MsgKind::Control);
                 if let Some(data) = self.grid.peer(holder).store().get(hit.item) {
-                    return Some(data.payload.clone());
+                    return Some(data.payload);
                 }
             }
         }

@@ -13,8 +13,11 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+use pgrid_store::StorageSpec;
+
 use crate::{
-    spawn_node, FaultPlan, Frame, LocalTransport, NodeConfig, NodeState, DEFAULT_MAILBOX_DEPTH,
+    reseed_from_journal, spawn_node, spawn_node_with_storage, FaultPlan, Frame, LocalTransport,
+    NodeConfig, NodeState, DEFAULT_MAILBOX_DEPTH,
 };
 
 /// Shape of a live cluster.
@@ -77,11 +80,31 @@ pub struct Cluster {
     next_query_id: u64,
     rng: StdRng,
     config: ClusterConfig,
+    /// When set, every node journals its index custody into a per-slot
+    /// backend of this spec, and restarts reseed from it.
+    storage: Option<StorageSpec>,
 }
 
 impl Cluster {
-    /// Spawns `config.n` node threads.
+    /// Spawns `config.n` node threads (index custody stays in RAM).
     pub fn spawn(config: ClusterConfig) -> Self {
+        Cluster::spawn_inner(config, None)
+    }
+
+    /// Spawns `config.n` node threads, each journaling the index entries
+    /// it takes custody of into a per-slot backend opened from `storage`
+    /// (slot `i` → `storage.open_for(i)`). Backends that already hold
+    /// records — a previous run's journals — are reseeded into the fresh
+    /// protocol states before the threads start, so a cold-started
+    /// community re-announces everything it durably owned.
+    ///
+    /// # Panics
+    /// If a backend fails to open or refuses to load (real corruption).
+    pub fn spawn_with_storage(config: ClusterConfig, storage: StorageSpec) -> Self {
+        Cluster::spawn_inner(config, Some(storage))
+    }
+
+    fn spawn_inner(config: ClusterConfig, storage: Option<StorageSpec>) -> Self {
         assert!(config.n >= 2, "a cluster needs at least two nodes");
         let transport = LocalTransport::with_mailbox_depth(config.mailbox_depth);
         if let Some(plan) = config.faults {
@@ -98,13 +121,28 @@ impl Cluster {
                 config.refmax,
                 config.recfanout,
             )));
-            let handle = spawn_node(
-                Arc::clone(&state),
-                node_config(&config),
-                transport.clone(),
-                rx,
-                config.seed ^ ((i as u64) << 20),
-            );
+            let seed = config.seed ^ ((i as u64) << 20);
+            let handle = match &storage {
+                Some(spec) => {
+                    let journal = spec.open_for(i).expect("open storage backend");
+                    reseed_from_journal(&state, &journal);
+                    spawn_node_with_storage(
+                        Arc::clone(&state),
+                        node_config(&config),
+                        transport.clone(),
+                        rx,
+                        seed,
+                        journal,
+                    )
+                }
+                None => spawn_node(
+                    Arc::clone(&state),
+                    node_config(&config),
+                    transport.clone(),
+                    rx,
+                    seed,
+                ),
+            };
             states.push(state);
             handles.push(Some(handle));
         }
@@ -122,6 +160,7 @@ impl Cluster {
             next_query_id: 1,
             rng: StdRng::seed_from_u64(config.seed ^ 0xc11e),
             config,
+            storage,
         }
     }
 
@@ -421,15 +460,33 @@ impl Cluster {
     pub fn restart_node(&mut self, id: PeerId) {
         assert!(self.crashed[id.index()], "node {id} is not crashed");
         let rx = self.transport.register(id);
-        let handle = spawn_node(
-            Arc::clone(&self.states[id.index()]),
-            node_config(&self.config),
-            self.transport.clone(),
-            rx,
-            // A distinct seed stream for the reincarnation: correlation ids
-            // must not repeat those of the previous life.
-            self.config.seed ^ ((u64::from(id.0)) << 20) ^ 0xDEAD_BEEF,
-        );
+        // A distinct seed stream for the reincarnation: correlation ids
+        // must not repeat those of the previous life.
+        let seed = self.config.seed ^ ((u64::from(id.0)) << 20) ^ 0xDEAD_BEEF;
+        let handle = match &self.storage {
+            Some(spec) => {
+                // The crashed shell was joined, so its journal handle is
+                // closed and flushed; reopen recovers whatever survived
+                // and reseeds it (idempotent on the surviving state).
+                let journal = spec.open_for(id.index()).expect("reopen storage backend");
+                reseed_from_journal(&self.states[id.index()], &journal);
+                spawn_node_with_storage(
+                    Arc::clone(&self.states[id.index()]),
+                    node_config(&self.config),
+                    self.transport.clone(),
+                    rx,
+                    seed,
+                    journal,
+                )
+            }
+            None => spawn_node(
+                Arc::clone(&self.states[id.index()]),
+                node_config(&self.config),
+                self.transport.clone(),
+                rx,
+                seed,
+            ),
+        };
         self.handles[id.index()] = Some(handle);
         self.crashed[id.index()] = false;
     }
@@ -447,13 +504,28 @@ impl Cluster {
             self.config.refmax,
             self.config.recfanout,
         )));
-        let handle = spawn_node(
-            Arc::clone(&state),
-            node_config(&self.config),
-            self.transport.clone(),
-            rx,
-            self.config.seed ^ ((u64::from(id.0)) << 20),
-        );
+        let seed = self.config.seed ^ ((u64::from(id.0)) << 20);
+        let handle = match &self.storage {
+            Some(spec) => {
+                let journal = spec.open_for(id.index()).expect("open storage backend");
+                reseed_from_journal(&state, &journal);
+                spawn_node_with_storage(
+                    Arc::clone(&state),
+                    node_config(&self.config),
+                    self.transport.clone(),
+                    rx,
+                    seed,
+                    journal,
+                )
+            }
+            None => spawn_node(
+                Arc::clone(&state),
+                node_config(&self.config),
+                self.transport.clone(),
+                rx,
+                seed,
+            ),
+        };
         self.states.push(state);
         self.handles.push(Some(handle));
         self.crashed.push(false);
@@ -612,6 +684,9 @@ pub(crate) fn states_snapshot(
                     })
                     .collect(),
                 buddies: g.buddies.clone(),
+                // Live nodes journal index custody, not payload hosting;
+                // the hosted set exists only in the sequential simulator.
+                hosted: Vec::new(),
             }
         })
         .collect();
@@ -791,5 +866,60 @@ mod tests {
         cluster.build(40);
         cluster.check_invariants().unwrap();
         cluster.shutdown();
+    }
+
+    /// With a log-structured journal attached, a protocol-level insert
+    /// survives a FULL cold restart of the community: fresh protocol
+    /// states, index entries recovered purely from the per-node journals.
+    #[test]
+    fn storage_journal_survives_cold_restart() {
+        let dir = std::env::temp_dir().join(format!(
+            "pgrid-cluster-journal-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = pgrid_store::StorageSpec::of_kind(pgrid_store::BackendKind::Log, &dir);
+        let config = ClusterConfig {
+            n: 8,
+            maxl: 3,
+            refmax: 3,
+            seed: 17,
+            ..ClusterConfig::default()
+        };
+        let key = BitPath::from_str_lossy("011");
+        let entry = WireEntry {
+            item: 4,
+            holder: PeerId(2),
+            version: 3,
+        };
+        {
+            let mut cluster = Cluster::spawn_with_storage(config, spec.clone());
+            for _ in 0..10 {
+                cluster.build(60);
+                if cluster.avg_path_len() >= 2.5 {
+                    break;
+                }
+            }
+            // A protocol insert: whoever takes custody emits StoreWrite
+            // and therefore journals the entry (responsible or misplaced).
+            cluster.insert(key, entry);
+            cluster.settle();
+            cluster.shutdown(); // joins every thread → journals flushed
+        }
+        // Cold restart on the same directory: nothing but the journals
+        // carries state across, and reseeding happens before any meeting.
+        let cluster = Cluster::spawn_with_storage(config, spec);
+        let reseeded = cluster
+            .states
+            .iter()
+            .filter(|s| s.lock().index_lookup(&key).contains(&entry))
+            .count();
+        assert!(
+            reseeded >= 1,
+            "journaled entry must be reseeded after a cold restart"
+        );
+        cluster.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

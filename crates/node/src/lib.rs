@@ -49,7 +49,7 @@ mod transport;
 
 pub use cluster::{Cluster, ClusterConfig};
 pub use fault::FaultPlan;
-pub use node::{spawn_node, NodeConfig, RetryPolicy};
+pub use node::{reseed_from_journal, spawn_node, spawn_node_with_storage, NodeConfig, RetryPolicy};
 pub use soak::{os_thread_count, run_soak, SoakConfig, SoakMode, SoakReport};
 pub use state::{NodeState, OfferOutcome, RouteDecision, DEFAULT_SUSPECT_AFTER};
 pub use tcp::{TcpTransport, TcpTransportConfig};

@@ -43,6 +43,7 @@ use parking_lot::Mutex;
 use pgrid_keys::BitPath;
 use pgrid_net::PeerId;
 use pgrid_proto::{Effect, Event, ProtoCtx, TimerToken};
+use pgrid_store::{AnyBackend, DataItem, ItemId, StorageBackend, Version};
 use pgrid_trace::{NullTracer, OpTag, TraceEvent, Tracer};
 use pgrid_wire::{decode_frame, encode_frame, Message, WireEntry};
 use rand::rngs::StdRng;
@@ -199,6 +200,76 @@ pub fn spawn_node_traced(
     })
 }
 
+/// [`spawn_node`] with a durable journal attached: every
+/// [`Effect::StoreWrite`] the core emits (an index entry taken into
+/// custody) is appended to `journal`, and the journal is flushed when the
+/// shell shuts down. Recovery is the caller's move: reopen the backend and
+/// [`reseed_from_journal`] *before* spawning the reincarnation.
+pub fn spawn_node_with_storage(
+    state: Arc<Mutex<NodeState>>,
+    config: NodeConfig,
+    transport: LocalTransport,
+    rx: Receiver<Frame>,
+    seed: u64,
+    journal: AnyBackend,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut rt = NodeRt::new(state, config, transport, seed);
+        rt.set_journal(journal);
+        rt.run(rx);
+    })
+}
+
+/// How one leaf-index entry is journaled as a [`DataItem`]: the item id
+/// keys the record (so a newer version of the same item overwrites in
+/// place), the holder rides in the payload as 4 LE bytes, and the entry's
+/// version is the item's. Stable across backends — the journal formats on
+/// disk are the backends' own.
+pub(crate) fn journal_item(key: BitPath, entry: WireEntry) -> DataItem {
+    DataItem {
+        id: ItemId(entry.item),
+        name: String::new(),
+        key,
+        version: Version(entry.version),
+        payload: entry.holder.0.to_le_bytes().to_vec(),
+    }
+}
+
+/// Inverse of [`journal_item`] (a payload too short to carry a holder —
+/// foreign data in the backend — maps to an unroutable holder id).
+pub(crate) fn journal_entry(item: &DataItem) -> WireEntry {
+    let holder = item
+        .payload
+        .get(..4)
+        .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        .unwrap_or(u32::MAX);
+    WireEntry {
+        item: item.id.0,
+        holder: PeerId(holder),
+        version: item.version.0,
+    }
+}
+
+/// Re-derives leaf-index entries from a recovered journal backend into a
+/// node's protocol state — the live-deployment counterpart of
+/// `pgrid_core::Peer::index_hosted_under`. Entries whose key falls outside
+/// the node's current path are flagged misplaced so anti-entropy re-homes
+/// them on later traffic. Returns how many entries were reseeded;
+/// idempotent because `index_insert` dedups per `(item, holder)`.
+pub fn reseed_from_journal(state: &Mutex<NodeState>, journal: &AnyBackend) -> usize {
+    let mut guard = state.lock();
+    let mut count = 0usize;
+    journal.for_each(&mut |item| {
+        let entry = journal_entry(&item);
+        if !guard.responsible_for(&item.key) {
+            guard.misplaced = true;
+        }
+        guard.index_insert(item.key, entry);
+        count += 1;
+    });
+    count
+}
+
 /// The I/O shell around one [`ProtocolPeer`](pgrid_proto::ProtocolPeer):
 /// decode, retransmission timers, failover. Generic over the transport seam
 /// so the same shell runs thread-per-peer over [`LocalTransport`] mailboxes
@@ -232,6 +303,26 @@ pub(crate) struct NodeRt<T: Transport> {
     /// Flight recorder shared between the protocol core (via [`ProtoCtx`])
     /// and the shell's own retransmit/timeout events. Observation only.
     tracer: Box<dyn Tracer>,
+    /// Optional durable journal: [`Effect::StoreWrite`] appends here,
+    /// flushed when the shell is dropped. `None` (the default) keeps the
+    /// index purely in memory, as before.
+    journal: Option<AnyBackend>,
+}
+
+impl<T: Transport> Drop for NodeRt<T> {
+    /// Flushes the journal on any exit path — clean shutdown, channel
+    /// disconnect, or a worker dropping the shell. A flush failure cannot
+    /// propagate out of drop; the backends' torn-tail recovery covers
+    /// whatever an unflushed crash leaves behind.
+    fn drop(&mut self) {
+        if let Some(journal) = &mut self.journal {
+            if let Err(e) = journal.flush() {
+                if cfg!(debug_assertions) {
+                    eprintln!("[pgrid-node] {}: journal flush failed: {e}", self.id);
+                }
+            }
+        }
+    }
 }
 
 impl<T: Transport> NodeRt<T> {
@@ -263,6 +354,7 @@ impl<T: Transport> NodeRt<T> {
             pending_answers: HashMap::new(),
             pending_inserts: HashMap::new(),
             tracer: Box::new(NullTracer),
+            journal: None,
         }
     }
 
@@ -270,6 +362,13 @@ impl<T: Transport> NodeRt<T> {
     /// decision or an RNG draw).
     pub(crate) fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
         self.tracer = tracer;
+    }
+
+    /// Attaches a durable journal backend. Journaling is observation of
+    /// the core's [`Effect::StoreWrite`] stream — it never changes a
+    /// protocol decision or an RNG draw.
+    pub(crate) fn set_journal(&mut self, journal: AnyBackend) {
+        self.journal = Some(journal);
     }
 
     /// Records a shell-side event; the closure runs only when a real
@@ -409,10 +508,17 @@ impl<T: Transport> NodeRt<T> {
                 };
                 self.drive_insert(seq, pi);
             }
-            // The core's index *is* the store in this deployment; a durable
-            // backend would hook StoreWrite. Timers are subsumed by the
-            // per-frame anti-entropy pass in the core.
-            Effect::StoreWrite { .. } | Effect::SetTimer { .. } => {}
+            // The core's index is authoritative in RAM; with a journal
+            // attached, custody of an entry is also made durable so a
+            // restart can reseed it (see `reseed_from_journal`).
+            Effect::StoreWrite { key, entry } => {
+                if let Some(journal) = &mut self.journal {
+                    journal.put(journal_item(key, entry));
+                }
+            }
+            // Timers are subsumed by the per-frame anti-entropy pass in
+            // the core.
+            Effect::SetTimer { .. } => {}
             Effect::PeerEvicted { .. } => self.transport.record_eviction(),
         }
     }

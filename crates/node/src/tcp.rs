@@ -585,7 +585,25 @@ impl TcpTransport {
         config: NodeConfig,
         seed: u64,
     ) {
-        let rt = NodeRt::new(state, config, self.clone(), seed);
+        self.add_node_with_storage(state, config, seed, None);
+    }
+
+    /// [`TcpTransport::add_node`] with an optional durable journal
+    /// attached: the shell appends every index entry it takes custody of
+    /// to `journal` and flushes it when the worker drops the shell.
+    /// Recovery is the caller's move (reopen + `reseed_from_journal`
+    /// before re-adding).
+    pub fn add_node_with_storage(
+        &self,
+        state: Arc<Mutex<NodeState>>,
+        config: NodeConfig,
+        seed: u64,
+        journal: Option<pgrid_store::AnyBackend>,
+    ) {
+        let mut rt = NodeRt::new(state, config, self.clone(), seed);
+        if let Some(journal) = journal {
+            rt.set_journal(journal);
+        }
         let id = rt.peer_id();
         let worker = self.inner.next_worker.fetch_add(1, Ordering::Relaxed)
             % self.inner.workers.len();

@@ -24,8 +24,12 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+use pgrid_store::StorageSpec;
+
 use crate::cluster::{check_states_invariants, node_config, states_snapshot};
-use crate::{ClusterConfig, FaultPlan, NodeState, TcpTransport, TcpTransportConfig};
+use crate::{
+    reseed_from_journal, ClusterConfig, FaultPlan, NodeState, TcpTransport, TcpTransportConfig,
+};
 
 /// A running community of socket-multiplexed nodes plus a client endpoint
 /// for issuing queries. Reuses [`ClusterConfig`]; `mailbox_depth` bounds
@@ -41,15 +45,35 @@ pub struct TcpCluster {
     next_query_id: u64,
     rng: StdRng,
     config: ClusterConfig,
+    /// When set, every node journals its index custody into a per-slot
+    /// backend of this spec, and restarts reseed from it.
+    storage: Option<StorageSpec>,
 }
 
 impl TcpCluster {
     /// Spawns the community on a fresh loopback transport with `workers`
-    /// event-loop threads.
+    /// event-loop threads (index custody stays in RAM).
     ///
     /// # Panics
     /// If the loopback listener cannot bind.
     pub fn spawn(config: ClusterConfig, workers: usize) -> Self {
+        TcpCluster::spawn_inner(config, workers, None)
+    }
+
+    /// [`TcpCluster::spawn`] with durable per-node journals: slot `i`
+    /// opens `storage.open_for(i)`, pre-existing records are reseeded into
+    /// the fresh protocol states, and every index entry a node takes
+    /// custody of is appended (mirrors
+    /// [`Cluster::spawn_with_storage`](crate::Cluster::spawn_with_storage)).
+    ///
+    /// # Panics
+    /// If the listener cannot bind, a backend fails to open, or a backend
+    /// refuses to load (real corruption).
+    pub fn spawn_with_storage(config: ClusterConfig, workers: usize, storage: StorageSpec) -> Self {
+        TcpCluster::spawn_inner(config, workers, Some(storage))
+    }
+
+    fn spawn_inner(config: ClusterConfig, workers: usize, storage: Option<StorageSpec>) -> Self {
         assert!(config.n >= 2, "a cluster needs at least two nodes");
         let transport = TcpTransport::bind(TcpTransportConfig {
             workers,
@@ -70,10 +94,16 @@ impl TcpCluster {
                 config.refmax,
                 config.recfanout,
             )));
-            transport.add_node(
+            let journal = storage.as_ref().map(|spec| {
+                let journal = spec.open_for(i).expect("open storage backend");
+                reseed_from_journal(&state, &journal);
+                journal
+            });
+            transport.add_node_with_storage(
                 Arc::clone(&state),
                 node_config(&config),
                 config.seed ^ ((i as u64) << 20),
+                journal,
             );
             states.push(state);
         }
@@ -89,6 +119,7 @@ impl TcpCluster {
             next_query_id: 1,
             rng: StdRng::seed_from_u64(config.seed ^ 0xc11e),
             config,
+            storage,
         }
     }
 
@@ -328,10 +359,19 @@ impl TcpCluster {
     /// If the node is not currently crashed.
     pub fn restart_node(&mut self, id: PeerId) {
         assert!(self.crashed[id.index()], "node {id} is not crashed");
-        self.transport.add_node(
+        let journal = self.storage.as_ref().map(|spec| {
+            // The evicted shell stopped journaling when its endpoint
+            // vanished; reopening recovers whatever reached the file and
+            // reseeds it (idempotent on the surviving state).
+            let journal = spec.open_for(id.index()).expect("reopen storage backend");
+            reseed_from_journal(&self.states[id.index()], &journal);
+            journal
+        });
+        self.transport.add_node_with_storage(
             Arc::clone(&self.states[id.index()]),
             node_config(&self.config),
             self.config.seed ^ (u64::from(id.0) << 20) ^ 0xDEAD_BEEF,
+            journal,
         );
         self.crashed[id.index()] = false;
     }
@@ -361,10 +401,16 @@ impl TcpCluster {
             self.config.refmax,
             self.config.recfanout,
         )));
-        self.transport.add_node(
+        let journal = self.storage.as_ref().map(|spec| {
+            let journal = spec.open_for(id.index()).expect("open storage backend");
+            reseed_from_journal(&state, &journal);
+            journal
+        });
+        self.transport.add_node_with_storage(
             Arc::clone(&state),
             node_config(&self.config),
             self.config.seed ^ (u64::from(id.0) << 20),
+            journal,
         );
         self.states.push(state);
         self.crashed.push(false);

@@ -22,6 +22,7 @@ pub mod s6_scaling;
 pub mod selfstab;
 pub mod sizing;
 pub mod skew;
+pub mod store;
 pub mod t1;
 pub mod timeline;
 pub mod t2;

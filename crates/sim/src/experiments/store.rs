@@ -1,0 +1,252 @@
+//! **extra — storage backend equivalence & throughput**: the same
+//! publish/lookup/fetch workload executed with hosted items living in each
+//! storage backend (RAM maps, single record file, log-structured segments).
+//!
+//! The backends' contract is *determinism first*: they draw no randomness
+//! and expose one canonical scan order, so under one seed every backend
+//! must produce a byte-identical community — same grid snapshot JSON, same
+//! message counters, same lookup outcomes. `run` verifies that (the
+//! `identical` column) while measuring per-backend publish / lookup / scan
+//! throughput and the resident-item footprint.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use pgrid_core::{Ctx, GridSnapshot, InformationSystem, PGridConfig, SystemConfig};
+use pgrid_net::{AlwaysOnline, PeerId};
+use pgrid_store::{BackendKind, StorageSpec};
+use serde::Serialize;
+
+use crate::{fmt_f, Table};
+
+/// Parameters of the backend comparison.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Community size.
+    pub n: usize,
+    /// Maximum path length.
+    pub maxl: usize,
+    /// References per level.
+    pub refmax: usize,
+    /// Items published (one put + one routed index insert each).
+    pub items: usize,
+    /// Lookups issued afterwards (each fetches the payload on a hit).
+    pub lookups: usize,
+    /// Payload bytes per item.
+    pub payload_bytes: usize,
+    /// Backends to measure; the first is the equivalence reference.
+    pub backends: Vec<BackendKind>,
+    /// Directory for the disk backends' files. `None` picks a unique
+    /// directory under the system temp dir; it is removed after the run.
+    pub dir: Option<PathBuf>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n: 1_024,
+            maxl: 8,
+            refmax: 4,
+            items: 20_000,
+            lookups: 2_000,
+            payload_bytes: 64,
+            backends: BackendKind::ALL.to_vec(),
+            dir: None,
+            seed: 42,
+        }
+    }
+}
+
+impl Config {
+    /// A laptop-fast preset.
+    pub fn small() -> Self {
+        Config {
+            n: 128,
+            maxl: 4,
+            refmax: 4,
+            items: 400,
+            lookups: 100,
+            payload_bytes: 16,
+            backends: BackendKind::ALL.to_vec(),
+            dir: None,
+            seed: 42,
+        }
+    }
+}
+
+/// One measured backend.
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    /// Backend name.
+    pub backend: String,
+    /// Wall-clock milliseconds publishing the items.
+    pub publish_ms: f64,
+    /// Publishes per second.
+    pub puts_per_s: f64,
+    /// Wall-clock milliseconds for the lookup+fetch phase.
+    pub lookup_ms: f64,
+    /// Lookups per second.
+    pub lookups_per_s: f64,
+    /// Lookups that found (and fetched) their item.
+    pub found: usize,
+    /// Wall-clock milliseconds scanning every peer's hosted items under
+    /// its own path (the ordered prefix scan the trie index relies on).
+    pub scan_ms: f64,
+    /// Items visited by the prefix scans.
+    pub scanned: usize,
+    /// Items the backends keep resident in RAM, summed over the
+    /// community (0 for the disk backends — their payloads stay on disk).
+    pub resident_items: usize,
+    /// Whether the final community matched the reference backend byte for
+    /// byte: grid snapshot JSON, message counters, and lookup outcomes
+    /// (must always be `true`).
+    pub identical: bool,
+}
+
+/// Runs the workload once per configured backend, checking every backend
+/// against the first one's result.
+pub fn run(cfg: &Config) -> (Vec<Row>, Table) {
+    let root = cfg.dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!(
+            "pgrid-store-exp-{}-{}",
+            std::process::id(),
+            cfg.seed
+        ))
+    });
+    let sys_cfg = SystemConfig {
+        grid: PGridConfig {
+            maxl: cfg.maxl,
+            refmax: cfg.refmax,
+            ..PGridConfig::default()
+        },
+        ..SystemConfig::default()
+    };
+
+    let mut rows = Vec::with_capacity(cfg.backends.len());
+    let mut reference: Option<(String, String, usize)> = None;
+    for &kind in &cfg.backends {
+        let dir = root.join(kind.name());
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = StorageSpec::of_kind(kind, &dir);
+
+        let mut owned = Ctx::fork_for_task(cfg.seed, 0, Box::new(AlwaysOnline));
+        let mut ctx = owned.ctx();
+        let mut sys = InformationSystem::bootstrap_with_storage(cfg.n, sys_cfg, &spec, &mut ctx);
+
+        let start = Instant::now();
+        for i in 0..cfg.items {
+            let publisher = PeerId((i % cfg.n) as u32);
+            let payload = vec![(i & 0xff) as u8; cfg.payload_bytes];
+            sys.publish(publisher, &format!("item-{i}"), payload, &mut ctx);
+        }
+        let publish = start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let mut found = 0usize;
+        for i in 0..cfg.lookups {
+            let name = format!("item-{}", (i * 7) % cfg.items.max(1));
+            if let Some(hit) = sys.lookup(&name, &mut ctx) {
+                if sys.fetch(&hit, &mut ctx).is_some() {
+                    found += 1;
+                }
+            }
+        }
+        let lookup = start.elapsed().as_secs_f64();
+
+        // The ordered prefix scan every peer's trie index depends on.
+        let start = Instant::now();
+        let mut scanned = 0usize;
+        for p in sys.grid().peers() {
+            p.store().for_each_under(&p.path(), &mut |_| scanned += 1);
+        }
+        let scan = start.elapsed().as_secs_f64();
+
+        let resident_items: usize = sys
+            .grid()
+            .peers()
+            .map(|p| p.store().backend().resident_items())
+            .sum();
+
+        drop(ctx);
+        let snapshot = GridSnapshot::capture(sys.grid()).to_json();
+        let counters = format!("{:?}", owned.stats);
+        let (ref_snapshot, ref_counters, ref_found) =
+            reference.get_or_insert_with(|| (snapshot.clone(), counters.clone(), found));
+        let identical =
+            snapshot == *ref_snapshot && counters == *ref_counters && found == *ref_found;
+
+        let _ = std::fs::remove_dir_all(&dir);
+        rows.push(Row {
+            backend: kind.name().to_string(),
+            publish_ms: publish * 1e3,
+            puts_per_s: cfg.items as f64 / publish.max(1e-9),
+            lookup_ms: lookup * 1e3,
+            lookups_per_s: cfg.lookups as f64 / lookup.max(1e-9),
+            found,
+            scan_ms: scan * 1e3,
+            scanned,
+            resident_items,
+            identical,
+        });
+    }
+    if cfg.dir.is_none() {
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    let mut table = Table::new(
+        format!(
+            "store: {} items, {} lookups on N={}, maxl={}",
+            cfg.items, cfg.lookups, cfg.n, cfg.maxl
+        ),
+        &[
+            "backend",
+            "publish ms",
+            "puts/s",
+            "lookup ms",
+            "lookups/s",
+            "found",
+            "scan ms",
+            "resident",
+            "identical",
+        ],
+    );
+    for r in &rows {
+        table.push_row(vec![
+            r.backend.clone(),
+            fmt_f(r.publish_ms, 1),
+            fmt_f(r.puts_per_s, 0),
+            fmt_f(r.lookup_ms, 1),
+            fmt_f(r.lookups_per_s, 0),
+            r.found.to_string(),
+            fmt_f(r.scan_ms, 1),
+            r.resident_items.to_string(),
+            r.identical.to_string(),
+        ]);
+    }
+    (rows, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_backend_reproduces_the_reference_community() {
+        let cfg = Config::small();
+        let (rows, table) = run(&cfg);
+        assert_eq!(rows.len(), 3);
+        assert!(
+            rows.iter().all(|r| r.identical),
+            "backends must be byte-identical: {rows:?}"
+        );
+        assert!(rows.iter().all(|r| r.found > 0), "{rows:?}");
+        assert!(rows.iter().all(|r| r.scanned > 0), "{rows:?}");
+        // The disk backends keep payloads out of RAM entirely.
+        assert!(rows[0].resident_items > 0, "memory backend is resident");
+        assert_eq!(rows[1].resident_items, 0, "hashfile payloads live on disk");
+        assert_eq!(rows[2].resident_items, 0, "log payloads live on disk");
+        assert_eq!(table.rows.len(), 3);
+    }
+}

@@ -30,6 +30,7 @@
 //! | extra | mixed read/write workloads (empirical break-even) | [`experiments::mixed`] |
 //! | extra | ablations of the design knobs | [`experiments::ablation`] |
 //! | extra | parallel engine throughput (serial vs threaded vs batched lockstep) | [`experiments::engine`] |
+//! | extra | storage backend equivalence & throughput | [`experiments::store`] |
 //!
 //! Query workloads can execute across worker threads via [`engine`] — task-
 //! sharded RNG streams and counters merged in task order keep every result

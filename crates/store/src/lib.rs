@@ -9,6 +9,10 @@
 //! hosting peers. This crate provides both halves:
 //!
 //! * [`DataItem`] / [`LocalStore`] — the versioned items a peer hosts;
+//! * [`StorageBackend`] and its implementations [`MemoryBackend`],
+//!   [`HashFileBackend`], [`LogBackend`] — where those items physically
+//!   live (RAM, one record file, or a compacting segment log), selected per
+//!   deployment via [`StorageSpec`] without touching any protocol code;
 //! * [`TrieIndex`] — a binary-trie index with the prefix operations the
 //!   P-Grid algorithms need (prefix lookup, split-off on specialization);
 //! * [`prefix_range`] — the `BTreeMap`-range formulation of prefix lookup,
@@ -19,12 +23,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
+mod hashfile;
 mod item;
 mod local;
+mod log;
+mod memory;
+mod recfile;
 mod trie;
 mod wal;
 
+pub use backend::{AnyBackend, BackendKind, StorageBackend, StorageSpec, StoreError};
+pub use hashfile::HashFileBackend;
 pub use item::{DataItem, ItemId, Version};
 pub use local::LocalStore;
+pub use log::{LogBackend, LogOptions};
+pub use memory::MemoryBackend;
 pub use trie::{prefix_range, TrieIndex};
 pub use wal::{DurableStore, WalError, WalRecord, WriteAheadLog};

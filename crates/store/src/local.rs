@@ -1,13 +1,11 @@
-//! The set of items a peer hosts.
-
-use std::collections::btree_map::Entry;
-use std::collections::{BTreeMap, BTreeSet};
+//! The set of items a peer hosts, generic over physical storage.
 
 use pgrid_keys::{BitPath, Key};
 
-use crate::{DataItem, ItemId, Version};
+use crate::backend::{BackendKind, StorageBackend, StoreError};
+use crate::{DataItem, ItemId, MemoryBackend, Version};
 
-/// The data items physically hosted by one peer, indexed by id and by key.
+/// The data items physically hosted by one peer.
 ///
 /// ```
 /// use pgrid_keys::BitPath;
@@ -17,107 +15,123 @@ use crate::{DataItem, ItemId, Version};
 /// store.insert(DataItem::new(ItemId(1), "a.mp3", "0101".parse().unwrap()));
 /// store.insert(DataItem::new(ItemId(2), "b.mp3", "0110".parse().unwrap()));
 ///
-/// assert_eq!(store.items_under(&"01".parse().unwrap()).count(), 2);
+/// assert_eq!(store.items_under(&"01".parse().unwrap()).len(), 2);
 /// assert_eq!(store.bump_version(ItemId(1)), Some(Version(1)));
 /// ```
 ///
 /// Hosting is independent of P-Grid responsibility: any peer may host any
-/// item (it is the *index references* that follow the trie paths). The
-/// secondary key index makes "which of my items fall under path `p`"
-/// efficient, which the construction algorithm uses when peers split the key
-/// space.
+/// item (it is the *index references* that follow the trie paths). Where
+/// the items physically live is the backend's business — in RAM by default
+/// ([`MemoryBackend`]), or on disk via the other
+/// [`StorageBackend`] implementations — and every backend answers the
+/// "which of my items fall under path `p`" scan the construction algorithm
+/// uses in the same canonical `(key, id)` order.
 #[derive(Clone, Debug, Default)]
-pub struct LocalStore {
-    items: BTreeMap<ItemId, DataItem>,
-    by_key: BTreeMap<Key, BTreeSet<ItemId>>,
+pub struct LocalStore<B: StorageBackend = MemoryBackend> {
+    backend: B,
 }
 
-impl LocalStore {
-    /// Creates an empty store.
+impl LocalStore<MemoryBackend> {
+    /// Creates an empty in-memory store.
     pub fn new() -> Self {
         LocalStore::default()
+    }
+}
+
+impl<B: StorageBackend> LocalStore<B> {
+    /// Wraps an already-opened backend (possibly holding recovered items).
+    pub fn with_backend(backend: B) -> Self {
+        LocalStore { backend }
+    }
+
+    /// The physical representation in use.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
+    }
+
+    /// Read access to the backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Write access to the backend.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
     }
 
     /// Number of hosted items.
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.backend.len()
     }
 
     /// `true` when the peer hosts nothing.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.backend.is_empty()
+    }
+
+    /// `true` when an item with this id is hosted.
+    pub fn contains(&self, id: ItemId) -> bool {
+        self.backend.contains(id)
     }
 
     /// Inserts (or replaces) an item. Returns the previous item with the same
     /// id, if any.
     pub fn insert(&mut self, item: DataItem) -> Option<DataItem> {
-        let prev = self.items.insert(item.id, item.clone());
-        if let Some(ref p) = prev {
-            self.unlink_key(p.key, p.id);
-        }
-        self.by_key.entry(item.key).or_default().insert(item.id);
-        prev
+        self.backend.put(item)
     }
 
     /// Removes an item by id.
     pub fn remove(&mut self, id: ItemId) -> Option<DataItem> {
-        let item = self.items.remove(&id)?;
-        self.unlink_key(item.key, id);
-        Some(item)
-    }
-
-    fn unlink_key(&mut self, key: Key, id: ItemId) {
-        if let Entry::Occupied(mut e) = self.by_key.entry(key) {
-            e.get_mut().remove(&id);
-            if e.get().is_empty() {
-                e.remove();
-            }
-        }
+        self.backend.remove(id)
     }
 
     /// Looks up an item by id.
-    pub fn get(&self, id: ItemId) -> Option<&DataItem> {
-        self.items.get(&id)
+    pub fn get(&self, id: ItemId) -> Option<DataItem> {
+        self.backend.get(id)
     }
 
     /// Bumps the version of an item, returning the new version.
     pub fn bump_version(&mut self, id: ItemId) -> Option<Version> {
-        self.items.get_mut(&id).map(DataItem::bump)
+        self.backend.bump_version(id)
     }
 
     /// Overwrites the stored version (replica applying a propagated update).
     pub fn apply_version(&mut self, id: ItemId, version: Version) -> bool {
-        match self.items.get_mut(&id) {
-            Some(item) if version > item.version => {
-                item.version = version;
-                true
-            }
-            _ => false,
-        }
+        self.backend.apply_version(id, version)
     }
 
-    /// All items whose key matches `key` exactly.
-    pub fn items_with_key(&self, key: &Key) -> impl Iterator<Item = &DataItem> + '_ {
-        self.by_key
-            .get(key)
-            .into_iter()
-            .flatten()
-            .filter_map(move |id| self.items.get(id))
+    /// All items whose key matches `key` exactly, id ascending.
+    pub fn items_with_key(&self, key: &Key) -> Vec<DataItem> {
+        let mut out = Vec::new();
+        self.backend.for_each_under(key, &mut |item| {
+            if item.key == *key {
+                out.push(item);
+            }
+        });
+        out
     }
 
     /// All items whose key has `path` as a prefix — the items a peer
-    /// responsible for `path` must index.
-    pub fn items_under(&self, path: &BitPath) -> impl Iterator<Item = &DataItem> + '_ {
-        let path = *path;
-        // Keys under `path` form a contiguous lexicographic range; walk it.
-        crate::trie::prefix_range(&self.by_key, &path)
-            .flat_map(move |(_, ids)| ids.iter())
-            .filter_map(move |id| self.items.get(id))
+    /// responsible for `path` must index. Ordered by `(key, id)` ascending.
+    pub fn items_under(&self, path: &BitPath) -> Vec<DataItem> {
+        let mut out = Vec::new();
+        self.backend.for_each_under(path, &mut |item| out.push(item));
+        out
     }
 
-    /// Iterator over all hosted items.
-    pub fn iter(&self) -> impl Iterator<Item = &DataItem> + '_ {
-        self.items.values()
+    /// Visits items under `path` without materializing them all.
+    pub fn for_each_under(&self, path: &BitPath, f: &mut dyn FnMut(DataItem)) {
+        self.backend.for_each_under(path, f);
+    }
+
+    /// Visits every hosted item, id ascending.
+    pub fn for_each(&self, f: &mut dyn FnMut(DataItem)) {
+        self.backend.for_each(f);
+    }
+
+    /// Makes every completed mutation durable (no-op for memory).
+    pub fn flush(&mut self) -> Result<(), StoreError> {
+        self.backend.flush()
     }
 }
 
@@ -152,18 +166,20 @@ mod tests {
         s.insert(item(1, "0000"));
         let prev = s.insert(item(1, "1111"));
         assert_eq!(prev.unwrap().key, BitPath::from_str_lossy("0000"));
-        assert_eq!(s.items_with_key(&BitPath::from_str_lossy("0000")).count(), 0);
-        assert_eq!(s.items_with_key(&BitPath::from_str_lossy("1111")).count(), 1);
+        assert_eq!(s.items_with_key(&BitPath::from_str_lossy("0000")).len(), 0);
+        assert_eq!(s.items_with_key(&BitPath::from_str_lossy("1111")).len(), 1);
     }
 
     #[test]
-    fn key_lookup() {
+    fn key_lookup_is_exact_not_prefix() {
         let mut s = LocalStore::new();
         s.insert(item(1, "0101"));
         s.insert(item(2, "0101"));
-        s.insert(item(3, "1100"));
+        s.insert(item(3, "01011"));
+        s.insert(item(4, "1100"));
         let ids: Vec<ItemId> = s
             .items_with_key(&BitPath::from_str_lossy("0101"))
+            .iter()
             .map(|i| i.id)
             .collect();
         assert_eq!(ids, vec![ItemId(1), ItemId(2)]);
@@ -178,15 +194,13 @@ mod tests {
         s.insert(item(4, "1000"));
         let under_00: Vec<ItemId> = s
             .items_under(&BitPath::from_str_lossy("00"))
+            .iter()
             .map(|i| i.id)
             .collect();
         assert_eq!(under_00, vec![ItemId(1), ItemId(2)]);
-        let under_root: Vec<ItemId> = s
-            .items_under(&BitPath::EMPTY)
-            .map(|i| i.id)
-            .collect();
+        let under_root = s.items_under(&BitPath::EMPTY);
         assert_eq!(under_root.len(), 4);
-        assert_eq!(s.items_under(&BitPath::from_str_lossy("11")).count(), 0);
+        assert_eq!(s.items_under(&BitPath::from_str_lossy("11")).len(), 0);
     }
 
     #[test]
@@ -201,5 +215,19 @@ mod tests {
         assert_eq!(s.get(ItemId(1)).unwrap().version, Version(5));
         assert_eq!(s.bump_version(ItemId(9)), None);
         assert!(!s.apply_version(ItemId(9), Version(1)));
+    }
+
+    #[test]
+    fn generic_over_disk_backends() {
+        let dir = std::env::temp_dir().join(format!("pgrid-local-any-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = crate::StorageSpec::of_kind(crate::BackendKind::Log, &dir);
+        let mut s = LocalStore::with_backend(spec.open_for(0).unwrap());
+        s.insert(item(1, "0101"));
+        s.insert(item(2, "0110"));
+        assert_eq!(s.backend_kind(), crate::BackendKind::Log);
+        assert_eq!(s.items_under(&BitPath::from_str_lossy("01")).len(), 2);
+        s.flush().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,580 @@
+//! The log-structured backend: segment files, tombstones, compaction.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use pgrid_keys::{BitPath, Key};
+
+use crate::backend::{BackendKind, StorageBackend, StoreError};
+use crate::recfile::{self, Record};
+use crate::{DataItem, ItemId, Version};
+
+/// Tuning for [`LogBackend`] rollover and compaction.
+///
+/// Both thresholds are byte counts derived purely from the operation
+/// sequence, so compaction timing is deterministic — no clocks, no
+/// randomness.
+#[derive(Clone, Copy, Debug)]
+pub struct LogOptions {
+    /// Seal the active segment and start a new one once it exceeds this.
+    pub segment_bytes: u64,
+    /// Compact once dead bytes exceed this *and* outnumber live bytes.
+    pub compact_min_bytes: u64,
+}
+
+impl Default for LogOptions {
+    fn default() -> Self {
+        LogOptions {
+            segment_bytes: 8 * 1024 * 1024,
+            compact_min_bytes: 1024 * 1024,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Loc {
+    seg: u64,
+    offset: u64,
+    frame_len: u32,
+    key: Key,
+    version: Version,
+}
+
+#[derive(Debug)]
+struct Segment {
+    file: File,
+    len: u64,
+}
+
+/// Items spread over append-only segment files (`seg-<n>.log`), with only
+/// the offset index and ordered key index resident.
+///
+/// Mutations append records (removals append tombstones) to the active —
+/// highest-numbered — segment, sealing it and starting a new one past
+/// [`LogOptions::segment_bytes`]. Once dead bytes outweigh live bytes,
+/// every live record is rewritten, in id order, into a fresh segment via
+/// the scratch-tmp + `rename` + directory-fsync idiom the WAL uses, and
+/// the old segments are deleted.
+///
+/// Recovery replays segments in ascending id order, so later records (and
+/// a compacted segment, which always carries the highest id) override
+/// earlier ones and tombstones keep removed items dead. A torn tail is
+/// only legal in the active segment — a crash can tear the file being
+/// appended to, never a sealed one.
+#[derive(Debug)]
+pub struct LogBackend {
+    dir: PathBuf,
+    options: LogOptions,
+    segments: BTreeMap<u64, Segment>,
+    active_id: u64,
+    index: BTreeMap<ItemId, Loc>,
+    by_key: BTreeMap<Key, BTreeSet<ItemId>>,
+    live_bytes: u64,
+    dead_bytes: u64,
+    scratch: Vec<u8>,
+}
+
+fn seg_file_name(id: u64) -> String {
+    format!("seg-{id}.log")
+}
+
+fn parse_seg_id(name: &str) -> Option<u64> {
+    name.strip_prefix("seg-")?
+        .strip_suffix(".log")?
+        .parse()
+        .ok()
+}
+
+fn open_rw(path: &Path) -> Result<File, StoreError> {
+    Ok(OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(path)?)
+}
+
+fn sync_dir(dir: &Path) -> Result<(), StoreError> {
+    File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+fn unlink(by_key: &mut BTreeMap<Key, BTreeSet<ItemId>>, key: Key, id: ItemId) {
+    if let Some(ids) = by_key.get_mut(&key) {
+        ids.remove(&id);
+        if ids.is_empty() {
+            by_key.remove(&key);
+        }
+    }
+}
+
+impl LogBackend {
+    /// Opens (or creates) the store in `dir` with default tuning.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        LogBackend::open_with(dir, LogOptions::default())
+    }
+
+    /// Opens (or creates) the store in `dir`: deletes stale compaction
+    /// scratch files, then replays every segment in ascending id order to
+    /// rebuild the index.
+    pub fn open_with(dir: impl Into<PathBuf>, options: LogOptions) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+
+        let mut seg_ids = Vec::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.ends_with(".log.tmp") {
+                // A compaction that crashed before its rename; the old
+                // segments are all still intact, so just discard it.
+                std::fs::remove_file(entry.path())?;
+            } else if let Some(id) = parse_seg_id(&name) {
+                seg_ids.push(id);
+            }
+        }
+        seg_ids.sort_unstable();
+
+        let mut backend = LogBackend {
+            dir,
+            options,
+            segments: BTreeMap::new(),
+            active_id: 0,
+            index: BTreeMap::new(),
+            by_key: BTreeMap::new(),
+            live_bytes: 0,
+            dead_bytes: 0,
+            scratch: Vec::new(),
+        };
+
+        if seg_ids.is_empty() {
+            backend.create_segment(0)?;
+            return Ok(backend);
+        }
+
+        let last = *seg_ids.last().unwrap();
+        for id in seg_ids {
+            backend.replay_segment(id, id == last)?;
+        }
+        backend.active_id = last;
+        let active = backend.segments.get_mut(&last).unwrap();
+        active
+            .file
+            .seek(SeekFrom::Start(active.len))
+            .map_err(StoreError::Io)?;
+        Ok(backend)
+    }
+
+    fn create_segment(&mut self, id: u64) -> Result<(), StoreError> {
+        let mut file = open_rw(&self.dir.join(seg_file_name(id)))?;
+        file.write_all(recfile::MAGIC)?;
+        file.sync_all()?;
+        sync_dir(&self.dir)?;
+        self.segments.insert(
+            id,
+            Segment {
+                file,
+                len: recfile::MAGIC.len() as u64,
+            },
+        );
+        self.active_id = id;
+        Ok(())
+    }
+
+    fn replay_segment(&mut self, id: u64, is_active: bool) -> Result<(), StoreError> {
+        let path = self.dir.join(seg_file_name(id));
+        let file = open_rw(&path)?;
+        let index = &mut self.index;
+        let by_key = &mut self.by_key;
+        let (live, dead) = (&mut self.live_bytes, &mut self.dead_bytes);
+        let outcome = recfile::scan_file(&path, &file, |scanned| match scanned.record {
+            Record::Put(item) => {
+                let loc = Loc {
+                    seg: id,
+                    offset: scanned.offset,
+                    frame_len: scanned.frame_len,
+                    key: item.key,
+                    version: item.version,
+                };
+                *live += u64::from(loc.frame_len);
+                if let Some(prev) = index.insert(item.id, loc) {
+                    *live -= u64::from(prev.frame_len);
+                    *dead += u64::from(prev.frame_len);
+                    if prev.key != loc.key {
+                        unlink(by_key, prev.key, item.id);
+                    }
+                }
+                by_key.entry(item.key).or_default().insert(item.id);
+            }
+            Record::Remove(rid) => {
+                *dead += u64::from(scanned.frame_len);
+                if let Some(prev) = index.remove(&rid) {
+                    *live -= u64::from(prev.frame_len);
+                    *dead += u64::from(prev.frame_len);
+                    unlink(by_key, prev.key, rid);
+                }
+            }
+        })?;
+        let len = match outcome {
+            recfile::ScanOutcome::Clean { end } => end,
+            recfile::ScanOutcome::TornTail { valid_end } if is_active => {
+                // Crash mid-append: keep the valid prefix. An empty or
+                // sub-magic active segment gets its header rewritten.
+                file.set_len(valid_end)?;
+                if valid_end == 0 {
+                    let mut f = &file;
+                    f.seek(SeekFrom::Start(0))?;
+                    f.write_all(recfile::MAGIC)?;
+                    f.sync_all()?;
+                    recfile::MAGIC.len() as u64
+                } else {
+                    valid_end
+                }
+            }
+            recfile::ScanOutcome::TornTail { valid_end } => {
+                // Sealed segments are never appended to; a torn record here
+                // is real damage, not a crash artifact.
+                return Err(StoreError::Corrupt {
+                    file: path,
+                    offset: valid_end,
+                    reason: "torn record in sealed segment".into(),
+                });
+            }
+        };
+        self.segments.insert(id, Segment { file, len });
+        Ok(())
+    }
+
+    fn read_loc(&self, loc: Loc) -> DataItem {
+        let seg = self
+            .segments
+            .get(&loc.seg)
+            .unwrap_or_else(|| panic!("indexed segment {} is gone", loc.seg));
+        let path = self.dir.join(seg_file_name(loc.seg));
+        let mut buf = vec![0u8; loc.frame_len as usize];
+        recfile::read_exact_at(&seg.file, &path, &mut buf, loc.offset)
+            .unwrap_or_else(|e| panic!("storage read failed in {}: {e}", path.display()));
+        match recfile::decode_frame(&buf) {
+            Ok(Record::Put(item)) => item,
+            other => panic!(
+                "indexed record at {} in {} is invalid: {other:?}",
+                loc.offset,
+                path.display()
+            ),
+        }
+    }
+
+    /// Appends `self.scratch` to the active segment, returning the location.
+    fn append_scratch(&mut self) -> (u64, u64, u32) {
+        let seg_id = self.active_id;
+        let seg = self.segments.get_mut(&seg_id).expect("active segment");
+        let offset = seg.len;
+        seg.file
+            .write_all(&self.scratch)
+            .unwrap_or_else(|e| panic!("storage append failed in segment {seg_id}: {e}"));
+        seg.len += self.scratch.len() as u64;
+        (seg_id, offset, self.scratch.len() as u32)
+    }
+
+    fn append_put(&mut self, item: &DataItem) {
+        self.scratch.clear();
+        recfile::encode_put_frame(item, &mut self.scratch);
+        let (seg, offset, frame_len) = self.append_scratch();
+        let loc = Loc {
+            seg,
+            offset,
+            frame_len,
+            key: item.key,
+            version: item.version,
+        };
+        self.live_bytes += u64::from(frame_len);
+        if let Some(prev) = self.index.insert(item.id, loc) {
+            self.live_bytes -= u64::from(prev.frame_len);
+            self.dead_bytes += u64::from(prev.frame_len);
+            if prev.key != loc.key {
+                unlink(&mut self.by_key, prev.key, item.id);
+            }
+        }
+        self.by_key.entry(item.key).or_default().insert(item.id);
+        self.after_append();
+    }
+
+    /// Rollover and compaction checks, run after every append.
+    fn after_append(&mut self) {
+        let active_len = self.segments.get(&self.active_id).expect("active").len;
+        if active_len >= self.options.segment_bytes {
+            let next = self.active_id + 1;
+            self.create_segment(next)
+                .unwrap_or_else(|e| panic!("segment rollover failed: {e}"));
+        }
+        if self.dead_bytes >= self.options.compact_min_bytes && self.dead_bytes > self.live_bytes {
+            self.compact()
+                .unwrap_or_else(|e| panic!("compaction failed: {e}"));
+        }
+    }
+
+    /// Rewrites every live record into one fresh segment (id order), then
+    /// atomically publishes it and deletes the old segments.
+    fn compact(&mut self) -> Result<(), StoreError> {
+        let next = self.active_id + 1;
+        let tmp_path = self.dir.join(format!("{}.tmp", seg_file_name(next)));
+        let final_path = self.dir.join(seg_file_name(next));
+
+        let mut out = File::create(&tmp_path)?;
+        out.write_all(recfile::MAGIC)?;
+        let mut offset = recfile::MAGIC.len() as u64;
+        let mut new_locs: Vec<(ItemId, Loc)> = Vec::with_capacity(self.index.len());
+        let mut frame = Vec::new();
+        for (&id, loc) in &self.index {
+            let item = self.read_loc(*loc);
+            frame.clear();
+            recfile::encode_put_frame(&item, &mut frame);
+            out.write_all(&frame)?;
+            new_locs.push((
+                id,
+                Loc {
+                    seg: next,
+                    offset,
+                    frame_len: frame.len() as u32,
+                    key: loc.key,
+                    version: loc.version,
+                },
+            ));
+            offset += frame.len() as u64;
+        }
+        out.sync_all()?;
+        drop(out);
+        // The rename is the commit point: before it, recovery sees the old
+        // segments plus a stale .tmp to discard; after it, replay order
+        // (ascending ids) makes the compacted segment override whatever old
+        // segments survive.
+        std::fs::rename(&tmp_path, &final_path)?;
+        sync_dir(&self.dir)?;
+
+        let old_ids: Vec<u64> = self.segments.keys().copied().collect();
+        self.segments.clear();
+        for id in old_ids {
+            std::fs::remove_file(self.dir.join(seg_file_name(id)))?;
+        }
+        let mut file = open_rw(&final_path)?;
+        file.seek(SeekFrom::Start(offset)).map_err(StoreError::Io)?;
+        self.segments.insert(next, Segment { file, len: offset });
+        self.active_id = next;
+        for (id, loc) in new_locs {
+            self.index.insert(id, loc);
+        }
+        self.live_bytes = offset - recfile::MAGIC.len() as u64;
+        self.dead_bytes = 0;
+        Ok(())
+    }
+
+    /// Forces a compaction regardless of the thresholds — the same path the
+    /// automatic trigger takes. For crash-point tests and benchmarks.
+    pub fn compact_now(&mut self) -> Result<(), StoreError> {
+        self.compact()
+    }
+
+    /// Number of segment files currently open.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Bytes of records still referenced by the index.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Bytes of superseded records and tombstones awaiting compaction.
+    pub fn dead_bytes(&self) -> u64 {
+        self.dead_bytes
+    }
+}
+
+impl StorageBackend for LogBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Log
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn contains(&self, id: ItemId) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    fn get(&self, id: ItemId) -> Option<DataItem> {
+        self.index.get(&id).map(|loc| self.read_loc(*loc))
+    }
+
+    fn put(&mut self, item: DataItem) -> Option<DataItem> {
+        let prev = self.index.get(&item.id).map(|loc| self.read_loc(*loc));
+        self.append_put(&item);
+        prev
+    }
+
+    fn remove(&mut self, id: ItemId) -> Option<DataItem> {
+        let loc = *self.index.get(&id)?;
+        let prev = self.read_loc(loc);
+        self.scratch.clear();
+        recfile::encode_remove_frame(id, &mut self.scratch);
+        let (_, _, tombstone_len) = self.append_scratch();
+        self.index.remove(&id);
+        unlink(&mut self.by_key, loc.key, id);
+        self.live_bytes -= u64::from(loc.frame_len);
+        self.dead_bytes += u64::from(loc.frame_len) + u64::from(tombstone_len);
+        self.after_append();
+        Some(prev)
+    }
+
+    fn bump_version(&mut self, id: ItemId) -> Option<Version> {
+        let loc = *self.index.get(&id)?;
+        let mut item = self.read_loc(loc);
+        let version = item.bump();
+        self.append_put(&item);
+        Some(version)
+    }
+
+    fn apply_version(&mut self, id: ItemId, version: Version) -> bool {
+        match self.index.get(&id) {
+            Some(loc) if version > loc.version => {
+                let mut item = self.read_loc(*loc);
+                item.version = version;
+                self.append_put(&item);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn for_each_under(&self, path: &BitPath, f: &mut dyn FnMut(DataItem)) {
+        for (_, ids) in crate::trie::prefix_range(&self.by_key, path) {
+            for id in ids {
+                if let Some(loc) = self.index.get(id) {
+                    f(self.read_loc(*loc));
+                }
+            }
+        }
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(DataItem)) {
+        for loc in self.index.values() {
+            f(self.read_loc(*loc));
+        }
+    }
+
+    fn flush(&mut self) -> Result<(), StoreError> {
+        for seg in self.segments.values() {
+            seg.file.sync_all()?;
+        }
+        Ok(())
+    }
+
+    fn resident_items(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("pgrid-log-{}-{name}", std::process::id()))
+    }
+
+    fn small_opts() -> LogOptions {
+        LogOptions {
+            segment_bytes: 512,
+            compact_min_bytes: 256,
+        }
+    }
+
+    fn item(id: u64, key: &str) -> DataItem {
+        DataItem::with_payload(
+            ItemId(id),
+            format!("n{id}"),
+            BitPath::from_str_lossy(key),
+            vec![id as u8; 32],
+        )
+    }
+
+    #[test]
+    fn rolls_segments_and_survives_reopen() {
+        let dir = tmp("roll");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut b = LogBackend::open_with(&dir, small_opts()).unwrap();
+            for i in 0..40 {
+                b.put(item(i, if i % 2 == 0 { "0101" } else { "1010" }));
+            }
+            assert!(b.segment_count() > 1, "should have rolled segments");
+            b.flush().unwrap();
+        }
+        let b = LogBackend::open_with(&dir, small_opts()).unwrap();
+        assert_eq!(b.len(), 40);
+        let mut under = 0;
+        b.for_each_under(&BitPath::from_str_lossy("01"), &mut |_| under += 1);
+        assert_eq!(under, 20);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_bytes_and_preserves_contents() {
+        let dir = tmp("compact");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut b = LogBackend::open_with(&dir, small_opts()).unwrap();
+        for i in 0..10 {
+            b.put(item(i, "0101"));
+        }
+        // Overwrite and delete heavily: dead bytes mount, compaction fires.
+        for round in 0..20 {
+            for i in 0..5 {
+                b.put(item(i, if round % 2 == 0 { "0011" } else { "0101" }));
+            }
+            b.remove(ItemId(9));
+            b.put(item(9, "1111"));
+        }
+        assert!(b.dead_bytes() < b.live_bytes().max(small_opts().compact_min_bytes) * 2);
+        assert_eq!(b.len(), 10);
+        drop(b);
+        let b = LogBackend::open_with(&dir, small_opts()).unwrap();
+        assert_eq!(b.len(), 10);
+        assert_eq!(
+            b.get(ItemId(9)).unwrap().key,
+            BitPath::from_str_lossy("1111")
+        );
+        assert_eq!(
+            b.get(ItemId(0)).unwrap().key,
+            BitPath::from_str_lossy("0101")
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tombstones_keep_items_dead_across_reopen() {
+        let dir = tmp("tombstone");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            // Tiny segments force the put and the remove into different
+            // files; replay must still net them out.
+            let opts = LogOptions {
+                segment_bytes: 96,
+                compact_min_bytes: u64::MAX,
+            };
+            let mut b = LogBackend::open_with(&dir, opts).unwrap();
+            for i in 0..8 {
+                b.put(item(i, "0101"));
+            }
+            b.remove(ItemId(3));
+            b.flush().unwrap();
+        }
+        let b = LogBackend::open(&dir).unwrap();
+        assert_eq!(b.len(), 7);
+        assert!(!b.contains(ItemId(3)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

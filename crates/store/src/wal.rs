@@ -167,11 +167,22 @@ impl WriteAheadLog {
     pub fn compact(&mut self, store: &LocalStore) -> Result<(), WalError> {
         let tmp = compaction_tmp_path(&self.path);
         let mut w = BufWriter::new(File::create(&tmp)?);
-        for item in store.iter() {
-            let line = serde_json::to_string(&WalRecord::Insert(item.clone()))
+        let mut io_err = None;
+        store.for_each(&mut |item| {
+            if io_err.is_some() {
+                return;
+            }
+            let line = serde_json::to_string(&WalRecord::Insert(item))
                 .expect("record serialization cannot fail");
-            w.write_all(line.as_bytes())?;
-            w.write_all(b"\n")?;
+            if let Err(e) = w
+                .write_all(line.as_bytes())
+                .and_then(|()| w.write_all(b"\n"))
+            {
+                io_err = Some(e);
+            }
+        });
+        if let Some(e) = io_err {
+            return Err(e.into());
         }
         w.flush()?;
         let file = w.into_inner().map_err(|e| WalError::Io(e.into_error()))?;

@@ -9,6 +9,11 @@
 #                             # loopback soak over real sockets, writes
 #                             # BENCH_live.json (1000-peer event loop +
 #                             # thread-per-peer A/B row; --smoke = 128 peers)
+#   scripts/bench.sh store [--quick]
+#                             # storage backends: per-backend put/get/scan
+#                             # throughput + the >1M-item log-structured
+#                             # resident-memory gate; merges a 'store_bench'
+#                             # section into BENCH_engine.json
 #
 # The run aborts (non-zero exit) if any parallel or batched execution
 # diverges from its family's serial reference — determinism is part of the
@@ -37,6 +42,33 @@ for row in r["rows"]:
 print(f"thread gate: peak <= {r['thread_budget']} -> {r['thread_gate_ok']}")
 EOF
     echo "Benchmark written to BENCH_live.json."
+    exit 0
+fi
+
+# The `store` profile measures the storage backends and the host-scale
+# memory gate, merging its section into BENCH_engine.json without touching
+# the engine numbers. The binary itself exits non-zero when the backends
+# disagree, a disk backend keeps items resident, or the RSS gate trips.
+if [[ "${1:-}" == "store" ]]; then
+    shift
+    echo "==> storage backend throughput + host-scale memory gate $*"
+    cargo run --release -p pgrid-bench --bin store_bench -- "$@" --out BENCH_engine.json
+    python3 - <<'EOF'
+import json
+with open("BENCH_engine.json") as f:
+    r = json.load(f)["store_bench"]
+for row in r["micro"]["rows"]:
+    reopen = row["reopen_secs"]
+    reopen = "-" if reopen is None else f"{reopen:.2f}s"
+    print(f"{row['backend']}: {row['puts_per_s']:.0f} puts/s, "
+          f"{row['gets_per_s']:.0f} gets/s, {row['scan_items_per_s']:.0f} scan items/s, "
+          f"reopen {reopen}, resident {row['resident_items']}")
+h = r["host"]
+print(f"host gate ({h['items']} items, log): {h['puts_per_s']:.0f} puts/s, "
+      f"{h['rss_bytes_per_item']:.1f} B/item resident "
+      f"(gate {h['rss_bytes_per_item_max']:.0f}) -> ok={h['ok']}")
+EOF
+    echo "store_bench section merged into BENCH_engine.json."
     exit 0
 fi
 

@@ -30,6 +30,11 @@ cargo test --release --test differential_sim_tcp
 echo "==> batch determinism (batched vs width-1 reference; batch 1/8/64 x threads 1/4)"
 cargo test --release --test batch_determinism
 
+echo "==> storage backends (equivalence proptests, crash points, cross-backend determinism)"
+cargo test --release -p pgrid-store
+cargo test --release --test storage_backends
+cargo run --release -p pgrid-cli --bin pgrid -- exp store --small
+
 echo "==> golden trace (record twice, byte-compare; diff across seeds)"
 trace_dir="$(mktemp -d)"
 trap 'rm -rf "${trace_dir}"' EXIT
