@@ -18,6 +18,11 @@
 //! end-to-end, with rounds-to-clean-audit and query-success recovery. The
 //! binary exits non-zero if stabilization fails to converge.
 //!
+//! A `balance` block follows the same pattern for dynamic load balancing
+//! (DESIGN.md §16): the skew adaptation experiment's before/after max/mean
+//! load ratio, rounds to the fixpoint, and the flash-crowd replica growth —
+//! non-zero exit if any acceptance gate is missed.
+//!
 //! ```text
 //! engine_bench [--quick] [--out PATH]
 //! ```
@@ -30,7 +35,7 @@ use pgrid_core::{BatchQuery, CompactRoutingTable, Ctx};
 use pgrid_keys::BitPath;
 use pgrid_net::AlwaysOnline;
 use pgrid_sim::experiments::engine::{run, Config};
-use pgrid_sim::experiments::selfstab;
+use pgrid_sim::experiments::{selfstab, skew};
 use pgrid_sim::{run_query_plan, run_query_plan_traced, QueryPlan};
 use rand::Rng;
 
@@ -207,6 +212,61 @@ fn measure_stabilization(quick: bool) -> (serde_json::Value, bool) {
     (fragment, converged)
 }
 
+/// Load-balance cost: the skew adaptation experiment timed end-to-end
+/// (before/after max/mean load ratio, rounds to the fixpoint) plus the
+/// flash-crowd replica scaling pass. Returns the JSON fragment for the
+/// report and whether every acceptance gate held: convergence, fixpoint
+/// ratio at or below 2.0, clean structural audit, thread invariance, and
+/// a growing hot replica group.
+fn measure_balance(quick: bool) -> (serde_json::Value, bool) {
+    let cfg = if quick {
+        skew::AdaptConfig::small()
+    } else {
+        skew::AdaptConfig::default()
+    };
+    let t = Instant::now();
+    let (rows, _) = skew::run_adaptation(&cfg);
+    let (flash_rows, _) = skew::run_flash_crowd(&skew::FlashConfig::default());
+    let secs = t.elapsed().as_secs_f64();
+    for r in &rows {
+        println!(
+            "balance: skew {} imbalance {:.2} -> {:.2} in {} rounds \
+             (extended {}, retracted {}, rebalanced {}, 1t==4t {})",
+            r.skew,
+            r.imbalance_before,
+            r.imbalance_after,
+            r.rounds,
+            r.extended,
+            r.retracted,
+            r.rebalanced,
+            r.thread_invariant
+        );
+    }
+    let crowd_grew = flash_rows
+        .first()
+        .zip(flash_rows.last())
+        .is_some_and(|(f, l)| l.replicas > f.replicas);
+    let ok = crowd_grew
+        && rows.iter().all(|r| {
+            r.converged
+                && r.imbalance_after <= 2.0 + 1e-9
+                && r.violations_after == 0
+                && r.thread_invariant
+        });
+    let fragment = serde_json::json!({
+        "n": cfg.n,
+        "maxl": cfg.maxl,
+        "items": cfg.items,
+        "skews": cfg.skews,
+        "target_ratio": cfg.target_ratio_x1000 as f64 / 1000.0,
+        "rows": rows,
+        "flash": flash_rows,
+        "converged": ok,
+        "secs": secs,
+    });
+    (fragment, ok)
+}
+
 fn main() {
     let mut quick = false;
     let mut out = PathBuf::from("BENCH_engine.json");
@@ -238,6 +298,7 @@ fn main() {
 
     let (untraced_qps, recording_qps, traced_identical) = measure_trace_overhead(&cfg);
     let (stabilization, stabilization_converged) = measure_stabilization(quick);
+    let (balance, balance_converged) = measure_balance(quick);
 
     let rows = &report.rows;
     let batch_rows = &report.batch_rows;
@@ -279,6 +340,7 @@ fn main() {
         "allocs_per_exchange": alloc_metrics.map(|((_, x), _)| x),
         "batched_allocs_per_query": alloc_metrics.map(|(_, b)| b),
         "stabilization": stabilization,
+        "balance": balance,
         "rows": rows,
         "batch_rows": batch_rows,
     });
@@ -310,6 +372,10 @@ fn main() {
     }
     if !stabilization_converged {
         eprintln!("FATAL: self-stabilization failed to converge with query success restored");
+        std::process::exit(1);
+    }
+    if !balance_converged {
+        eprintln!("FATAL: load balancing missed an acceptance gate (convergence, 2x ratio, clean audit, thread invariance, or replica growth)");
         std::process::exit(1);
     }
 }

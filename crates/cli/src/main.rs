@@ -77,6 +77,7 @@ experiments:
   flooding  P-Grid vs Gnutella flooding
   sizing    the section-4 Gnutella sizing example
   skew      index imbalance under skewed keys
+  balance   skew adaptation to the balance fixpoint + flash-crowd replica scaling
   repair    failure injection + self-repair of reference tables
   selfstab  corruption injection + self-stabilization to a clean audit
   timeline  event-driven construction under session churn
@@ -674,6 +675,57 @@ fn run_experiment(id: &str, opts: &Options) -> Result<(), String> {
             }
             emit(&skew::run(&cfg).1, opts.format);
         }
+        "balance" => {
+            let mut cfg = if small {
+                skew::AdaptConfig::small()
+            } else {
+                skew::AdaptConfig::default()
+            };
+            let mut fcfg = skew::FlashConfig::default();
+            if let Some(s) = opts.seed {
+                cfg.seed = s;
+                fcfg.seed = s;
+            }
+            let (rows, table) = skew::run_adaptation(&cfg);
+            emit(&table, opts.format);
+            let (flash_rows, flash_table) = skew::run_flash_crowd(&fcfg);
+            emit(&flash_table, opts.format);
+            // Blocking acceptance gates (CI runs this experiment): the
+            // balancer must reach its fixpoint below the 2x target, leave
+            // a clean audit, and stay thread-count invariant.
+            for r in &rows {
+                if !r.converged {
+                    return Err(format!("balance did not converge at skew {}", r.skew));
+                }
+                if r.imbalance_after > 2.0 + 1e-9 {
+                    return Err(format!(
+                        "skew {}: fixpoint imbalance {:.2} above the 2.0 target",
+                        r.skew, r.imbalance_after
+                    ));
+                }
+                if r.violations_after != 0 {
+                    return Err(format!(
+                        "skew {}: {} audit violations after balancing",
+                        r.skew, r.violations_after
+                    ));
+                }
+                if !r.thread_invariant {
+                    return Err(format!(
+                        "skew {}: probe workload not identical at 1 vs 4 threads",
+                        r.skew
+                    ));
+                }
+            }
+            let (first, last) = (flash_rows.first(), flash_rows.last());
+            if let (Some(f), Some(l)) = (first, last) {
+                if l.replicas <= f.replicas {
+                    return Err(format!(
+                        "flash crowd: hot replica group did not grow ({} -> {})",
+                        f.replicas, l.replicas
+                    ));
+                }
+            }
+        }
         "repair" => {
             let mut cfg = if small { repair::Config::small() } else { repair::Config::default() };
             if let Some(s) = opts.seed {
@@ -790,8 +842,8 @@ fn run_experiment(id: &str, opts: &Options) -> Result<(), String> {
         "all" => {
             for id in [
                 "t1", "t2", "t3", "t4", "f4", "search", "f5", "t6", "scaling", "flooding",
-                "sizing", "skew", "repair", "selfstab", "timeline", "caching", "latency", "variance", "mixed",
-                "ablation",
+                "sizing", "skew", "balance", "repair", "selfstab", "timeline", "caching", "latency",
+                "variance", "mixed", "ablation",
             ] {
                 run_experiment(id, opts)?;
             }

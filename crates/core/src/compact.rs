@@ -350,10 +350,22 @@ mod tests {
 
     #[test]
     fn heavy_churn_triggers_a_full_rebuild() {
-        let mut g = grid();
+        // A community large enough that its patch budget is n / 8 (the
+        // budget has a floor of 8, which an 8-peer grid can never exceed).
+        let mut g = PGrid::new(
+            128,
+            PGridConfig {
+                maxl: 3,
+                refmax: 4,
+                ..PGridConfig::default()
+            },
+        );
+        for i in 0..64 {
+            g.extend_peer_path(PeerId(i), (i % 2) as u8);
+        }
         let mut table = CompactRoutingTable::build(&g);
-        // Dirty every peer: well past the n/8 patch budget.
-        for i in 0..8 {
+        // Dirty a quarter of the community: well past the n/8 budget.
+        for i in 0..32 {
             let _ = g.peer_mut(PeerId(i));
         }
         table.refresh(&g);

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod analysis;
+mod balance;
 mod batch;
 mod builder;
 mod compact;
@@ -61,6 +62,7 @@ pub mod update;
 pub use analysis::{
     min_key_length, min_peers, search_success_probability, GridSizing, SizingReport,
 };
+pub use balance::{BalanceConfig, BalanceReport, LoadTracker, LoadViolation};
 pub use batch::BatchQuery;
 pub use builder::{BuildOptions, BuildReport};
 pub use compact::CompactRoutingTable;

@@ -690,7 +690,7 @@ mod tests {
             let mut online = AlwaysOnline;
             let mut ctx = Ctx::new(&mut rng, &mut online, &mut stats);
             for i in 0..64u64 {
-                let key = BitPath::from_value(i * 97 % 256, 8);
+                let key = BitPath::from_value(u128::from(i * 97 % 256), 8);
                 let entry = crate::IndexEntry {
                     item: pgrid_store::ItemId(i),
                     holder: grid.random_peer(&mut ctx),

@@ -31,6 +31,13 @@ pub struct PeerSnapshot {
     /// snapshots taken before hosted-item capture existed still parse.
     #[serde(default)]
     pub hosted: Vec<pgrid_store::DataItem>,
+    /// Whether the peer holds custody of entries outside its responsibility
+    /// (see [`crate::Violation::ForeignEntry`]): legitimate transient state
+    /// the exchange protocol produces and its anti-entropy resolves. Without
+    /// this bit a restored grid would misread reseeded custody as
+    /// corruption. Defaults to `false` so older snapshots still parse.
+    #[serde(default)]
+    pub misplaced: bool,
 }
 
 /// The complete logical state of a community.
@@ -67,6 +74,7 @@ impl GridSnapshot {
                     p.store().for_each(&mut |item| items.push(item));
                     items
                 },
+                misplaced: p.has_misplaced(),
             })
             .collect();
         GridSnapshot {
@@ -112,6 +120,7 @@ impl GridSnapshot {
             for item in &snap.hosted {
                 peer.store_mut().insert(item.clone());
             }
+            peer.set_misplaced(snap.misplaced);
         }
         grid.check_invariants()?;
         Ok(grid)
@@ -206,6 +215,67 @@ mod tests {
         let (out, entries) = restored.search_entries_ref(PeerId(0), &key, &mut ctx);
         assert!(out.responsible.is_some());
         assert!(!entries.is_empty(), "seeded entry survives the round trip");
+    }
+
+    /// Misplaced custody — entries a peer holds outside its responsibility,
+    /// flagged by the exchange protocol — must survive the round trip: the
+    /// restored grid's `replicas_of` ground truth excludes the custody
+    /// holder *because* the flag explains the foreign entry, so `audit()`
+    /// stays clean on both sides instead of misreading custody as
+    /// corruption.
+    #[test]
+    fn misplaced_custody_survives_the_round_trip() {
+        let mut grid = built_grid(5);
+        let holder = grid
+            .peers()
+            .find(|p| !p.path().is_empty())
+            .map(crate::Peer::id)
+            .expect("a built grid has specialized peers");
+        // A key on the opposite side of the holder's first bit: definitely
+        // outside its responsibility.
+        let foreign = BitPath::from_str_lossy(&format!(
+            "{}01",
+            1 - grid.peer(holder).path().bit(0)
+        ));
+        assert!(!grid.peer(holder).responsible_for(&foreign));
+        grid.peer_mut(holder).index_insert(
+            foreign,
+            IndexEntry {
+                item: ItemId(99),
+                holder: PeerId(1),
+                version: Version(1),
+            },
+        );
+        grid.peer_mut(holder).set_misplaced(true);
+        assert!(grid.audit().is_empty(), "flagged custody is not corruption");
+
+        let restored = GridSnapshot::capture(&grid).restore().expect("restore");
+        assert!(
+            restored.peer(holder).has_misplaced(),
+            "the misplaced flag must survive the round trip"
+        );
+        assert!(
+            !restored.replicas_of(&foreign).contains(&holder),
+            "custody does not make the holder a replica"
+        );
+        assert!(
+            restored.audit().is_empty(),
+            "restored custody must not read as ForeignEntry corruption"
+        );
+    }
+
+    #[test]
+    fn snapshots_without_the_misplaced_field_still_parse() {
+        // A snapshot written before the flag existed still parses (and
+        // defaults to unflagged).
+        let grid = built_grid(5);
+        let mut json: serde_json::Value =
+            serde_json::from_str(&GridSnapshot::capture(&grid).to_json()).unwrap();
+        for p in json["peers"].as_array_mut().unwrap() {
+            p.as_object_mut().unwrap().remove("misplaced");
+        }
+        let old = GridSnapshot::from_json(&json.to_string()).expect("old snapshots parse");
+        assert!(old.peers.iter().all(|p| !p.misplaced));
     }
 
     #[test]

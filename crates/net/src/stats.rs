@@ -141,6 +141,23 @@ pub struct NetStats {
     /// for observability, not a fault.
     #[serde(default)]
     pub partial_frames: u64,
+    /// Peers whose path grew one bit in a balance round (hot-group
+    /// splits). Corrective activity, not a fault.
+    #[serde(default)]
+    pub paths_extended: u64,
+    /// Peers retracted to their parent path in a balance round
+    /// (over-provisioned cold leaves). Corrective activity, not a fault.
+    #[serde(default)]
+    pub paths_retracted: u64,
+    /// Index entries that changed host during balancing (split handoffs,
+    /// migration handoffs, and new-replica copies).
+    #[serde(default)]
+    pub entries_rebalanced: u64,
+    /// Sum of per-balance-round max/mean load ratio samples, x1000
+    /// (divide by the number of rounds for the average ratio). Additive so
+    /// shard merges stay order-free.
+    #[serde(default)]
+    pub load_max_over_mean_x1000: u64,
 }
 
 impl NetStats {
@@ -199,6 +216,10 @@ impl NetStats {
         out.writes_queued = self.writes_queued - earlier.writes_queued;
         out.writes_shed = self.writes_shed - earlier.writes_shed;
         out.partial_frames = self.partial_frames - earlier.partial_frames;
+        out.paths_extended = self.paths_extended - earlier.paths_extended;
+        out.paths_retracted = self.paths_retracted - earlier.paths_retracted;
+        out.entries_rebalanced = self.entries_rebalanced - earlier.entries_rebalanced;
+        out.load_max_over_mean_x1000 = self.load_max_over_mean_x1000 - earlier.load_max_over_mean_x1000;
         out
     }
 
@@ -225,6 +246,10 @@ impl NetStats {
         self.writes_queued += other.writes_queued;
         self.writes_shed += other.writes_shed;
         self.partial_frames += other.partial_frames;
+        self.paths_extended += other.paths_extended;
+        self.paths_retracted += other.paths_retracted;
+        self.entries_rebalanced += other.entries_rebalanced;
+        self.load_max_over_mean_x1000 += other.load_max_over_mean_x1000;
     }
 
     /// True when no fault, retry, or rejection counter is set — the
@@ -233,7 +258,10 @@ impl NetStats {
     /// `conn_established`, `writes_queued`, and `partial_frames` are
     /// deliberately excluded: a clean run over real sockets legitimately
     /// opens connections, queues writes, and sees torn nonblocking reads.
-    /// Shed writes and lost connections, by contrast, lose frames.
+    /// Shed writes and lost connections, by contrast, lose frames. The
+    /// balance counters (`paths_extended`, `paths_retracted`,
+    /// `entries_rebalanced`, `load_max_over_mean_x1000`) are excluded for
+    /// the same reason: load adaptation is scheduled activity, not damage.
     pub fn is_fault_free(&self) -> bool {
         self.dropped == 0
             && self.duplicated == 0
@@ -324,6 +352,13 @@ impl fmt::Display for NetStats {
                 f,
                 " (conns={} writes={} partial={})",
                 self.conn_established, self.writes_queued, self.partial_frames,
+            )?;
+        }
+        if self.paths_extended != 0 || self.paths_retracted != 0 || self.entries_rebalanced != 0 {
+            write!(
+                f,
+                " (extended={} retracted={} rebalanced={})",
+                self.paths_extended, self.paths_retracted, self.entries_rebalanced,
             )?;
         }
         Ok(())
@@ -493,6 +528,10 @@ mod tests {
                     &mut s.writes_queued,
                     &mut s.writes_shed,
                     &mut s.partial_frames,
+                    &mut s.paths_extended,
+                    &mut s.paths_retracted,
+                    &mut s.entries_rebalanced,
+                    &mut s.load_max_over_mean_x1000,
                 ];
                 *slot[i] += 1;
             }
@@ -502,14 +541,14 @@ mod tests {
     /// `merge` must equal interleaved serial recording: replaying one event
     /// stream into a single accumulator gives the same counters as splitting
     /// it across two shards (round-robin) and merging them — covering the
-    /// message, contact, and all sixteen fault/socket counters.
+    /// message, contact, and all twenty fault/socket/balance counters.
     #[test]
     fn merge_equals_interleaved_serial_recording() {
         let events: Vec<Event> = (0..200)
             .map(|i| match i % 4 {
                 0 => Event::Msg(MsgKind::ALL[i % 5]),
                 1 => Event::Contact(i % 3 == 0),
-                _ => Event::Fault(i % 16),
+                _ => Event::Fault(i % 20),
             })
             .collect();
 
@@ -582,6 +621,10 @@ mod tests {
         b.writes_queued = 40;
         b.writes_shed = 3;
         b.partial_frames = 11;
+        b.paths_extended = 8;
+        b.paths_retracted = 2;
+        b.entries_rebalanced = 120;
+        b.load_max_over_mean_x1000 = 1950;
         a.merge(&b);
         let json = serde_json::to_string(&a).unwrap();
         let back: NetStats = serde_json::from_str(&json).unwrap();
@@ -611,6 +654,19 @@ mod tests {
         s.writes_shed = 0;
         s.conn_lost += 1;
         assert!(!s.is_fault_free(), "lost conns lose queued frames");
+    }
+
+    #[test]
+    fn balance_activity_is_not_a_fault() {
+        let mut s = NetStats::new();
+        s.paths_extended = 6;
+        s.paths_retracted = 2;
+        s.entries_rebalanced = 500;
+        s.load_max_over_mean_x1000 = 1800;
+        assert!(s.is_fault_free(), "load adaptation is scheduled activity");
+        let shown = s.to_string();
+        assert!(shown.contains("extended=6"), "{shown}");
+        assert!(shown.contains("rebalanced=500"), "{shown}");
     }
 
     #[test]

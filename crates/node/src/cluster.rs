@@ -687,6 +687,7 @@ pub(crate) fn states_snapshot(
                 // Live nodes journal index custody, not payload hosting;
                 // the hosted set exists only in the sequential simulator.
                 hosted: Vec::new(),
+                misplaced: g.misplaced,
             }
         })
         .collect();
@@ -918,6 +919,129 @@ mod tests {
         assert!(
             reseeded >= 1,
             "journaled entry must be reseeded after a cold restart"
+        );
+        cluster.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The reseed path can hand a node custody of keys it is no longer
+    /// responsible for: the journal predates the path it specialized into.
+    /// The replica ground truth must agree with that state end to end —
+    /// `reseed_from_journal` raises the misplaced flag, the analysis
+    /// snapshot carries it, and on the restored grid `replicas_of` /
+    /// `replica_groups` exclude the custody holder while `audit()` stays
+    /// clean instead of misreading custody as corruption.
+    #[test]
+    fn reseeded_misplaced_custody_agrees_with_replica_ground_truth() {
+        use pgrid_store::{DataItem, ItemId, StorageBackend, Version};
+
+        let dir = std::env::temp_dir().join(format!(
+            "pgrid-cluster-misplaced-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = pgrid_store::StorageSpec::of_kind(pgrid_store::BackendKind::Log, &dir);
+        let config = ClusterConfig {
+            n: 8,
+            maxl: 3,
+            refmax: 3,
+            seed: 29,
+            ..ClusterConfig::default()
+        };
+        let mut cluster = Cluster::spawn_with_storage(config, spec.clone());
+        for _ in 0..10 {
+            cluster.build(60);
+            if cluster.avg_path_len() >= 2.0 {
+                break;
+            }
+        }
+        cluster.check_invariants().unwrap();
+        let victim = cluster
+            .states
+            .iter()
+            .position(|s| !s.lock().path.is_empty())
+            .map(PeerId::from_index)
+            .expect("a built community has specialized nodes");
+        let vpath = cluster.states[victim.index()].lock().path;
+        // A key on the opposite side of the victim's first bit: custody it
+        // can only hold flagged misplaced.
+        let foreign = BitPath::from_str_lossy(&format!("{}01", 1 - vpath.bit(0)));
+        let entry = WireEntry {
+            item: 77,
+            holder: PeerId(4),
+            version: 1,
+        };
+
+        // Crash the victim (joining the thread closes and flushes its
+        // journal handle), then append custody of the foreign key to the
+        // journal — state from a previous life, before the path
+        // specialized past the key.
+        cluster.crash_node(victim);
+        {
+            let mut journal = spec.open_for(victim.index()).unwrap();
+            journal.put(DataItem {
+                id: ItemId(entry.item),
+                name: String::new(),
+                key: foreign,
+                version: Version(entry.version),
+                payload: entry.holder.0.to_le_bytes().to_vec(),
+            });
+            journal.flush().unwrap();
+        }
+        // Restart: the reseed recovers the entry and, because the node is
+        // not responsible for the key, must raise the misplaced flag.
+        cluster.restart_node(victim);
+        {
+            let state = cluster.states[victim.index()].lock();
+            assert!(
+                state.index_lookup(&foreign).contains(&entry),
+                "reseeded custody must survive the restart"
+            );
+            assert!(
+                state.misplaced,
+                "reseeding a foreign key must raise the misplaced flag"
+            );
+        }
+
+        // The analysis bridge tells the same story as the live states.
+        let grid = cluster.to_snapshot().restore().expect("snapshot restores");
+        let replicas = grid.replicas_of(&foreign);
+        assert!(
+            !replicas.contains(&victim),
+            "custody must not make {victim} a replica of {foreign}"
+        );
+        // `replicas_of` (responsibility) and `replica_groups` (exact
+        // paths) must agree: a group's members are replicas of the key
+        // exactly when the group path is prefix-comparable with it.
+        let mut from_groups: Vec<PeerId> = grid
+            .replica_groups()
+            .into_iter()
+            .filter(|(path, _)| path.responsible_for(&foreign))
+            .flat_map(|(_, members)| members)
+            .collect();
+        from_groups.sort();
+        let mut expected = replicas;
+        expected.sort();
+        assert_eq!(
+            from_groups, expected,
+            "replica_groups and replicas_of diverged on {foreign}"
+        );
+        // Every held key is explained: its holder is a replica or flagged.
+        for peer in grid.peers() {
+            peer.index()
+                .for_each_under(&pgrid_keys::BitPath::EMPTY, |key, _| {
+                    assert!(
+                        peer.responsible_for(&key) || peer.has_misplaced(),
+                        "{}: unexplained foreign custody of {key}",
+                        peer.id()
+                    );
+                });
+        }
+        let violations = grid.audit();
+        assert!(
+            violations.is_empty(),
+            "misplaced custody must not read as corruption: {violations:?}"
         );
         cluster.shutdown();
         std::fs::remove_dir_all(&dir).unwrap();

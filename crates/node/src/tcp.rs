@@ -1014,7 +1014,15 @@ impl Worker {
             match done {
                 None => i += 1,
                 Some(false) => {
-                    self.pending.swap_remove(i);
+                    let p = self.pending.swap_remove(i);
+                    // A preamble that started but never completed — a
+                    // truncated hostile dial, a mid-handshake kill, or a
+                    // stalled-out greeting — is a counted error path. A
+                    // clean connect-then-close (zero bytes) is just a
+                    // departed dialer, not a malformed frame.
+                    if p.got > 0 {
+                        self.inner.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
                 Some(true) => {
                     let p = self.pending.swap_remove(i);
@@ -1066,13 +1074,16 @@ impl Worker {
     fn flush_holdback(&mut self, now: Instant) -> bool {
         let mut progress = false;
         loop {
+            // Peek-then-pop under one lock hold; the pop cannot panic even
+            // if the guard and the pop ever disagree.
             let held = {
                 let mut heap = self.inner.holdback.lock();
                 match heap.peek() {
-                    Some(h) if h.due <= now => heap.pop().unwrap(),
-                    _ => break,
+                    Some(h) if h.due <= now => heap.pop(),
+                    _ => None,
                 }
             };
+            let Some(held) = held else { break };
             if self.inner.enqueue(held.from, held.to, held.bytes, false)
                 != SendStatus::Delivered
             {
@@ -1497,6 +1508,65 @@ mod tests {
         }
         assert!(shed > 0, "queue depth 2 must shed under a stalled reader");
         assert_eq!(t.net_stats().writes_shed, shed);
+        t.shutdown();
+    }
+
+    /// Polls `f` until it returns true or five seconds pass.
+    fn wait_for(mut f: impl FnMut() -> bool) -> bool {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            if f() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        f()
+    }
+
+    #[test]
+    fn truncated_preamble_is_counted_not_fatal() {
+        let t = transport();
+        let _rx_a = t.add_client(PeerId(1));
+        // Hostile dial: half a greeting, then a hard kill. The transport
+        // must count it and keep serving — never panic or wedge a worker.
+        let mut s = TcpStream::connect(t.local_addr()).unwrap();
+        s.write_all(&MAGIC[..2]).unwrap();
+        drop(s);
+        assert!(
+            wait_for(|| t.net_stats().malformed >= 1),
+            "truncated preamble must land in the malformed counter: {:?}",
+            t.net_stats()
+        );
+        // The acceptor is still alive: a real client round-trips after it.
+        let rx_b = t.add_client(PeerId(2));
+        assert!(t.send(PeerId(1), PeerId(2), encode_frame(&Message::Ping { nonce: 4 })));
+        let (_, msg) = rx_b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(msg, Message::Ping { nonce: 4 }));
+        t.shutdown();
+    }
+
+    #[test]
+    fn mid_write_socket_kill_is_counted_conn_lost() {
+        let t = transport();
+        let rx = t.add_client(PeerId(1));
+        // A well-greeted foreign dialer that dies mid-frame.
+        let mut s = TcpStream::connect(t.local_addr()).unwrap();
+        let mut hello = Vec::with_capacity(PREAMBLE_LEN);
+        hello.extend_from_slice(MAGIC);
+        hello.extend_from_slice(&7u32.to_le_bytes());
+        hello.extend_from_slice(&1u32.to_le_bytes());
+        s.write_all(&hello).unwrap();
+        let frame = encode_frame(&Message::Ping { nonce: 3 });
+        s.write_all(&frame[..frame.len() - 1]).unwrap();
+        s.flush().unwrap();
+        drop(s); // the torn tail never arrives
+        assert!(
+            wait_for(|| t.net_stats().conn_lost >= 1),
+            "a death mid-frame must land in conn_lost: {:?}",
+            t.net_stats()
+        );
+        // The half-frame never surfaces as a message.
+        assert!(rx.recv_timeout(Duration::from_millis(100)).is_err());
         t.shutdown();
     }
 

@@ -392,6 +392,11 @@ impl TcpCluster {
     }
 
     /// Spawns one additional node and returns its id.
+    ///
+    /// # Panics
+    /// If the node's storage backend fails to open or refuses to load
+    /// (real corruption) — an operator error at the local filesystem, not
+    /// anything a remote peer can trigger.
     pub fn add_node(&mut self) -> PeerId {
         let id = PeerId::from_index(self.states.len());
         debug_assert_ne!(id, self.client_id);

@@ -26,6 +26,13 @@ pub enum TimerToken {
     /// draws — when the state is already valid, so drivers may fire it on
     /// any cadence without perturbing a deterministic run.
     Stabilize,
+    /// Run one local load-balancing pass
+    /// ([`crate::ProtocolPeer::balance`]): if the hosted index has
+    /// outgrown the configured hot threshold, specialize one bit toward
+    /// the heavier child and re-home what the longer path no longer
+    /// covers. A strict no-op — zero effects, zero RNG draws — below the
+    /// threshold, so drivers may fire it on any cadence.
+    Balance,
 }
 
 /// One observed input to the protocol state machine.

@@ -139,6 +139,10 @@ pub struct ProtocolPeer {
     pub failures: HashMap<PeerId, u32>,
     /// Failure count at which a peer is evicted from the routing table.
     pub suspect_after: u32,
+    /// Hosted-key count above which [`ProtocolPeer::balance`] specializes
+    /// one bit deeper. `usize::MAX` (the default) disables local
+    /// balancing, so existing drivers are unaffected until they opt in.
+    pub balance_hot_threshold: usize,
     /// Correlation-id / hop-sequence counter (see
     /// [`ProtocolPeer::seed_sequence`]).
     next_id: u64,
@@ -171,6 +175,7 @@ impl ProtocolPeer {
             recmax: DEFAULT_RECMAX,
             failures: HashMap::new(),
             suspect_after: DEFAULT_SUSPECT_AFTER,
+            balance_hot_threshold: usize::MAX,
             next_id: 1 << 63,
             pending_exchanges: HashMap::new(),
             seen_queries: BoundedMap::new(SEEN_CAP),
@@ -241,6 +246,7 @@ impl ProtocolPeer {
             Event::TimerFired { timer } => match timer {
                 TimerToken::AntiEntropy => {} // already ran at the head of this call
                 TimerToken::Stabilize => self.stabilize(ctx, out),
+                TimerToken::Balance => self.balance(ctx, out),
             },
             Event::PeerHeard { peer } => self.note_peer_success(peer),
             Event::PeerSuspected { peer } => {
@@ -744,6 +750,55 @@ impl ProtocolPeer {
                 self.rehome(strays, ctx, out);
             }
         }
+    }
+
+    /// One local load-balancing pass: the peer-protocol half of the
+    /// grid-level balancer (`PGrid::balance_round` in `pgrid-core`). A peer
+    /// hosting more than [`ProtocolPeer::balance_hot_threshold`] keys
+    /// specializes one bit toward the heavier child of its current path and
+    /// re-homes everything the longer path no longer covers through its own
+    /// routing table (entries with no route stay flagged misplaced for
+    /// anti-entropy, exactly like any other stray). Replica scaling and
+    /// path *retraction* need community knowledge — who else shares the
+    /// path, how loaded the sibling group is — so, like the remote half of
+    /// stabilization, they stay at the grid/driver level.
+    ///
+    /// At or below the threshold (or at `maxl`) this is a **strict
+    /// no-op**: no effects, no RNG draws, no trace events — so drivers may
+    /// fire [`TimerToken::Balance`] on any cadence without perturbing a
+    /// deterministic run. The default threshold of `usize::MAX` disables
+    /// the pass entirely.
+    pub fn balance(&mut self, ctx: &mut ProtoCtx<'_>, out: &mut Vec<Effect>) {
+        if self.index.len() <= self.balance_hot_threshold || self.path.len() >= self.maxl {
+            return;
+        }
+        // Pick the heavier child by counting covered keys under each side.
+        // Keys this path is responsible for but that are *shorter* than the
+        // child (coarser prefixes) fall to neither side and will re-home.
+        let c0 = self.path.child(0);
+        let mut under0 = 0usize;
+        let mut covered = 0usize;
+        for key in self.index.keys() {
+            if c0.is_prefix_of(key) {
+                under0 += 1;
+                covered += 1;
+            } else if self.path.is_prefix_of(key) {
+                covered += 1;
+            }
+        }
+        if covered == 0 {
+            // Nothing decidable locally: custody strays only. Anti-entropy
+            // owns those; deepening blind would be a coin flip.
+            return;
+        }
+        let bit = u8::from(under0 * 2 < covered);
+        self.path = self.path.child(bit);
+        ctx.trace(|| TraceEvent::PathExtended {
+            peer: u64::from(self.id.0),
+            to_len: self.path.len() as u32,
+        });
+        let strays = self.extract_misplaced();
+        self.rehome(strays, ctx, out);
     }
 
     // ---- the state methods the events are built from -----------------
@@ -1625,6 +1680,79 @@ mod tests {
         assert!(out.iter().any(|ef| matches!(ef, Effect::StoreWrite { .. })));
         assert!(q.misplaced, "no route: keep custody, flag for anti-entropy");
         assert_eq!(q.index_lookup(&path("11")), &[e]);
+    }
+
+    #[test]
+    fn balance_is_a_strict_noop_below_threshold() {
+        use rand::RngCore;
+        let mut p = ProtocolPeer::new(PeerId(0), 4, 2, 2);
+        p.path = path("01");
+        p.refs = vec![vec![PeerId(1)], vec![PeerId(2)]];
+        let e = WireEntry { item: 1, holder: PeerId(9), version: 0 };
+        p.index_insert(path("0110"), e);
+        p.index_insert(path("0101"), e);
+        p.balance_hot_threshold = 2; // exactly at the threshold: still cool
+        let before = p.clone();
+        let mut r = rng();
+        let mut witness = rng();
+        let out = drive(&mut p, &mut r, Event::TimerFired { timer: TimerToken::Balance });
+        assert!(out.is_empty(), "no effects on a cool peer: {out:?}");
+        assert_eq!(p.path, before.path);
+        assert_eq!(p.index, before.index);
+        assert_eq!(r.next_u64(), witness.next_u64(), "balance must not draw randomness");
+
+        // A hot peer already at maxl has no bit left to take: same contract.
+        let mut q = ProtocolPeer::new(PeerId(0), 2, 2, 2);
+        q.path = path("01");
+        q.refs = vec![vec![PeerId(1)], vec![PeerId(2)]];
+        q.index_insert(path("01"), e);
+        q.balance_hot_threshold = 0;
+        let mut r2 = rng();
+        let mut witness = rng();
+        let out = drive(&mut q, &mut r2, Event::TimerFired { timer: TimerToken::Balance });
+        assert!(out.is_empty(), "maxl peer cannot specialize: {out:?}");
+        assert_eq!(q.path, path("01"));
+        assert_eq!(r2.next_u64(), witness.next_u64());
+    }
+
+    #[test]
+    fn balance_splits_toward_the_heavier_child_and_rehomes() {
+        let mut p = ProtocolPeer::new(PeerId(0), 4, 2, 2);
+        p.path = path("0");
+        p.refs = vec![vec![PeerId(1)], vec![PeerId(2)]];
+        let e = WireEntry { item: 1, holder: PeerId(9), version: 0 };
+        p.index_insert(path("0110"), e);
+        p.index_insert(path("0101"), e);
+        p.index_insert(path("0011"), e);
+        p.balance_hot_threshold = 2;
+        let mut r = rng();
+        let out = drive(&mut p, &mut r, Event::TimerFired { timer: TimerToken::Balance });
+        assert_eq!(p.path, path("01"), "two of three keys sit under child 1");
+        match out
+            .iter()
+            .find(|ef| matches!(ef, Effect::ForwardInsert { .. }))
+            .expect("the stranded 00-side key travels as an insert")
+        {
+            Effect::ForwardInsert { key, candidates, .. } => {
+                assert_eq!(*key, path("0011"));
+                assert_eq!(candidates, &vec![PeerId(2)], "level-2 ref covers the 00 side");
+            }
+            _ => unreachable!(),
+        }
+        assert!(p.index_lookup(&path("0011")).is_empty(), "stray left the index");
+        assert_eq!(p.index.len(), 2, "covered keys stay put");
+
+        // With no route for the stray, custody is kept flagged instead.
+        let mut q = ProtocolPeer::new(PeerId(0), 4, 2, 2);
+        q.path = path("0");
+        q.index_insert(path("0110"), e);
+        q.index_insert(path("0101"), e);
+        q.index_insert(path("0011"), e);
+        q.balance_hot_threshold = 2;
+        let out = drive(&mut q, &mut r, Event::TimerFired { timer: TimerToken::Balance });
+        assert_eq!(q.path, path("01"));
+        assert!(out.iter().any(|ef| matches!(ef, Effect::StoreWrite { .. })));
+        assert!(q.misplaced, "no route: keep custody, flag for anti-entropy");
     }
 
     #[test]

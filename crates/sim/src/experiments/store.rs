@@ -14,7 +14,7 @@ use std::time::Instant;
 
 use pgrid_core::{Ctx, GridSnapshot, InformationSystem, PGridConfig, SystemConfig};
 use pgrid_net::{AlwaysOnline, PeerId};
-use pgrid_store::{BackendKind, StorageSpec};
+use pgrid_store::{BackendKind, StorageBackend, StorageSpec};
 use serde::Serialize;
 
 use crate::{fmt_f, Table};

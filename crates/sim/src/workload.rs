@@ -47,11 +47,22 @@ impl SkewedKeys {
 
     /// One skewed key.
     pub fn sample(&self, rng: &mut StdRng) -> Key {
+        if self.skew == 0 {
+            // Draw-for-draw identical to [`UniformKeys`]: same values,
+            // same RNG stream consumption, so swapping generators in a
+            // workload config cannot shift anything downstream of the rng.
+            return BitPath::random(rng, self.len);
+        }
         let mut x: f64 = rng.gen_range(0.0..1.0);
         for _ in 0..self.skew {
             x *= rng.gen_range(0.0..1.0);
         }
-        let scaled = (x * 2f64.powi(64)).min(2f64.powi(64) - 1.0) as u64;
+        // `x < 1.0` always, but the product underflows to subnormals (or
+        // exactly 0.0) at high skew; the saturating float-to-int cast
+        // keeps the result in range either way. (The former
+        // `.min(2^64 - 1.0)` guard rounded to `2^64` in f64 and guarded
+        // nothing.)
+        let scaled = (x * 2f64.powi(64)) as u64;
         BitPath::from_raw(u128::from(scaled) << 64, self.len)
     }
 }
@@ -153,6 +164,33 @@ mod tests {
             .filter(|_| uniform.sample(&mut r).bit(0) == 0)
             .count();
         assert!((1700..2300).contains(&low_u), "skew=0 is uniform: {low_u}");
+    }
+
+    #[test]
+    fn skew_zero_matches_uniform_draw_for_draw() {
+        use rand::RngCore;
+        let mut a = rng();
+        let mut b = rng();
+        let skewed = SkewedKeys { len: 24, skew: 0 };
+        let uniform = UniformKeys { len: 24 };
+        for _ in 0..64 {
+            assert_eq!(skewed.sample(&mut a), uniform.sample(&mut b));
+        }
+        // Identical stream consumption: the rngs are still in lockstep.
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn extreme_skew_keys_stay_full_length_and_in_range() {
+        let mut r = rng();
+        // High enough that the product underflows through subnormals to
+        // exactly 0.0 — the worst case for the float-to-bits scaling.
+        let skewed = SkewedKeys { len: 24, skew: 5000 };
+        for _ in 0..32 {
+            let k = skewed.sample(&mut r);
+            assert_eq!(k.len(), 24, "skew must never change the key length");
+            assert!(!k.is_empty(), "underflow must not produce an empty key");
+        }
     }
 
     #[test]

@@ -386,6 +386,41 @@ pub enum TraceEvent {
         /// Corrective actions applied this round.
         corrections: u64,
     },
+    /// The balancer split a hot replica group: this peer's path grew one
+    /// bit deeper.
+    PathExtended {
+        /// The extending peer.
+        peer: u64,
+        /// Path length after the extension.
+        to_len: u32,
+    },
+    /// The balancer retracted an over-provisioned cold leaf: this peer
+    /// moved back to its parent path.
+    PathRetracted {
+        /// The retracting peer.
+        peer: u64,
+        /// Path length after the retraction.
+        to_len: u32,
+    },
+    /// The balancer migrated a donor peer wholesale onto a hot path
+    /// (replica scaling).
+    ReplicaMigrated {
+        /// The migrating peer.
+        peer: u64,
+        /// The adopted path as a bit string.
+        to_path: String,
+    },
+    /// One load-balancing round over the community completed.
+    BalanceRound {
+        /// The round's max/mean load ratio sample, x1000.
+        ratio_x1000: u64,
+        /// Paths extended this round.
+        extended: u64,
+        /// Paths retracted this round.
+        retracted: u64,
+        /// Replicas migrated this round.
+        migrated: u64,
+    },
     /// Socket transport: a connection completed its handshake.
     ConnEstablished {
         /// Local endpoint of the connection.
@@ -450,6 +485,10 @@ impl TraceEvent {
             TraceEvent::EntryRehomed { .. } => "entry_rehomed",
             TraceEvent::BuddyDropped { .. } => "buddy_dropped",
             TraceEvent::StabilizeRound { .. } => "stabilize_round",
+            TraceEvent::PathExtended { .. } => "path_extended",
+            TraceEvent::PathRetracted { .. } => "path_retracted",
+            TraceEvent::ReplicaMigrated { .. } => "replica_migrated",
+            TraceEvent::BalanceRound { .. } => "balance_round",
             TraceEvent::ConnEstablished { .. } => "conn_established",
             TraceEvent::ConnLost { .. } => "conn_lost",
             TraceEvent::WriteShed { .. } => "write_shed",
@@ -638,6 +677,29 @@ pub fn encode_line(stamped: &Stamped) -> String {
         } => {
             push_int_field(&mut out, "violations", i128::from(*violations));
             push_int_field(&mut out, "corrections", i128::from(*corrections));
+        }
+        TraceEvent::PathExtended { peer, to_len } => {
+            push_int_field(&mut out, "peer", i128::from(*peer));
+            push_int_field(&mut out, "to_len", i128::from(*to_len));
+        }
+        TraceEvent::PathRetracted { peer, to_len } => {
+            push_int_field(&mut out, "peer", i128::from(*peer));
+            push_int_field(&mut out, "to_len", i128::from(*to_len));
+        }
+        TraceEvent::ReplicaMigrated { peer, to_path } => {
+            push_int_field(&mut out, "peer", i128::from(*peer));
+            push_str_field(&mut out, "to_path", to_path);
+        }
+        TraceEvent::BalanceRound {
+            ratio_x1000,
+            extended,
+            retracted,
+            migrated,
+        } => {
+            push_int_field(&mut out, "ratio_x1000", i128::from(*ratio_x1000));
+            push_int_field(&mut out, "extended", i128::from(*extended));
+            push_int_field(&mut out, "retracted", i128::from(*retracted));
+            push_int_field(&mut out, "migrated", i128::from(*migrated));
         }
         TraceEvent::ConnEstablished {
             local,
@@ -875,6 +937,24 @@ pub fn decode_line(line: &str, line_no: usize) -> Result<Stamped, String> {
             violations: f.u64("violations")?,
             corrections: f.u64("corrections")?,
         },
+        "path_extended" => TraceEvent::PathExtended {
+            peer: f.u64("peer")?,
+            to_len: f.u32("to_len")?,
+        },
+        "path_retracted" => TraceEvent::PathRetracted {
+            peer: f.u64("peer")?,
+            to_len: f.u32("to_len")?,
+        },
+        "replica_migrated" => TraceEvent::ReplicaMigrated {
+            peer: f.u64("peer")?,
+            to_path: f.str("to_path")?.to_string(),
+        },
+        "balance_round" => TraceEvent::BalanceRound {
+            ratio_x1000: f.u64("ratio_x1000")?,
+            extended: f.u64("extended")?,
+            retracted: f.u64("retracted")?,
+            migrated: f.u64("migrated")?,
+        },
         "conn_established" => TraceEvent::ConnEstablished {
             local: f.u64("local")?,
             remote: f.u64("remote")?,
@@ -1006,6 +1086,18 @@ mod tests {
         roundtrip(TraceEvent::StabilizeRound {
             violations: 17,
             corrections: 12,
+        });
+        roundtrip(TraceEvent::PathExtended { peer: 5, to_len: 7 });
+        roundtrip(TraceEvent::PathRetracted { peer: 5, to_len: 3 });
+        roundtrip(TraceEvent::ReplicaMigrated {
+            peer: 5,
+            to_path: "0010".to_string(),
+        });
+        roundtrip(TraceEvent::BalanceRound {
+            ratio_x1000: 1875,
+            extended: 4,
+            retracted: 1,
+            migrated: 2,
         });
         roundtrip(TraceEvent::ConnEstablished {
             local: 3,

@@ -155,6 +155,19 @@ if isinstance(s, dict) and s.get("rounds_to_clean") is not None:
           f"{s['rounds_to_clean']} round(s), query success "
           f"{s['success_after_damage']:.3f} -> {s['success_after_repair']:.3f} "
           f"(baseline {s['success_baseline']:.3f}) in {s['secs']:.2f}s")
+b = r.get("balance")
+if isinstance(b, dict) and b.get("rows"):
+    for row in b["rows"]:
+        print(f"balance: skew {row['skew']} load ratio "
+              f"{row['imbalance_before']:.2f} -> {row['imbalance_after']:.2f} "
+              f"in {row['rounds']} round(s) (extended {row['extended']}, "
+              f"retracted {row['retracted']}, rebalanced {row['rebalanced']})")
+    flash = b.get("flash") or []
+    if flash:
+        print(f"flash crowd: hot replicas {flash[0]['replicas']} -> "
+              f"{flash[-1]['replicas']}, mean msgs "
+              f"{flash[0]['mean_messages']:.2f} -> {flash[-1]['mean_messages']:.2f} "
+              f"(converged={b['converged']}, {b['secs']:.2f}s)")
 EOF
 
 echo "Benchmark written to BENCH_engine.json."

@@ -51,6 +51,10 @@ cargo run --release -p pgrid-cli --bin pgrid -- trace diff \
     | grep -q "first divergence" \
     || { echo "FATAL: trace diff failed to separate two seeds"; exit 1; }
 
+echo "==> balance convergence (skew adaptation to <= 2x max/mean + flash-crowd replica growth)"
+cargo run --release -p pgrid-cli --bin pgrid -- exp balance --small \
+    || { echo "FATAL: load balancing missed an acceptance gate"; exit 1; }
+
 if [[ "${1:-}" != "quick" ]]; then
     echo "==> chaos suite (fault injection, three fixed seeds)"
     cargo test --release --test live_chaos -- --nocapture

@@ -112,6 +112,8 @@ fn snapshot_of(peer: &ProtocolPeer) -> PeerSnapshot {
             })
             .collect(),
         buddies: peer.buddies.clone(),
+        hosted: Vec::new(),
+        misplaced: peer.misplaced,
     }
 }
 
